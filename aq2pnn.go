@@ -1,0 +1,295 @@
+// Package aq2pnn is a from-scratch Go implementation of AQ2PNN
+// ("Enabling Two-party Privacy-Preserving Deep Neural Network Inference
+// with Adaptive Quantization", MICRO 2023): two-party secure DNN inference
+// over additive secret shares on adaptive power-of-two rings, with the
+// paper's garbled-circuit-free ABReLU activation and an FPGA accelerator
+// cost model that reproduces the evaluation tables.
+//
+// The facade exposes four workflows:
+//
+//   - Model building: the zoo of shape-accurate architectures the paper
+//     evaluates (LeNet5 … ResNet50) and the train→quantize pipeline that
+//     produces runnable quantized models with adaptive per-layer
+//     bit-widths.
+//   - Secure inference: SecureInfer runs a complete two-party protocol
+//     (in-process parties over an instrumented channel) and reports the
+//     logits together with measured per-operator communication.
+//   - Cost estimation: Estimate prices a model on the two-ZCU104
+//     deployment (throughput, communication, power, energy efficiency).
+//   - Experiments: RunExperiment regenerates any table or figure of the
+//     paper's evaluation section.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record.
+package aq2pnn
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"aq2pnn/internal/dataset"
+	"aq2pnn/internal/engine"
+	"aq2pnn/internal/experiments"
+	"aq2pnn/internal/fpga"
+	"aq2pnn/internal/nn"
+	"aq2pnn/internal/ot"
+	"aq2pnn/internal/prg"
+	"aq2pnn/internal/quant"
+	"aq2pnn/internal/ring"
+	"aq2pnn/internal/train"
+	"aq2pnn/internal/transport"
+)
+
+// Re-exported core types. The implementation lives under internal/; these
+// aliases are the supported public names.
+type (
+	// Model is a quantized DNN graph executable in both the plaintext and
+	// ciphertext domains.
+	Model = nn.Model
+	// ZooConfig parameterizes the model zoo builders.
+	ZooConfig = nn.ZooConfig
+	// Quantized couples a quantized model with its input scale and the
+	// adaptive-quantization report.
+	Quantized = quant.Quantized
+	// QuantOptions configures the adaptive quantizer.
+	QuantOptions = quant.Options
+	// Dataset is a labelled synthetic image set.
+	Dataset = dataset.Dataset
+	// Standin is a trainable reduced model for accuracy experiments.
+	Standin = train.Standin
+	// Accelerator is the FPGA platform configuration.
+	Accelerator = fpga.Config
+	// Estimate is a modelled deployment cost (throughput/comm/power).
+	Estimate = fpga.Estimate
+	// CommStats are measured transport counters.
+	CommStats = transport.Stats
+)
+
+// Pooling selection for zoo builders and stand-ins.
+const (
+	PoolMax = nn.PoolMax
+	PoolAvg = nn.PoolAvg
+)
+
+// BuildModel returns a zoo architecture by name: "lenet5", "alexnet",
+// "alexnet-mnist", "vgg16-cifar", "vgg16-imagenet", "resnet18-cifar",
+// "resnet18-imagenet" or "resnet50-imagenet". Set cfg.Skeleton for
+// cost-model-only graphs (mandatory at ImageNet scale).
+func BuildModel(name string, cfg ZooConfig) (*Model, error) {
+	return nn.ByName(name, cfg)
+}
+
+// ZCU104 returns the paper's evaluation platform (two boards, 200 MHz,
+// 1 Gbps LAN).
+func ZCU104() Accelerator { return fpga.ZCU104() }
+
+// InferenceConfig controls SecureInfer.
+type InferenceConfig struct {
+	// CarrierBits is the ring width ℓc (0 = model bits + 4, the paper's
+	// adaptive rule).
+	CarrierBits uint
+	// Seed makes the protocol randomness reproducible.
+	Seed uint64
+	// LocalTrunc selects the paper's zero-communication local truncation
+	// for requantization (the ablation of EXPERIMENTS.md) instead of the
+	// default faithful truncation.
+	LocalTrunc bool
+	// ABReLUBits contracts the sign computation of every ReLU onto a
+	// narrower ring ("output bits sent to the ABReLU operator"); 0 keeps
+	// the carrier width.
+	ABReLUBits uint
+	// RevealClassOnly replaces the logit reveal with a secure argmax: the
+	// user learns only the predicted class.
+	RevealClassOnly bool
+}
+
+// InferenceResult reports a secure inference.
+type InferenceResult struct {
+	// Logits are the revealed outputs (party i's view).
+	Logits []int64
+	// Class is the argmax of the logits.
+	Class int
+	// Setup and Online are party i's measured traffic for the two phases.
+	Setup, Online CommStats
+	// PerOp profiles every operator's measured communication.
+	PerOp []engine.OpProfile
+	// CarrierBits is the ring the inference ran on.
+	CarrierBits uint
+}
+
+// SecureInfer runs a full two-party secure inference of the quantized
+// model on the integer input: the model and input are secret-shared, both
+// parties execute the AQ2PNN protocol over an instrumented in-process
+// channel, and the logits are revealed to the user party.
+func SecureInfer(m *Model, x []int64, cfg InferenceConfig) (*InferenceResult, error) {
+	res, err := engine.RunLocal(m, x, engine.Config{
+		CarrierBits: cfg.CarrierBits, Seed: cfg.Seed, LocalTrunc: cfg.LocalTrunc,
+		ABReLUBits: cfg.ABReLUBits, RevealClassOnly: cfg.RevealClassOnly,
+	})
+	if err != nil {
+		return nil, err
+	}
+	class := res.Class
+	if !cfg.RevealClassOnly {
+		class = nn.Argmax(res.Logits)
+	}
+	return &InferenceResult{
+		Logits:      res.Logits,
+		Class:       class,
+		Setup:       res.Setup,
+		Online:      res.Online,
+		PerOp:       res.PerOp,
+		CarrierBits: res.Carrier.Bits,
+	}, nil
+}
+
+// EstimateModel prices one secure inference of m at carrierBits on acc,
+// using the analytic communication model (validated against measured
+// protocol traffic) and the accelerator cycle model.
+func EstimateModel(acc Accelerator, m *Model, carrierBits uint) (Estimate, error) {
+	if carrierBits == 0 {
+		carrierBits = m.InBits + engine.Margin
+	}
+	return acc.EstimateModel(m, ring.New(carrierBits), false)
+}
+
+// TrainStandin trains a reduced stand-in ("lenet5", "alexnet", "vgg16",
+// "resnet18", "resnet50") on a synthetic dataset and returns it with its
+// float test accuracy.
+func TrainStandin(arch string, ds *Dataset, trainN, epochs int, seed uint64) (*Standin, float64, error) {
+	if trainN >= ds.Len() {
+		return nil, 0, fmt.Errorf("aq2pnn: trainN %d must leave test samples of %d", trainN, ds.Len())
+	}
+	tr, te := ds.Split(trainN)
+	rng := prg.NewSeeded(seed)
+	s, err := train.StandinByName(arch, rng, train.Max, ds.C, ds.H, ds.Classes)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := s.Net.Fit(tr.X, tr.Y, rng, train.Config{Epochs: epochs, LR: 0.01}); err != nil {
+		return nil, 0, err
+	}
+	return s, s.Net.Accuracy(te.X, te.Y), nil
+}
+
+// Quantize applies the adaptive quantization of Sec. 5 to a trained
+// stand-in, shaping per-layer bit-widths and dyadic BNReQ scales to the
+// target carrier.
+func Quantize(s *Standin, opts QuantOptions) (*Quantized, error) {
+	return quant.Quantize(s, opts)
+}
+
+// SyntheticDataset builds one of the stand-in corpora: "mnist", "cifar10"
+// or "imagenet".
+func SyntheticDataset(name string, n int, seed uint64) (*Dataset, error) {
+	switch name {
+	case "mnist":
+		return dataset.MNISTLike(n, seed)
+	case "cifar10":
+		return dataset.CIFARLike(n, seed)
+	case "imagenet":
+		return dataset.ImageNetLike(n, seed)
+	default:
+		return nil, fmt.Errorf("aq2pnn: unknown dataset %q", name)
+	}
+}
+
+// ExperimentNames lists the table/figure generators accepted by
+// RunExperiment.
+func ExperimentNames() []string {
+	return append([]string(nil), experiments.Names...)
+}
+
+// RunExperiment regenerates one of the paper's tables or figures, writing
+// the rendered tables to w. quick shrinks the training workloads for fast
+// runs.
+func RunExperiment(name string, quick bool, seed uint64, w io.Writer) error {
+	return experiments.NewSuite(experiments.Config{Quick: quick, Seed: seed}).Run(name, w)
+}
+
+// NewExperimentSuite returns a suite that caches trained stand-ins across
+// multiple RunExperiment-style calls (use Suite.Run).
+func NewExperimentSuite(quick bool, seed uint64) *experiments.Suite {
+	return experiments.NewSuite(experiments.Config{Quick: quick, Seed: seed})
+}
+
+// Program is a compiled INST Q instruction stream for the accelerator.
+type Program = fpga.Program
+
+// CompileProgram lowers a model into the accelerator's INST Q instruction
+// stream at the given carrier width (Sec. 4.1.1).
+func CompileProgram(m *Model, carrierBits uint) (*Program, error) {
+	if carrierBits == 0 {
+		carrierBits = m.InBits + engine.Margin
+	}
+	return fpga.Compile(fpga.ZCU104(), m, ring.New(carrierBits), false)
+}
+
+// ServeModelTCP runs the model-provider side of a two-process deployment:
+// it listens on addr, secret-shares m's weights with the connecting user
+// and executes one secure inference. demoGroup selects the small fast OT
+// group for demonstrations (NOT cryptographically strong).
+func ServeModelTCP(addr string, m *Model, cfg InferenceConfig, demoGroup bool) error {
+	conn, err := transport.Listen(addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	return engine.RunProvider(conn, m, networkConfig(cfg, demoGroup))
+}
+
+// SecureInferTCP runs the user side of a two-process deployment against a
+// provider at addr. Both sides must agree on the model architecture,
+// carrier width and seed.
+func SecureInferTCP(addr string, m *Model, x []int64, cfg InferenceConfig, demoGroup bool, timeout time.Duration) (*InferenceResult, error) {
+	conn, err := transport.Dial(addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	res, err := engine.RunUser(conn, m, x, networkConfig(cfg, demoGroup))
+	if err != nil {
+		return nil, err
+	}
+	return &InferenceResult{
+		Logits:      res.Logits,
+		Class:       nn.Argmax(res.Logits),
+		Setup:       res.Setup,
+		Online:      res.Online,
+		PerOp:       res.PerOp,
+		CarrierBits: res.Carrier.Bits,
+	}, nil
+}
+
+func networkConfig(cfg InferenceConfig, demoGroup bool) engine.NetworkConfig {
+	nc := engine.NetworkConfig{CarrierBits: cfg.CarrierBits, Seed: cfg.Seed, LocalTrunc: cfg.LocalTrunc}
+	if demoGroup {
+		nc.Group = ot.TestGroup()
+	}
+	return nc
+}
+
+// SaveModel writes a quantized model artifact (graph, weights, BNReQ
+// scales and the quantizer's input scale) to a file.
+func SaveModel(path string, m *Model, inScale float64) error {
+	return nn.Save(path, m, inScale)
+}
+
+// LoadModel reads a model artifact written by SaveModel.
+func LoadModel(path string) (*Model, float64, error) {
+	return nn.Load(path)
+}
+
+// BatchResult reports a batched secure inference (one setup, many images).
+type BatchResult = engine.BatchResult
+
+// SecureInferBatch runs secure inference over a batch of quantized inputs
+// with a single weight-preparation phase, the deployment pattern behind
+// the paper's 1,000-iteration throughput averages.
+func SecureInferBatch(m *Model, xs [][]int64, cfg InferenceConfig) (*BatchResult, error) {
+	return engine.RunLocalBatch(m, xs, engine.Config{
+		CarrierBits: cfg.CarrierBits, Seed: cfg.Seed, LocalTrunc: cfg.LocalTrunc,
+		ABReLUBits: cfg.ABReLUBits,
+	})
+}

@@ -1,0 +1,79 @@
+package aq2pnn
+
+// Helpers for the protocol micro-benchmarks in bench_test.go: a reusable
+// two-party session exercising single secure operators.
+
+import (
+	"testing"
+
+	"aq2pnn/internal/ot"
+	"aq2pnn/internal/prg"
+	"aq2pnn/internal/ring"
+	"aq2pnn/internal/secure"
+	"aq2pnn/internal/share"
+	"aq2pnn/internal/transport"
+)
+
+type secureRunner struct {
+	sess *secure.Session
+	r    ring.Ring
+	g    *prg.PRG
+}
+
+func newSecureRunner() *secureRunner {
+	return &secureRunner{sess: secure.NewLocalSession(1), r: ring.New(16), g: prg.NewSeeded(2)}
+}
+
+func (sr *secureRunner) gemm() error {
+	m, k, n := 16, 64, 16 // one AS-GEMM array tile column sweep
+	in := sr.g.Elems(m*k, sr.r)
+	w := sr.g.Elems(k*n, sr.r)
+	in0, in1 := share.SplitVec(sr.g, sr.r, in)
+	w0, w1 := share.SplitVec(sr.g, sr.r, w)
+	return sr.sess.Run(
+		func(c *secure.Context) error { _, err := c.MatMul(sr.r, in0, w0, m, k, n); return err },
+		func(c *secure.Context) error { _, err := c.MatMul(sr.r, in1, w1, m, k, n); return err })
+}
+
+func (sr *secureRunner) relu() error {
+	vals := make([]int64, 512)
+	for i := range vals {
+		vals[i] = sr.g.Int64n(10000)
+	}
+	x0, x1 := share.SplitVec(sr.g, sr.r, sr.r.FromInts(vals))
+	return sr.sess.Run(
+		func(c *secure.Context) error { _, err := c.ABReLU(sr.r, x0); return err },
+		func(c *secure.Context) error { _, err := c.ABReLU(sr.r, x1); return err })
+}
+
+func benchSecureOp(b *testing.B, op func(*secureRunner) error) {
+	b.Helper()
+	sr := newSecureRunner()
+	defer sr.sess.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := op(sr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func runOTFlowOnce() error {
+	a, bConn := transport.Pipe()
+	defer a.Close()
+	defer bConn.Close()
+	msgs := make([][][]byte, 32)
+	choices := make([]int, 32)
+	for k := range msgs {
+		msgs[k] = [][]byte{{1}, {2}, {3}, {4}}
+		choices[k] = k % 4
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- ot.FlowSend(a, ot.TestGroup(), prg.NewSeeded(1), 4, msgs)
+	}()
+	if _, err := ot.FlowRecv(bConn, prg.NewSeeded(2), 4, choices, 1); err != nil {
+		return err
+	}
+	return <-errCh
+}

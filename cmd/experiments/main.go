@@ -1,0 +1,48 @@
+// Command experiments regenerates the paper's evaluation tables and
+// figures (the mapping to modules is DESIGN.md's experiment index; the
+// recorded outputs are EXPERIMENTS.md).
+//
+//	experiments -exp all            # everything, full-size training
+//	experiments -exp table4 -quick  # one experiment, small workloads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"aq2pnn"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment name or 'all' (one of: "+fmt.Sprint(aq2pnn.ExperimentNames())+")")
+	quick := flag.Bool("quick", false, "shrink training workloads for a fast run")
+	seed := flag.Uint64("seed", 1, "experiment randomness seed")
+	out := flag.String("o", "", "write output to this file instead of stdout")
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = aq2pnn.ExperimentNames()
+	}
+	suite := aq2pnn.NewExperimentSuite(*quick, *seed)
+	for _, name := range names {
+		fmt.Fprintf(w, "## %s\n\n", name)
+		if err := suite.Run(name, w); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Command party runs one side of a two-process AQ2PNN deployment over
+// TCP, emulating the paper's two-board setup: start the model provider
+// first, then the user.
+//
+//	party -role provider -listen :7541 -model lenet5 -bits 16
+//	party -role user     -connect localhost:7541 -model lenet5 -bits 16
+//
+// Both processes must agree on -model, -bits and -seed (the architecture
+// and quantization metadata are public). The provider's weights are
+// secret-shared over the wire; the user's input never leaves its process
+// unmasked. The offline phase runs real base OTs and Gilboa triples —
+// pass -demo-group to use the small fast group (NOT cryptographically
+// strong) for quick demonstrations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"aq2pnn/internal/engine"
+	"aq2pnn/internal/nn"
+	"aq2pnn/internal/ot"
+	"aq2pnn/internal/transport"
+)
+
+func main() {
+	role := flag.String("role", "", "provider | user")
+	listen := flag.String("listen", ":7541", "provider listen address")
+	connect := flag.String("connect", "localhost:7541", "user dial address")
+	model := flag.String("model", "lenet5", "zoo model (must match the peer)")
+	bits := flag.Uint("bits", 16, "carrier ring bit-width")
+	seed := flag.Uint64("seed", 7, "shared randomness seed (must match the peer)")
+	demoGroup := flag.Bool("demo-group", false, "use the fast demo OT group (NOT secure)")
+	flag.Parse()
+
+	if err := run(*role, *listen, *connect, *model, *bits, *seed, *demoGroup); err != nil {
+		fmt.Fprintln(os.Stderr, "party:", err)
+		os.Exit(1)
+	}
+}
+
+func run(role, listen, connect, model string, bits uint, seed uint64, demoGroup bool) error {
+	m, err := nn.ByName(model, nn.ZooConfig{Seed: seed})
+	if err != nil {
+		return err
+	}
+	cfg := engine.NetworkConfig{CarrierBits: bits, Seed: seed}
+	if demoGroup {
+		cfg.Group = ot.TestGroup()
+	}
+	switch role {
+	case "provider":
+		fmt.Printf("provider: %s, %d-bit carrier, waiting on %s\n", m.Name, bits, listen)
+		conn, err := transport.Listen(listen)
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		start := time.Now()
+		if err := engine.RunProvider(conn, m, cfg); err != nil {
+			return err
+		}
+		st := conn.Stats()
+		fmt.Printf("provider done in %v: %.3f MiB exchanged\n", time.Since(start), st.MiB())
+		return nil
+	case "user":
+		fmt.Printf("user: %s, %d-bit carrier, dialing %s\n", m.Name, bits, connect)
+		conn, err := transport.Dial(connect, 30*time.Second)
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		n := m.InputShape().Numel()
+		x := make([]int64, n)
+		for i := range x {
+			x[i] = int64((i*13)%23) - 11
+		}
+		start := time.Now()
+		res, err := engine.RunUser(conn, m, x, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("user done in %v\n", time.Since(start))
+		fmt.Printf("class: %d, logits: %v\n", nn.Argmax(res.Logits), res.Logits)
+		fmt.Printf("setup %.3f MiB, online %.3f MiB (%d rounds)\n",
+			res.Setup.MiB(), res.Online.MiB(), res.Online.Rounds)
+		return nil
+	default:
+		return fmt.Errorf("-role must be provider or user")
+	}
+}

@@ -1,0 +1,35 @@
+// Accelerator trace: compile a model into the INST Q instruction stream
+// (the queue the paper's Sec. 4.1.1 describes TVM-style compilers
+// producing) and inspect how LOAD / EXCH / GEMM / ALU / A2B / SCM
+// instructions realize each building block, together with the cycle and
+// traffic totals the cost model derives from them.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aq2pnn"
+)
+
+func main() {
+	m, err := aq2pnn.BuildModel("lenet5", aq2pnn.ZooConfig{Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, bits := range []uint{32, 16} {
+		prog, err := aq2pnn.CompileProgram(m, bits)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("---- carrier %d bits ----\n", bits)
+		fmt.Print(prog.Dump(28))
+		est, err := aq2pnn.EstimateModel(aq2pnn.ZCU104(), m, bits)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("totals: %d cycles (%v compute) + %.3f MiB over %d rounds (%v comm) → %.2f fps\n\n",
+			est.Cycles, est.ComputeTime, est.CommMiB(), est.Comm.Rounds, est.CommTime, est.ThroughputFPS)
+	}
+	fmt.Println("halving the carrier width halves every EXCH payload — the root of the paper's communication savings")
+}

@@ -1,0 +1,3 @@
+module aq2pnn
+
+go 1.22

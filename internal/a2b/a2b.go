@@ -1,0 +1,88 @@
+// Package a2b implements the Arithmetic-to-Binary share conversion machine
+// (A2BM, Sec. 4.3.2): it splits an ℓ-bit ring element into U bit-groups,
+// MSB first — x ← x₇ ‖ x₆ ‖ x₅x₄ ‖ x₃x₂ ‖ x₁x₀ for INT8 — so that each
+// group can drive a (1, 2^su)-OT in the secure comparison machine. The two
+// most significant groups are single bits ((1,2)-OT); the remaining groups
+// are two bits wide ((1,4)-OT), with a trailing single-bit group when ℓ is
+// odd.
+package a2b
+
+import (
+	"fmt"
+
+	"aq2pnn/internal/ring"
+)
+
+// Groups returns the group bit-widths for an ℓ-bit value, MSB first.
+// For even ℓ the layout is [1, 1, 2, 2, …, 2] with U = ℓ/2 + 1 groups,
+// matching the paper's U = ⌊ℓ/2⌋ + 1.
+func Groups(bits uint) []uint {
+	if bits == 0 {
+		panic("a2b: zero bit-length")
+	}
+	if bits == 1 {
+		return []uint{1}
+	}
+	gs := []uint{1, 1}
+	rem := bits - 2
+	for rem >= 2 {
+		gs = append(gs, 2)
+		rem -= 2
+	}
+	if rem == 1 {
+		gs = append(gs, 1)
+	}
+	return gs
+}
+
+// U returns the number of groups for an ℓ-bit value.
+func U(bits uint) int { return len(Groups(bits)) }
+
+// Split decomposes x (an element of r) into its group values, MSB first.
+// Split(r, x)[0] is the sign bit.
+func Split(r ring.Ring, x uint64) []uint64 {
+	gs := Groups(r.Bits)
+	out := make([]uint64, len(gs))
+	shift := r.Bits
+	for i, w := range gs {
+		shift -= w
+		out[i] = (x >> shift) & ((1 << w) - 1)
+	}
+	return out
+}
+
+// Join is the inverse of Split.
+func Join(r ring.Ring, groups []uint64) (uint64, error) {
+	gs := Groups(r.Bits)
+	if len(groups) != len(gs) {
+		return 0, fmt.Errorf("a2b: %d groups for a %d-group layout", len(groups), len(gs))
+	}
+	var x uint64
+	for i, w := range gs {
+		if groups[i] >= 1<<w {
+			return 0, fmt.Errorf("a2b: group %d value %d exceeds %d bits", i, groups[i], w)
+		}
+		x = x<<w | groups[i]
+	}
+	return x, nil
+}
+
+// SplitLow decomposes the low ℓ−1 bits of x (the value with the sign bit
+// stripped) into the full layout minus its sign group: [1, 2, 2, …] for
+// even ℓ. These are the groups the secure comparison machine actually
+// transfers; the sign bits are folded into the final XOR by quadrant
+// detection.
+func SplitLow(r ring.Ring, x uint64) []uint64 {
+	if r.Bits == 1 {
+		return nil
+	}
+	return Split(r, x)[1:]
+}
+
+// LowGroups returns the group widths used by SplitLow.
+func LowGroups(bits uint) []uint {
+	if bits <= 1 {
+		return nil
+	}
+	return Groups(bits)[1:]
+}

@@ -1,0 +1,142 @@
+// Package dataset generates the synthetic stand-ins for MNIST, CIFAR10
+// and ImageNet (we have no access to the real corpora in this offline
+// environment; see DESIGN.md). Each class is a procedurally generated
+// composition of soft blobs and oriented bars; samples perturb the class
+// template with spatial jitter, per-blob deformation and pixel noise, so
+// the tasks are learnable but not trivial — small models land in the
+// 80–99% range, leaving visible headroom for quantization damage, which is
+// what the accuracy experiments need to measure.
+package dataset
+
+import (
+	"fmt"
+	"math"
+
+	"aq2pnn/internal/prg"
+)
+
+// Dataset is a labelled image set, pixels in [0, 1], layout (C, H, W).
+type Dataset struct {
+	Name    string
+	X       [][]float64
+	Y       []int
+	C, H, W int
+	Classes int
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// Split partitions the set into train/test halves at the given index.
+func (d *Dataset) Split(nTrain int) (train, test *Dataset) {
+	if nTrain > d.Len() {
+		nTrain = d.Len()
+	}
+	mk := func(x [][]float64, y []int) *Dataset {
+		return &Dataset{Name: d.Name, X: x, Y: y, C: d.C, H: d.H, W: d.W, Classes: d.Classes}
+	}
+	return mk(d.X[:nTrain], d.Y[:nTrain]), mk(d.X[nTrain:], d.Y[nTrain:])
+}
+
+type blob struct {
+	cx, cy, r, amp float64
+	ch             int
+}
+
+type classTemplate struct {
+	blobs []blob
+}
+
+// Config parameterizes a synthetic set.
+type Config struct {
+	Name      string
+	C, H, W   int
+	Classes   int
+	N         int
+	Seed      uint64
+	Noise     float64 // pixel noise standard deviation
+	Jitter    float64 // spatial jitter fraction of image size
+	BlobCount int
+}
+
+// Generate builds a synthetic dataset.
+func Generate(cfg Config) (*Dataset, error) {
+	if cfg.C <= 0 || cfg.H <= 0 || cfg.W <= 0 || cfg.Classes <= 0 || cfg.N <= 0 {
+		return nil, fmt.Errorf("dataset: bad config %+v", cfg)
+	}
+	if cfg.BlobCount == 0 {
+		cfg.BlobCount = 4
+	}
+	master := prg.NewSeeded(cfg.Seed ^ 0xDA7A5E7)
+	// Class templates.
+	templates := make([]classTemplate, cfg.Classes)
+	for c := range templates {
+		tg := prg.NewSeeded(cfg.Seed*1000003 + uint64(c))
+		blobs := make([]blob, cfg.BlobCount)
+		for i := range blobs {
+			blobs[i] = blob{
+				cx:  0.25 + 0.5*tg.Float64(),
+				cy:  0.25 + 0.5*tg.Float64(),
+				r:   0.10 + 0.10*tg.Float64(),
+				amp: 0.45 + 0.4*tg.Float64(),
+				ch:  tg.Intn(cfg.C),
+			}
+		}
+		templates[c] = classTemplate{blobs: blobs}
+	}
+	d := &Dataset{Name: cfg.Name, C: cfg.C, H: cfg.H, W: cfg.W, Classes: cfg.Classes}
+	for s := 0; s < cfg.N; s++ {
+		label := master.Intn(cfg.Classes)
+		img := renderSample(templates[label], cfg, master)
+		d.X = append(d.X, img)
+		d.Y = append(d.Y, label)
+	}
+	return d, nil
+}
+
+func renderSample(t classTemplate, cfg Config, g *prg.PRG) []float64 {
+	img := make([]float64, cfg.C*cfg.H*cfg.W)
+	jx := (g.Float64()*2 - 1) * cfg.Jitter
+	jy := (g.Float64()*2 - 1) * cfg.Jitter
+	for _, b := range t.blobs {
+		cx := (b.cx + jx) * float64(cfg.W)
+		cy := (b.cy + jy) * float64(cfg.H)
+		r := b.r * float64(cfg.W) * (0.85 + 0.3*g.Float64())
+		amp := b.amp * (0.8 + 0.4*g.Float64())
+		r2 := r * r
+		for y := 0; y < cfg.H; y++ {
+			dy := float64(y) - cy
+			for x := 0; x < cfg.W; x++ {
+				dx := float64(x) - cx
+				v := amp * math.Exp(-(dx*dx+dy*dy)/(2*r2))
+				img[(b.ch*cfg.H+y)*cfg.W+x] += v
+			}
+		}
+	}
+	for i := range img {
+		img[i] += cfg.Noise * g.NormFloat64()
+		if img[i] < 0 {
+			img[i] = 0
+		}
+		if img[i] > 1 {
+			img[i] = 1
+		}
+	}
+	return img
+}
+
+// MNISTLike is the 1×28×28, 10-class stand-in.
+func MNISTLike(n int, seed uint64) (*Dataset, error) {
+	return Generate(Config{Name: "mnist-like", C: 1, H: 28, W: 28, Classes: 10, N: n, Seed: seed, Noise: 0.22, Jitter: 0.12, BlobCount: 4})
+}
+
+// CIFARLike is the 3×32×32, 10-class stand-in.
+func CIFARLike(n int, seed uint64) (*Dataset, error) {
+	return Generate(Config{Name: "cifar-like", C: 3, H: 32, W: 32, Classes: 10, N: n, Seed: seed, Noise: 0.24, Jitter: 0.12, BlobCount: 5})
+}
+
+// ImageNetLike is a scale-reduced stand-in: 3×32×32 with 20 classes (the
+// class count, not the resolution, is what stresses the logit range).
+func ImageNetLike(n int, seed uint64) (*Dataset, error) {
+	return Generate(Config{Name: "imagenet-like", C: 3, H: 32, W: 32, Classes: 20, N: n, Seed: seed, Noise: 0.24, Jitter: 0.12, BlobCount: 6})
+}

@@ -1,0 +1,142 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenerateShapesAndRange(t *testing.T) {
+	d, err := MNISTLike(200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 200 || d.C != 1 || d.H != 28 || d.W != 28 || d.Classes != 10 {
+		t.Fatalf("dataset meta %+v", d)
+	}
+	for i, x := range d.X {
+		if len(x) != 28*28 {
+			t.Fatalf("sample %d has %d pixels", i, len(x))
+		}
+		for _, v := range x {
+			if v < 0 || v > 1 {
+				t.Fatalf("pixel %g outside [0,1]", v)
+			}
+		}
+		if d.Y[i] < 0 || d.Y[i] >= 10 {
+			t.Fatalf("label %d", d.Y[i])
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := CIFARLike(50, 7)
+	b, _ := CIFARLike(50, 7)
+	for i := range a.X {
+		if a.Y[i] != b.Y[i] {
+			t.Fatal("labels diverge")
+		}
+		for j := range a.X[i] {
+			if a.X[i][j] != b.X[i][j] {
+				t.Fatal("pixels diverge")
+			}
+		}
+	}
+	c, _ := CIFARLike(50, 8)
+	same := true
+	for j := range a.X[0] {
+		if a.X[0][j] != c.X[0][j] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produce identical data")
+	}
+}
+
+func TestClassBalanceRough(t *testing.T) {
+	d, _ := MNISTLike(2000, 2)
+	counts := make([]int, 10)
+	for _, y := range d.Y {
+		counts[y]++
+	}
+	for c, n := range counts {
+		if n < 120 || n > 280 {
+			t.Errorf("class %d has %d of 2000", c, n)
+		}
+	}
+}
+
+func TestSeparabilityNearestCentroid(t *testing.T) {
+	// A nearest-centroid classifier must beat chance by a wide margin —
+	// the classes carry real structure.
+	d, _ := MNISTLike(600, 3)
+	tr, te := d.Split(400)
+	dim := d.C * d.H * d.W
+	centroids := make([][]float64, d.Classes)
+	counts := make([]int, d.Classes)
+	for i := range centroids {
+		centroids[i] = make([]float64, dim)
+	}
+	for i := range tr.X {
+		c := tr.Y[i]
+		counts[c]++
+		for j, v := range tr.X[i] {
+			centroids[c][j] += v
+		}
+	}
+	for c := range centroids {
+		if counts[c] == 0 {
+			continue
+		}
+		for j := range centroids[c] {
+			centroids[c][j] /= float64(counts[c])
+		}
+	}
+	correct := 0
+	for i := range te.X {
+		best, bestD := 0, math.Inf(1)
+		for c := range centroids {
+			var dd float64
+			for j, v := range te.X[i] {
+				diff := v - centroids[c][j]
+				dd += diff * diff
+			}
+			if dd < bestD {
+				best, bestD = c, dd
+			}
+		}
+		if best == te.Y[i] {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(te.Len())
+	if acc < 0.5 {
+		t.Errorf("nearest-centroid accuracy %.2f; classes not separable enough", acc)
+	}
+	if acc == 1.0 {
+		t.Error("task is trivially separable; quantization damage would be invisible")
+	}
+	t.Logf("nearest-centroid accuracy: %.3f", acc)
+}
+
+func TestSplitBounds(t *testing.T) {
+	d, _ := MNISTLike(10, 4)
+	tr, te := d.Split(100)
+	if tr.Len() != 10 || te.Len() != 0 {
+		t.Error("oversized split not clamped")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Config{}); err == nil {
+		t.Error("zero config accepted")
+	}
+}
+
+func TestImageNetLikeClasses(t *testing.T) {
+	d, _ := ImageNetLike(40, 5)
+	if d.Classes != 20 || d.C != 3 {
+		t.Errorf("imagenet-like meta %+v", d)
+	}
+}

@@ -1,0 +1,57 @@
+package engine
+
+import (
+	"testing"
+
+	"aq2pnn/internal/nn"
+	"aq2pnn/internal/ring"
+)
+
+func TestBatchInference(t *testing.T) {
+	m := tinyModel(nn.PoolAvg)
+	var xs [][]int64
+	for b := 0; b < 3; b++ {
+		x := make([]int64, 64)
+		for i := range x {
+			x[i] = int64((i*7+b*13)%31) - 15
+		}
+		xs = append(xs, x)
+	}
+	res, err := RunLocalBatch(m, xs, Config{CarrierBits: 24, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Logits) != 3 {
+		t.Fatalf("got %d results", len(res.Logits))
+	}
+	// Each image must match the plaintext ring reference.
+	for b, x := range xs {
+		want, _ := m.Forward(x, nn.ForwardOptions{Mode: nn.Ring, Carrier: ring.New(24)})
+		if d := maxAbsDiff(res.Logits[b], want); d > 8 {
+			t.Errorf("image %d: secure %v vs plaintext %v", b, res.Logits[b], want)
+		}
+	}
+	// Setup is paid once: batch setup ≈ single-run setup, and online
+	// scales per image.
+	single, err := RunLocal(m, xs[0], Config{CarrierBits: 24, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Setup.TotalBytes() != single.Setup.TotalBytes() {
+		t.Errorf("batch setup %d vs single %d", res.Setup.TotalBytes(), single.Setup.TotalBytes())
+	}
+	perImage := res.OnlinePerImage.TotalBytes()
+	if perImage == 0 || perImage > single.Online.TotalBytes()*11/10 {
+		t.Errorf("per-image online %d vs single %d", perImage, single.Online.TotalBytes())
+	}
+}
+
+func TestBatchValidation(t *testing.T) {
+	m := tinyModel(nn.PoolAvg)
+	if _, err := RunLocalBatch(m, nil, Config{}); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if _, err := RunLocalBatch(m, [][]int64{{1, 2}}, Config{}); err == nil {
+		t.Error("short image accepted")
+	}
+}

@@ -1,0 +1,381 @@
+// Package engine executes a quantized nn.Model under the AQ2PNN 2PC
+// protocol: it secret-shares the model and input, walks the graph with the
+// secure operators (AS-GEMM convolutions, 2PC-BNReQ, ABReLU, 2PC pooling)
+// on a carrier ring sized by the adaptive quantization rule, and profiles
+// per-operator communication — the measured quantities behind Tables 4, 5,
+// 7 and 8.
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"aq2pnn/internal/nn"
+	"aq2pnn/internal/prg"
+	"aq2pnn/internal/ring"
+	"aq2pnn/internal/secure"
+	"aq2pnn/internal/share"
+	"aq2pnn/internal/tensor"
+	"aq2pnn/internal/transport"
+)
+
+// Margin is the paper's carrier headroom: an ℓ-bit plaintext model rides a
+// 2^(ℓ+4) ring (Sec. 5.1).
+const Margin = 4
+
+// Config controls a secure inference run.
+type Config struct {
+	// CarrierBits is the ring width ℓ_c; 0 selects InBits+Margin.
+	CarrierBits uint
+	// Seed drives all protocol randomness for reproducible experiments.
+	Seed uint64
+	// LocalTrunc selects the paper's zero-communication local truncation
+	// for BNReQ/AvgPool instead of the faithful SCM-based truncation; see
+	// internal/secure/trunc.go and EXPERIMENTS.md for the ablation.
+	LocalTrunc bool
+	// ABReLUBits, when non-zero and smaller than the carrier, contracts
+	// the shares onto a narrower ring for every ReLU (the "output bits
+	// sent to the ABReLU operator" of Tables 7/8) and zero-extends the
+	// non-negative result back — the per-layer ring adaptation of Sec. 5.
+	ABReLUBits uint
+	// RevealClassOnly replaces the logit reveal with a secure argmax
+	// tournament: the user learns only the predicted class index.
+	RevealClassOnly bool
+}
+
+// Carrier resolves the ring for a model.
+func (c Config) Carrier(m *nn.Model) ring.Ring {
+	bits := c.CarrierBits
+	if bits == 0 {
+		bits = m.InBits + Margin
+	}
+	return ring.New(bits)
+}
+
+// OpProfile is one node's measured cost at party i's endpoint.
+type OpProfile struct {
+	Name     string
+	Kind     string
+	Elems    int // output elements
+	Bytes    uint64
+	Rounds   uint64
+	HostTime time.Duration
+}
+
+// Result is the outcome of a secure inference.
+type Result struct {
+	// Logits are the revealed outputs (nil under RevealClassOnly).
+	Logits []int64
+	// Class is the securely computed argmax when RevealClassOnly is set
+	// (−1 otherwise; derive it from Logits in that case).
+	Class int
+	// Setup is party i's traffic during weight preparation (F openings).
+	Setup transport.Stats
+	// Online is party i's traffic during inference.
+	Online transport.Stats
+	// PerOp profiles each node (party i's endpoint).
+	PerOp []OpProfile
+	// Carrier is the ring the inference ran on.
+	Carrier ring.Ring
+}
+
+// WeightShares holds one party's share of every parameterized node.
+type WeightShares struct {
+	W    map[int][]uint64 // node id → weight share
+	Bias map[int][]uint64 // node id → bias share
+}
+
+// SplitModel secret-shares all weights and biases of a model onto the
+// ring. In deployment the model provider derives party i's share from a
+// common seed (zero communication); here the dealer PRG plays that role.
+func SplitModel(g *prg.PRG, m *nn.Model, r ring.Ring) (p0, p1 *WeightShares, err error) {
+	p0 = &WeightShares{W: map[int][]uint64{}, Bias: map[int][]uint64{}}
+	p1 = &WeightShares{W: map[int][]uint64{}, Bias: map[int][]uint64{}}
+	for i, node := range m.Nodes {
+		var w, bias []int64
+		switch op := node.Op.(type) {
+		case *nn.Conv:
+			if op.Skeleton() {
+				return nil, nil, fmt.Errorf("engine: node %d is a skeleton Conv", i)
+			}
+			// GEMM layout: (PatchLen × OutC), transposed from storage.
+			pl := op.Geom.PatchLen()
+			w = make([]int64, len(op.W))
+			for oc := 0; oc < op.Geom.OutC; oc++ {
+				for k := 0; k < pl; k++ {
+					w[k*op.Geom.OutC+oc] = op.W[oc*pl+k]
+				}
+			}
+			bias = op.Bias
+		case *nn.FC:
+			if op.Skeleton() {
+				return nil, nil, fmt.Errorf("engine: node %d is a skeleton FC", i)
+			}
+			w = make([]int64, len(op.W))
+			for o := 0; o < op.Out; o++ {
+				for k := 0; k < op.In; k++ {
+					w[k*op.Out+o] = op.W[o*op.In+k]
+				}
+			}
+			bias = op.Bias
+		default:
+			continue
+		}
+		w0, w1 := share.SplitVec(g, r, r.FromInts(w))
+		p0.W[i], p1.W[i] = w0, w1
+		if bias != nil {
+			b0, b1 := share.SplitVec(g, r, r.FromInts(bias))
+			p0.Bias[i], p1.Bias[i] = b0, b1
+		}
+	}
+	return p0, p1, nil
+}
+
+// Party is one side's compiled executor.
+type Party struct {
+	Ctx     *secure.Context
+	Model   *nn.Model
+	Weights *WeightShares
+	R       ring.Ring
+	// ReLURing, when a valid ring narrower than R, hosts the ABReLU
+	// evaluations (shares are contracted before and zero-extended after).
+	ReLURing ring.Ring
+	linears  map[int]*secure.Linear
+	// Profile receives per-node cost entries when non-nil (party i only,
+	// by convention).
+	Profile *[]OpProfile
+}
+
+// Prepare opens the weight masks F for every linear node (the setup
+// phase; its communication is reported separately from the online phase).
+func (p *Party) Prepare() error {
+	p.linears = map[int]*secure.Linear{}
+	for i, node := range p.Model.Nodes {
+		switch op := node.Op.(type) {
+		case *nn.Conv:
+			pl := op.Geom.PatchLen()
+			l, err := p.Ctx.PrepareLinear(fmt.Sprintf("n%d", i), p.R, p.Weights.W[i], pl, op.Geom.OutC)
+			if err != nil {
+				return fmt.Errorf("engine: prepare node %d: %w", i, err)
+			}
+			p.linears[i] = l
+		case *nn.FC:
+			l, err := p.Ctx.PrepareLinear(fmt.Sprintf("n%d", i), p.R, p.Weights.W[i], op.In, op.Out)
+			if err != nil {
+				return fmt.Errorf("engine: prepare node %d: %w", i, err)
+			}
+			p.linears[i] = l
+		}
+	}
+	return nil
+}
+
+// Infer runs the secure forward pass on this party's input share and
+// returns this party's output share.
+func (p *Party) Infer(x []uint64) ([]uint64, error) {
+	if p.linears == nil {
+		if err := p.Prepare(); err != nil {
+			return nil, err
+		}
+	}
+	shapes, err := p.Model.Shapes()
+	if err != nil {
+		return nil, err
+	}
+	r := p.R
+	vals := make([][]uint64, len(p.Model.Nodes))
+	get := func(idx int) []uint64 {
+		if idx == -1 {
+			return x
+		}
+		return vals[idx]
+	}
+	for i, node := range p.Model.Nodes {
+		start := time.Now()
+		before := p.Ctx.Conn.Stats()
+		var out []uint64
+		switch op := node.Op.(type) {
+		case *nn.Conv:
+			out, err = p.runConv(i, op, get(node.Inputs[0]))
+		case *nn.FC:
+			out, err = p.runFC(i, op, get(node.Inputs[0]))
+		case nn.ReLU:
+			out, err = p.runReLU(get(node.Inputs[0]))
+		case *nn.MaxPool:
+			// The tree tournament halves the round count at identical
+			// traffic (see secure.MaxPoolTree).
+			out, err = p.Ctx.MaxPoolTree(r, get(node.Inputs[0]), op.Geom)
+		case *nn.AvgPool:
+			out, err = p.Ctx.AvgPool(r, get(node.Inputs[0]), op.Geom)
+		case nn.Add:
+			a := get(node.Inputs[0])
+			b := get(node.Inputs[1])
+			out = make([]uint64, len(a))
+			r.AddVec(out, a, b)
+		case nn.Flatten:
+			out = append([]uint64(nil), get(node.Inputs[0])...)
+		default:
+			err = fmt.Errorf("engine: unknown op %T", node.Op)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("engine: node %d (%s): %w", i, node.Op.Kind(), err)
+		}
+		vals[i] = out
+		if p.Profile != nil {
+			after := p.Ctx.Conn.Stats()
+			*p.Profile = append(*p.Profile, OpProfile{
+				Name:     node.Name,
+				Kind:     node.Op.Kind(),
+				Elems:    shapes[i].Numel(),
+				Bytes:    (after.BytesSent - before.BytesSent) + (after.BytesRecv - before.BytesRecv),
+				Rounds:   after.Rounds - before.Rounds,
+				HostTime: time.Since(start),
+			})
+		}
+	}
+	return vals[len(vals)-1], nil
+}
+
+// runReLU evaluates ABReLU. With a narrower ReLU ring configured, only
+// the sign computation runs on the contracted shares ("the output bits
+// sent to the ABReLU operator", Tables 7/8): contraction is local and
+// exact whenever the activation fits the narrow ring (clipping beyond it
+// is the sweep's accuracy knob), the A2BM/SCM token traffic scales with
+// the reduced width, and the multiplexer keeps operating on the carrier
+// shares, so no ring extension is needed afterwards.
+func (p *Party) runReLU(in []uint64) ([]uint64, error) {
+	if p.ReLURing.Bits == 0 || p.ReLURing.Bits >= p.R.Bits {
+		return p.Ctx.ABReLU(p.R, in)
+	}
+	small := append([]uint64(nil), in...)
+	share.ContractVec(p.R, p.ReLURing, small)
+	msb, err := p.Ctx.MSBShares(p.ReLURing, small)
+	if err != nil {
+		return nil, err
+	}
+	if p.Ctx.Party == share.PartyI {
+		for k := range msb {
+			msb[k] ^= 1
+		}
+	}
+	return p.Ctx.Mux(p.R, in, msb)
+}
+
+func (p *Party) runConv(i int, op *nn.Conv, in []uint64) ([]uint64, error) {
+	g := op.Geom
+	cols := tensor.Im2ColInt(in, g)
+	acc, err := p.linears[i].Mul(cols, g.Patches()) // (patches × OutC)
+	if err != nil {
+		return nil, err
+	}
+	// Transpose to (OutC × patches) to match the NCHW activation layout.
+	patches := g.Patches()
+	out := make([]uint64, len(acc))
+	for pt := 0; pt < patches; pt++ {
+		for oc := 0; oc < g.OutC; oc++ {
+			out[oc*patches+pt] = acc[pt*g.OutC+oc]
+		}
+	}
+	if err := p.Ctx.BNReQ(p.R, out, g.OutC, patches, p.Weights.Bias[i], op.Im, op.Ie); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (p *Party) runFC(i int, op *nn.FC, in []uint64) ([]uint64, error) {
+	out, err := p.linears[i].Mul(in, 1) // (1 × Out)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Ctx.BNReQ(p.R, out, op.Out, 1, p.Weights.Bias[i], op.Im, op.Ie); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RunLocal performs a complete in-process secure inference: shares the
+// model and input, prepares both parties, executes the protocol and
+// reveals the logits (to party i, the user).
+func RunLocal(m *nn.Model, x []int64, cfg Config) (*Result, error) {
+	r := cfg.Carrier(m)
+	if len(x) != m.InputShape().Numel() {
+		return nil, fmt.Errorf("engine: input length %d, want %d", len(x), m.InputShape().Numel())
+	}
+	sess := secure.NewLocalSession(cfg.Seed)
+	defer sess.Close()
+	sess.P0.LocalTrunc = cfg.LocalTrunc
+	sess.P1.LocalTrunc = cfg.LocalTrunc
+	g := prg.NewSeeded(cfg.Seed ^ 0xA92B11E5D00DF00D)
+	ws0, ws1, err := SplitModel(g, m, r)
+	if err != nil {
+		return nil, err
+	}
+	x0, x1 := share.SplitVec(g, r, r.FromInts(x))
+
+	var reluRing ring.Ring
+	if cfg.ABReLUBits != 0 && cfg.ABReLUBits < r.Bits {
+		reluRing = ring.New(cfg.ABReLUBits)
+	}
+	var profile []OpProfile
+	party0 := &Party{Ctx: sess.P0, Model: m, Weights: ws0, R: r, ReLURing: reluRing, Profile: &profile}
+	party1 := &Party{Ctx: sess.P1, Model: m, Weights: ws1, R: r, ReLURing: reluRing}
+
+	// Setup phase: weight preparation (F openings).
+	if err := sess.Run(
+		func(*secure.Context) error { return party0.Prepare() },
+		func(*secure.Context) error { return party1.Prepare() },
+	); err != nil {
+		return nil, err
+	}
+	setup, _ := sess.Stats()
+	sess.ResetStats()
+
+	// Online phase.
+	var logits []int64
+	class := -1
+	finish := func(c *secure.Context, o []uint64) error {
+		if cfg.RevealClassOnly {
+			idx, err := c.ArgMaxBatched(r, o)
+			if err != nil {
+				return err
+			}
+			opened, err := c.RevealTo(r, share.PartyI, []uint64{idx})
+			if err != nil {
+				return err
+			}
+			if c.Party == share.PartyI {
+				class = int(r.ToInt(opened[0]))
+			}
+			return nil
+		}
+		opened, err := c.RevealTo(r, share.PartyI, o)
+		if err != nil {
+			return err
+		}
+		if c.Party == share.PartyI {
+			logits = r.ToInts(opened)
+		}
+		return nil
+	}
+	err = sess.Run(
+		func(c *secure.Context) error {
+			o, err := party0.Infer(x0)
+			if err != nil {
+				return err
+			}
+			return finish(c, o)
+		},
+		func(c *secure.Context) error {
+			o, err := party1.Infer(x1)
+			if err != nil {
+				return err
+			}
+			return finish(c, o)
+		},
+	)
+	if err != nil {
+		return nil, err
+	}
+	online, _ := sess.Stats()
+	return &Result{Logits: logits, Class: class, Setup: setup, Online: online, PerOp: profile, Carrier: r}, nil
+}

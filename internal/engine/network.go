@@ -1,0 +1,163 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"aq2pnn/internal/nn"
+	"aq2pnn/internal/ot"
+	"aq2pnn/internal/prg"
+	"aq2pnn/internal/ring"
+	"aq2pnn/internal/secure"
+	"aq2pnn/internal/share"
+	"aq2pnn/internal/transport"
+	"aq2pnn/internal/triple"
+)
+
+// Two-process deployment: the same protocol as RunLocal, but over a real
+// transport with no trusted dealer — OT correlations are harvested through
+// base OTs on the wire and Beaver triple families are generated with the
+// Gilboa protocol. This is the cmd/party / examples/tcp_inference path,
+// emulating the paper's two-board setup.
+
+// NetworkConfig parameterizes a networked party.
+type NetworkConfig struct {
+	CarrierBits uint
+	Seed        uint64
+	LocalTrunc  bool
+	// Group selects the OT-flow group. The zero value uses the production
+	// 512-bit prime; demos may pass ot.TestGroup() for speed (explicitly
+	// NOT cryptographically strong).
+	Group ot.Group
+	// NoExtension disables IKNP OT extension and harvests every
+	// correlation through base OTs (slow; for tests and comparisons).
+	NoExtension bool
+}
+
+// NewNetworkContext builds a party context over a live connection with
+// harvest-backed OT and Gilboa triple families.
+func NewNetworkContext(party int, conn transport.Conn, cfg NetworkConfig) *secure.Context {
+	rng := prg.NewSeeded(cfg.Seed + uint64(party)*7919)
+	grp := cfg.Group
+	if grp.P == nil {
+		grp = ot.DefaultGroup()
+	}
+	ep := ot.NewEndpoint(party, conn, rng.Fork())
+	ep.HarvestGroup = grp
+	ep.UseExtension = !cfg.NoExtension
+	gilboaRng := rng.Fork()
+	return &secure.Context{
+		Party:      share.Party(party),
+		Conn:       conn,
+		OT:         ep,
+		Rng:        rng.Fork(),
+		Triples:    &triple.OTSource{EP: ep, Rng: gilboaRng.Fork(), Party: party},
+		LocalTrunc: cfg.LocalTrunc,
+		NewFamily: func(id string, r ring.Ring, k, n int) (triple.Family, error) {
+			return triple.NewGilboaFamily(ep, gilboaRng.Fork(), party, r, k, n), nil
+		},
+	}
+}
+
+// wirePayload carries one party's secret-shared material during setup.
+type wirePayload struct {
+	W    map[int][]uint64
+	Bias map[int][]uint64
+	X    []uint64
+}
+
+func sendGob(c transport.Conn, v any) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return err
+	}
+	return c.Send(buf.Bytes())
+}
+
+func recvGob(c transport.Conn, v any) error {
+	p, err := c.Recv()
+	if err != nil {
+		return err
+	}
+	return gob.NewDecoder(bytes.NewReader(p)).Decode(v)
+}
+
+// RunUser executes the user side (party i): it secret-shares its input,
+// receives its weight shares from the provider, runs the protocol and
+// returns the revealed logits with the measured traffic.
+func RunUser(conn transport.Conn, m *nn.Model, x []int64, cfg NetworkConfig) (*Result, error) {
+	r := Config{CarrierBits: cfg.CarrierBits}.Carrier(m)
+	if len(x) != m.InputShape().Numel() {
+		return nil, fmt.Errorf("engine: input length %d, want %d", len(x), m.InputShape().Numel())
+	}
+	ctx := NewNetworkContext(0, conn, cfg)
+	// Receive this party's weight shares from the model provider.
+	var wp wirePayload
+	if err := recvGob(conn, &wp); err != nil {
+		return nil, fmt.Errorf("engine: receiving weight shares: %w", err)
+	}
+	// Share the input: keep x0, send x1.
+	g := prg.NewSeeded(cfg.Seed ^ 0x1272C0DE)
+	x0, x1 := share.SplitVec(g, r, r.FromInts(x))
+	if err := sendGob(conn, wirePayload{X: x1}); err != nil {
+		return nil, fmt.Errorf("engine: sending input share: %w", err)
+	}
+	var profile []OpProfile
+	p := &Party{Ctx: ctx, Model: m, Weights: &WeightShares{W: wp.W, Bias: wp.Bias}, R: r, Profile: &profile}
+	if err := p.Prepare(); err != nil {
+		return nil, err
+	}
+	setup := conn.Stats()
+	conn.ResetStats()
+	o, err := p.Infer(x0)
+	if err != nil {
+		return nil, err
+	}
+	opened, err := ctx.RevealTo(r, share.PartyI, o)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Logits:  r.ToInts(opened),
+		Setup:   setup,
+		Online:  conn.Stats(),
+		PerOp:   profile,
+		Carrier: r,
+	}, nil
+}
+
+// RunProvider executes the model-provider side (party j): it secret-shares
+// its weights, sends the user's shares, receives its input share and runs
+// the protocol. The model must carry real weights (not a skeleton); the
+// architecture and quantization metadata are assumed public and identical
+// on both sides.
+func RunProvider(conn transport.Conn, m *nn.Model, cfg NetworkConfig) error {
+	r := Config{CarrierBits: cfg.CarrierBits}.Carrier(m)
+	ctx := NewNetworkContext(1, conn, cfg)
+	g := prg.NewSeeded(cfg.Seed ^ 0x0DE17272)
+	ws0, ws1, err := SplitModel(g, m, r)
+	if err != nil {
+		return err
+	}
+	if err := sendGob(conn, wirePayload{W: ws0.W, Bias: ws0.Bias}); err != nil {
+		return fmt.Errorf("engine: sending weight shares: %w", err)
+	}
+	var in wirePayload
+	if err := recvGob(conn, &in); err != nil {
+		return fmt.Errorf("engine: receiving input share: %w", err)
+	}
+	if len(in.X) != m.InputShape().Numel() {
+		return fmt.Errorf("engine: peer input share has %d elements, want %d", len(in.X), m.InputShape().Numel())
+	}
+	p := &Party{Ctx: ctx, Model: m, Weights: ws1, R: r}
+	if err := p.Prepare(); err != nil {
+		return err
+	}
+	o, err := p.Infer(in.X)
+	if err != nil {
+		return err
+	}
+	_, err = ctx.RevealTo(r, share.PartyI, o)
+	return err
+}

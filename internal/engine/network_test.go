@@ -1,0 +1,112 @@
+package engine
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"aq2pnn/internal/nn"
+	"aq2pnn/internal/ot"
+	"aq2pnn/internal/ring"
+	"aq2pnn/internal/transport"
+)
+
+func TestNetworkInferenceNoDealer(t *testing.T) {
+	// Full dealer-free protocol: base-OT harvested correlations and
+	// Gilboa triples over a (piped) wire, cross-checked against the
+	// plaintext reference. Uses the fast test group.
+	m := tinyModel(nn.PoolAvg)
+	x := input(64)
+	a, b := transport.Pipe()
+	defer a.Close()
+	defer b.Close()
+	cfg := NetworkConfig{CarrierBits: 20, Seed: 4, Group: ot.TestGroup()}
+	var res *Result
+	var errU, errP error
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); res, errU = RunUser(a, m, x, cfg) }()
+	go func() { defer wg.Done(); errP = RunProvider(b, m, cfg) }()
+	wg.Wait()
+	if errU != nil || errP != nil {
+		t.Fatal(errU, errP)
+	}
+	want, err := m.Forward(x, nn.ForwardOptions{Mode: nn.Ring, Carrier: ring.New(20)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(res.Logits, want); d > 6 {
+		t.Errorf("network logits %v vs plaintext %v", res.Logits, want)
+	}
+	if res.Setup.TotalBytes() == 0 || res.Online.TotalBytes() == 0 {
+		t.Error("missing traffic measurements")
+	}
+	t.Logf("network inference: setup %.3f MiB, online %.3f MiB", res.Setup.MiB(), res.Online.MiB())
+}
+
+func TestNetworkInferenceOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP round trip")
+	}
+	m := tinyModel(nn.PoolMax)
+	x := input(64)
+	done := make(chan error, 1)
+	addrCh := make(chan string, 1)
+	go func() {
+		l, err := listenAny()
+		if err != nil {
+			done <- err
+			return
+		}
+		addrCh <- l.addr
+		conn, err := l.accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		done <- RunProvider(conn, m, NetworkConfig{CarrierBits: 18, Seed: 5, Group: ot.TestGroup()})
+	}()
+	addr := <-addrCh
+	conn, err := transport.Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	res, err := RunUser(conn, m, x, NetworkConfig{CarrierBits: 18, Seed: 5, Group: ot.TestGroup()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	want, _ := m.Forward(x, nn.ForwardOptions{Mode: nn.Ring, Carrier: ring.New(18)})
+	if d := maxAbsDiff(res.Logits, want); d > 6 {
+		t.Errorf("TCP logits %v vs plaintext %v", res.Logits, want)
+	}
+}
+
+// listener helper keeping net plumbing out of the test body.
+type tcpListener struct {
+	addr   string
+	accept func() (transport.Conn, error)
+}
+
+func listenAny() (*tcpListener, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	return &tcpListener{
+		addr: l.Addr().String(),
+		accept: func() (transport.Conn, error) {
+			defer l.Close()
+			c, err := l.Accept()
+			if err != nil {
+				return nil, err
+			}
+			return transport.NewNetConn(c), nil
+		},
+	}, nil
+}

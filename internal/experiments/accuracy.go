@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+
+	"aq2pnn/internal/report"
+	"aq2pnn/internal/train"
+)
+
+// Table2 reproduces the quantized-inference accuracy comparison: float32
+// baseline vs previous works (fixed 32-bit ring, Fig. 9b) vs AQ2PNN
+// (16-bit adaptive carrier, Fig. 9c), per dataset and architecture.
+func (s *Suite) Table2() ([]*report.Table, error) {
+	t := &report.Table{
+		Title:  "Table 2: inference accuracy (%) with the proposed quantization",
+		Header: []string{"Dataset", "Model", "Baseline(float)", "Previous(32-bit)", "AQ2PNN(16-bit)"},
+	}
+	cases := []struct{ ds, arch string }{
+		{"mnist", "lenet5"},
+		{"mnist", "alexnet"},
+		{"cifar10", "vgg16"},
+		{"cifar10", "resnet18"},
+		{"imagenet", "vgg16"},
+		{"imagenet", "resnet18"},
+		{"imagenet", "resnet50"},
+	}
+	for _, c := range cases {
+		tr, err := s.get(c.arch, c.ds, train.Max)
+		if err != nil {
+			return nil, err
+		}
+		prev, err := s.accuracyAt(tr, 32, false)
+		if err != nil {
+			return nil, err
+		}
+		aq, err := s.accuracyAt(tr, 16, false)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(c.ds, c.arch, report.Pct(tr.float), report.Pct(prev), report.Pct(aq))
+	}
+	t.AddNote("stand-in models trained on synthetic datasets (see DESIGN.md substitutions)")
+	t.AddNote("'previous works' = the Fig. 9(b) flow: one fixed 32-bit ring end to end")
+	return []*report.Table{t}, nil
+}
+
+// Table6 reproduces the Max-vs-Average-pooling retraining study.
+func (s *Suite) Table6() ([]*report.Table, error) {
+	t := &report.Table{
+		Title:  "Table 6: accuracy (%) with Max pooling vs Average pooling (retrained, 16-bit)",
+		Header: []string{"Model", "Average Pooling", "Max Pooling"},
+	}
+	for _, arch := range []string{"resnet18", "resnet50", "vgg16"} {
+		maxT, err := s.get(arch, "imagenet", train.Max)
+		if err != nil {
+			return nil, err
+		}
+		avgT, err := s.get(arch, "imagenet", train.Avg)
+		if err != nil {
+			return nil, err
+		}
+		maxAcc, err := s.accuracyAt(maxT, 16, false)
+		if err != nil {
+			return nil, err
+		}
+		avgAcc, err := s.accuracyAt(avgT, 16, false)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(arch, report.Pct(avgAcc), report.Pct(maxAcc))
+	}
+	return []*report.Table{t}, nil
+}
+
+// sweepBits are the output bit-widths of Tables 7/8 and Figs. 10/11.
+var sweepBits = []uint{32, 24, 16, 14, 12}
+
+// AccuracyFigure renders the Fig. 10 / Fig. 11 series: accuracy vs
+// bit-width for the ResNet18 and VGG16 stand-ins on one dataset.
+func (s *Suite) AccuracyFigure(title, ds string) ([]*report.Table, error) {
+	t := &report.Table{
+		Title:  title,
+		Header: []string{"Bits", "ResNet18 Top-1(%)", "VGG16 Top-1(%)"},
+	}
+	res, err := s.get("resnet18", ds, train.Max)
+	if err != nil {
+		return nil, err
+	}
+	vgg, err := s.get("vgg16", ds, train.Max)
+	if err != nil {
+		return nil, err
+	}
+	for _, bits := range sweepBits {
+		a1, err := s.accuracyAt(res, bits, false)
+		if err != nil {
+			return nil, err
+		}
+		a2, err := s.accuracyAt(vgg, bits, false)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%d", bits), report.Pct(a1), report.Pct(a2))
+	}
+	t.AddNote("float baselines: ResNet18 %s%%, VGG16 %s%%", report.Pct(res.float), report.Pct(vgg.float))
+	return []*report.Table{t}, nil
+}

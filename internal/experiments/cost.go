@@ -1,0 +1,251 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"aq2pnn/internal/baseline"
+	"aq2pnn/internal/engine"
+	"aq2pnn/internal/fpga"
+	"aq2pnn/internal/nn"
+	"aq2pnn/internal/report"
+	"aq2pnn/internal/ring"
+	"aq2pnn/internal/tensor"
+	"aq2pnn/internal/train"
+)
+
+// Table3 reports the accelerator resource footprint against VTA.
+func (s *Suite) Table3() ([]*report.Table, error) {
+	t := &report.Table{
+		Title:  "Table 3: AQ2PNN vs VTA resource consumption",
+		Header: []string{"", "LUT", "FF", "DSP", "BRAM"},
+	}
+	r := fpga.ZCU104().Resources()
+	t.AddRow("AQ2PNN", fmt.Sprintf("%dk × 2", r.LUT/1000), fmt.Sprintf("%dk × 2", r.FF/1000),
+		fmt.Sprintf("%d × 2", r.DSP), fmt.Sprintf("%.0f × 2", r.BRAM))
+	v := fpga.VTAResources()
+	t.AddRow("VTA", fmt.Sprintf("%.1fk", float64(v.LUT)/1000), fmt.Sprintf("%.1fk", float64(v.FF)/1000),
+		fmt.Sprintf("%d", v.DSP), fmt.Sprintf("%.1f", v.BRAM))
+	t.AddNote("AQ2PNN numbers derived from the accelerator model at the ZCU104 configuration (×2: one board per party)")
+	return []*report.Table{t}, nil
+}
+
+// table4Models maps the paper's Table 4 model labels onto zoo graphs.
+var table4Models = []struct{ label, zoo string }{
+	{"LeNet5 (MNIST)", "lenet5"},
+	{"AlexNet (MNIST/CIFAR10)", "alexnet"},
+	{"VGG16 (CIFAR10)", "vgg16-cifar"},
+	{"ResNet50 (ImageNet)", "resnet50-imagenet"},
+	{"VGG16 (ImageNet)", "vgg16-imagenet"},
+}
+
+// Table4 compares AQ2PNN (16-bit, our measured/modelled numbers) against
+// the published baseline rows, and derives the communication-reduction and
+// efficiency ratios of Secs. 6.1/6.2.
+func (s *Suite) Table4() ([]*report.Table, error) {
+	t := &report.Table{
+		Title:  "Table 4: AQ2PNN vs SOTA (AQ2PNN rows measured/modelled by this reproduction)",
+		Header: []string{"Model", "System", "Tput(fps)", "Comm(MiB)", "Power(W)", "Eff(fps/W)"},
+	}
+	cfg := fpga.ZCU104()
+	published := baseline.PublishedTable4()
+	ours := map[string]fpga.Estimate{}
+	for _, mm := range table4Models {
+		zm, err := nn.ByName(mm.zoo, nn.ZooConfig{Skeleton: true})
+		if err != nil {
+			return nil, err
+		}
+		est, err := cfg.EstimateModel(zm, ring.New(16), false)
+		if err != nil {
+			return nil, err
+		}
+		ours[mm.label] = est
+		for _, p := range published {
+			if p.Model == mm.label {
+				t.AddRow(p.Model, p.System, report.F(p.TputFPS, 3), report.F(p.CommMiB, 2),
+					fmt.Sprintf("%.0f × %d", p.PowerW, p.Nodes), report.F(p.EffFPSpW, 6))
+			}
+		}
+		t.AddRow(mm.label, "AQ2PNN(ours,16-bit)", report.F(est.ThroughputFPS, 3),
+			report.F(est.CommMiB(), 2), fmt.Sprintf("%.1f × 2", est.PowerWatts),
+			report.F(est.EfficiencyFPSPerW, 6))
+	}
+	// Communication reduction and efficiency ratios (Secs. 6.1, 6.2).
+	ratios := &report.Table{
+		Title:  "Table 4 derived ratios (ours vs published baselines)",
+		Header: []string{"Model", "Baseline", "Comm reduction", "Efficiency gain"},
+	}
+	for _, mm := range table4Models {
+		est := ours[mm.label]
+		for _, p := range published {
+			if p.Model != mm.label {
+				continue
+			}
+			red, err := baseline.CommReduction(est.CommMiB(), p.CommMiB)
+			if err != nil {
+				return nil, err
+			}
+			gain := est.EfficiencyFPSPerW / p.EffFPSpW
+			ratios.AddRow(mm.label, p.System, report.X(red), report.X(gain))
+		}
+	}
+	t.AddNote("baseline rows are the published Table 4 values; AQ2PNN rows come from this reproduction's measured protocol traffic and accelerator model")
+	return []*report.Table{t, ratios}, nil
+}
+
+// MeasuredLeNetComm runs a real end-to-end 2PC LeNet5 inference and
+// returns its measured online communication, cross-checking the Table 4
+// model (exposed for tests and EXPERIMENTS.md).
+func (s *Suite) MeasuredLeNetComm(bits uint) (measuredMiB, modelledMiB float64, err error) {
+	m := nn.LeNet5(nn.ZooConfig{Seed: s.Cfg.Seed})
+	x := make([]int64, 28*28)
+	for i := range x {
+		x[i] = int64(i%23) - 11
+	}
+	res, err := engine.RunLocal(m, x, engine.Config{CarrierBits: bits, Seed: s.Cfg.Seed})
+	if err != nil {
+		return 0, 0, err
+	}
+	comm, err := fpga.ModelComm(m, ring.New(bits), false)
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.Online.MiB(), float64(comm.Bytes) / (1 << 20), nil
+}
+
+// Table5 profiles the operators of ResNet50's 6th building block at 32 vs
+// 16 bit: 2PC-Conv2D-6, ABReLU-6 and 2PC-BNReQ-6 latency plus the block's
+// communication.
+func (s *Suite) Table5() ([]*report.Table, error) {
+	t := &report.Table{
+		Title:  "Table 5: operator-wise profile of ResNet50 building block 6",
+		Header: []string{"bits", "2PC-Conv2D-6 (ms)", "ABReLU-6 (ms)", "2PC-BNReQ-6 (ms)", "Comm (MiB)"},
+	}
+	cfg := fpga.ZCU104()
+	// Block 6 of ResNet50 is the second block of stage 2: 28×28, mid
+	// channels 128; its main 3×3 convolution is 128→128 on 28×28.
+	g := tensor.ConvGeom{InC: 128, InH: 28, InW: 28, OutC: 128, KH: 3, KW: 3,
+		StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	for _, bits := range []uint{32, 16} {
+		r := ring.New(bits)
+		elems := g.OutC * g.OutH() * g.OutW()
+
+		// 2PC-Conv2D: GEMM cycles + the E-mask exchange.
+		eBytes := uint64(g.Patches()*g.PatchLen()*r.Bytes()) * 2
+		gemmCycles := g.MACs()/int64(cfg.BlockIn*cfg.BlockOut) +
+			int64(g.Patches()*g.PatchLen()*r.Bytes())/int64(cfg.LoadBytesPerCycle)
+		convTime := cyclesToTime(cfg, gemmCycles) + cfg.OpTime(fpga.OpCost{Bytes: eBytes, Rounds: 1})
+
+		// ABReLU: SCM/A2BM cycles + OT traffic.
+		reluBytes := uint64(elems) * fpga.ABReLUBytes(r)
+		reluCycles := int64(elems) * int64(r.Bits/2+2) / int64(cfg.SCMLanes)
+		reluTime := cyclesToTime(cfg, reluCycles) + cfg.OpTime(fpga.OpCost{Bytes: reluBytes, Rounds: 4})
+
+		// BNReQ: ALU pass + faithful truncation traffic.
+		bnBytes := uint64(elems) * fpga.FaithfulTruncBytes(r)
+		bnCycles := int64(elems) / int64(cfg.ALULanes)
+		bnTime := cyclesToTime(cfg, bnCycles) + cfg.OpTime(fpga.OpCost{Bytes: bnBytes, Rounds: 3})
+
+		comm := float64(eBytes+reluBytes+bnBytes) / (1 << 20)
+		t.AddRow(fmt.Sprintf("%d", bits),
+			report.F(ms(convTime), 2), report.F(ms(reluTime), 2), report.F(ms(bnTime), 2),
+			report.F(comm, 2))
+	}
+	t.AddNote("paper reports BNReQ without communication (local truncation); our default faithful truncation adds wrap-bit traffic — see the LocalTrunc ablation in EXPERIMENTS.md")
+	return []*report.Table{t}, nil
+}
+
+func cyclesToTime(cfg fpga.Config, cycles int64) time.Duration {
+	return time.Duration(float64(cycles) / cfg.ClockHz * float64(time.Second))
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// BitSweep reproduces Tables 7/8: accuracy (trained stand-in), throughput
+// and communication (full-size graph) across output bit-widths, for both
+// pooling choices.
+func (s *Suite) BitSweep(arch, title, zooName string) ([]*report.Table, error) {
+	t := &report.Table{
+		Title: title,
+		Header: []string{"Bits",
+			"Max Top-1(%)", "Max Tput(fps)", "Max Comm(MiB)",
+			"Avg Top-1(%)", "Avg Tput(fps)", "Avg Comm(MiB)"},
+	}
+	cfg := fpga.ZCU104()
+	maxT, err := s.get(arch, "imagenet", train.Max)
+	if err != nil {
+		return nil, err
+	}
+	avgT, err := s.get(arch, "imagenet", train.Avg)
+	if err != nil {
+		return nil, err
+	}
+	for _, bits := range sweepBits {
+		maxAcc, err := s.accuracyAt(maxT, bits, false)
+		if err != nil {
+			return nil, err
+		}
+		avgAcc, err := s.accuracyAt(avgT, bits, false)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{fmt.Sprintf("%d", bits)}
+		for _, pool := range []nn.PoolKind{nn.PoolMax, nn.PoolAvg} {
+			zm, err := nn.ByName(zooName, nn.ZooConfig{Skeleton: true, Pool: pool})
+			if err != nil {
+				return nil, err
+			}
+			est, err := cfg.EstimateModel(zm, ring.New(bits), false)
+			if err != nil {
+				return nil, err
+			}
+			acc := maxAcc
+			if pool == nn.PoolAvg {
+				acc = avgAcc
+			}
+			row = append(row, report.Pct(acc), report.F(est.ThroughputFPS, 3), report.I(est.CommMiB()))
+		}
+		// Reorder: bits, max..., avg...
+		t.AddRow(row[0], row[1], row[2], row[3], row[4], row[5], row[6])
+	}
+	t.AddNote("accuracy from retrained stand-ins under stochastic 2PC arithmetic; throughput/comm from the full-size %s graph", zooName)
+	return []*report.Table{t}, nil
+}
+
+// Scalability reproduces the Sec. 6.4 observations: model-depth scaling
+// (AlexNet vs VGG16 on CIFAR-size inputs) and input-size scaling (VGG16 at
+// 32×32 vs 224×224, a 49× pixel increase).
+func (s *Suite) Scalability() ([]*report.Table, error) {
+	cfg := fpga.ZCU104()
+	t := &report.Table{
+		Title:  "Sec. 6.4: scalability of AQ2PNN (16-bit)",
+		Header: []string{"Comparison", "Factor", "Tput ratio", "Comm ratio"},
+	}
+	est := func(name string) (fpga.Estimate, error) {
+		m, err := nn.ByName(name, nn.ZooConfig{Skeleton: true})
+		if err != nil {
+			return fpga.Estimate{}, err
+		}
+		return cfg.EstimateModel(m, ring.New(16), false)
+	}
+	alex, err := est("alexnet")
+	if err != nil {
+		return nil, err
+	}
+	vggC, err := est("vgg16-cifar")
+	if err != nil {
+		return nil, err
+	}
+	vggI, err := est("vgg16-imagenet")
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("AlexNet → VGG16 (32×32)", "2.6× layers",
+		report.X(alex.ThroughputFPS/vggC.ThroughputFPS),
+		report.X(vggC.CommMiB()/alex.CommMiB()))
+	t.AddRow("VGG16 32×32 → 224×224", "49× pixels",
+		report.X(vggC.ThroughputFPS/vggI.ThroughputFPS),
+		report.X(vggI.CommMiB()/vggC.CommMiB()))
+	t.AddNote("paper: depth ratio 2.6× layers → 17.27× tput drop, 24× comm; input 49× pixels → ≈49× comm, 9.26× tput drop")
+	return []*report.Table{t}, nil
+}

@@ -1,0 +1,198 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (the per-experiment index lives in DESIGN.md).
+// Accuracy experiments train the reduced stand-ins on the synthetic
+// datasets and push them through the actual quantization and 2PC
+// arithmetic; cost experiments combine measured protocol traffic with the
+// accelerator model on the full-size architecture graphs.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"aq2pnn/internal/dataset"
+	"aq2pnn/internal/nn"
+	"aq2pnn/internal/prg"
+	"aq2pnn/internal/quant"
+	"aq2pnn/internal/report"
+	"aq2pnn/internal/ring"
+	"aq2pnn/internal/train"
+)
+
+// Config scales the experiment suite.
+type Config struct {
+	// Quick shrinks datasets and training so the whole suite runs in
+	// seconds (used by tests and benchmarks); the full configuration is
+	// what EXPERIMENTS.md records.
+	Quick bool
+	Seed  uint64
+}
+
+// Suite caches trained stand-ins across experiments (Table 2, Table 6,
+// Tables 7/8 and Figs. 10/11 share them).
+type Suite struct {
+	Cfg    Config
+	models map[string]*trained
+	data   map[string]*dataset.Dataset
+}
+
+// NewSuite returns an empty suite.
+func NewSuite(cfg Config) *Suite {
+	return &Suite{Cfg: cfg, models: map[string]*trained{}, data: map[string]*dataset.Dataset{}}
+}
+
+type trained struct {
+	standin *train.Standin
+	trainX  [][]float64
+	trainY  []int
+	testX   [][]float64
+	testY   []int
+	float   float64 // float test accuracy
+}
+
+func (s *Suite) sizes() (n, split, epochs int) {
+	if s.Cfg.Quick {
+		return 320, 240, 3
+	}
+	return 900, 650, 8
+}
+
+func (s *Suite) getData(name string) (*dataset.Dataset, error) {
+	if d, ok := s.data[name]; ok {
+		return d, nil
+	}
+	n, _, _ := s.sizes()
+	var d *dataset.Dataset
+	var err error
+	switch name {
+	case "mnist":
+		d, err = dataset.MNISTLike(n, s.Cfg.Seed+1)
+	case "cifar10":
+		d, err = dataset.CIFARLike(n, s.Cfg.Seed+2)
+	case "imagenet":
+		d, err = dataset.ImageNetLike(n, s.Cfg.Seed+3)
+	default:
+		return nil, fmt.Errorf("experiments: unknown dataset %q", name)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.data[name] = d
+	return d, nil
+}
+
+// get trains (or returns the cached) stand-in for (arch, dataset, pool).
+func (s *Suite) get(arch, ds string, pool train.PoolChoice) (*trained, error) {
+	key := fmt.Sprintf("%s|%s|%d", arch, ds, pool)
+	if t, ok := s.models[key]; ok {
+		return t, nil
+	}
+	d, err := s.getData(ds)
+	if err != nil {
+		return nil, err
+	}
+	_, split, epochs := s.sizes()
+	tr, te := d.Split(split)
+	rng := prg.NewSeeded(s.Cfg.Seed*31 + uint64(len(key)))
+	standin, err := train.StandinByName(arch, rng, pool, d.C, d.H, d.Classes)
+	if err != nil {
+		return nil, err
+	}
+	if err := standin.Net.Fit(tr.X, tr.Y, rng, train.Config{Epochs: epochs, LR: 0.01}); err != nil {
+		return nil, err
+	}
+	t := &trained{
+		standin: standin,
+		trainX:  tr.X, trainY: tr.Y,
+		testX: te.X, testY: te.Y,
+	}
+	t.float = standin.Net.Accuracy(t.testX, t.testY)
+	s.models[key] = t
+	return t, nil
+}
+
+// accuracyAt quantizes for the carrier and evaluates under the faithful
+// stochastic 2PC arithmetic.
+func (s *Suite) accuracyAt(t *trained, bits uint, localTrunc bool) (float64, error) {
+	calib := t.trainX
+	if len(calib) > 80 {
+		calib = calib[:80]
+	}
+	q, err := quant.Quantize(t.standin, quant.Options{Calib: calib, CarrierBits: bits})
+	if err != nil {
+		return 0, err
+	}
+	correct := 0
+	opt := nn.ForwardOptions{
+		Mode:       nn.StochasticRing,
+		Carrier:    ring.New(bits),
+		Rng:        prg.NewSeeded(s.Cfg.Seed + uint64(bits)),
+		LocalTrunc: localTrunc,
+	}
+	for i := range t.testX {
+		logits, err := q.Model.Forward(q.QuantizeInput(t.testX[i]), opt)
+		if err != nil {
+			return 0, err
+		}
+		if nn.Argmax(logits) == t.testY[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(t.testX)), nil
+}
+
+// Experiment names accepted by Run.
+var Names = []string{
+	"table2", "table3", "table4", "table5", "table6", "table7", "table8",
+	"fig7", "fig10", "fig11", "scalability",
+	"ablation-trunc", "ablation-gc", "ablation-array", "ablation-relu-bits",
+}
+
+// Run executes one named experiment and writes its tables to w.
+func (s *Suite) Run(name string, w io.Writer) error {
+	var tables []*report.Table
+	var err error
+	switch name {
+	case "table2":
+		tables, err = s.Table2()
+	case "table3":
+		tables, err = s.Table3()
+	case "table4":
+		tables, err = s.Table4()
+	case "table5":
+		tables, err = s.Table5()
+	case "table6":
+		tables, err = s.Table6()
+	case "table7":
+		tables, err = s.BitSweep("resnet18", "Table 7: ResNet18 (ImageNet) bit-width sweep", "resnet18-imagenet")
+	case "table8":
+		tables, err = s.BitSweep("vgg16", "Table 8: VGG16 (ImageNet) bit-width sweep", "vgg16-imagenet")
+	case "fig7":
+		tables, err = s.Fig7()
+	case "fig10":
+		tables, err = s.AccuracyFigure("Fig. 10: CIFAR10 accuracy vs bit-width", "cifar10")
+	case "fig11":
+		tables, err = s.AccuracyFigure("Fig. 11: ImageNet accuracy vs bit-width", "imagenet")
+	case "scalability":
+		tables, err = s.Scalability()
+	case "ablation-trunc":
+		tables, err = s.AblationTrunc()
+	case "ablation-gc":
+		tables, err = s.AblationGC()
+	case "ablation-array":
+		tables, err = s.AblationArray()
+	case "ablation-relu-bits":
+		tables, err = s.AblationReLUBits()
+	default:
+		return fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names)
+	}
+	if err != nil {
+		return fmt.Errorf("experiments: %s: %w", name, err)
+	}
+	for _, t := range tables {
+		if _, err := io.WriteString(w, t.String()+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

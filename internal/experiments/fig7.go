@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"fmt"
+
+	"aq2pnn/internal/report"
+	"aq2pnn/internal/ring"
+	"aq2pnn/internal/scm"
+)
+
+// Fig7 reproduces the quadrant analysis of "(x_i + x_j) mod Q": an
+// exhaustive census of an 8-bit ring showing, per quadrant of the
+// (−x_i, x_j) plane, how many share pairs hide a negative value and how
+// many are decidable from the two most significant bits alone (the
+// paper's early-exit sub-quadrants).
+func (s *Suite) Fig7() ([]*report.Table, error) {
+	r := ring.New(8)
+	c := scm.Census(r)
+	t := &report.Table{
+		Title:  "Fig. 7: quadrant census of (x_i + x_j) mod Q on Z_2^8",
+		Header: []string{"Quadrant", "Pairs", "Negative(%)", "Direct-decidable(%)"},
+	}
+	for q := scm.Q1; q <= scm.Q4; q++ {
+		t.AddRow(fmt.Sprintf("Q%d", int(q)),
+			fmt.Sprintf("%d", c.Total[q]),
+			report.Pct(float64(c.Negative[q])/float64(c.Total[q])),
+			report.Pct(float64(c.Direct[q])/float64(c.Total[q])))
+	}
+	// The paper's two worked examples.
+	ex := &report.Table{
+		Title:  "Fig. 7 / Sec. 4.4 worked examples (INT8)",
+		Header: []string{"(x_i, x_j)", "rec(x)", "sign", "quadrant"},
+	}
+	for _, pair := range [][2]int64{{125, 7}, {-2, -2}} {
+		xi, xj := r.FromInt(pair[0]), r.FromInt(pair[1])
+		v := r.ToInt(r.Add(xi, xj))
+		sign := "+"
+		if scm.SignOf(r, xi, xj) {
+			sign = "-"
+		}
+		ex.AddRow(fmt.Sprintf("(%d, %d)", pair[0], pair[1]),
+			fmt.Sprintf("%d", v), sign,
+			fmt.Sprintf("Q%d", int(scm.QuadrantOf(r, xi, xj))))
+	}
+	return []*report.Table{t, ex}, nil
+}

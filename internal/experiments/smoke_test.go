@@ -1,0 +1,20 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestQuickSuiteRunsAllExperiments(t *testing.T) {
+	s := NewSuite(Config{Quick: true, Seed: 1})
+	for _, name := range Names {
+		var buf bytes.Buffer
+		if err := s.Run(name, &buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("%s produced no output", name)
+		}
+		t.Logf("%s:\n%s", name, buf.String())
+	}
+}

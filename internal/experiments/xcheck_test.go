@@ -1,0 +1,15 @@
+package experiments
+
+import "testing"
+
+func TestMeasuredLeNetCommCrossCheck(t *testing.T) {
+	s := NewSuite(Config{Quick: true, Seed: 1})
+	meas, model, err := s.MeasuredLeNetComm(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("LeNet5@16b: measured %.4f MiB, modelled %.4f MiB (ratio %.3f)", meas, model, model/meas)
+	if model/meas < 0.9 || model/meas > 1.1 {
+		t.Errorf("analytic model off by more than 10%%")
+	}
+}

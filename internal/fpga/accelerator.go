@@ -1,0 +1,240 @@
+package fpga
+
+import (
+	"fmt"
+	"time"
+
+	"aq2pnn/internal/nn"
+	"aq2pnn/internal/ring"
+	"aq2pnn/internal/tensor"
+	"aq2pnn/internal/transport"
+)
+
+// Config describes one AQ2PNN accelerator instance (one party's board).
+type Config struct {
+	// ClockHz is the fabric clock (ZCU104: 200 MHz).
+	ClockHz float64
+	// BlockIn/BlockOut size the AS-GEMM array (Fig. 2a): BlockIn×BlockOut
+	// C-C multiplication units at initiation interval 1.
+	BlockIn, BlockOut int
+	// ALULanes is the AS-ALU vector width (elements per cycle).
+	ALULanes int
+	// SCMLanes is the number of parallel A2BM/SCM element pipelines.
+	SCMLanes int
+	// LoadBytesPerCycle models the DRAM/buffer streaming bandwidth.
+	LoadBytesPerCycle int
+	// Network joins the two boards (the paper: 1000 Mbps LAN). The round
+	// trip models the measured software round latency of the ARM-side
+	// protocol stack rather than the raw wire RTT.
+	Network transport.NetworkModel
+	// HostBytesPerSec models the ARM-side protocol processing (OT pad
+	// expansion, packing) that accompanies every transferred byte.
+	HostBytesPerSec float64
+	// StaticWatts and DynamicWattsPerDSP build the board power model.
+	StaticWatts        float64
+	DynamicWattsPerDSP float64
+}
+
+// ZCU104 is the paper's evaluation platform configuration. The derived
+// resource numbers reproduce Table 3 and the power model lands on the
+// measured 7.2–7.7 W.
+func ZCU104() Config {
+	return Config{
+		ClockHz:            200e6,
+		BlockIn:            16,
+		BlockOut:           16,
+		ALULanes:           16,
+		SCMLanes:           8,
+		LoadBytesPerCycle:  16,
+		Network:            transport.NetworkModel{BandwidthBitsPerSec: 1e9, RoundTrip: time.Millisecond},
+		HostBytesPerSec:    150e6,
+		StaticWatts:        3.1,
+		DynamicWattsPerDSP: 0.003,
+	}
+}
+
+// Power returns the modelled per-board power draw under load.
+func (c Config) Power() float64 {
+	return c.StaticWatts + c.DynamicWattsPerDSP*float64(c.Resources().DSP)
+}
+
+// Resources models the FPGA footprint (Table 3). The dominant terms scale
+// with the AS-GEMM array: each C-C multiplication unit (Fig. 2b) costs
+// three multipliers (E⊗F, IN⊗F, E⊗W) at two DSP48 slices each, plus
+// control LUT/FF; buffers land in BRAM.
+type Resources struct {
+	LUT, FF, DSP int
+	BRAM         float64
+}
+
+// Resources derives the footprint from the configuration.
+func (c Config) Resources() Resources {
+	mus := c.BlockIn * c.BlockOut
+	return Resources{
+		DSP: mus * 6,
+		// Per-MU datapath/control plus the Sec-COMM. module (A2BM + SCM
+		// pipelines) plus LOAD/STORE/INST Q overhead.
+		LUT: mus*320 + c.SCMLanes*3500 + 10_000,
+		FF:  mus*560 + c.SCMLanes*7000 + 8_000,
+		// Input/weight/mask/output/constant buffers (Fig. 1) plus the
+		// binary-share buffers of the Sec-COMM. module.
+		BRAM: float64(mus)/16*14 + float64(c.SCMLanes)*6 + 38,
+	}
+}
+
+// VTAResources is the plaintext-DNN reference accelerator row of Table 3.
+func VTAResources() Resources {
+	return Resources{LUT: 24_200, FF: 26_800, DSP: 268, BRAM: 136.5}
+}
+
+// OpCost is one operator's modelled execution cost on the accelerator.
+type OpCost struct {
+	Name   string
+	Kind   string
+	Cycles int64
+	Bytes  uint64
+	Rounds uint64
+}
+
+// Estimate is the end-to-end cost of one secure inference on a two-board
+// deployment.
+type Estimate struct {
+	Model       string
+	Carrier     ring.Ring
+	Cycles      int64
+	ComputeTime time.Duration
+	Comm        CommProfile
+	CommTime    time.Duration
+	Total       time.Duration
+	// ThroughputFPS is 1/Total for batch size 1.
+	ThroughputFPS float64
+	// PowerWatts is per board; the paper reports "W × 2".
+	PowerWatts float64
+	// EfficiencyFPSPerW uses the two-board total power, matching Table 4.
+	EfficiencyFPSPerW float64
+	PerOp             []OpCost
+}
+
+// CommMiB returns the modelled communication volume in MiB.
+func (e Estimate) CommMiB() float64 { return float64(e.Comm.Bytes) / (1 << 20) }
+
+// cyclesFor models one node's compute cycles.
+func (c Config) cyclesFor(node nn.Node, outElems int, r ring.Ring) int64 {
+	const pipelineFill = 24
+	switch op := node.Op.(type) {
+	case *nn.Conv:
+		macs := op.Geom.MACs()
+		gemm := macs/int64(c.BlockIn*c.BlockOut) + pipelineFill
+		// The C-C MU evaluates three products per MAC position in parallel
+		// (it is sized for that), so GEMM cycles equal plaintext GEMM
+		// cycles. BNReQ adds one ALU pass.
+		alu := int64(outElems)/int64(c.ALULanes) + pipelineFill
+		load := int64(op.Geom.Patches()*op.Geom.PatchLen())*int64(r.Bytes())/int64(c.LoadBytesPerCycle) + pipelineFill
+		return gemm + alu + load
+	case *nn.FC:
+		macs := int64(op.In) * int64(op.Out)
+		return macs/int64(c.BlockIn*c.BlockOut) + int64(op.Out)/int64(c.ALULanes) + 2*pipelineFill
+	case nn.ReLU:
+		// A2BM grouping + SCM token handling + mux, one element per SCM
+		// lane per ~U cycles.
+		u := int64(r.Bits/2 + 2)
+		return int64(outElems)*u/int64(c.SCMLanes) + pipelineFill
+	case *nn.MaxPool:
+		comparisons := int64(op.Geom.InC*op.Geom.InH*op.Geom.InW - outElems)
+		u := int64(r.Bits/2 + 2)
+		return comparisons*u/int64(c.SCMLanes) + pipelineFill
+	case *nn.AvgPool:
+		in := int64(op.Geom.InC * op.Geom.InH * op.Geom.InW)
+		return in/int64(c.ALULanes) + pipelineFill
+	case nn.Add:
+		return int64(outElems)/int64(c.ALULanes) + pipelineFill
+	default:
+		return pipelineFill
+	}
+}
+
+// EstimateModel prices a full secure inference: accelerator cycles for the
+// compute and the network model for the measured-or-modelled traffic.
+func (c Config) EstimateModel(m *nn.Model, r ring.Ring, localTrunc bool) (Estimate, error) {
+	shapes, err := m.Shapes()
+	if err != nil {
+		return Estimate{}, err
+	}
+	comm, err := ModelComm(m, r, localTrunc)
+	if err != nil {
+		return Estimate{}, err
+	}
+	est := Estimate{Model: m.Name, Carrier: r, Comm: comm}
+	for i, node := range m.Nodes {
+		cy := c.cyclesFor(node, shapes[i].Numel(), r)
+		est.Cycles += cy
+		est.PerOp = append(est.PerOp, OpCost{Name: node.Name, Kind: node.Op.Kind(), Cycles: cy})
+	}
+	// Distribute the traffic back onto the ops for Table 5-style profiles.
+	opComm, err := perOpComm(m, shapes, r, localTrunc)
+	if err != nil {
+		return Estimate{}, err
+	}
+	for i := range est.PerOp {
+		est.PerOp[i].Bytes = opComm[i].Bytes
+		est.PerOp[i].Rounds = opComm[i].Rounds
+	}
+	est.ComputeTime = time.Duration(float64(est.Cycles) / c.ClockHz * float64(time.Second))
+	// Each direction of the duplex link carries half the summed traffic;
+	// host-side protocol processing is paid on top of the wire time.
+	est.CommTime = c.Network.Time(comm.Bytes/2, comm.Rounds) + c.hostTime(comm.Bytes/2)
+	est.Total = est.ComputeTime + est.CommTime
+	if est.Total > 0 {
+		est.ThroughputFPS = float64(time.Second) / float64(est.Total)
+	}
+	est.PowerWatts = c.Power()
+	if est.ThroughputFPS > 0 {
+		est.EfficiencyFPSPerW = est.ThroughputFPS / (2 * est.PowerWatts)
+	}
+	return est, nil
+}
+
+// OpTime converts one op's cost into wall time on this configuration.
+func (c Config) OpTime(op OpCost) time.Duration {
+	compute := time.Duration(float64(op.Cycles) / c.ClockHz * float64(time.Second))
+	return compute + c.Network.Time(op.Bytes/2, op.Rounds) + c.hostTime(op.Bytes/2)
+}
+
+// hostTime prices the ARM-side protocol processing for a traffic volume.
+func (c Config) hostTime(bytes uint64) time.Duration {
+	if c.HostBytesPerSec <= 0 {
+		return 0
+	}
+	return time.Duration(float64(bytes) / c.HostBytesPerSec * float64(time.Second))
+}
+
+// perOpComm applies the ModelComm formulas node by node by pricing each
+// operator as a one-node model with its real input shape.
+func perOpComm(m *nn.Model, shapes []tensor.Shape, r ring.Ring, localTrunc bool) ([]OpCost, error) {
+	out := make([]OpCost, len(m.Nodes))
+	for i, node := range m.Nodes {
+		if _, ok := node.Op.(nn.Add); ok {
+			continue // free, and it takes two inputs
+		}
+		var in tensor.Shape
+		if idx := node.Inputs[0]; idx == -1 {
+			in = tensor.Shape{m.InC, m.InH, m.InW}
+		} else {
+			in = shapes[idx]
+		}
+		one := nn.Model{
+			Name: "op", InBits: m.InBits,
+			InC: 1, InH: 1, InW: in.Numel(),
+			Nodes: []nn.Node{{Op: node.Op, Inputs: []int{-1}}},
+		}
+		if len(in) == 3 {
+			one.InC, one.InH, one.InW = in[0], in[1], in[2]
+		}
+		p, err := ModelComm(&one, r, localTrunc)
+		if err != nil {
+			return nil, fmt.Errorf("fpga: pricing node %d: %w", i, err)
+		}
+		out[i] = OpCost{Bytes: p.Bytes, Rounds: p.Rounds}
+	}
+	return out, nil
+}

@@ -1,0 +1,130 @@
+// Package fpga models the AQ2PNN accelerator of Fig. 1: the INST Q
+// instruction stream, the AS-GEMM array's cycle behaviour, the Sec-COMM
+// module's A2BM/SCM units, the on-chip buffers, the ZCU104 resource
+// footprint (Table 3) and the board power — everything needed to turn the
+// measured protocol byte counts and the model's MAC counts into the
+// latency / throughput / energy numbers of Tables 4, 5, 7 and 8.
+package fpga
+
+import (
+	"aq2pnn/internal/a2b"
+	"aq2pnn/internal/nn"
+	"aq2pnn/internal/ring"
+)
+
+// The analytic per-element communication model. Constants are not free
+// parameters: they are derived from the wire format of the protocols in
+// internal/ot, internal/scm and internal/secure, and a test cross-checks
+// the model against bytes measured on live protocol runs.
+
+// cmpBytes is the per-element traffic (both directions) of one full-width
+// SCM comparison: the receiver sends one shift byte per group, the sender
+// answers with 2^w token bytes per group.
+func cmpBytes(bits uint) uint64 {
+	var total uint64
+	for _, w := range a2b.Groups(bits) {
+		total += 1 + (1 << w)
+	}
+	return total
+}
+
+// msbBytes is the per-element traffic of the sign protocol (groups of the
+// low ℓ−1 bits only; the sign bits ride the quadrant-detection XOR).
+func msbBytes(bits uint) uint64 {
+	var total uint64
+	for _, w := range a2b.LowGroups(bits) {
+		total += 1 + (1 << w)
+	}
+	return total
+}
+
+// muxBytes is the per-element traffic of the OT multiplexer: two 1-of-2
+// OTs, each one choice byte plus two ring-element messages.
+func muxBytes(r ring.Ring) uint64 {
+	return 2 * (1 + 2*uint64(r.Bytes()))
+}
+
+// b2aBytes is one 1-of-2 OT with ring-element messages.
+func b2aBytes(r ring.Ring) uint64 {
+	return 1 + 2*uint64(r.Bytes())
+}
+
+// ABReLUBytes is the per-element online traffic of ABReLU.
+func ABReLUBytes(r ring.Ring) uint64 {
+	return msbBytes(r.Bits) + muxBytes(r)
+}
+
+// FaithfulTruncBytes is the per-element traffic of one faithful
+// requantization truncation (wrap-bit comparison + B2A).
+func FaithfulTruncBytes(r ring.Ring) uint64 {
+	return cmpBytes(r.Bits) + b2aBytes(r)
+}
+
+// CommProfile aggregates a model's per-operator online traffic (both
+// directions summed, matching the engine's measured PerOp.Bytes) and its
+// protocol round count.
+type CommProfile struct {
+	Bytes  uint64
+	Rounds uint64
+	ByKind map[string]uint64
+}
+
+// rounds per batched protocol step (direction changes at one endpoint).
+const (
+	roundsPerExchange = 1
+	roundsPerMSB      = 2 // one online phase per OT arity (1-of-2, 1-of-4)
+	roundsPerMux      = 2
+	roundsPerCmp      = 2
+	roundsPerB2A      = 1
+)
+
+// ModelComm computes the analytic online communication of a model on a
+// carrier ring. localTrunc selects the paper's zero-communication
+// requantization.
+func ModelComm(m *nn.Model, r ring.Ring, localTrunc bool) (CommProfile, error) {
+	shapes, err := m.Shapes()
+	if err != nil {
+		return CommProfile{}, err
+	}
+	p := CommProfile{ByKind: map[string]uint64{}}
+	rb := uint64(r.Bytes())
+	truncB := FaithfulTruncBytes(r)
+	truncR := uint64(roundsPerCmp + roundsPerB2A)
+	if localTrunc {
+		truncB, truncR = 0, 0
+	}
+	add := func(kind string, bytes, rounds uint64) {
+		p.Bytes += bytes
+		p.Rounds += rounds
+		p.ByKind[kind] += bytes
+	}
+	for i, node := range m.Nodes {
+		elems := uint64(shapes[i].Numel())
+		switch op := node.Op.(type) {
+		case *nn.Conv:
+			// E exchange (both directions) + BNReQ truncation.
+			e := uint64(op.Geom.Patches()*op.Geom.PatchLen()) * rb * 2
+			add(op.Kind(), e+elems*truncB, roundsPerExchange+truncR)
+		case *nn.FC:
+			e := uint64(op.In) * rb * 2
+			add(op.Kind(), e+elems*truncB, roundsPerExchange+truncR)
+		case nn.ReLU:
+			add(op.Kind(), elems*ABReLUBytes(r), roundsPerMSB+roundsPerMux)
+		case *nn.MaxPool:
+			// Tournament: Σ(window−1) ABReLU evaluations over the diffs.
+			comparisons := uint64(op.Geom.InC*op.Geom.InH*op.Geom.InW) - elems
+			roundsN := uint64(op.Geom.KH*op.Geom.KW-1) * (roundsPerMSB + roundsPerMux)
+			add(op.Kind(), comparisons*ABReLUBytes(r), roundsN)
+		case *nn.AvgPool:
+			// One truncation per output (two for non-power-of-two windows).
+			stages := uint64(1)
+			if w := op.Geom.KH * op.Geom.KW; w&(w-1) != 0 {
+				stages = 2
+			}
+			add(op.Kind(), elems*truncB*stages, truncR*stages)
+		case nn.Add, nn.Flatten:
+			add(node.Op.Kind(), 0, 0)
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,230 @@
+package fpga
+
+import (
+	"testing"
+
+	"aq2pnn/internal/engine"
+	"aq2pnn/internal/nn"
+	"aq2pnn/internal/ring"
+	"aq2pnn/internal/tensor"
+)
+
+func TestZCU104ResourcesMatchTable3(t *testing.T) {
+	r := ZCU104().Resources()
+	if r.DSP != 1536 {
+		t.Errorf("DSP = %d, want 1536 (Table 3)", r.DSP)
+	}
+	within := func(got, want, tol float64) bool {
+		return got >= want*(1-tol) && got <= want*(1+tol)
+	}
+	if !within(float64(r.LUT), 120_000, 0.15) {
+		t.Errorf("LUT = %d, want ≈120k", r.LUT)
+	}
+	if !within(float64(r.FF), 207_000, 0.15) {
+		t.Errorf("FF = %d, want ≈207k", r.FF)
+	}
+	if !within(r.BRAM, 310, 0.15) {
+		t.Errorf("BRAM = %.1f, want ≈310", r.BRAM)
+	}
+	vta := VTAResources()
+	if vta.DSP != 268 || vta.LUT != 24_200 {
+		t.Error("VTA reference row wrong")
+	}
+}
+
+func TestPowerMatchesPaper(t *testing.T) {
+	p := ZCU104().Power()
+	// The paper measures 7.2–7.7 W per board.
+	if p < 7.0 || p < 7.2-0.3 || p > 7.9 {
+		t.Errorf("modelled board power %.2f W, want ≈7.2–7.7", p)
+	}
+}
+
+func TestResourcesScaleWithArray(t *testing.T) {
+	small := ZCU104()
+	small.BlockIn, small.BlockOut = 8, 8
+	if small.Resources().DSP >= ZCU104().Resources().DSP {
+		t.Error("shrinking the AS-GEMM array must shrink DSP usage")
+	}
+}
+
+// tinyModel mirrors the engine test model so analytic comm can be compared
+// with live measurements.
+func tinyModel() *nn.Model {
+	g := tensor.ConvGeom{InC: 1, InH: 8, InW: 8, OutC: 4, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	conv := &nn.Conv{Geom: g, W: make([]int64, 4*9), Bias: make([]int64, 4), Im: []int64{1, 1, 1, 1}, Ie: 4}
+	pg := tensor.ConvGeom{InC: 4, InH: 8, InW: 8, KH: 2, KW: 2, StrideH: 2, StrideW: 2}
+	fc := &nn.FC{In: 4 * 4 * 4, Out: 5, W: make([]int64, 4*4*4*5), Im: []int64{1, 1, 1, 1, 1}, Ie: 2}
+	return &nn.Model{
+		Name: "tiny", InC: 1, InH: 8, InW: 8, InBits: 8,
+		Nodes: []nn.Node{
+			{Op: conv, Inputs: []int{-1}, Name: "conv1"},
+			{Op: nn.ReLU{}, Inputs: []int{0}, Name: "relu1"},
+			{Op: &nn.MaxPool{Geom: pg}, Inputs: []int{1}, Name: "pool1"},
+			{Op: nn.Flatten{}, Inputs: []int{2}, Name: "flatten"},
+			{Op: fc, Inputs: []int{3}, Name: "fc"},
+		},
+	}
+}
+
+func TestAnalyticCommMatchesMeasured(t *testing.T) {
+	// The analytic model must agree with bytes measured on the live
+	// protocol to within a few percent (the residual is OT pool refill
+	// granularity and per-batch headers).
+	m := tinyModel()
+	for _, local := range []bool{false, true} {
+		x := make([]int64, 64)
+		for i := range x {
+			x[i] = int64(i%17) - 8
+		}
+		res, err := engine.RunLocal(m, x, engine.Config{CarrierBits: 16, Seed: 9, LocalTrunc: local})
+		if err != nil {
+			t.Fatal(err)
+		}
+		measured := res.Online.TotalBytes()
+		analytic, err := ModelComm(m, ring.New(16), local)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := float64(analytic.Bytes) / float64(measured)
+		if ratio < 0.9 || ratio > 1.1 {
+			t.Errorf("localTrunc=%v: analytic %d vs measured %d (ratio %.3f)", local, analytic.Bytes, measured, ratio)
+		}
+		t.Logf("localTrunc=%v: analytic %d, measured %d", local, analytic.Bytes, measured)
+	}
+}
+
+func TestPerOpCommMatchesEngineProfile(t *testing.T) {
+	m := tinyModel()
+	x := make([]int64, 64)
+	res, err := engine.RunLocal(m, x, engine.Config{CarrierBits: 16, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := ZCU104().EstimateModel(m, ring.New(16), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(est.PerOp) != len(res.PerOp) {
+		t.Fatalf("per-op lengths differ: %d vs %d", len(est.PerOp), len(res.PerOp))
+	}
+	for i := range est.PerOp {
+		a, b := est.PerOp[i].Bytes, res.PerOp[i].Bytes
+		if a == 0 && b == 0 {
+			continue
+		}
+		ratio := float64(a) / float64(b)
+		if ratio < 0.85 || ratio > 1.15 {
+			t.Errorf("node %d (%s): analytic %d vs measured %d", i, res.PerOp[i].Kind, a, b)
+		}
+	}
+}
+
+func TestEstimateCommScalesWithCarrier(t *testing.T) {
+	m := tinyModel()
+	e16, err := ZCU104().EstimateModel(m, ring.New(16), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e32, err := ZCU104().EstimateModel(m, ring.New(32), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(e32.Comm.Bytes) / float64(e16.Comm.Bytes)
+	if ratio < 1.6 || ratio > 2.4 {
+		t.Errorf("comm ratio 32/16 = %.2f", ratio)
+	}
+	if e32.ThroughputFPS >= e16.ThroughputFPS {
+		t.Error("wider carrier should reduce throughput")
+	}
+}
+
+func TestEstimateResNet50Magnitudes(t *testing.T) {
+	// Table 4 sanity: ResNet50-ImageNet at 16-bit should land within the
+	// paper's order of magnitude — comm of several hundred MiB to ~2 GiB
+	// and throughput in the 0.02–0.3 fps band, with efficiency far above
+	// the GPU baselines.
+	m, err := nn.ByName("resnet50-imagenet", nn.ZooConfig{Skeleton: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := ZCU104().EstimateModel(m, ring.New(16), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.CommMiB() < 300 || est.CommMiB() > 2500 {
+		t.Errorf("ResNet50 comm = %.0f MiB, expected hundreds to ~2000", est.CommMiB())
+	}
+	if est.ThroughputFPS < 0.02 || est.ThroughputFPS > 0.5 {
+		t.Errorf("ResNet50 throughput = %.3f fps", est.ThroughputFPS)
+	}
+	if est.EfficiencyFPSPerW < 0.001 {
+		t.Errorf("efficiency = %.5f fps/W", est.EfficiencyFPSPerW)
+	}
+	t.Logf("ResNet50@16b: %.0f MiB, %.3f fps, %.4f fps/W, compute %v, comm %v",
+		est.CommMiB(), est.ThroughputFPS, est.EfficiencyFPSPerW, est.ComputeTime, est.CommTime)
+}
+
+func TestCompileAndSimulateConsistency(t *testing.T) {
+	m := tinyModel()
+	r := ring.New(16)
+	prog, err := Compile(ZCU104(), m, r, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Instrs) == 0 {
+		t.Fatal("empty program")
+	}
+	cycles, exch := ZCU104().Simulate(prog)
+	if cycles <= 0 {
+		t.Error("no cycles")
+	}
+	// The instruction stream's exchange bytes equal the analytic comm.
+	comm, _ := ModelComm(m, r, false)
+	if exch != comm.Bytes {
+		t.Errorf("program exchanges %d bytes, analytic model says %d", exch, comm.Bytes)
+	}
+	// Every instruction maps to a real node.
+	for _, in := range prog.Instrs {
+		if in.Node < 0 || in.Node >= len(m.Nodes) {
+			t.Fatalf("instruction references node %d", in.Node)
+		}
+	}
+	if prog.Dump(5) == "" {
+		t.Error("empty dump")
+	}
+}
+
+func TestCompileRejectsUnknownOp(t *testing.T) {
+	m := &nn.Model{Name: "bad", InC: 1, InH: 1, InW: 1, InBits: 8,
+		Nodes: []nn.Node{{Op: badOp{}, Inputs: []int{-1}}}}
+	if _, err := Compile(ZCU104(), m, ring.New(16), false); err == nil {
+		t.Error("unknown op compiled")
+	}
+}
+
+type badOp struct{}
+
+func (badOp) Kind() string { return "bad" }
+func (badOp) OutShape(in []tensor.Shape) (tensor.Shape, error) {
+	return tensor.Shape{1}, nil
+}
+
+func TestLocalTruncCheaper(t *testing.T) {
+	m := tinyModel()
+	r := ring.New(16)
+	faithful, _ := ModelComm(m, r, false)
+	local, _ := ModelComm(m, r, true)
+	if local.Bytes >= faithful.Bytes {
+		t.Error("local truncation should communicate less")
+	}
+}
+
+func BenchmarkEstimateResNet50(b *testing.B) {
+	m, _ := nn.ByName("resnet50-imagenet", nn.ZooConfig{Skeleton: true})
+	cfg := ZCU104()
+	r := ring.New(16)
+	for i := 0; i < b.N; i++ {
+		cfg.EstimateModel(m, r, false)
+	}
+}

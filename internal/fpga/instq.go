@@ -1,0 +1,196 @@
+package fpga
+
+import (
+	"fmt"
+	"strings"
+
+	"aq2pnn/internal/nn"
+	"aq2pnn/internal/ring"
+)
+
+// The INST Q instruction stream (Sec. 4.1.1): the compiler lowers a model
+// into the accelerator's operation sequence — the same role TVM-generated
+// queues play for VTA. The simulator executes the stream against the cycle
+// model; examples/accelerator_trace prints it for inspection.
+
+// OpCode enumerates the accelerator instructions.
+type OpCode int
+
+// Instruction opcodes.
+const (
+	OpLoad  OpCode = iota // LOAD module: DRAM → buffer
+	OpGemm                // Sec-COMP: AS-GEMM tile
+	OpAlu                 // Sec-COMP: AS-ALU pass (add/shift/scale/clip)
+	OpA2B                 // Sec-COMM: arithmetic-to-binary conversion
+	OpSCM                 // Sec-COMM: secure comparison machine pass
+	OpExch                // NIC: share exchange with the peer
+	OpStore               // STORE module: buffer → DRAM
+)
+
+var opNames = map[OpCode]string{
+	OpLoad: "LOAD", OpGemm: "GEMM", OpAlu: "ALU", OpA2B: "A2B",
+	OpSCM: "SCM", OpExch: "EXCH", OpStore: "STORE",
+}
+
+// String implements fmt.Stringer.
+func (o OpCode) String() string { return opNames[o] }
+
+// Instr is one INST Q entry.
+type Instr struct {
+	Op OpCode
+	// M, K, N describe a GEMM tile; Elems counts ALU/A2B/SCM elements;
+	// Bytes sizes LOAD/STORE/EXCH transfers.
+	M, K, N int
+	Elems   int
+	Bytes   int
+	// Node is the model node this instruction implements.
+	Node int
+}
+
+// Program is a compiled instruction stream.
+type Program struct {
+	Model  string
+	Instrs []Instr
+}
+
+// Compile lowers a model into the accelerator instruction stream for the
+// given configuration, tiling every GEMM so its working set fits the
+// on-chip buffers (Fig. 1) — one LOAD+GEMM pair per tile, double-buffered
+// by the schedule analysis.
+func Compile(cfg Config, m *nn.Model, r ring.Ring, localTrunc bool) (*Program, error) {
+	shapes, err := m.Shapes()
+	if err != nil {
+		return nil, err
+	}
+	bufs := cfg.Buffers()
+	p := &Program{Model: m.Name}
+	rb := r.Bytes()
+	emit := func(i Instr, node int) {
+		i.Node = node
+		p.Instrs = append(p.Instrs, i)
+	}
+	truncInstrs := func(elems, node int) {
+		if localTrunc {
+			emit(Instr{Op: OpAlu, Elems: elems}, node)
+			return
+		}
+		// Faithful truncation: A2BM + SCM comparison + exchange + ALU fix.
+		emit(Instr{Op: OpA2B, Elems: elems}, node)
+		emit(Instr{Op: OpSCM, Elems: elems}, node)
+		emit(Instr{Op: OpExch, Bytes: int(FaithfulTruncBytes(r)) * elems}, node)
+		emit(Instr{Op: OpAlu, Elems: elems}, node)
+	}
+	// emitGEMM tiles an (M×K)·(K×N) multiplication across the buffers:
+	// LOAD + GEMM per tile, with the E exchange issued once for the layer.
+	emitGEMM := func(node, m_, k, n, outElems int) error {
+		in := m_ * k * rb
+		emit(Instr{Op: OpExch, Bytes: 2 * in}, node) // open E
+		tiles, err := tileGEMM(bufs, m_, k, n, rb)
+		if err != nil {
+			return fmt.Errorf("fpga: node %d: %w", node, err)
+		}
+		for _, tl := range tiles {
+			emit(Instr{Op: OpLoad, Bytes: tl.m * k * rb}, node)
+			emit(Instr{Op: OpGemm, M: tl.m, K: k, N: tl.n}, node)
+		}
+		emit(Instr{Op: OpAlu, Elems: outElems}, node) // bias + scale
+		return nil
+	}
+	for i, node := range m.Nodes {
+		outElems := shapes[i].Numel()
+		switch op := node.Op.(type) {
+		case *nn.Conv:
+			g := op.Geom
+			if err := emitGEMM(i, g.Patches(), g.PatchLen(), g.OutC, outElems); err != nil {
+				return nil, err
+			}
+			truncInstrs(outElems, i)
+			emit(Instr{Op: OpStore, Bytes: outElems * rb}, i)
+		case *nn.FC:
+			if err := emitGEMM(i, 1, op.In, op.Out, op.Out); err != nil {
+				return nil, err
+			}
+			truncInstrs(op.Out, i)
+			emit(Instr{Op: OpStore, Bytes: op.Out * rb}, i)
+		case nn.ReLU:
+			emit(Instr{Op: OpA2B, Elems: outElems}, i)
+			emit(Instr{Op: OpSCM, Elems: outElems}, i)
+			emit(Instr{Op: OpExch, Bytes: int(ABReLUBytes(r)) * outElems}, i)
+			emit(Instr{Op: OpAlu, Elems: outElems}, i) // mux combine
+		case *nn.MaxPool:
+			comparisons := op.Geom.InC*op.Geom.InH*op.Geom.InW - outElems
+			emit(Instr{Op: OpA2B, Elems: comparisons}, i)
+			emit(Instr{Op: OpSCM, Elems: comparisons}, i)
+			emit(Instr{Op: OpExch, Bytes: int(ABReLUBytes(r)) * comparisons}, i)
+			emit(Instr{Op: OpAlu, Elems: comparisons}, i)
+		case *nn.AvgPool:
+			emit(Instr{Op: OpAlu, Elems: op.Geom.InC * op.Geom.InH * op.Geom.InW}, i)
+			stages := 1
+			if w := op.Geom.KH * op.Geom.KW; w&(w-1) != 0 {
+				stages = 2
+			}
+			for s := 0; s < stages; s++ {
+				truncInstrs(outElems, i)
+			}
+		case nn.Add:
+			emit(Instr{Op: OpAlu, Elems: outElems}, i)
+		case nn.Flatten:
+			// Pure buffer reinterpretation: no instruction.
+		default:
+			return nil, fmt.Errorf("fpga: cannot compile op %T", node.Op)
+		}
+	}
+	return p, nil
+}
+
+// Cycles prices one instruction on the configuration.
+func (c Config) Cycles(i Instr) int64 {
+	const fill = 24
+	switch i.Op {
+	case OpGemm:
+		return int64(i.M)*int64(i.K)*int64(i.N)/int64(c.BlockIn*c.BlockOut) + fill
+	case OpAlu:
+		return int64(i.Elems)/int64(c.ALULanes) + fill
+	case OpA2B, OpSCM:
+		return int64(i.Elems)/int64(c.SCMLanes) + fill
+	case OpLoad, OpStore:
+		return int64(i.Bytes)/int64(c.LoadBytesPerCycle) + fill
+	case OpExch:
+		return fill // wire time is priced by the network model
+	default:
+		return fill
+	}
+}
+
+// Simulate executes the program against the cycle model, returning total
+// compute cycles and exchanged bytes.
+func (c Config) Simulate(p *Program) (cycles int64, exchBytes uint64) {
+	for _, i := range p.Instrs {
+		cycles += c.Cycles(i)
+		if i.Op == OpExch {
+			exchBytes += uint64(i.Bytes)
+		}
+	}
+	return cycles, exchBytes
+}
+
+// Dump renders the program for humans (used by examples/accelerator_trace).
+func (p *Program) Dump(limit int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "INST Q for %s: %d instructions\n", p.Model, len(p.Instrs))
+	for k, i := range p.Instrs {
+		if limit > 0 && k >= limit {
+			fmt.Fprintf(&b, "  ... %d more\n", len(p.Instrs)-k)
+			break
+		}
+		switch i.Op {
+		case OpGemm:
+			fmt.Fprintf(&b, "  %3d %-5s node=%d M=%d K=%d N=%d\n", k, i.Op, i.Node, i.M, i.K, i.N)
+		case OpAlu, OpA2B, OpSCM:
+			fmt.Fprintf(&b, "  %3d %-5s node=%d elems=%d\n", k, i.Op, i.Node, i.Elems)
+		default:
+			fmt.Fprintf(&b, "  %3d %-5s node=%d bytes=%d\n", k, i.Op, i.Node, i.Bytes)
+		}
+	}
+	return b.String()
+}

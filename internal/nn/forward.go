@@ -1,0 +1,304 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"aq2pnn/internal/prg"
+	"aq2pnn/internal/ring"
+	"aq2pnn/internal/share"
+	"aq2pnn/internal/tensor"
+)
+
+// The plaintext integer executor. Two arithmetic modes are provided:
+//
+//   - Exact: int64 arithmetic without wrapping — the "ideal" quantized
+//     model of Fig. 9(a), used to score pure quantization accuracy.
+//   - Ring:  all intermediate values wrap on a Z_{2^ℓ} carrier — the
+//     arithmetic the 2PC engine actually performs (Fig. 9(c)), so the
+//     plaintext and ciphertext domains can be compared value-for-value
+//     and ring-overflow effects measured in isolation.
+
+// ExecMode selects the arithmetic of the plaintext executor.
+type ExecMode int
+
+const (
+	// Exact uses full int64 arithmetic.
+	Exact ExecMode = iota
+	// Ring wraps every intermediate on the carrier ring.
+	Ring
+	// StochasticRing wraps on the carrier AND emulates the 2PC share
+	// truncation exactly: every BNReQ shift is computed by actually
+	// splitting the value into random shares and truncating them locally,
+	// reproducing the ±1 LSB noise and the probabilistic ±Q/2^d wrap
+	// failures of the protocol. This is the fast, distribution-faithful
+	// stand-in for full secure execution used by the accuracy sweeps.
+	StochasticRing
+)
+
+// ForwardOptions configures the executor.
+type ForwardOptions struct {
+	Mode ExecMode
+	// Carrier is the ring for Mode == Ring and StochasticRing.
+	Carrier ring.Ring
+	// Rng supplies the share randomness for StochasticRing.
+	Rng *prg.PRG
+	// LocalTrunc makes StochasticRing emulate the paper's local share
+	// truncation (probabilistic wrap failures) instead of the default
+	// faithful truncation; it mirrors engine.Config.LocalTrunc.
+	LocalTrunc bool
+}
+
+// Forward evaluates the model on a quantized input (length InC·InH·InW)
+// and returns the output activations of the final node.
+func (m *Model) Forward(x []int64, opt ForwardOptions) ([]int64, error) {
+	outs, err := m.ForwardAll(x, opt)
+	if err != nil {
+		return nil, err
+	}
+	return outs[len(outs)-1], nil
+}
+
+// ForwardAll evaluates the model and returns every node's activations
+// (used by the calibration pass and by tests).
+func (m *Model) ForwardAll(x []int64, opt ForwardOptions) ([][]int64, error) {
+	if len(x) != m.InputShape().Numel() {
+		return nil, fmt.Errorf("nn: input length %d, want %d", len(x), m.InputShape().Numel())
+	}
+	shapes, err := m.Shapes()
+	if err != nil {
+		return nil, err
+	}
+	wrap := func(v int64) int64 { return v }
+	trunc := func(v int64, d uint) int64 { return v >> d }
+	switch opt.Mode {
+	case Ring:
+		r := opt.Carrier
+		if r.Bits == 0 {
+			return nil, fmt.Errorf("nn: Ring mode without a carrier ring")
+		}
+		wrap = func(v int64) int64 { return r.ToInt(r.FromInt(v)) }
+		trunc = func(v int64, d uint) int64 { return r.ToInt(r.ShiftRightSigned(r.FromInt(v), d)) }
+	case StochasticRing:
+		r := opt.Carrier
+		if r.Bits == 0 {
+			return nil, fmt.Errorf("nn: StochasticRing mode without a carrier ring")
+		}
+		g := opt.Rng
+		if g == nil {
+			return nil, fmt.Errorf("nn: StochasticRing mode without an Rng")
+		}
+		wrap = func(v int64) int64 { return r.ToInt(r.FromInt(v)) }
+		if opt.LocalTrunc {
+			trunc = func(v int64, d uint) int64 {
+				// Emulate the paper's local 2PC share truncation
+				// bit-exactly, including its probabilistic wrap failures.
+				x0, x1 := share.Split(g, r, r.FromInt(v))
+				t0 := share.TruncateShare(r, share.PartyI, x0, d)
+				t1 := share.TruncateShare(r, share.PartyJ, x1, d)
+				return r.ToInt(share.Open(r, t0, t1))
+			}
+		} else {
+			trunc = func(v int64, d uint) int64 {
+				// Emulate the faithful truncation bit-exactly: exact to ±1
+				// while |v| < Q/4, garbage beyond — the same contract the
+				// secure operator has.
+				if d == 0 {
+					return r.ToInt(r.FromInt(v))
+				}
+				x0 := g.Elem(r)
+				x1 := r.Sub(r.FromInt(v), x0)
+				quarter := r.Q() / 4
+				xp0 := r.Add(x0, quarter)
+				var k uint64
+				if xp0+x1 >= r.Q() { // both reduced, so the sum is < 2Q
+					k = 1
+				}
+				y := r.Add(xp0>>d, x1>>d)
+				y = r.Sub(y, r.MulConst(k, int64(r.Q()>>d)))
+				y = r.Sub(y, quarter>>d)
+				return r.ToInt(y)
+			}
+		}
+	}
+	vals := make([][]int64, len(m.Nodes))
+	get := func(idx int) []int64 {
+		if idx == -1 {
+			return x
+		}
+		return vals[idx]
+	}
+	for i, node := range m.Nodes {
+		switch op := node.Op.(type) {
+		case *Conv:
+			if op.Skeleton() {
+				return nil, fmt.Errorf("nn: node %d is a skeleton Conv (cost-model only)", i)
+			}
+			in := get(node.Inputs[0])
+			vals[i] = forwardConv(op, in, wrap, trunc)
+		case *FC:
+			if op.Skeleton() {
+				return nil, fmt.Errorf("nn: node %d is a skeleton FC (cost-model only)", i)
+			}
+			in := get(node.Inputs[0])
+			vals[i] = forwardFC(op, in, wrap, trunc)
+		case ReLU:
+			in := get(node.Inputs[0])
+			out := make([]int64, len(in))
+			for k, v := range in {
+				if v > 0 {
+					out[k] = v
+				}
+			}
+			vals[i] = out
+		case *MaxPool:
+			in := get(node.Inputs[0])
+			out := make([]int64, shapes[i].Numel())
+			tensor.PoolWindows(op.Geom, func(oi int, win []int) {
+				best := in[win[0]]
+				for _, ii := range win[1:] {
+					if in[ii] > best {
+						best = in[ii]
+					}
+				}
+				out[oi] = best
+			})
+			vals[i] = out
+		case *AvgPool:
+			in := get(node.Inputs[0])
+			out := make([]int64, shapes[i].Numel())
+			tensor.PoolWindows(op.Geom, func(oi int, win []int) {
+				var sum int64
+				for _, ii := range win {
+					sum = wrap(sum + in[ii])
+				}
+				n := len(win)
+				if opt.Mode == Exact {
+					out[oi] = floorDiv(sum, int64(n))
+					return
+				}
+				// Mirror the secure operator: pure truncation for
+				// power-of-two windows, dyadic reciprocal otherwise.
+				if n&(n-1) == 0 {
+					d := uint(0)
+					for 1<<(d+1) <= n {
+						d++
+					}
+					out[oi] = wrap(trunc(sum, d))
+					return
+				}
+				t0 := uint(0)
+				for 1<<(t0+1) <= n {
+					t0++
+				}
+				t0++
+				const t1 = 5
+				recip := int64(math.Round(float64(uint64(1)<<(t0+t1)) / float64(n)))
+				out[oi] = wrap(trunc(wrap(trunc(sum, t0)*recip), t1))
+			})
+			vals[i] = out
+		case Add:
+			a := get(node.Inputs[0])
+			b := get(node.Inputs[1])
+			out := make([]int64, len(a))
+			for k := range a {
+				out[k] = wrap(a[k] + b[k])
+			}
+			vals[i] = out
+		case Flatten:
+			in := get(node.Inputs[0])
+			vals[i] = append([]int64(nil), in...)
+		default:
+			return nil, fmt.Errorf("nn: unknown op %T", node.Op)
+		}
+	}
+	return vals, nil
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+func forwardConv(op *Conv, in []int64, wrap func(int64) int64, trunc func(int64, uint) int64) []int64 {
+	g := op.Geom
+	oh, ow := g.OutH(), g.OutW()
+	pl := g.PatchLen()
+	cols := im2colInt64(in, g)
+	out := make([]int64, g.OutC*oh*ow)
+	patches := oh * ow
+	for oc := 0; oc < g.OutC; oc++ {
+		w := op.W[oc*pl : (oc+1)*pl]
+		var bias int64
+		if op.Bias != nil {
+			bias = op.Bias[oc]
+		}
+		im := op.Im[oc]
+		for p := 0; p < patches; p++ {
+			col := cols[p*pl : (p+1)*pl]
+			var acc int64
+			for k := 0; k < pl; k++ {
+				acc = wrap(acc + col[k]*w[k])
+			}
+			acc = wrap(wrap(acc+bias) * im)
+			out[oc*patches+p] = wrap(trunc(acc, op.Ie))
+		}
+	}
+	return out
+}
+
+func forwardFC(op *FC, in []int64, wrap func(int64) int64, trunc func(int64, uint) int64) []int64 {
+	out := make([]int64, op.Out)
+	for o := 0; o < op.Out; o++ {
+		w := op.W[o*op.In : (o+1)*op.In]
+		var acc int64
+		for k := 0; k < op.In; k++ {
+			acc = wrap(acc + in[k]*w[k])
+		}
+		if op.Bias != nil {
+			acc = wrap(acc + op.Bias[o])
+		}
+		acc = wrap(acc * op.Im[o])
+		out[o] = wrap(trunc(acc, op.Ie))
+	}
+	return out
+}
+
+func im2colInt64(img []int64, g tensor.ConvGeom) []int64 {
+	oh, ow := g.OutH(), g.OutW()
+	pl := g.PatchLen()
+	out := make([]int64, oh*ow*pl)
+	idx := 0
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			for c := 0; c < g.InC; c++ {
+				for ky := 0; ky < g.KH; ky++ {
+					iy := oy*g.StrideH + ky - g.PadH
+					for kx := 0; kx < g.KW; kx++ {
+						ix := ox*g.StrideW + kx - g.PadW
+						if iy >= 0 && iy < g.InH && ix >= 0 && ix < g.InW {
+							out[idx] = img[(c*g.InH+iy)*g.InW+ix]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Argmax returns the index of the largest logit, breaking ties toward the
+// lower index.
+func Argmax(logits []int64) int {
+	best := 0
+	for i, v := range logits {
+		if v > logits[best] {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,294 @@
+// Package nn provides the quantized DNN representation shared by the
+// plaintext reference executor, the quantizer, the secure 2PC engine and
+// the accelerator cost model. A model is a small DAG (residual connections
+// need more than a chain) of integer operators matching the paper's
+// building block: Conv2D/FC fused with BNReQ, ReLU, max/average pooling
+// and residual addition (Fig. 8, Fig. 9).
+package nn
+
+import (
+	"fmt"
+
+	"aq2pnn/internal/tensor"
+)
+
+// Op is a quantized operator. The concrete types below are the full set
+// the executors understand.
+type Op interface {
+	// Kind returns the operator's short name (2PC-Conv2D, ABReLU, ...).
+	Kind() string
+	// OutShape derives the output shape from the input shapes.
+	OutShape(in []tensor.Shape) (tensor.Shape, error)
+}
+
+// Conv is a 2D convolution fused with BNReQ: y = ((W*x + Bias) · Im) >> Ie.
+// Weights are quantized integers laid out (OutC, InC·KH·KW).
+type Conv struct {
+	Geom tensor.ConvGeom
+	W    []int64
+	Bias []int64 // per output channel (may be nil)
+	Im   []int64 // per-channel dyadic scale numerator
+	Ie   uint    // dyadic scale shift
+}
+
+// Kind implements Op.
+func (*Conv) Kind() string { return "2PC-Conv2D" }
+
+// OutShape implements Op.
+func (c *Conv) OutShape(in []tensor.Shape) (tensor.Shape, error) {
+	if err := c.checkShapes(in); err != nil {
+		return nil, err
+	}
+	return tensor.Shape{c.Geom.OutC, c.Geom.OutH(), c.Geom.OutW()}, nil
+}
+
+func (c *Conv) checkShapes(in []tensor.Shape) error {
+	if len(in) != 1 {
+		return fmt.Errorf("nn: Conv takes 1 input, got %d", len(in))
+	}
+	want := tensor.Shape{c.Geom.InC, c.Geom.InH, c.Geom.InW}
+	if !in[0].Equal(want) {
+		return fmt.Errorf("nn: Conv input %v, want %v", in[0], want)
+	}
+	if err := c.Geom.Validate(); err != nil {
+		return err
+	}
+	if c.W == nil && c.Im == nil {
+		// Skeleton node: shapes only, for cost modelling. Executors reject
+		// it with a clear error.
+		return nil
+	}
+	if len(c.W) != c.Geom.OutC*c.Geom.PatchLen() {
+		return fmt.Errorf("nn: Conv weights %d, want %d", len(c.W), c.Geom.OutC*c.Geom.PatchLen())
+	}
+	if len(c.Im) != c.Geom.OutC {
+		return fmt.Errorf("nn: Conv Im %d, want %d", len(c.Im), c.Geom.OutC)
+	}
+	if c.Bias != nil && len(c.Bias) != c.Geom.OutC {
+		return fmt.Errorf("nn: Conv bias %d, want %d", len(c.Bias), c.Geom.OutC)
+	}
+	return nil
+}
+
+// Skeleton reports whether the node carries no weights (cost-model only).
+func (c *Conv) Skeleton() bool { return c.W == nil && c.Im == nil }
+
+// FC is a fully connected layer fused with BNReQ.
+type FC struct {
+	In, Out int
+	W       []int64 // (Out, In)
+	Bias    []int64
+	Im      []int64 // per output neuron (usually uniform)
+	Ie      uint
+}
+
+// Kind implements Op.
+func (*FC) Kind() string { return "2PC-FC" }
+
+// OutShape implements Op.
+func (f *FC) OutShape(in []tensor.Shape) (tensor.Shape, error) {
+	if len(in) != 1 {
+		return nil, fmt.Errorf("nn: FC takes 1 input, got %d", len(in))
+	}
+	if in[0].Numel() != f.In {
+		return nil, fmt.Errorf("nn: FC input %v (%d values), want %d", in[0], in[0].Numel(), f.In)
+	}
+	if f.W == nil && f.Im == nil {
+		return tensor.Shape{f.Out}, nil // skeleton node
+	}
+	if len(f.W) != f.In*f.Out || len(f.Im) != f.Out {
+		return nil, fmt.Errorf("nn: FC parameter sizes wrong")
+	}
+	return tensor.Shape{f.Out}, nil
+}
+
+// Skeleton reports whether the node carries no weights (cost-model only).
+func (f *FC) Skeleton() bool { return f.W == nil && f.Im == nil }
+
+// ReLU is the activation evaluated by ABReLU in the ciphertext domain.
+type ReLU struct{}
+
+// Kind implements Op.
+func (ReLU) Kind() string { return "ABReLU" }
+
+// OutShape implements Op.
+func (ReLU) OutShape(in []tensor.Shape) (tensor.Shape, error) {
+	if len(in) != 1 {
+		return nil, fmt.Errorf("nn: ReLU takes 1 input")
+	}
+	return in[0].Clone(), nil
+}
+
+// MaxPool is a channel-wise max pooling layer.
+type MaxPool struct{ Geom tensor.ConvGeom }
+
+// Kind implements Op.
+func (*MaxPool) Kind() string { return "2PC-MaxPool" }
+
+// OutShape implements Op.
+func (p *MaxPool) OutShape(in []tensor.Shape) (tensor.Shape, error) {
+	return poolShape(p.Geom, in)
+}
+
+// AvgPool is a channel-wise average pooling layer.
+type AvgPool struct{ Geom tensor.ConvGeom }
+
+// Kind implements Op.
+func (*AvgPool) Kind() string { return "2PC-AvgPool" }
+
+// OutShape implements Op.
+func (p *AvgPool) OutShape(in []tensor.Shape) (tensor.Shape, error) {
+	return poolShape(p.Geom, in)
+}
+
+func poolShape(g tensor.ConvGeom, in []tensor.Shape) (tensor.Shape, error) {
+	if len(in) != 1 {
+		return nil, fmt.Errorf("nn: pooling takes 1 input")
+	}
+	want := tensor.Shape{g.InC, g.InH, g.InW}
+	if !in[0].Equal(want) {
+		return nil, fmt.Errorf("nn: pool input %v, want %v", in[0], want)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return tensor.Shape{g.InC, g.OutH(), g.OutW()}, nil
+}
+
+// Add is the residual element-wise addition (C-C addition in the AS-ALU).
+type Add struct{}
+
+// Kind implements Op.
+func (Add) Kind() string { return "2PC-Add" }
+
+// OutShape implements Op.
+func (Add) OutShape(in []tensor.Shape) (tensor.Shape, error) {
+	if len(in) != 2 {
+		return nil, fmt.Errorf("nn: Add takes 2 inputs, got %d", len(in))
+	}
+	if !in[0].Equal(in[1]) {
+		return nil, fmt.Errorf("nn: Add shapes %v vs %v", in[0], in[1])
+	}
+	return in[0].Clone(), nil
+}
+
+// Flatten reshapes to a vector.
+type Flatten struct{}
+
+// Kind implements Op.
+func (Flatten) Kind() string { return "Flatten" }
+
+// OutShape implements Op.
+func (Flatten) OutShape(in []tensor.Shape) (tensor.Shape, error) {
+	if len(in) != 1 {
+		return nil, fmt.Errorf("nn: Flatten takes 1 input")
+	}
+	return tensor.Shape{in[0].Numel()}, nil
+}
+
+// Node is one vertex of the model DAG. Inputs index earlier nodes; the
+// value -1 denotes the model input.
+type Node struct {
+	Op     Op
+	Inputs []int
+	// Name is an optional per-node label (e.g. "conv2_3") used by
+	// profiling output.
+	Name string
+}
+
+// Model is a quantized network: a topologically ordered DAG whose last
+// node is the output.
+type Model struct {
+	Name          string
+	InC, InH, InW int
+	// InBits is the bit-width of the quantized model's values (ℓ in the
+	// paper); the carrier ring is chosen from it (ℓ+margin).
+	InBits uint
+	Nodes  []Node
+}
+
+// InputShape returns the model input shape.
+func (m *Model) InputShape() tensor.Shape { return tensor.Shape{m.InC, m.InH, m.InW} }
+
+// Shapes computes every node's output shape, validating the graph.
+func (m *Model) Shapes() ([]tensor.Shape, error) {
+	out := make([]tensor.Shape, len(m.Nodes))
+	for i, n := range m.Nodes {
+		ins := make([]tensor.Shape, len(n.Inputs))
+		for k, idx := range n.Inputs {
+			switch {
+			case idx == -1:
+				ins[k] = m.InputShape()
+			case idx >= 0 && idx < i:
+				ins[k] = out[idx]
+			default:
+				return nil, fmt.Errorf("nn: node %d references node %d (not topological)", i, idx)
+			}
+		}
+		s, err := n.Op.OutShape(ins)
+		if err != nil {
+			return nil, fmt.Errorf("nn: node %d (%s): %w", i, n.Op.Kind(), err)
+		}
+		out[i] = s
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("nn: empty model")
+	}
+	return out, nil
+}
+
+// OutShape returns the model output shape.
+func (m *Model) OutShape() (tensor.Shape, error) {
+	s, err := m.Shapes()
+	if err != nil {
+		return nil, err
+	}
+	return s[len(s)-1], nil
+}
+
+// Params counts the learnable parameters.
+func (m *Model) Params() int64 {
+	var n int64
+	for _, node := range m.Nodes {
+		switch op := node.Op.(type) {
+		case *Conv:
+			n += int64(op.Geom.OutC*op.Geom.PatchLen() + op.Geom.OutC)
+		case *FC:
+			n += int64(f64len(op))
+		}
+	}
+	return n
+}
+
+func f64len(op *FC) int { return op.In*op.Out + op.Out }
+
+// MACs counts multiply-accumulates over all linear layers, the quantity
+// the AS-GEMM cycle model consumes.
+func (m *Model) MACs() int64 {
+	var n int64
+	for _, node := range m.Nodes {
+		switch op := node.Op.(type) {
+		case *Conv:
+			n += op.Geom.MACs()
+		case *FC:
+			n += int64(op.In) * int64(op.Out)
+		}
+	}
+	return n
+}
+
+// ReLUCount counts activation elements flowing through ReLU layers, which
+// drives the ABReLU communication model.
+func (m *Model) ReLUCount() (int64, error) {
+	shapes, err := m.Shapes()
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	for i, node := range m.Nodes {
+		if _, ok := node.Op.(ReLU); ok {
+			n += int64(shapes[i].Numel())
+		}
+	}
+	return n, nil
+}

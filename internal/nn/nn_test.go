@@ -1,0 +1,284 @@
+package nn
+
+import (
+	"strings"
+	"testing"
+
+	"aq2pnn/internal/ring"
+)
+
+func TestZooShapes(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     ZooConfig
+		wantOut int
+		nodes   int // sanity lower bound on graph size
+	}{
+		{"lenet5", ZooConfig{}, 10, 10},
+		{"alexnet", ZooConfig{}, 10, 15},
+		{"vgg16-cifar", ZooConfig{}, 10, 30},
+		{"vgg16-imagenet", ZooConfig{Skeleton: true}, 1000, 35},
+		{"resnet18-cifar", ZooConfig{}, 10, 40},
+		{"resnet18-imagenet", ZooConfig{Skeleton: true}, 1000, 45},
+		{"resnet50-imagenet", ZooConfig{Skeleton: true}, 1000, 100},
+	}
+	for _, c := range cases {
+		m, err := ByName(c.name, c.cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		out, err := m.OutShape()
+		if err != nil {
+			t.Fatalf("%s shapes: %v", c.name, err)
+		}
+		if out.Numel() != c.wantOut {
+			t.Errorf("%s output %v, want %d classes", c.name, out, c.wantOut)
+		}
+		if len(m.Nodes) < c.nodes {
+			t.Errorf("%s has %d nodes, expected ≥ %d", c.name, len(m.Nodes), c.nodes)
+		}
+	}
+	if _, err := ByName("nope", ZooConfig{}); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestZooKnownParamCounts(t *testing.T) {
+	// Published parameter counts (approximate, architecture-defined):
+	// ResNet18 ≈ 11.7M, ResNet50 ≈ 25.5M, VGG16 ≈ 138M.
+	check := func(name string, wantM float64) {
+		m, err := ByName(name, ZooConfig{Skeleton: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := float64(m.Params()) / 1e6
+		if got < wantM*0.95 || got > wantM*1.05 {
+			t.Errorf("%s params = %.1fM, want ≈ %.1fM", name, got, wantM)
+		}
+	}
+	check("resnet18-imagenet", 11.7)
+	check("resnet50-imagenet", 25.6)
+	check("vgg16-imagenet", 138.4)
+}
+
+func TestZooKnownMACs(t *testing.T) {
+	// ResNet18 ≈ 1.8 GMACs, ResNet50 ≈ 4.1 GMACs, VGG16 ≈ 15.5 GMACs
+	// (224×224, counting conv+fc as in common profilers).
+	check := func(name string, wantG float64) {
+		m, _ := ByName(name, ZooConfig{Skeleton: true})
+		got := float64(m.MACs()) / 1e9
+		if got < wantG*0.90 || got > wantG*1.12 {
+			t.Errorf("%s MACs = %.2fG, want ≈ %.2fG", name, got, wantG)
+		}
+	}
+	check("resnet18-imagenet", 1.82)
+	check("resnet50-imagenet", 4.1)
+	check("vgg16-imagenet", 15.5)
+}
+
+func TestForwardSmokeAndDeterminism(t *testing.T) {
+	m := LeNet5(ZooConfig{Seed: 7})
+	x := make([]int64, 28*28)
+	for i := range x {
+		x[i] = int64(i % 17)
+	}
+	a, err := m.Forward(x, ForwardOptions{Mode: Exact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 10 {
+		t.Fatalf("logits = %d", len(a))
+	}
+	b, _ := m.Forward(x, ForwardOptions{Mode: Exact})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("forward is nondeterministic")
+		}
+	}
+}
+
+func TestForwardRingModeMatchesExactOnWideRing(t *testing.T) {
+	// With a wide carrier the wrapped executor must agree with int64.
+	m := LeNet5(ZooConfig{Seed: 8})
+	x := make([]int64, 28*28)
+	for i := range x {
+		x[i] = int64((i * 13) % 23)
+	}
+	exact, err := m.Forward(x, ForwardOptions{Mode: Exact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped, err := m.Forward(x, ForwardOptions{Mode: Ring, Carrier: ring.New(48)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range exact {
+		if exact[i] != wrapped[i] {
+			t.Fatalf("logit %d: exact %d vs ring %d", i, exact[i], wrapped[i])
+		}
+	}
+}
+
+func TestForwardRingModeOverflowsOnNarrowRing(t *testing.T) {
+	// On a too-narrow carrier the wrapped executor must diverge — the
+	// mechanism of the paper's 12-bit accuracy collapse.
+	m := LeNet5(ZooConfig{Seed: 8})
+	x := make([]int64, 28*28)
+	for i := range x {
+		x[i] = int64((i * 13) % 23)
+	}
+	exact, err := m.ForwardAll(x, ForwardOptions{Mode: Exact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped, err := m.ForwardAll(x, ForwardOptions{Mode: Ring, Carrier: ring.New(8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first convolution accumulates far past ±128, so a large share of
+	// its outputs must wrap differently.
+	diff := 0
+	for k := range exact[0] {
+		if exact[0][k] != wrapped[0][k] {
+			diff++
+		}
+	}
+	if diff < len(exact[0])/10 {
+		t.Errorf("8-bit carrier perturbed only %d/%d conv1 outputs; overflow modelling broken?", diff, len(exact[0]))
+	}
+}
+
+func TestResNetResidualPath(t *testing.T) {
+	m := ResNet18CIFAR(ZooConfig{Seed: 9})
+	// Find an Add node and check it has two distinct inputs.
+	found := false
+	for _, n := range m.Nodes {
+		if _, ok := n.Op.(Add); ok {
+			found = true
+			if len(n.Inputs) != 2 || n.Inputs[0] == n.Inputs[1] {
+				t.Errorf("Add node inputs %v", n.Inputs)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("ResNet has no residual Add nodes")
+	}
+	// And it must execute.
+	x := make([]int64, 3*32*32)
+	for i := range x {
+		x[i] = int64(i % 11)
+	}
+	if _, err := m.Forward(x, ForwardOptions{Mode: Exact}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSkeletonRejectedByExecutor(t *testing.T) {
+	m := ResNet18ImageNet(ZooConfig{Skeleton: true})
+	x := make([]int64, 3*224*224)
+	if _, err := m.Forward(x, ForwardOptions{Mode: Exact}); err == nil {
+		t.Error("skeleton model executed")
+	}
+}
+
+func TestForwardValidation(t *testing.T) {
+	m := LeNet5(ZooConfig{})
+	if _, err := m.Forward(make([]int64, 5), ForwardOptions{}); err == nil {
+		t.Error("bad input length accepted")
+	}
+	if _, err := m.Forward(make([]int64, 28*28), ForwardOptions{Mode: Ring}); err == nil {
+		t.Error("ring mode without carrier accepted")
+	}
+}
+
+func TestReLUCountVGG(t *testing.T) {
+	m := VGG16CIFAR(ZooConfig{})
+	n, err := m.ReLUCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// VGG16-CIFAR conv activations: 2·64·32² + 2·128·16² + 3·256·8² +
+	// 3·512·4² + 3·512·2²  (ReLU follows each conv, after pooling where
+	// applicable) — just sanity-bound it.
+	if n < 200000 || n > 400000 {
+		t.Errorf("VGG16-CIFAR ReLU elements = %d", n)
+	}
+}
+
+func TestArgmax(t *testing.T) {
+	if Argmax([]int64{3, 9, 9, 1}) != 1 {
+		t.Error("Argmax tie-break wrong")
+	}
+	if Argmax([]int64{-5}) != 0 {
+		t.Error("Argmax single wrong")
+	}
+}
+
+func TestPoolSwapChangesOps(t *testing.T) {
+	mMax := LeNet5(ZooConfig{Pool: PoolMax})
+	mAvg := LeNet5(ZooConfig{Pool: PoolAvg})
+	countKind := func(m *Model, kind string) int {
+		n := 0
+		for _, nd := range m.Nodes {
+			if nd.Op.Kind() == kind {
+				n++
+			}
+		}
+		return n
+	}
+	if countKind(mMax, "2PC-MaxPool") != 2 || countKind(mMax, "2PC-AvgPool") != 0 {
+		t.Error("max-pool build wrong")
+	}
+	if countKind(mAvg, "2PC-AvgPool") != 2 || countKind(mAvg, "2PC-MaxPool") != 0 {
+		t.Error("avg-pool build wrong")
+	}
+}
+
+func TestFloorDiv(t *testing.T) {
+	cases := [][3]int64{{7, 2, 3}, {-7, 2, -4}, {8, 4, 2}, {-8, 4, -2}, {0, 5, 0}}
+	for _, c := range cases {
+		if got := floorDiv(c[0], c[1]); got != c[2] {
+			t.Errorf("floorDiv(%d,%d) = %d, want %d", c[0], c[1], got, c[2])
+		}
+	}
+}
+
+func BenchmarkForwardLeNet5(b *testing.B) {
+	m := LeNet5(ZooConfig{})
+	x := make([]int64, 28*28)
+	for i := 0; i < b.N; i++ {
+		m.Forward(x, ForwardOptions{Mode: Exact})
+	}
+}
+
+func BenchmarkBuildResNet50Skeleton(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ResNet50ImageNet(ZooConfig{Skeleton: true})
+	}
+}
+
+func TestSummary(t *testing.T) {
+	m := LeNet5(ZooConfig{Seed: 1})
+	s, err := m.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"LeNet5", "2PC-Conv2D", "ABReLU", "2PC-FC", "total:"} {
+		if !contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+	// Skeleton models summarize too (shape-derived counts).
+	sk, _ := ByName("resnet50-imagenet", ZooConfig{Skeleton: true})
+	s2, err := sk.Summary()
+	if err != nil || !contains(s2, "25.") {
+		t.Errorf("skeleton summary: %v / missing ~25.x M params", err)
+	}
+	if count(500) != "500" || count(2500) != "2.5K" || count(3_000_000) != "3.00M" || count(4_200_000_000) != "4.20G" {
+		t.Error("count formatting wrong")
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && strings.Contains(s, sub)
+}

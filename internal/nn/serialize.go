@@ -1,0 +1,81 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Model serialization: a quantized model (graph + weights + BNReQ scales)
+// round-trips through encoding/gob, so a provider can quantize once and
+// ship the artifact to its deployment. The format embeds a version tag to
+// keep older artifacts detectable.
+
+// serialVersion guards the on-disk format.
+const serialVersion = 1
+
+func init() {
+	// The Op interface needs its concrete types registered for gob.
+	gob.Register(&Conv{})
+	gob.Register(&FC{})
+	gob.Register(ReLU{})
+	gob.Register(&MaxPool{})
+	gob.Register(&AvgPool{})
+	gob.Register(Add{})
+	gob.Register(Flatten{})
+}
+
+type serialModel struct {
+	Version int
+	Model   *Model
+	// InScale carries the quantizer's input scale when saving a Quantized
+	// artifact (0 when absent).
+	InScale float64
+}
+
+// Write serializes the model (with an optional input scale) to w.
+func Write(w io.Writer, m *Model, inScale float64) error {
+	if _, err := m.Shapes(); err != nil {
+		return fmt.Errorf("nn: refusing to serialize an invalid model: %w", err)
+	}
+	return gob.NewEncoder(w).Encode(serialModel{Version: serialVersion, Model: m, InScale: inScale})
+}
+
+// Read deserializes a model written by Write.
+func Read(r io.Reader) (*Model, float64, error) {
+	var s serialModel
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, 0, fmt.Errorf("nn: decoding model: %w", err)
+	}
+	if s.Version != serialVersion {
+		return nil, 0, fmt.Errorf("nn: model format version %d, want %d", s.Version, serialVersion)
+	}
+	if s.Model == nil {
+		return nil, 0, fmt.Errorf("nn: artifact carries no model")
+	}
+	if _, err := s.Model.Shapes(); err != nil {
+		return nil, 0, fmt.Errorf("nn: artifact is not a valid model: %w", err)
+	}
+	return s.Model, s.InScale, nil
+}
+
+// Save writes the model to a file.
+func Save(path string, m *Model, inScale float64) error {
+	var buf bytes.Buffer
+	if err := Write(&buf, m, inScale); err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}
+
+// Load reads a model from a file.
+func Load(path string) (*Model, float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,67 @@
+package nn
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Summary renders a per-layer table of the model: operator kinds, output
+// shapes, parameter counts and MAC counts — the quick sanity view a model
+// provider checks before quantizing and deploying.
+func (m *Model) Summary() (string, error) {
+	shapes, err := m.Shapes()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  (input %d×%d×%d, %d-bit)\n", m.Name, m.InC, m.InH, m.InW, m.InBits)
+	fmt.Fprintf(&b, "%-4s %-14s %-18s %-14s %12s %14s\n", "#", "name", "op", "output", "params", "MACs")
+	var totalP, totalM int64
+	for i, node := range m.Nodes {
+		var params, macs int64
+		switch op := node.Op.(type) {
+		case *Conv:
+			params = int64(op.Geom.OutC*op.Geom.PatchLen() + op.Geom.OutC)
+			macs = op.Geom.MACs()
+		case *FC:
+			params = int64(op.In*op.Out + op.Out)
+			macs = int64(op.In) * int64(op.Out)
+		}
+		totalP += params
+		totalM += macs
+		fmt.Fprintf(&b, "%-4d %-14s %-18s %-14s %12s %14s\n",
+			i, clip(node.Name, 14), node.Op.Kind(), shapes[i].String(), count(params), count(macs))
+	}
+	fmt.Fprintf(&b, "total: %s params, %s MACs, %d ReLU elements\n",
+		count(totalP), count(totalM), mustReLUCount(m))
+	return b.String(), nil
+}
+
+func mustReLUCount(m *Model) int64 {
+	n, err := m.ReLUCount()
+	if err != nil {
+		return -1
+	}
+	return n
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+// count renders a number with K/M/G suffixes.
+func count(v int64) string {
+	switch {
+	case v >= 1_000_000_000:
+		return fmt.Sprintf("%.2fG", float64(v)/1e9)
+	case v >= 1_000_000:
+		return fmt.Sprintf("%.2fM", float64(v)/1e6)
+	case v >= 1_000:
+		return fmt.Sprintf("%.1fK", float64(v)/1e3)
+	default:
+		return fmt.Sprintf("%d", v)
+	}
+}

@@ -1,0 +1,429 @@
+package nn
+
+import (
+	"fmt"
+
+	"aq2pnn/internal/prg"
+	"aq2pnn/internal/tensor"
+)
+
+// The model zoo: shape-accurate graphs of every architecture the paper
+// evaluates (LeNet5, AlexNet, VGG16, ResNet18, ResNet50, in their MNIST /
+// CIFAR10 / ImageNet configurations). Weights are synthesized — the
+// communication, cycle and throughput numbers the cost experiments
+// reproduce depend only on layer shapes — while the accuracy experiments
+// quantize actually-trained (reduced) models via the quant package.
+
+// PoolKind selects the pooling operator, the knob of the Sec. 6.5
+// max-vs-average trade-off study.
+type PoolKind int
+
+const (
+	// PoolMax uses 2PC-MaxPool.
+	PoolMax PoolKind = iota
+	// PoolAvg uses 2PC-AvgPool.
+	PoolAvg
+)
+
+// ZooConfig parameterizes a zoo build.
+type ZooConfig struct {
+	// Bits is the quantized value width ℓ (default 8).
+	Bits uint
+	// Pool selects max or average pooling.
+	Pool PoolKind
+	// Seed drives the synthetic weights.
+	Seed uint64
+	// Skeleton omits weight tensors entirely: the graph carries shapes
+	// only, which is all the cost models need. Mandatory practice for the
+	// ImageNet-scale models (VGG16-ImageNet alone would otherwise allocate
+	// >1 GiB of synthetic weights).
+	Skeleton bool
+}
+
+func (c ZooConfig) withDefaults() ZooConfig {
+	if c.Bits == 0 {
+		c.Bits = 8
+	}
+	return c
+}
+
+// builder accumulates a model graph.
+type builder struct {
+	m        *Model
+	g        *prg.PRG
+	last     int // id of the most recent node (-1 = input)
+	cur      tensor.Shape
+	skeleton bool
+}
+
+func newBuilder(name string, c, h, w int, cfg ZooConfig) *builder {
+	cfg = cfg.withDefaults()
+	return &builder{
+		m:        &Model{Name: name, InC: c, InH: h, InW: w, InBits: cfg.Bits},
+		g:        prg.NewSeeded(cfg.Seed ^ 0x9E3779B97F4A7C15),
+		last:     -1,
+		cur:      tensor.Shape{c, h, w},
+		skeleton: cfg.Skeleton,
+	}
+}
+
+func (b *builder) push(op Op, name string, inputs ...int) int {
+	if inputs == nil {
+		inputs = []int{b.last}
+	}
+	b.m.Nodes = append(b.m.Nodes, Node{Op: op, Inputs: inputs, Name: name})
+	id := len(b.m.Nodes) - 1
+	b.last = id
+	ins := make([]tensor.Shape, len(inputs))
+	for k, idx := range inputs {
+		if idx == -1 {
+			ins[k] = b.m.InputShape()
+		} else {
+			// Shapes were validated on push, so recompute cheaply.
+			ins[k] = b.shapeOf(idx)
+		}
+	}
+	s, err := op.OutShape(ins)
+	if err != nil {
+		panic(fmt.Sprintf("nn: zoo build error at %s: %v", name, err))
+	}
+	b.cur = s
+	return id
+}
+
+func (b *builder) shapeOf(idx int) tensor.Shape {
+	shapes, err := b.m.Shapes()
+	if err != nil {
+		panic(err)
+	}
+	return shapes[idx]
+}
+
+// randWeights draws small signed weights; scale stays modest so that the
+// synthetic models produce numerically tame activations. Skeleton builds
+// carry no weights at all.
+func (b *builder) randWeights(n int) []int64 {
+	if b.skeleton {
+		return nil
+	}
+	w := make([]int64, n)
+	for i := range w {
+		w[i] = b.g.Int64n(7)
+	}
+	return w
+}
+
+func (b *builder) im(n int) []int64 {
+	if b.skeleton {
+		return nil
+	}
+	return ones(n)
+}
+
+// ieFor picks the requantization shift so a layer's output magnitude
+// roughly matches its input magnitude. Random symmetric weights make the
+// accumulator a √fan-in random walk, so the shift targets
+// log2(√fan-in · E|w|) and keeps the synthetic activations in a lively
+// 8-bit range instead of collapsing them to ±1.
+func ieFor(fanIn int) uint {
+	ie := uint(0)
+	for (1 << (2 * (ie + 1))) < fanIn*4 { // 2^ie ≈ √(4·fanIn) ≈ √fanIn·E|w|
+		ie++
+	}
+	return ie
+}
+
+func ones(n int) []int64 {
+	v := make([]int64, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+// conv appends a Conv(+BNReQ) node.
+func (b *builder) conv(name string, outC, k, stride, pad int) int {
+	g := tensor.ConvGeom{
+		InC: b.cur[0], InH: b.cur[1], InW: b.cur[2],
+		OutC: outC, KH: k, KW: k,
+		StrideH: stride, StrideW: stride, PadH: pad, PadW: pad,
+	}
+	op := &Conv{
+		Geom: g,
+		W:    b.randWeights(outC * g.PatchLen()),
+		Bias: b.randWeights(outC),
+		Im:   b.im(outC),
+		Ie:   ieFor(g.PatchLen()),
+	}
+	return b.push(op, name)
+}
+
+func (b *builder) relu(name string) int { return b.push(ReLU{}, name) }
+
+func (b *builder) pool(name string, kind PoolKind, k, stride, pad int) int {
+	g := tensor.ConvGeom{
+		InC: b.cur[0], InH: b.cur[1], InW: b.cur[2],
+		KH: k, KW: k, StrideH: stride, StrideW: stride, PadH: pad, PadW: pad,
+	}
+	if kind == PoolMax {
+		return b.push(&MaxPool{Geom: g}, name)
+	}
+	return b.push(&AvgPool{Geom: g}, name)
+}
+
+func (b *builder) globalAvg(name string) int {
+	g := tensor.ConvGeom{
+		InC: b.cur[0], InH: b.cur[1], InW: b.cur[2],
+		KH: b.cur[1], KW: b.cur[2], StrideH: b.cur[1], StrideW: b.cur[2],
+	}
+	return b.push(&AvgPool{Geom: g}, name)
+}
+
+func (b *builder) flatten(name string) int { return b.push(Flatten{}, name) }
+
+func (b *builder) fc(name string, out int) int {
+	in := b.cur.Numel()
+	op := &FC{
+		In: in, Out: out,
+		W:    b.randWeights(in * out),
+		Bias: b.randWeights(out),
+		Im:   b.im(out),
+		Ie:   ieFor(in),
+	}
+	return b.push(op, name)
+}
+
+// Micro builds a single Fig. 8 building block (conv+BNReQ, ABReLU, pool,
+// FC) at demo scale: small enough that even the dealer-free networked
+// deployment (base OTs + Gilboa triples on the wire) completes in
+// seconds.
+func Micro(cfg ZooConfig) *Model {
+	b := newBuilder("Micro", 1, 8, 8, cfg)
+	b.conv("conv1", 4, 3, 1, 1)
+	b.relu("relu1")
+	b.pool("pool1", cfg.Pool, 2, 2, 0)
+	b.flatten("flatten")
+	b.fc("fc", 5)
+	return b.m
+}
+
+// LeNet5 builds the classic 28×28 MNIST network.
+func LeNet5(cfg ZooConfig) *Model {
+	b := newBuilder("LeNet5", 1, 28, 28, cfg)
+	b.conv("conv1", 6, 5, 1, 2)
+	b.relu("relu1")
+	b.pool("pool1", cfg.Pool, 2, 2, 0)
+	b.conv("conv2", 16, 5, 1, 0)
+	b.relu("relu2")
+	b.pool("pool2", cfg.Pool, 2, 2, 0)
+	b.flatten("flatten")
+	b.fc("fc1", 120)
+	b.relu("relu3")
+	b.fc("fc2", 84)
+	b.relu("relu4")
+	b.fc("fc3", 10)
+	return b.m
+}
+
+// AlexNet builds the small 32×32 CIFAR/MNIST variant used by the
+// MiniONN/Falcon line of work (aggressive 11×11/stride-4 stem, 1×1 deep
+// feature maps) — the configuration whose communication footprint matches
+// the Falcon rows of Table 4.
+func AlexNet(cfg ZooConfig, inC int) *Model {
+	b := newBuilder("AlexNet", inC, 32, 32, cfg)
+	b.conv("conv1", 96, 11, 4, 9)
+	b.relu("relu1")
+	b.pool("pool1", cfg.Pool, 3, 2, 0)
+	b.conv("conv2", 256, 5, 1, 1)
+	b.relu("relu2")
+	b.pool("pool2", cfg.Pool, 3, 2, 1)
+	b.conv("conv3", 384, 3, 1, 1)
+	b.relu("relu3")
+	b.conv("conv4", 384, 3, 1, 1)
+	b.relu("relu4")
+	b.conv("conv5", 256, 3, 1, 1)
+	b.relu("relu5")
+	b.flatten("flatten")
+	b.fc("fc1", 256)
+	b.relu("relu6")
+	b.fc("fc2", 10)
+	return b.m
+}
+
+// vggSpec lists output channels per conv, with 0 denoting a pool.
+var vggSpec = []int{64, 64, 0, 128, 128, 0, 256, 256, 256, 0, 512, 512, 512, 0, 512, 512, 512, 0}
+
+// VGG16CIFAR builds the 32×32 VGG16 with the single-linear-layer
+// classifier the paper trains for CIFAR10.
+func VGG16CIFAR(cfg ZooConfig) *Model {
+	b := newBuilder("VGG16-CIFAR", 3, 32, 32, cfg)
+	buildVGGTrunk(b, cfg)
+	b.flatten("flatten")
+	b.fc("fc", 10)
+	return b.m
+}
+
+// VGG16ImageNet builds the full 224×224 VGG16.
+func VGG16ImageNet(cfg ZooConfig) *Model {
+	b := newBuilder("VGG16-ImageNet", 3, 224, 224, cfg)
+	buildVGGTrunk(b, cfg)
+	b.flatten("flatten")
+	b.fc("fc1", 4096)
+	b.relu("relu_fc1")
+	b.fc("fc2", 4096)
+	b.relu("relu_fc2")
+	b.fc("fc3", 1000)
+	return b.m
+}
+
+func buildVGGTrunk(b *builder, cfg ZooConfig) {
+	ci, pi := 1, 1
+	for _, ch := range vggSpec {
+		if ch == 0 {
+			b.pool(fmt.Sprintf("pool%d", pi), cfg.Pool, 2, 2, 0)
+			pi++
+			continue
+		}
+		b.conv(fmt.Sprintf("conv%d", ci), ch, 3, 1, 1)
+		b.relu(fmt.Sprintf("relu%d", ci))
+		ci++
+	}
+}
+
+// basicBlock appends a ResNet basic block (two 3×3 convs + identity or
+// 1×1-conv shortcut).
+func basicBlock(b *builder, name string, outC, stride int) {
+	in := b.last
+	inShape := b.cur
+	b.conv(name+".conv1", outC, 3, stride, 1)
+	b.relu(name + ".relu1")
+	b.conv(name+".conv2", outC, 3, 1, 1)
+	main := b.last
+	short := in
+	if stride != 1 || inShape[0] != outC {
+		b.last = in
+		b.cur = inShape
+		b.conv(name+".down", outC, 1, stride, 0)
+		short = b.last
+	}
+	b.push(Add{}, name+".add", main, short)
+	b.relu(name + ".relu2")
+}
+
+// bottleneckBlock appends a ResNet bottleneck block (1×1 → 3×3 → 1×1 with
+// 4× expansion).
+func bottleneckBlock(b *builder, name string, midC, stride int) {
+	outC := midC * 4
+	in := b.last
+	inShape := b.cur
+	b.conv(name+".conv1", midC, 1, 1, 0)
+	b.relu(name + ".relu1")
+	b.conv(name+".conv2", midC, 3, stride, 1)
+	b.relu(name + ".relu2")
+	b.conv(name+".conv3", outC, 1, 1, 0)
+	main := b.last
+	short := in
+	if stride != 1 || inShape[0] != outC {
+		b.last = in
+		b.cur = inShape
+		b.conv(name+".down", outC, 1, stride, 0)
+		short = b.last
+	}
+	b.push(Add{}, name+".add", main, short)
+	b.relu(name + ".relu3")
+}
+
+// ResNet18ImageNet builds the full 224×224 ResNet18.
+func ResNet18ImageNet(cfg ZooConfig) *Model {
+	b := newBuilder("ResNet18-ImageNet", 3, 224, 224, cfg)
+	b.conv("conv1", 64, 7, 2, 3)
+	b.relu("relu1")
+	b.pool("pool1", cfg.Pool, 3, 2, 1)
+	chans := []int{64, 128, 256, 512}
+	for stage, ch := range chans {
+		for blk := 0; blk < 2; blk++ {
+			stride := 1
+			if stage > 0 && blk == 0 {
+				stride = 2
+			}
+			basicBlock(b, fmt.Sprintf("layer%d.%d", stage+1, blk), ch, stride)
+		}
+	}
+	b.globalAvg("gap")
+	b.flatten("flatten")
+	b.fc("fc", 1000)
+	return b.m
+}
+
+// ResNet18CIFAR builds the 32×32 CIFAR variant (3×3 stem, no max pool).
+func ResNet18CIFAR(cfg ZooConfig) *Model {
+	b := newBuilder("ResNet18-CIFAR", 3, 32, 32, cfg)
+	b.conv("conv1", 64, 3, 1, 1)
+	b.relu("relu1")
+	chans := []int{64, 128, 256, 512}
+	for stage, ch := range chans {
+		for blk := 0; blk < 2; blk++ {
+			stride := 1
+			if stage > 0 && blk == 0 {
+				stride = 2
+			}
+			basicBlock(b, fmt.Sprintf("layer%d.%d", stage+1, blk), ch, stride)
+		}
+	}
+	b.globalAvg("gap")
+	b.flatten("flatten")
+	b.fc("fc", 10)
+	return b.m
+}
+
+// ResNet50ImageNet builds the full 224×224 ResNet50 (bottleneck blocks
+// [3,4,6,3] — 16 building blocks, as the paper's Sec. 6.3 notes).
+func ResNet50ImageNet(cfg ZooConfig) *Model {
+	b := newBuilder("ResNet50-ImageNet", 3, 224, 224, cfg)
+	b.conv("conv1", 64, 7, 2, 3)
+	b.relu("relu1")
+	b.pool("pool1", cfg.Pool, 3, 2, 1)
+	mids := []int{64, 128, 256, 512}
+	counts := []int{3, 4, 6, 3}
+	blockNo := 0
+	for stage, mid := range mids {
+		for blk := 0; blk < counts[stage]; blk++ {
+			stride := 1
+			if stage > 0 && blk == 0 {
+				stride = 2
+			}
+			blockNo++
+			bottleneckBlock(b, fmt.Sprintf("block%d", blockNo), mid, stride)
+		}
+	}
+	b.globalAvg("gap")
+	b.flatten("flatten")
+	b.fc("fc", 1000)
+	return b.m
+}
+
+// ByName returns a zoo model by its canonical experiment name.
+func ByName(name string, cfg ZooConfig) (*Model, error) {
+	switch name {
+	case "micro":
+		return Micro(cfg), nil
+	case "lenet5":
+		return LeNet5(cfg), nil
+	case "alexnet":
+		return AlexNet(cfg, 3), nil
+	case "alexnet-mnist":
+		return AlexNet(cfg, 1), nil
+	case "vgg16-cifar":
+		return VGG16CIFAR(cfg), nil
+	case "vgg16-imagenet":
+		return VGG16ImageNet(cfg), nil
+	case "resnet18-cifar":
+		return ResNet18CIFAR(cfg), nil
+	case "resnet18-imagenet":
+		return ResNet18ImageNet(cfg), nil
+	case "resnet50-imagenet":
+		return ResNet50ImageNet(cfg), nil
+	default:
+		return nil, fmt.Errorf("nn: unknown zoo model %q", name)
+	}
+}

@@ -1,0 +1,240 @@
+package ot
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+
+	"aq2pnn/internal/prg"
+	"aq2pnn/internal/transport"
+)
+
+// IKNP-style OT extension: after κ base OTs (run once, in reversed roles,
+// through the Fig. 4 OT-flow), the parties can mint an unbounded stream of
+// random 1-of-2 OT correlations with nothing but PRG expansion, XOR and
+// hashing — three orders of magnitude cheaper than public-key base OTs.
+// This is what makes the dealer-free two-process deployment scale beyond
+// demo models; 1-of-2^t correlations are built by combining t extended
+// instances.
+//
+// Protocol sketch (sender S of the resulting OTs, receiver R):
+//
+//	setup:  R samples κ seed PAIRS and plays base-OT sender; S samples a
+//	        secret Δ ∈ {0,1}^κ and receives seed k_{Δᵢ,i} per column.
+//	extend: R picks random choice bits r (one per new OT) and sends, per
+//	        column i, uᵢ = G(k₀ᵢ) ⊕ G(k₁ᵢ) ⊕ r. S computes
+//	        qᵢ = G(k_{Δᵢ,i}) ⊕ Δᵢ·uᵢ, so row j satisfies q_j = t_j ⊕ r_j·Δ.
+//	output: S's two pads for OT j are H(j, q_j) and H(j, q_j ⊕ Δ); R holds
+//	        H(j, t_j) — the pad selected by its random bit r_j.
+
+// ExtKappa is the security parameter: the number of base-OT columns.
+const ExtKappa = 128
+
+// ExtSender is the extension state of the party that will act as the
+// random-OT sender. It plays the base-OT *receiver* during setup.
+type ExtSender struct {
+	conn  transport.Conn
+	delta []byte // κ bits, packed
+	seeds [][SeedLen]byte
+	// counter salts the per-row hash across Extend calls.
+	counter uint64
+}
+
+// ExtReceiver is the counterpart state (base-OT sender during setup).
+type ExtReceiver struct {
+	conn    transport.Conn
+	rng     *prg.PRG
+	pairs   [][2][SeedLen]byte
+	counter uint64
+}
+
+// NewExtSender runs the reversed base OTs as their receiver, with secret
+// choice bits Δ.
+func NewExtSender(conn transport.Conn, grp Group, rng *prg.PRG, kappa int) (*ExtSender, error) {
+	if kappa <= 0 || kappa%8 != 0 {
+		return nil, fmt.Errorf("ot: extension kappa %d must be a positive multiple of 8", kappa)
+	}
+	delta := make([]byte, kappa/8)
+	rng.Read(delta)
+	choices := make([]int, kappa)
+	for i := range choices {
+		choices[i] = int(bitOf(delta, i))
+	}
+	got, err := FlowRecv(conn, rng, 2, choices, SeedLen)
+	if err != nil {
+		return nil, fmt.Errorf("ot: extension base phase: %w", err)
+	}
+	seeds := make([][SeedLen]byte, kappa)
+	for i := range seeds {
+		copy(seeds[i][:], got[i])
+	}
+	return &ExtSender{conn: conn, delta: delta, seeds: seeds}, nil
+}
+
+// NewExtReceiver runs the reversed base OTs as their sender.
+func NewExtReceiver(conn transport.Conn, grp Group, rng *prg.PRG, kappa int) (*ExtReceiver, error) {
+	if kappa <= 0 || kappa%8 != 0 {
+		return nil, fmt.Errorf("ot: extension kappa %d must be a positive multiple of 8", kappa)
+	}
+	pairs := make([][2][SeedLen]byte, kappa)
+	msgs := make([][][]byte, kappa)
+	for i := range pairs {
+		rng.Read(pairs[i][0][:])
+		rng.Read(pairs[i][1][:])
+		msgs[i] = [][]byte{pairs[i][0][:], pairs[i][1][:]}
+	}
+	if err := FlowSend(conn, grp, rng, 2, msgs); err != nil {
+		return nil, fmt.Errorf("ot: extension base phase: %w", err)
+	}
+	return &ExtReceiver{conn: conn, rng: rng, pairs: pairs}, nil
+}
+
+// expandColumn stretches a column seed to rows bytes of keystream; the
+// salt keeps successive Extend calls on fresh keystream.
+func expandColumn(seed [SeedLen]byte, salt uint64, nBytes int) []byte {
+	var s [prg.SeedSize]byte
+	copy(s[:SeedLen], seed[:])
+	binary.LittleEndian.PutUint64(s[SeedLen:SeedLen+8], salt)
+	s[prg.SeedSize-1] = 0xE7
+	out := make([]byte, nBytes)
+	prg.New(s).Read(out)
+	return out
+}
+
+// rowHash derives one 16-byte random-OT pad seed from a κ-bit row.
+func rowHash(counter uint64, j int, row []byte) [SeedLen]byte {
+	h := sha256.New()
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[:8], counter)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(j))
+	h.Write(hdr[:])
+	h.Write(row)
+	var out [SeedLen]byte
+	copy(out[:], h.Sum(nil)[:SeedLen])
+	return out
+}
+
+func bitOf(b []byte, i int) byte { return (b[i/8] >> (i % 8)) & 1 }
+
+// Extend mints m random 1-of-2 OT correlations on the sender side.
+func (s *ExtSender) Extend(m int) ([]SenderInst, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("ot: extension of %d instances", m)
+	}
+	kappa := len(s.seeds)
+	nBytes := (m + 7) / 8
+	us, err := s.conn.Recv()
+	if err != nil {
+		return nil, err
+	}
+	if len(us) != kappa*nBytes {
+		return nil, fmt.Errorf("ot: extension expected %d u-bytes, got %d", kappa*nBytes, len(us))
+	}
+	// q columns: qᵢ = G(k_{Δᵢ}) ⊕ Δᵢ·uᵢ.
+	cols := make([][]byte, kappa)
+	for i := 0; i < kappa; i++ {
+		col := expandColumn(s.seeds[i], s.counter, nBytes)
+		if bitOf(s.delta, i) == 1 {
+			u := us[i*nBytes : (i+1)*nBytes]
+			for b := range col {
+				col[b] ^= u[b]
+			}
+		}
+		cols[i] = col
+	}
+	out := make([]SenderInst, m)
+	row := make([]byte, kappa/8)
+	rowD := make([]byte, kappa/8)
+	for j := 0; j < m; j++ {
+		for i := range row {
+			row[i] = 0
+		}
+		for i := 0; i < kappa; i++ {
+			if bitOf(cols[i], j) == 1 {
+				row[i/8] |= 1 << (i % 8)
+			}
+		}
+		for i := range row {
+			rowD[i] = row[i] ^ s.delta[i]
+		}
+		out[j] = SenderInst{Seeds: [][SeedLen]byte{
+			rowHash(s.counter, j, row),
+			rowHash(s.counter, j, rowD),
+		}}
+	}
+	s.counter++
+	return out, nil
+}
+
+// Extend mints m random 1-of-2 OT correlations on the receiver side.
+func (r *ExtReceiver) Extend(m int) ([]RecvInst, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("ot: extension of %d instances", m)
+	}
+	kappa := len(r.pairs)
+	nBytes := (m + 7) / 8
+	choice := make([]byte, nBytes)
+	r.rng.Read(choice)
+	// t columns and the u transmission.
+	tCols := make([][]byte, kappa)
+	us := make([]byte, 0, kappa*nBytes)
+	for i := 0; i < kappa; i++ {
+		t0 := expandColumn(r.pairs[i][0], r.counter, nBytes)
+		t1 := expandColumn(r.pairs[i][1], r.counter, nBytes)
+		u := make([]byte, nBytes)
+		for b := range u {
+			u[b] = t0[b] ^ t1[b] ^ choice[b]
+		}
+		tCols[i] = t0
+		us = append(us, u...)
+	}
+	if err := r.conn.Send(us); err != nil {
+		return nil, err
+	}
+	out := make([]RecvInst, m)
+	row := make([]byte, kappa/8)
+	for j := 0; j < m; j++ {
+		for i := range row {
+			row[i] = 0
+		}
+		for i := 0; i < kappa; i++ {
+			if bitOf(tCols[i], j) == 1 {
+				row[i/8] |= 1 << (i % 8)
+			}
+		}
+		out[j] = RecvInst{Choice: int(bitOf(choice, j)), Seed: rowHash(r.counter, j, row)}
+	}
+	r.counter++
+	return out, nil
+}
+
+// CombineSenderROTs fuses t random 1-of-2 correlations into one 1-of-2^t
+// correlation: candidate pads are hashes of the chosen component seeds.
+func CombineSenderROTs(insts []SenderInst) SenderInst {
+	t := len(insts)
+	n := 1 << t
+	seeds := make([][SeedLen]byte, n)
+	for c := 0; c < n; c++ {
+		h := sha256.New()
+		for b := 0; b < t; b++ {
+			s := insts[b].Seeds[(c>>b)&1]
+			h.Write(s[:])
+		}
+		copy(seeds[c][:], h.Sum(nil)[:SeedLen])
+	}
+	return SenderInst{Seeds: seeds}
+}
+
+// CombineRecvROTs is the receiver counterpart of CombineSenderROTs.
+func CombineRecvROTs(insts []RecvInst) RecvInst {
+	t := len(insts)
+	c := 0
+	h := sha256.New()
+	for b := 0; b < t; b++ {
+		c |= insts[b].Choice << b
+		h.Write(insts[b].Seed[:])
+	}
+	var seed [SeedLen]byte
+	copy(seed[:], h.Sum(nil)[:SeedLen])
+	return RecvInst{Choice: c, Seed: seed}
+}

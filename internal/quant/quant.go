@@ -1,0 +1,507 @@
+// Package quant implements AQ2PNN's adaptive quantization (Sec. 5): it
+// converts a trained float network into a quantized nn.Model whose fused
+// BNReQ operators carry dyadic scales (I_m, I_e) in the HAWQ-v3 style, and
+// it adapts those scales to the target carrier ring — characterizing the
+// calibration-time activation distribution and trading requantization
+// precision against ring-overflow probability, exactly the
+// "statistical analysis on the bit-width to avoid overflow" the paper
+// describes.
+package quant
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"aq2pnn/internal/nn"
+	"aq2pnn/internal/prg"
+	"aq2pnn/internal/ring"
+	"aq2pnn/internal/tensor"
+	"aq2pnn/internal/train"
+)
+
+// Options configures quantization.
+type Options struct {
+	// WeightBits is the weight width (default 8).
+	WeightBits uint
+	// ActBits is the activation width (default 8).
+	ActBits uint
+	// CarrierBits is the carrier ring the model will ride (ℓ in the
+	// sweeps). The quantizer shapes I_m/I_e so intermediate magnitudes fit
+	// it with headroom; when the carrier is too small no safe choice
+	// exists and the model degrades — the measured 12-bit cliff.
+	CarrierBits uint
+	// Calib is the calibration set (float images).
+	Calib [][]float64
+	// ImMax caps the dyadic numerator (default 1024).
+	ImMax int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.WeightBits == 0 {
+		o.WeightBits = 8
+	}
+	if o.ActBits == 0 {
+		o.ActBits = 8
+	}
+	if o.CarrierBits == 0 {
+		o.CarrierBits = o.ActBits + 8
+	}
+	if o.ImMax == 0 {
+		o.ImMax = 1024
+	}
+	return o
+}
+
+// LayerReport records one linear layer's quantization decisions.
+type LayerReport struct {
+	Name    string
+	M       float64 // exact requant ratio Si·Sw/So
+	Im      int64
+	Ie      uint
+	MaxAccQ float64 // calibrated max |accumulator| in quantized units
+	// InBits / WBits are the adaptively chosen input-activation and weight
+	// widths for this layer.
+	InBits, WBits uint
+	// HeadroomBits is log2(Q/2 / (MaxAccQ·Im)): negative values predict
+	// overflow on the chosen carrier.
+	HeadroomBits float64
+	// ScaleErr is the relative dyadic approximation error.
+	ScaleErr float64
+}
+
+// Report summarizes a quantization run.
+type Report struct {
+	InScale float64
+	Layers  []LayerReport
+}
+
+// OverflowRisk counts layers whose calibrated magnitudes exceed the
+// carrier's safe region.
+func (r *Report) OverflowRisk() int {
+	n := 0
+	for _, l := range r.Layers {
+		if l.HeadroomBits < 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Quantized couples the emitted model with its input scale and report.
+type Quantized struct {
+	Model   *nn.Model
+	InScale float64
+	Report  Report
+}
+
+// QuantizeInput converts a float image to the model's integer domain.
+func (q *Quantized) QuantizeInput(x []float64) []int64 {
+	out := make([]int64, len(x))
+	for i, v := range x {
+		out[i] = int64(math.Round(v / q.InScale))
+	}
+	return out
+}
+
+// Quantize converts a trained stand-in into a quantized model.
+func Quantize(s *train.Standin, opts Options) (*Quantized, error) {
+	opts = opts.withDefaults()
+	if len(opts.Calib) == 0 {
+		return nil, fmt.Errorf("quant: empty calibration set")
+	}
+
+	// Calibration: per-layer |activation| statistics. The paper's adaptive
+	// quantization "characterizes the distribution of run-time activation";
+	// we record both the absolute maximum (reported) and a reservoir-
+	// sampled 99.9th percentile. Scales and ring-safety budgets use the
+	// percentile: a vanishing fraction of elements may clip or wrap, which
+	// is precisely the "reducing overflow probability" trade the paper
+	// makes (as opposed to eliminating it with wasteful headroom).
+	layerMax := make([]float64, len(s.Net.Layers))
+	reservoirs := make([][]float64, len(s.Net.Layers))
+	const reservoirCap = 8192
+	inMax := 0.0
+	stride := 1
+	for _, x := range opts.Calib {
+		for _, v := range x {
+			if a := math.Abs(v); a > inMax {
+				inMax = a
+			}
+		}
+		cur := x
+		for li, l := range s.Net.Layers {
+			cur = l.Forward(cur, false)
+			for k, v := range cur {
+				a := math.Abs(v)
+				if a > layerMax[li] {
+					layerMax[li] = a
+				}
+				if k%stride == 0 && len(reservoirs[li]) < reservoirCap*4 {
+					reservoirs[li] = append(reservoirs[li], a)
+				}
+			}
+		}
+	}
+	if inMax == 0 {
+		return nil, fmt.Errorf("quant: calibration inputs are all zero")
+	}
+	// layerP99 is the calibrated high percentile per layer (falls back to
+	// the max for tiny reservoirs).
+	layerP99 := make([]float64, len(s.Net.Layers))
+	for li := range reservoirs {
+		layerP99[li] = percentile(reservoirs[li], 0.999)
+		if layerP99[li] == 0 {
+			layerP99[li] = layerMax[li]
+		}
+	}
+
+	// Adaptive bit-width planning (the core of Sec. 5): for each linear
+	// layer, measure the scale-free accumulation gain
+	// g = max|acc| / (max|in| · max|w|) and choose the input-activation and
+	// weight widths so the quantized accumulator, times a requant
+	// multiplier of useful precision (I_m ≈ 2^4), stays within the
+	// carrier's safe quarter: 2^(aIn−1)·2^(w−1)·g·2^3 ≤ 2^(ℓc−2).
+	// Wide carriers admit the requested widths; narrow carriers force the
+	// widths down (and ultimately under the useful minimum — the cliff).
+	type linPlan struct {
+		layerIdx int
+		gain     float64
+		aIn, w   uint
+	}
+	var plans []linPlan
+	{
+		prevMax := inMax
+		for li, l := range s.Net.Layers {
+			var wAbs float64
+			switch layer := l.(type) {
+			case *train.ConvLayer:
+				wAbs = maxAbs(layer.W)
+			case *train.FCLayer:
+				wAbs = maxAbs(layer.W)
+			default:
+				continue
+			}
+			if wAbs == 0 {
+				wAbs = 1
+			}
+			inM := prevMax
+			if inM == 0 {
+				inM = 1
+			}
+			gain := layerP99[li] / (inM * wAbs)
+			if gain < 1 {
+				gain = 1
+			}
+			budget := float64(opts.CarrierBits) - 5 - math.Log2(gain) // aIn-1 + w-1 ≤ budget
+			aIn, w := splitBits(budget, opts.ActBits, opts.WeightBits)
+			plans = append(plans, linPlan{layerIdx: li, gain: gain, aIn: aIn, w: w})
+			prevMax = layerP99[li]
+		}
+	}
+	planFor := func(li int) (linPlan, bool) {
+		for _, p := range plans {
+			if p.layerIdx == li {
+				return p, true
+			}
+		}
+		return linPlan{}, false
+	}
+
+	firstBits := opts.ActBits
+	if len(plans) > 0 {
+		firstBits = plans[0].aIn
+	}
+	inScale := inMax / (math.Pow(2, float64(firstBits)-1) - 1)
+
+	model := &nn.Model{
+		Name: s.Name, InC: s.InC, InH: s.InH, InW: s.InW, InBits: firstBits,
+	}
+	rep := Report{InScale: inScale}
+	curScale := inScale
+	curShape := tensor.Shape{s.InC, s.InH, s.InW}
+	last := -1
+	carrierSafe := math.Pow(2, float64(opts.CarrierBits)-2)
+
+	push := func(op nn.Op, name string) {
+		model.Nodes = append(model.Nodes, nn.Node{Op: op, Inputs: []int{last}, Name: name})
+		last = len(model.Nodes) - 1
+	}
+
+	// quantLinear derives one layer's quantized parameters: the output
+	// scale comes from the calibrated high percentile (soVal) while the
+	// ring-safety constraint uses the absolute calibrated maximum
+	// (safeMax), so calibration-time values cannot breach the faithful-
+	// truncation contract.
+	quantLinear := func(name string, w, b []float64, soVal, safeMax float64, inBits, wBits, outBits uint) (wq, bq []int64, im int64, ie uint) {
+		wAbs := maxAbs(w)
+		if wAbs == 0 {
+			wAbs = 1
+		}
+		wLimit := math.Pow(2, float64(wBits)-1) - 1
+		sw := wAbs / wLimit
+		outMaxQ := math.Pow(2, float64(outBits)-1) - 1
+		if soVal == 0 {
+			soVal = safeMax
+		}
+		so := layerScale(soVal, outMaxQ)
+		m := curScale * sw / so
+		maxAccQ := safeMax / (curScale * sw)
+		if maxAccQ < 1 {
+			maxAccQ = 1
+		}
+		im, ie = chooseDyadic(m, maxAccQ, carrierSafe, opts.ImMax)
+		wq = make([]int64, len(w))
+		for i, v := range w {
+			wq[i] = clampRound(v/sw, wLimit)
+		}
+		if b != nil {
+			bq = make([]int64, len(b))
+			for i, v := range b {
+				bq[i] = int64(math.Round(v / (curScale * sw)))
+			}
+		}
+		scaled := float64(im) / math.Pow(2, float64(ie))
+		scaleErr := 0.0
+		if m > 0 {
+			scaleErr = math.Abs(scaled-m) / m
+		}
+		rep.Layers = append(rep.Layers, LayerReport{
+			Name: name, M: m, Im: im, Ie: ie, MaxAccQ: maxAccQ,
+			InBits: inBits, WBits: wBits,
+			HeadroomBits: math.Log2(carrierSafe*2/(maxAccQ*float64(im))) - 1,
+			ScaleErr:     scaleErr,
+		})
+		curScale = so
+		return wq, bq, im, ie
+	}
+
+	// outBitsFor returns the activation width of the tensor leaving linear
+	// layer k: the next linear layer's planned input width (or the
+	// requested width for the logits).
+	outBitsFor := func(planIdx int) uint {
+		if planIdx+1 < len(plans) {
+			return plans[planIdx+1].aIn
+		}
+		return opts.ActBits
+	}
+
+	flattened := false
+	planIdx := -1
+	for li, l := range s.Net.Layers {
+		switch layer := l.(type) {
+		case *train.ConvLayer:
+			planIdx++
+			pl, _ := planFor(li)
+			g := layer.Geom
+			name := fmt.Sprintf("conv%d", li)
+			wq, bq, im, ie := quantLinear(name, layer.W, layer.B, layerP99[li], layerMax[li], pl.aIn, pl.w, outBitsFor(planIdx))
+			ims := make([]int64, g.OutC)
+			for i := range ims {
+				ims[i] = im
+			}
+			push(&nn.Conv{Geom: g, W: wq, Bias: bq, Im: ims, Ie: ie}, name)
+			curShape = tensor.Shape{g.OutC, g.OutH(), g.OutW()}
+		case *train.FCLayer:
+			if !flattened && len(curShape) > 1 {
+				push(nn.Flatten{}, fmt.Sprintf("flatten%d", li))
+				curShape = tensor.Shape{curShape.Numel()}
+				flattened = true
+			}
+			planIdx++
+			pl, _ := planFor(li)
+			name := fmt.Sprintf("fc%d", li)
+			wq, bq, im, ie := quantLinear(name, layer.W, layer.B, layerP99[li], layerMax[li], pl.aIn, pl.w, outBitsFor(planIdx))
+			ims := make([]int64, layer.Out)
+			for i := range ims {
+				ims[i] = im
+			}
+			push(&nn.FC{In: layer.In, Out: layer.Out, W: wq, Bias: bq, Im: ims, Ie: ie}, name)
+			curShape = tensor.Shape{layer.Out}
+		case *train.ReLULayer:
+			push(nn.ReLU{}, fmt.Sprintf("relu%d", li))
+		case *train.MaxPoolLayer:
+			push(&nn.MaxPool{Geom: layer.Geom}, fmt.Sprintf("maxpool%d", li))
+			curShape = tensor.Shape{layer.Geom.InC, layer.Geom.OutH(), layer.Geom.OutW()}
+		case *train.AvgPoolLayer:
+			push(&nn.AvgPool{Geom: layer.Geom}, fmt.Sprintf("avgpool%d", li))
+			curShape = tensor.Shape{layer.Geom.InC, layer.Geom.OutH(), layer.Geom.OutW()}
+		default:
+			return nil, fmt.Errorf("quant: unsupported layer %T", l)
+		}
+	}
+	if _, err := model.Shapes(); err != nil {
+		return nil, fmt.Errorf("quant: emitted model invalid: %w", err)
+	}
+	return &Quantized{Model: model, InScale: inScale, Report: rep}, nil
+}
+
+func layerScale(maxAbsVal, actMax float64) float64 {
+	if maxAbsVal == 0 {
+		return 1 / actMax
+	}
+	return maxAbsVal / actMax
+}
+
+func maxAbs(v []float64) float64 {
+	m := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// splitBits divides a (aIn−1)+(w−1) bit budget between activations and
+// weights, favouring activations slightly, clamped to the requested widths
+// and a floor of 2 bits each.
+func splitBits(budget float64, reqAct, reqW uint) (aIn, w uint) {
+	if budget < 2 {
+		budget = 2
+	}
+	b := int(budget)
+	a := (b + 1) / 2
+	ww := b - a
+	aIn = uint(a) + 1
+	w = uint(ww) + 1
+	if aIn > reqAct {
+		spare := aIn - reqAct
+		aIn = reqAct
+		w += spare
+	}
+	if w > reqW {
+		spare := w - reqW
+		w = reqW
+		if aIn+spare <= reqAct {
+			aIn += spare
+		} else {
+			aIn = reqAct
+		}
+	}
+	if aIn < 2 {
+		aIn = 2
+	}
+	if w < 2 {
+		w = 2
+	}
+	return aIn, w
+}
+
+func clampRound(v, limit float64) int64 {
+	r := math.Round(v)
+	if r > limit {
+		r = limit
+	}
+	if r < -limit {
+		r = -limit
+	}
+	return int64(r)
+}
+
+// chooseDyadic picks (Im, Ie) ≈ m·2^Ie / 2^Ie under two constraints: the
+// dyadic numerator stays below imMax, and the calibrated pre-truncation
+// magnitude maxAccQ·Im stays inside the carrier's safe region. When no Ie
+// satisfies the safety constraint the smallest representable choice is
+// returned and overflow is accepted (and reported).
+func chooseDyadic(m, maxAccQ, carrierSafe float64, imMax int64) (int64, uint) {
+	if m <= 0 {
+		return 1, 0
+	}
+	for ie := uint(24); ; ie-- {
+		im := int64(math.Round(m * math.Pow(2, float64(ie))))
+		if im >= 1 && im <= imMax && maxAccQ*float64(im) <= carrierSafe {
+			return im, ie
+		}
+		if ie == 0 {
+			break
+		}
+	}
+	// No safe choice: best-precision representable fallback.
+	for ie := uint(24); ; ie-- {
+		im := int64(math.Round(m * math.Pow(2, float64(ie))))
+		if im >= 1 && im <= imMax {
+			return im, ie
+		}
+		if ie == 0 {
+			return 1, 0
+		}
+	}
+}
+
+// EvalAccuracy scores a quantized model on float images under the chosen
+// execution mode. For StochasticRing the provided seed drives the share
+// randomness.
+func EvalAccuracy(q *Quantized, xs [][]float64, ys []int, mode nn.ExecMode, carrier ring.Ring, seed uint64) (float64, error) {
+	opt := nn.ForwardOptions{Mode: mode, Carrier: carrier}
+	if mode == nn.StochasticRing {
+		opt.Rng = prg.NewSeeded(seed)
+	}
+	correct := 0
+	for i := range xs {
+		logits, err := q.Model.Forward(q.QuantizeInput(xs[i]), opt)
+		if err != nil {
+			return 0, err
+		}
+		if nn.Argmax(logits) == ys[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(xs)), nil
+}
+
+// TruncWrapProbability estimates, from the calibration report, the
+// per-element probability that the 2PC share truncation wraps at a given
+// layer: ≈ |acc·Im| / Q.
+func TruncWrapProbability(l LayerReport, carrier ring.Ring) float64 {
+	p := l.MaxAccQ * float64(l.Im) / float64(carrier.Q())
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// percentile returns the q-quantile of the (unsorted) sample set.
+func percentile(sample []float64, q float64) float64 {
+	if len(sample) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), sample...)
+	sort.Float64s(cp)
+	idx := int(q * float64(len(cp)-1))
+	return cp[idx]
+}
+
+// OverflowStats empirically measures, on a calibration set, how often the
+// quantized model's ring-wrapped execution diverges from ideal int64
+// arithmetic — the observable consequence of carrier overflow. It returns
+// the fraction of inputs whose argmax changes and the mean fraction of
+// perturbed logits.
+func OverflowStats(q *Quantized, xs [][]float64, carrier ring.Ring) (argmaxFlips, logitPerturbed float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, fmt.Errorf("quant: empty evaluation set")
+	}
+	flips := 0
+	var perturbed, total float64
+	for _, x := range xs {
+		in := q.QuantizeInput(x)
+		ideal, err := q.Model.Forward(in, nn.ForwardOptions{Mode: nn.Exact})
+		if err != nil {
+			return 0, 0, err
+		}
+		wrapped, err := q.Model.Forward(in, nn.ForwardOptions{Mode: nn.Ring, Carrier: carrier})
+		if err != nil {
+			return 0, 0, err
+		}
+		if nn.Argmax(ideal) != nn.Argmax(wrapped) {
+			flips++
+		}
+		for i := range ideal {
+			total++
+			if ideal[i] != wrapped[i] {
+				perturbed++
+			}
+		}
+	}
+	return float64(flips) / float64(len(xs)), perturbed / total, nil
+}

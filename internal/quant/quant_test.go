@@ -1,0 +1,223 @@
+package quant
+
+import (
+	"testing"
+
+	"aq2pnn/internal/dataset"
+	"aq2pnn/internal/engine"
+	"aq2pnn/internal/nn"
+	"aq2pnn/internal/prg"
+	"aq2pnn/internal/ring"
+	"aq2pnn/internal/train"
+)
+
+// trainedStandin trains a small LeNet5 on the MNIST stand-in once and
+// shares it across tests.
+var cachedStandin *train.Standin
+var cachedData *dataset.Dataset
+
+func trainedStandin(t *testing.T) (*train.Standin, *dataset.Dataset) {
+	t.Helper()
+	if cachedStandin != nil {
+		return cachedStandin, cachedData
+	}
+	ds, err := dataset.MNISTLike(400, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := prg.NewSeeded(12)
+	s := train.NewLeNet5(rng, train.Max, 10)
+	tr, _ := ds.Split(300)
+	if err := s.Net.Fit(tr.X, tr.Y, rng, train.Config{Epochs: 5, LR: 0.01}); err != nil {
+		t.Fatal(err)
+	}
+	cachedStandin, cachedData = s, ds
+	return s, ds
+}
+
+func TestQuantizePreservesAccuracy(t *testing.T) {
+	s, ds := trainedStandin(t)
+	tr, te := ds.Split(300)
+	floatAcc := s.Net.Accuracy(te.X, te.Y)
+	if floatAcc < 0.5 {
+		t.Fatalf("float stand-in only reached %.2f accuracy; training broken", floatAcc)
+	}
+	q, err := Quantize(s, Options{Calib: tr.X[:60], CarrierBits: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qAcc, err := EvalAccuracy(q, te.X, te.Y, nn.Exact, ring.Ring{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qAcc < floatAcc-0.10 {
+		t.Errorf("8-bit quantized accuracy %.3f vs float %.3f", qAcc, floatAcc)
+	}
+	t.Logf("float %.3f, quantized-exact %.3f", floatAcc, qAcc)
+}
+
+func TestCarrierSweepShowsCliff(t *testing.T) {
+	// The headline adaptive-quantization curve: accuracy holds on wide
+	// carriers and collapses on narrow ones (Tables 7/8, Figs. 10/11
+	// mechanism).
+	s, ds := trainedStandin(t)
+	tr, te := ds.Split(300)
+	acc := map[uint]float64{}
+	for _, bits := range []uint{24, 16, 10} {
+		q, err := Quantize(s, Options{Calib: tr.X[:60], CarrierBits: bits})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := EvalAccuracy(q, te.X, te.Y, nn.StochasticRing, ring.New(bits), 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc[bits] = a
+	}
+	t.Logf("accuracy by carrier: 24b=%.3f 16b=%.3f 10b=%.3f", acc[24], acc[16], acc[10])
+	if acc[24] < 0.5 {
+		t.Errorf("24-bit carrier accuracy %.3f too low", acc[24])
+	}
+	if acc[16] < acc[24]-0.15 {
+		t.Errorf("16-bit carrier lost too much: %.3f vs %.3f", acc[16], acc[24])
+	}
+	if acc[10] > acc[24]-0.2 {
+		t.Errorf("10-bit carrier did not collapse: %.3f vs %.3f", acc[10], acc[24])
+	}
+}
+
+func TestReportFields(t *testing.T) {
+	s, ds := trainedStandin(t)
+	tr, _ := ds.Split(300)
+	q, err := Quantize(s, Options{Calib: tr.X[:40], CarrierBits: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Report.Layers) != 5 { // 2 conv + 3 fc
+		t.Fatalf("report has %d layers", len(q.Report.Layers))
+	}
+	for _, l := range q.Report.Layers {
+		if l.Im < 1 || l.M <= 0 || l.MaxAccQ <= 0 {
+			t.Errorf("layer %s report broken: %+v", l.Name, l)
+		}
+		if l.ScaleErr > 0.25 {
+			t.Errorf("layer %s scale error %.3f", l.Name, l.ScaleErr)
+		}
+	}
+	if q.Report.OverflowRisk() != 0 {
+		t.Errorf("20-bit carrier should have headroom everywhere, risk=%d", q.Report.OverflowRisk())
+	}
+	for _, l := range q.Report.Layers {
+		if l.InBits < 6 {
+			t.Errorf("20-bit carrier starved layer %s to %d-bit activations", l.Name, l.InBits)
+		}
+	}
+	// A starved carrier must force the adaptive plan below useful widths.
+	q2, _ := Quantize(s, Options{Calib: tr.X[:40], CarrierBits: 10})
+	starved := false
+	for _, l := range q2.Report.Layers {
+		if l.InBits <= 4 || l.WBits <= 4 {
+			starved = true
+		}
+	}
+	if !starved {
+		t.Error("10-bit carrier did not force the bit-width plan down")
+	}
+	p := TruncWrapProbability(q2.Report.Layers[0], ring.New(10))
+	if p <= 0 || p > 1 {
+		t.Errorf("wrap probability %g", p)
+	}
+}
+
+func TestQuantizedModelRunsUnder2PC(t *testing.T) {
+	// The quantized stand-in must execute under the real protocol and
+	// agree with the plaintext ring reference.
+	if testing.Short() {
+		t.Skip("full 2PC inference")
+	}
+	s, ds := trainedStandin(t)
+	tr, te := ds.Split(300)
+	q, err := Quantize(s, Options{Calib: tr.X[:40], CarrierBits: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := q.QuantizeInput(te.X[0])
+	res, err := engine.RunLocal(q.Model, x, engine.Config{CarrierBits: 20, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := q.Model.Forward(x, nn.ForwardOptions{Mode: nn.Ring, Carrier: ring.New(20)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nn.Argmax(res.Logits) != nn.Argmax(want) {
+		t.Errorf("secure argmax %d vs plaintext %d", nn.Argmax(res.Logits), nn.Argmax(want))
+	}
+}
+
+func TestQuantizeValidation(t *testing.T) {
+	s, _ := trainedStandin(t)
+	if _, err := Quantize(s, Options{}); err == nil {
+		t.Error("missing calibration set accepted")
+	}
+	if _, err := Quantize(s, Options{Calib: [][]float64{make([]float64, 28*28)}}); err == nil {
+		t.Error("all-zero calibration accepted")
+	}
+}
+
+func TestChooseDyadic(t *testing.T) {
+	// Plenty of room: the dyadic approximation should be tight.
+	im, ie := chooseDyadic(0.03, 1000, 1<<20, 1024)
+	got := float64(im) / float64(int64(1)<<ie)
+	if got < 0.029 || got > 0.031 {
+		t.Errorf("dyadic(0.03) = %d/2^%d = %g", im, ie, got)
+	}
+	// Tight carrier: Im must shrink to respect the safety bound.
+	im2, _ := chooseDyadic(0.03, 1000, 4000, 1024)
+	if float64(im2)*1000 > 4000 {
+		t.Errorf("safety bound violated: Im=%d", im2)
+	}
+	// Degenerate ratio still yields a usable scale.
+	im3, _ := chooseDyadic(0, 10, 100, 1024)
+	if im3 < 1 {
+		t.Error("zero ratio produced Im<1")
+	}
+}
+
+func TestQuantizeInputRoundTrip(t *testing.T) {
+	q := &Quantized{InScale: 0.5}
+	got := q.QuantizeInput([]float64{1.0, -0.25, 0})
+	if got[0] != 2 || got[1] != -1 || got[2] != 0 {
+		t.Errorf("QuantizeInput = %v", got)
+	}
+}
+
+func TestOverflowStats(t *testing.T) {
+	s, ds := trainedStandin(t)
+	tr, te := ds.Split(300)
+	q, err := Quantize(s, Options{Calib: tr.X[:40], CarrierBits: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ample carrier: near-zero divergence.
+	flips, pert, err := OverflowStats(q, te.X[:30], ring.New(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flips > 0.05 || pert > 0.02 {
+		t.Errorf("24-bit carrier: flips %.3f perturbed %.4f", flips, pert)
+	}
+	// Deploying the 24-bit plan on a 10-bit ring (a broken configuration —
+	// exactly what OverflowStats exists to expose) must show divergence:
+	// the adaptive plan's intermediates need far more than 10 bits.
+	flips10, pert10, err := OverflowStats(q, te.X[:30], ring.New(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flips10 == 0 && pert10 == 0 {
+		t.Error("mismatched 10-bit deployment shows no overflow at all")
+	}
+	if _, _, err := OverflowStats(q, nil, ring.New(24)); err == nil {
+		t.Error("empty set accepted")
+	}
+}

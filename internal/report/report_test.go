@@ -1,0 +1,72 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		Title:  "Demo",
+		Header: []string{"name", "value"},
+	}
+	tbl.AddRow("short", "1")
+	tbl.AddRow("a-much-longer-name", "22222")
+	tbl.AddNote("footnote %d", 7)
+	out := tbl.String()
+	if !strings.Contains(out, "=== Demo ===") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "note: footnote 7") {
+		t.Error("missing note")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header, separator, 2 rows, note, title.
+	if len(lines) != 6 {
+		t.Fatalf("rendered %d lines:\n%s", len(lines), out)
+	}
+	// Columns align: the separator row is as wide as the longest cell.
+	if !strings.Contains(lines[2], strings.Repeat("-", len("a-much-longer-name"))) {
+		t.Errorf("separator not sized to widest cell:\n%s", out)
+	}
+	// Every data row starts at the same column for field 2.
+	h := strings.Index(lines[1], "value")
+	if h <= 0 {
+		t.Fatal("header missing value column")
+	}
+	if lines[3][len("short"):len("short")+1] != " " {
+		t.Error("short cell not padded")
+	}
+}
+
+func TestTableWithoutTitle(t *testing.T) {
+	tbl := &Table{Header: []string{"a"}}
+	tbl.AddRow("x")
+	if strings.Contains(tbl.String(), "===") {
+		t.Error("title rendered for untitled table")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(3.14159, 2) != "3.14" {
+		t.Error("F wrong")
+	}
+	if Pct(0.123456) != "12.35" {
+		t.Error("Pct wrong")
+	}
+	if X(2.5) != "2.50×" {
+		t.Error("X wrong")
+	}
+	if I(41.7) != "42" {
+		t.Error("I wrong")
+	}
+}
+
+func TestUnicodeWidths(t *testing.T) {
+	tbl := &Table{Header: []string{"α", "β"}}
+	tbl.AddRow("×××", "1")
+	out := tbl.String()
+	if !strings.Contains(out, "×××") {
+		t.Error("unicode cells mangled")
+	}
+}

@@ -1,0 +1,206 @@
+// Package ring implements modular arithmetic on the unsigned integer ring
+// Z_Q with Q = 2^ℓ (Definition 1 of the AQ2PNN paper). All secret shares,
+// masks and Beaver triples in the system live on such a ring; the modular
+// reduction is a single bit-mask, mirroring the "bit-length overflow in a
+// hardware accelerator can easily replace this modular operator" remark.
+//
+// Signed values are carried in two's complement inside the ring: the value
+// v ∈ [-Q/2, Q/2) is encoded as v mod Q. Ring size extension is sign
+// extension and ring contraction is truncation of the high bits, exactly as
+// in Fig. 8 of the paper.
+package ring
+
+import (
+	"fmt"
+)
+
+// MaxBits is the largest supported ring bit-length. We stop at 62 so that
+// a+b and the intermediate signed interpretations always fit in uint64 /
+// int64 without overflow ambiguity.
+const MaxBits = 62
+
+// Ring describes Z_Q with Q = 2^Bits. The zero value is invalid; use New.
+type Ring struct {
+	// Bits is ℓ, the bit-length of the ring.
+	Bits uint
+	// Mask is Q-1, the reduction mask.
+	Mask uint64
+}
+
+// New returns the ring Z_{2^bits}. It panics if bits is outside [1, MaxBits];
+// ring sizes are static configuration, so a bad size is a programming error.
+func New(bits uint) Ring {
+	if bits < 1 || bits > MaxBits {
+		panic(fmt.Sprintf("ring: bit-length %d outside [1,%d]", bits, MaxBits))
+	}
+	return Ring{Bits: bits, Mask: (uint64(1) << bits) - 1}
+}
+
+// Q returns the ring modulus 2^Bits.
+func (r Ring) Q() uint64 { return r.Mask + 1 }
+
+// Half returns Q/2, the boundary between non-negative and negative
+// two's-complement values.
+func (r Ring) Half() uint64 { return uint64(1) << (r.Bits - 1) }
+
+// Reduce maps an arbitrary uint64 onto the ring.
+func (r Ring) Reduce(x uint64) uint64 { return x & r.Mask }
+
+// Add returns (a + b) mod Q.
+func (r Ring) Add(a, b uint64) uint64 { return (a + b) & r.Mask }
+
+// Sub returns (a - b) mod Q.
+func (r Ring) Sub(a, b uint64) uint64 { return (a - b) & r.Mask }
+
+// Neg returns (-a) mod Q.
+func (r Ring) Neg(a uint64) uint64 { return (-a) & r.Mask }
+
+// Mul returns (a * b) mod Q. The product is computed modulo 2^64 first,
+// which is exact because Q divides 2^64.
+func (r Ring) Mul(a, b uint64) uint64 { return (a * b) & r.Mask }
+
+// MulConst is Mul with a signed plaintext constant (P-C multiplication in
+// the AS-ALU).
+func (r Ring) MulConst(a uint64, c int64) uint64 { return (a * uint64(c)) & r.Mask }
+
+// FromInt encodes a signed value into the ring using two's complement.
+// Values outside [-Q/2, Q/2) wrap around, exactly as the hardware would.
+func (r Ring) FromInt(v int64) uint64 { return uint64(v) & r.Mask }
+
+// ToInt decodes a ring element as a signed two's-complement value in
+// [-Q/2, Q/2).
+func (r Ring) ToInt(x uint64) int64 {
+	x &= r.Mask
+	if x >= r.Half() {
+		return int64(x) - int64(r.Q())
+	}
+	return int64(x)
+}
+
+// MSB returns the most significant bit of x within the ring, i.e. the sign
+// bit of the two's-complement interpretation.
+func (r Ring) MSB(x uint64) uint64 { return (x >> (r.Bits - 1)) & 1 }
+
+// Low strips the MSB, returning the low ℓ-1 bits of x. It is the b' / a'
+// quantity in the DReLU decomposition MSB(x) = MSB(a) ⊕ MSB(b) ⊕ [b' < a'].
+func (r Ring) Low(x uint64) uint64 { return x & (r.Mask >> 1) }
+
+// Bit returns bit i of x (0 = LSB).
+func (r Ring) Bit(x uint64, i uint) uint64 { return (x >> i) & 1 }
+
+// SignExtend re-encodes a ring element into the (wider) ring to,
+// preserving the signed two's-complement value. This is the "Ring Size
+// Extension" primitive of Sec. 5.1 (e.g. 1111_0110_1101 in Q=2^12 becomes
+// 1111_1111_0110_1101 in Q=2^16). It panics if to is narrower than r;
+// use Contract for that direction.
+func (r Ring) SignExtend(x uint64, to Ring) uint64 {
+	if to.Bits < r.Bits {
+		panic("ring: SignExtend to a narrower ring; use Contract")
+	}
+	return to.FromInt(r.ToInt(x))
+}
+
+// Contract maps a ring element into the (narrower) ring to by dropping the
+// high bits. Values that fit in the narrow ring are preserved; larger
+// values wrap (the hardware "clipping" of the AS-ALU is this modular wrap).
+func (r Ring) Contract(x uint64, to Ring) uint64 {
+	if to.Bits > r.Bits {
+		panic("ring: Contract to a wider ring; use SignExtend")
+	}
+	return x & to.Mask
+}
+
+// ShiftRightSigned performs an arithmetic right shift of the signed value by
+// s bits, rounding toward negative infinity, and re-encodes on the ring.
+// It is the plaintext reference for the BNReQ truncation.
+func (r Ring) ShiftRightSigned(x uint64, s uint) uint64 {
+	if s == 0 {
+		return x & r.Mask
+	}
+	return r.FromInt(r.ToInt(x) >> s)
+}
+
+// ShiftRightLogical shifts the raw ring representation right by s bits.
+// Each party applies this (or its negated variant) to its own share during
+// 2PC truncation.
+func (r Ring) ShiftRightLogical(x uint64, s uint) uint64 {
+	return (x & r.Mask) >> s
+}
+
+// Fits reports whether the signed value v is representable on the ring
+// without wrapping.
+func (r Ring) Fits(v int64) bool {
+	h := int64(r.Half())
+	return v >= -h && v < h
+}
+
+// String implements fmt.Stringer.
+func (r Ring) String() string { return fmt.Sprintf("Z_2^%d", r.Bits) }
+
+// AddVec computes dst = (a + b) mod Q element-wise. All slices must have the
+// same length; dst may alias a or b.
+func (r Ring) AddVec(dst, a, b []uint64) {
+	for i := range dst {
+		dst[i] = (a[i] + b[i]) & r.Mask
+	}
+}
+
+// SubVec computes dst = (a - b) mod Q element-wise.
+func (r Ring) SubVec(dst, a, b []uint64) {
+	for i := range dst {
+		dst[i] = (a[i] - b[i]) & r.Mask
+	}
+}
+
+// NegVec computes dst = (-a) mod Q element-wise.
+func (r Ring) NegVec(dst, a []uint64) {
+	for i := range dst {
+		dst[i] = (-a[i]) & r.Mask
+	}
+}
+
+// MulVec computes dst = (a * b) mod Q element-wise.
+func (r Ring) MulVec(dst, a, b []uint64) {
+	for i := range dst {
+		dst[i] = (a[i] * b[i]) & r.Mask
+	}
+}
+
+// ScaleVec computes dst = (c * a) mod Q element-wise for a signed plaintext
+// constant c (P-C multiplication).
+func (r Ring) ScaleVec(dst, a []uint64, c int64) {
+	uc := uint64(c)
+	for i := range dst {
+		dst[i] = (a[i] * uc) & r.Mask
+	}
+}
+
+// ReduceVec reduces every element of a onto the ring in place.
+func (r Ring) ReduceVec(a []uint64) {
+	for i := range a {
+		a[i] &= r.Mask
+	}
+}
+
+// FromInts encodes a signed slice onto the ring.
+func (r Ring) FromInts(v []int64) []uint64 {
+	out := make([]uint64, len(v))
+	for i, x := range v {
+		out[i] = r.FromInt(x)
+	}
+	return out
+}
+
+// ToInts decodes a ring slice into signed values.
+func (r Ring) ToInts(x []uint64) []int64 {
+	out := make([]int64, len(x))
+	for i, v := range x {
+		out[i] = r.ToInt(v)
+	}
+	return out
+}
+
+// Bytes returns the number of bytes needed to transmit one ring element,
+// ⌈ℓ/8⌉. Communication accounting throughout the system uses this width, so
+// shrinking the ring directly shrinks the measured traffic, as in the paper.
+func (r Ring) Bytes() int { return int(r.Bits+7) / 8 }

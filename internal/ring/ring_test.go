@@ -1,0 +1,221 @@
+package ring
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewBounds(t *testing.T) {
+	for _, bits := range []uint{1, 8, 16, 32, 62} {
+		r := New(bits)
+		if r.Q() != uint64(1)<<bits {
+			t.Errorf("New(%d).Q() = %d", bits, r.Q())
+		}
+		if r.Mask != r.Q()-1 {
+			t.Errorf("New(%d).Mask = %x", bits, r.Mask)
+		}
+	}
+	for _, bits := range []uint{0, 63, 64, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", bits)
+				}
+			}()
+			New(bits)
+		}()
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := New(8)
+	for v := int64(-128); v < 128; v++ {
+		if got := r.ToInt(r.FromInt(v)); got != v {
+			t.Fatalf("8-bit round trip of %d = %d", v, got)
+		}
+	}
+	// Out-of-range values wrap, matching hardware overflow.
+	if got := r.ToInt(r.FromInt(128)); got != -128 {
+		t.Errorf("FromInt(128) decodes to %d, want -128", got)
+	}
+	if got := r.ToInt(r.FromInt(-129)); got != 127 {
+		t.Errorf("FromInt(-129) decodes to %d, want 127", got)
+	}
+}
+
+func TestArithmeticMatchesInt(t *testing.T) {
+	r := New(16)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		a := int64(rng.Intn(1<<16)) - 1<<15
+		b := int64(rng.Intn(1<<16)) - 1<<15
+		ea, eb := r.FromInt(a), r.FromInt(b)
+		if got, want := r.ToInt(r.Add(ea, eb)), r.ToInt(r.FromInt(a+b)); got != want {
+			t.Fatalf("Add(%d,%d) = %d, want %d", a, b, got, want)
+		}
+		if got, want := r.ToInt(r.Sub(ea, eb)), r.ToInt(r.FromInt(a-b)); got != want {
+			t.Fatalf("Sub(%d,%d) = %d, want %d", a, b, got, want)
+		}
+		if got, want := r.ToInt(r.Mul(ea, eb)), r.ToInt(r.FromInt(a*b)); got != want {
+			t.Fatalf("Mul(%d,%d) = %d, want %d", a, b, got, want)
+		}
+		if got, want := r.ToInt(r.Neg(ea)), r.ToInt(r.FromInt(-a)); got != want {
+			t.Fatalf("Neg(%d) = %d, want %d", a, got, want)
+		}
+	}
+}
+
+func TestMSBAndLow(t *testing.T) {
+	r := New(8)
+	if r.MSB(r.FromInt(-1)) != 1 || r.MSB(r.FromInt(1)) != 0 || r.MSB(r.FromInt(0)) != 0 {
+		t.Error("MSB sign detection wrong")
+	}
+	// -74 = 1011_0110: low 7 bits = 011_0110 = 0x36.
+	if got := r.Low(r.FromInt(-74)); got != 0x36 {
+		t.Errorf("Low(-74) = %#x, want 0x36", got)
+	}
+}
+
+func TestSignExtendPaperExample(t *testing.T) {
+	// Fig. 8: 12-bit 1111_0110_1101 extends to 16-bit 1111_1111_0110_1101.
+	q1, q2 := New(12), New(16)
+	x := uint64(0xF6D)
+	if got := q1.SignExtend(x, q2); got != 0xFF6D {
+		t.Errorf("SignExtend(0xF6D, 12→16) = %#x, want 0xFF6D", got)
+	}
+	// Round trip through Contract.
+	if got := q2.Contract(0xFF6D, q1); got != x {
+		t.Errorf("Contract back = %#x, want %#x", got, x)
+	}
+}
+
+func TestSignExtendContractQuick(t *testing.T) {
+	q1, q2 := New(12), New(20)
+	f := func(raw uint64) bool {
+		x := q1.Reduce(raw)
+		y := q2.Contract(q1.SignExtend(x, q2), q1)
+		return y == x && q2.ToInt(q1.SignExtend(x, q2)) == q1.ToInt(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContractPreservesValueMod(t *testing.T) {
+	// Contracting shares is exact for the reconstructed value modulo the
+	// small ring: (x0+x1 mod Q2) mod Q1 == (x0 mod Q1 + x1 mod Q1) mod Q1.
+	q1, q2 := New(10), New(16)
+	f := func(a, b uint64) bool {
+		x0, x1 := q2.Reduce(a), q2.Reduce(b)
+		whole := q2.Contract(q2.Add(x0, x1), q1)
+		parts := q1.Add(q2.Contract(x0, q1), q2.Contract(x1, q1))
+		return whole == parts
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShiftRightSigned(t *testing.T) {
+	r := New(16)
+	cases := []struct {
+		v    int64
+		s    uint
+		want int64
+	}{
+		{100, 2, 25}, {-100, 2, -25}, {7, 1, 3}, {-7, 1, -4}, {0, 5, 0}, {-1, 4, -1},
+	}
+	for _, c := range cases {
+		if got := r.ToInt(r.ShiftRightSigned(r.FromInt(c.v), c.s)); got != c.want {
+			t.Errorf("ShiftRightSigned(%d, %d) = %d, want %d", c.v, c.s, got, c.want)
+		}
+	}
+}
+
+func TestVecOps(t *testing.T) {
+	r := New(12)
+	a := r.FromInts([]int64{1, -2, 2000, -2048})
+	b := r.FromInts([]int64{5, 7, 100, 1})
+	dst := make([]uint64, 4)
+	r.AddVec(dst, a, b)
+	want := []int64{6, 5, r.ToInt(r.FromInt(2100)), -2047}
+	for i := range dst {
+		if r.ToInt(dst[i]) != want[i] {
+			t.Errorf("AddVec[%d] = %d, want %d", i, r.ToInt(dst[i]), want[i])
+		}
+	}
+	r.SubVec(dst, a, b)
+	if r.ToInt(dst[0]) != -4 || r.ToInt(dst[1]) != -9 {
+		t.Error("SubVec wrong")
+	}
+	r.NegVec(dst, a)
+	if r.ToInt(dst[1]) != 2 {
+		t.Error("NegVec wrong")
+	}
+	r.MulVec(dst, a, b)
+	if r.ToInt(dst[0]) != 5 || r.ToInt(dst[1]) != -14 {
+		t.Error("MulVec wrong")
+	}
+	r.ScaleVec(dst, a, -3)
+	if r.ToInt(dst[0]) != -3 || r.ToInt(dst[1]) != 6 {
+		t.Error("ScaleVec wrong")
+	}
+}
+
+func TestFitsAndBytes(t *testing.T) {
+	r := New(12)
+	if !r.Fits(2047) || r.Fits(2048) || !r.Fits(-2048) || r.Fits(-2049) {
+		t.Error("Fits boundaries wrong")
+	}
+	if New(8).Bytes() != 1 || New(12).Bytes() != 2 || New(16).Bytes() != 2 || New(17).Bytes() != 3 || New(32).Bytes() != 4 {
+		t.Error("Bytes wrong")
+	}
+}
+
+func TestFromToIntsRoundTrip(t *testing.T) {
+	r := New(14)
+	v := []int64{0, 1, -1, 8191, -8192}
+	got := r.ToInts(r.FromInts(v))
+	for i := range v {
+		if got[i] != v[i] {
+			t.Errorf("round trip [%d] = %d, want %d", i, got[i], v[i])
+		}
+	}
+}
+
+func TestAdditionAssociativityQuick(t *testing.T) {
+	r := New(24)
+	f := func(a, b, c uint64) bool {
+		a, b, c = r.Reduce(a), r.Reduce(b), r.Reduce(c)
+		return r.Add(r.Add(a, b), c) == r.Add(a, r.Add(b, c)) &&
+			r.Mul(a, r.Add(b, c)) == r.Add(r.Mul(a, b), r.Mul(a, c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAddVec(b *testing.B) {
+	r := New(16)
+	n := 4096
+	x := make([]uint64, n)
+	y := make([]uint64, n)
+	dst := make([]uint64, n)
+	b.SetBytes(int64(n * 8))
+	for i := 0; i < b.N; i++ {
+		r.AddVec(dst, x, y)
+	}
+}
+
+func BenchmarkMulVec(b *testing.B) {
+	r := New(16)
+	n := 4096
+	x := make([]uint64, n)
+	y := make([]uint64, n)
+	dst := make([]uint64, n)
+	b.SetBytes(int64(n * 8))
+	for i := 0; i < b.N; i++ {
+		r.MulVec(dst, x, y)
+	}
+}

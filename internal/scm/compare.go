@@ -1,0 +1,152 @@
+package scm
+
+import (
+	"fmt"
+
+	"aq2pnn/internal/a2b"
+	"aq2pnn/internal/ot"
+	"aq2pnn/internal/prg"
+	"aq2pnn/internal/ring"
+)
+
+// Generic unsigned two-party comparison over the full ℓ-bit A2BM layout.
+// Party i (sender) holds a, party j (receiver) holds b; the parties end
+// with boolean shares of a strict predicate on (b, a). This is the same
+// token machinery as the sign protocol, re-used by the share ring-extension
+// (computing the unsigned wrap bit) and by tests.
+
+// Rel selects the predicate, phrased from the receiver's perspective.
+type Rel int
+
+const (
+	// BLtA computes [b < a].
+	BLtA Rel = iota
+	// BGtA computes [b > a].
+	BGtA
+)
+
+// PredTokens builds the token rows for a strict predicate: the receiver's
+// lexicographic scan yields the LT label exactly when the predicate holds
+// (before unmasking). Equality in the final group resolves to "false".
+func PredTokens(ga []uint64, widths []uint, flip uint64, rel Rel) [][]byte {
+	trueLab, falseLab := TokenLT, TokenGT
+	if flip == 1 {
+		trueLab, falseLab = falseLab, trueLab
+	}
+	rows := make([][]byte, len(widths))
+	for u, w := range widths {
+		n := 1 << w
+		row := make([]byte, n)
+		last := u == len(widths)-1
+		for pm := 0; pm < n; pm++ {
+			var tok byte
+			switch {
+			case uint64(pm) == ga[u]:
+				if last {
+					tok = falseLab // strict predicate is false on equality
+				} else {
+					tok = TokenEQ
+				}
+			case (uint64(pm) < ga[u]) == (rel == BLtA):
+				tok = trueLab
+			default:
+				tok = falseLab
+			}
+			row[pm] = tok
+		}
+		rows[u] = row
+	}
+	return rows
+}
+
+// CmpSender runs party i's side of the batched unsigned comparison for its
+// values a, returning its boolean shares (the masks).
+func CmpSender(ep *ot.Endpoint, rng *prg.PRG, r ring.Ring, a []uint64, rel Rel) ([]uint64, error) {
+	widths := a2b.Groups(r.Bits)
+	count := len(a)
+	m := make([]uint64, count)
+	tokens := make([][][]byte, count)
+	for v, av := range a {
+		m[v] = rng.Bit()
+		tokens[v] = PredTokens(a2b.Split(r, av), widths, m[v], rel)
+	}
+	plan := planFullBatches(r.Bits, count)
+	for _, n := range plan.arities {
+		pairs := plan.pairs[n]
+		msgs := make([][][]byte, len(pairs))
+		for k, vu := range pairs {
+			row := tokens[vu[0]][vu[1]]
+			cand := make([][]byte, n)
+			for pm := 0; pm < n; pm++ {
+				cand[pm] = []byte{row[pm]}
+			}
+			msgs[k] = cand
+		}
+		if err := ep.Send1ofN(n, msgs); err != nil {
+			return nil, fmt.Errorf("scm: compare token transfer (1-of-%d): %w", n, err)
+		}
+	}
+	return m, nil
+}
+
+// CmpReceiver runs party j's side for its values b, returning its boolean
+// shares (predicate ⊕ mask).
+func CmpReceiver(ep *ot.Endpoint, r ring.Ring, b []uint64, rel Rel) ([]uint64, error) {
+	widths := a2b.Groups(r.Bits)
+	count := len(b)
+	groups := make([][]uint64, count)
+	for v, bv := range b {
+		groups[v] = a2b.Split(r, bv)
+	}
+	plan := planFullBatches(r.Bits, count)
+	received := make([][]byte, count)
+	for v := range received {
+		received[v] = make([]byte, len(widths))
+	}
+	for _, n := range plan.arities {
+		pairs := plan.pairs[n]
+		choices := make([]int, len(pairs))
+		for k, vu := range pairs {
+			choices[k] = int(groups[vu[0]][vu[1]])
+		}
+		got, err := ep.Recv1ofN(n, choices, 1)
+		if err != nil {
+			return nil, fmt.Errorf("scm: compare token transfer (1-of-%d): %w", n, err)
+		}
+		for k, vu := range pairs {
+			received[vu[0]][vu[1]] = got[k][0]
+		}
+	}
+	out := make([]uint64, count)
+	for v := range received {
+		raw, err := ScanTokens(received[v])
+		if err != nil {
+			return nil, err
+		}
+		out[v] = raw
+	}
+	return out, nil
+}
+
+// planFullBatches is planBatches over the full ℓ-bit layout.
+func planFullBatches(bits uint, count int) batchPlan {
+	widths := a2b.Groups(bits)
+	p := batchPlan{widths: widths, pairs: map[int][][2]int{}}
+	for u, w := range widths {
+		n := 1 << w
+		if p.pairs[n] == nil {
+			p.arities = append(p.arities, n)
+		}
+		for v := 0; v < count; v++ {
+			p.pairs[n] = append(p.pairs[n], [2]int{v, u})
+		}
+	}
+	for i := 0; i < len(p.arities); i++ {
+		for j := i + 1; j < len(p.arities); j++ {
+			if p.arities[j] < p.arities[i] {
+				p.arities[i], p.arities[j] = p.arities[j], p.arities[i]
+			}
+		}
+	}
+	return p
+}

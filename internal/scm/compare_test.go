@@ -1,0 +1,107 @@
+package scm
+
+import (
+	"sync"
+	"testing"
+
+	"aq2pnn/internal/prg"
+	"aq2pnn/internal/ring"
+)
+
+func runCmp(t *testing.T, r ring.Ring, a, b []uint64, rel Rel, seed uint64) []uint64 {
+	t.Helper()
+	e0, e1, closeFn := newEndpoints(seed)
+	defer closeFn()
+	var m0, m1 []uint64
+	var err0, err1 error
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); m0, err0 = CmpSender(e0, prg.NewSeeded(seed+3), r, a, rel) }()
+	go func() { defer wg.Done(); m1, err1 = CmpReceiver(e1, r, b, rel) }()
+	wg.Wait()
+	if err0 != nil || err1 != nil {
+		t.Fatal(err0, err1)
+	}
+	out := make([]uint64, len(a))
+	for k := range out {
+		out[k] = m0[k] ^ m1[k]
+	}
+	return out
+}
+
+func TestCmpExhaustiveSmall(t *testing.T) {
+	r := ring.New(5)
+	var a, b []uint64
+	for x := uint64(0); x <= r.Mask; x++ {
+		for y := uint64(0); y <= r.Mask; y++ {
+			a = append(a, x)
+			b = append(b, y)
+		}
+	}
+	lt := runCmp(t, r, a, b, BLtA, 700)
+	gt := runCmp(t, r, a, b, BGtA, 800)
+	for k := range a {
+		wantLt := uint64(0)
+		if b[k] < a[k] {
+			wantLt = 1
+		}
+		wantGt := uint64(0)
+		if b[k] > a[k] {
+			wantGt = 1
+		}
+		if lt[k] != wantLt {
+			t.Fatalf("[b<a] for (a=%d,b=%d) = %d", a[k], b[k], lt[k])
+		}
+		if gt[k] != wantGt {
+			t.Fatalf("[b>a] for (a=%d,b=%d) = %d", a[k], b[k], gt[k])
+		}
+	}
+}
+
+func TestCmpEqualityIsStrict(t *testing.T) {
+	r := ring.New(16)
+	a := []uint64{0, 1234, r.Mask}
+	got := runCmp(t, r, a, a, BLtA, 900)
+	for k, v := range got {
+		if v != 0 {
+			t.Errorf("[x<x] = %d for element %d", v, k)
+		}
+	}
+	got = runCmp(t, r, a, a, BGtA, 1000)
+	for k, v := range got {
+		if v != 0 {
+			t.Errorf("[x>x] = %d for element %d", v, k)
+		}
+	}
+}
+
+func TestCmpRandomWide(t *testing.T) {
+	r := ring.New(24)
+	g := prg.NewSeeded(42)
+	n := 200
+	a := g.Elems(n, r)
+	b := g.Elems(n, r)
+	got := runCmp(t, r, a, b, BGtA, 1100)
+	for k := range a {
+		want := uint64(0)
+		if b[k] > a[k] {
+			want = 1
+		}
+		if got[k] != want {
+			t.Fatalf("element %d: [b>a]=%d want %d (a=%d b=%d)", k, got[k], want, a[k], b[k])
+		}
+	}
+}
+
+func TestPredTokensFinalGroupNeverEQ(t *testing.T) {
+	r := ring.New(8)
+	widths := []uint{1, 1, 2, 2, 2}
+	rows := PredTokens([]uint64{1, 0, 3, 2, 1}, widths, 0, BLtA)
+	last := rows[len(rows)-1]
+	for pm, tok := range last {
+		if tok == TokenEQ {
+			t.Errorf("final group emits EQ at pm=%d", pm)
+		}
+	}
+	_ = r
+}

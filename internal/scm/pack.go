@@ -1,0 +1,106 @@
+package scm
+
+import (
+	"fmt"
+
+	"aq2pnn/internal/a2b"
+)
+
+// Fig. 6 packaging: the OT-flow packs one ℓ-bit value's encrypted
+// comparison tokens into a ⌈ℓ/2⌉ × 4 matrix. The two most significant
+// groups each have only two candidates ((1,2)-OT), so their rows are
+// combined into a single 4-wide row; every 2-bit group contributes one
+// 4-wide row of its own — for INT8 that yields the 4×4 UINT8 matrix the
+// paper illustrates.
+
+// PackedRow is one row of the packaged comparison matrix.
+type PackedRow [4]byte
+
+// PackTokens packages the per-group token rows of one ℓ-bit value
+// (as produced by SenderTokens/PredTokens over the full a2b.Groups
+// layout) into the Fig. 6 matrix.
+func PackTokens(rows [][]byte, bits uint) ([]PackedRow, error) {
+	widths := a2b.Groups(bits)
+	if len(rows) != len(widths) {
+		return nil, fmt.Errorf("scm: %d token rows for %d groups", len(rows), len(widths))
+	}
+	for u, w := range widths {
+		if len(rows[u]) != 1<<w {
+			return nil, fmt.Errorf("scm: group %d has %d tokens, want %d", u, len(rows[u]), 1<<w)
+		}
+	}
+	var out []PackedRow
+	u := 0
+	// Combine leading 1-bit groups pairwise into shared rows.
+	for u+1 < len(widths) && widths[u] == 1 && widths[u+1] == 1 {
+		out = append(out, PackedRow{rows[u][0], rows[u][1], rows[u+1][0], rows[u+1][1]})
+		u += 2
+	}
+	if u < len(widths) && widths[u] == 1 {
+		// A lone 1-bit group (odd ℓ): its row is half-filled.
+		out = append(out, PackedRow{rows[u][0], rows[u][1], 0, 0})
+		u++
+	}
+	for ; u < len(widths); u++ {
+		if widths[u] == 1 {
+			out = append(out, PackedRow{rows[u][0], rows[u][1], 0, 0})
+			continue
+		}
+		out = append(out, PackedRow{rows[u][0], rows[u][1], rows[u][2], rows[u][3]})
+	}
+	return out, nil
+}
+
+// UnpackTokens is the inverse of PackTokens.
+func UnpackTokens(packed []PackedRow, bits uint) ([][]byte, error) {
+	widths := a2b.Groups(bits)
+	rows := make([][]byte, len(widths))
+	ri := 0
+	u := 0
+	take := func() (PackedRow, error) {
+		if ri >= len(packed) {
+			return PackedRow{}, fmt.Errorf("scm: packed matrix has only %d rows", len(packed))
+		}
+		r := packed[ri]
+		ri++
+		return r, nil
+	}
+	for u+1 < len(widths) && widths[u] == 1 && widths[u+1] == 1 {
+		r, err := take()
+		if err != nil {
+			return nil, err
+		}
+		rows[u] = []byte{r[0], r[1]}
+		rows[u+1] = []byte{r[2], r[3]}
+		u += 2
+	}
+	for ; u < len(widths); u++ {
+		r, err := take()
+		if err != nil {
+			return nil, err
+		}
+		if widths[u] == 1 {
+			rows[u] = []byte{r[0], r[1]}
+		} else {
+			rows[u] = []byte{r[0], r[1], r[2], r[3]}
+		}
+	}
+	if ri != len(packed) {
+		return nil, fmt.Errorf("scm: packed matrix has %d extra rows", len(packed)-ri)
+	}
+	return rows, nil
+}
+
+// PackedRows returns the Fig. 6 matrix height for an ℓ-bit value:
+// ⌈ℓ/2⌉ for even ℓ ≥ 4 (e.g. 4 rows for INT8).
+func PackedRows(bits uint) int {
+	widths := a2b.Groups(bits)
+	rows := 0
+	u := 0
+	for u+1 < len(widths) && widths[u] == 1 && widths[u+1] == 1 {
+		rows++
+		u += 2
+	}
+	rows += len(widths) - u
+	return rows
+}

@@ -1,0 +1,87 @@
+package scm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"aq2pnn/internal/a2b"
+	"aq2pnn/internal/ring"
+)
+
+func TestPackINT8IsFourByFour(t *testing.T) {
+	// Fig. 6: one INT8 value packs into a 4×4 matrix.
+	r := ring.New(8)
+	rows := PredTokens(a2b.Split(r, r.FromInt(-74)), a2b.Groups(8), 0, BLtA)
+	packed, err := PackTokens(rows, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(packed) != 4 {
+		t.Fatalf("packed %d rows, want 4", len(packed))
+	}
+	if PackedRows(8) != 4 {
+		t.Errorf("PackedRows(8) = %d", PackedRows(8))
+	}
+	// ℓ=16: ⌈16/2⌉ = 8 rows (one combined sign row + 7 group rows).
+	if PackedRows(16) != 8 {
+		t.Errorf("PackedRows(16) = %d", PackedRows(16))
+	}
+	// The first row holds both 1-bit groups side by side.
+	if packed[0][0] != rows[0][0] || packed[0][2] != rows[1][0] {
+		t.Error("sign rows not combined")
+	}
+}
+
+func TestPackUnpackRoundTripQuick(t *testing.T) {
+	for _, bits := range []uint{4, 8, 9, 12, 16} {
+		r := ring.New(bits)
+		widths := a2b.Groups(bits)
+		f := func(raw uint64, flip bool) bool {
+			fl := uint64(0)
+			if flip {
+				fl = 1
+			}
+			rows := PredTokens(a2b.Split(r, r.Reduce(raw)), widths, fl, BGtA)
+			packed, err := PackTokens(rows, bits)
+			if err != nil {
+				return false
+			}
+			back, err := UnpackTokens(packed, bits)
+			if err != nil || len(back) != len(rows) {
+				return false
+			}
+			for u := range rows {
+				if len(back[u]) != len(rows[u]) {
+					return false
+				}
+				for j := range rows[u] {
+					if back[u][j] != rows[u][j] {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+			t.Errorf("ℓ=%d: %v", bits, err)
+		}
+	}
+}
+
+func TestPackValidation(t *testing.T) {
+	if _, err := PackTokens([][]byte{{1, 2}}, 8); err == nil {
+		t.Error("wrong row count accepted")
+	}
+	if _, err := PackTokens([][]byte{{1}, {1, 2}, {1, 2, 3, 4}, {1, 2, 3, 4}, {1, 2, 3, 4}}, 8); err == nil {
+		t.Error("wrong row arity accepted")
+	}
+	if _, err := UnpackTokens([]PackedRow{{1, 2, 3, 4}}, 8); err == nil {
+		t.Error("truncated matrix accepted")
+	}
+	r := ring.New(8)
+	rows := PredTokens(a2b.Split(r, 5), a2b.Groups(8), 0, BLtA)
+	packed, _ := PackTokens(rows, 8)
+	if _, err := UnpackTokens(append(packed, PackedRow{}), 8); err == nil {
+		t.Error("oversized matrix accepted")
+	}
+}

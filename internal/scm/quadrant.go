@@ -1,0 +1,93 @@
+package scm
+
+import "aq2pnn/internal/ring"
+
+// This file reproduces the quadrant analysis of Fig. 7: evaluating the
+// sign of x ← (x_i + x_j) mod Q from the coordinates (−x_i, x_j).
+
+// Quadrant identifies where (−x_i, x_j) falls using the sign bits, in the
+// paper's orientation: the horizontal axis is −x_i, the vertical is x_j.
+type Quadrant int
+
+// Quadrant values follow the standard orientation used by Fig. 7(a).
+const (
+	Q1 Quadrant = 1 // −x_i ≥ 0, x_j ≥ 0
+	Q2 Quadrant = 2 // −x_i < 0, x_j ≥ 0
+	Q3 Quadrant = 3 // −x_i < 0, x_j < 0
+	Q4 Quadrant = 4 // −x_i ≥ 0, x_j < 0
+)
+
+// QuadrantOf returns the quadrant of the share pair.
+func QuadrantOf(r ring.Ring, xi, xj uint64) Quadrant {
+	sa := r.MSB(r.Neg(xi)) // sign of −x_i
+	sb := r.MSB(xj)
+	switch {
+	case sa == 0 && sb == 0:
+		return Q1
+	case sa == 1 && sb == 0:
+		return Q2
+	case sa == 1 && sb == 1:
+		return Q3
+	default:
+		return Q4
+	}
+}
+
+// DirectSign reports whether the sign of x is decidable from the quadrant
+// and the second most significant bits alone (the paper's "Red ①" early
+// exit: sub-quadrants 2-2, 2-4, 4-2 and 4-4 decide immediately, and so do
+// the 1st/3rd quadrants when the comparison of second bits already
+// differs). When ok is false the full OT comparison ("Red ②") is needed.
+//
+// The decidable cases follow from MSB(x) = s_a ⊕ s_b ⊕ [low(b) < low(a)]:
+// whenever the top bit of low(a) and low(b) differ, [low(b) < low(a)] is
+// already determined.
+func DirectSign(r ring.Ring, xi, xj uint64) (negative bool, ok bool) {
+	a := r.Neg(xi)
+	b := xj
+	sa, sb := r.MSB(a), r.MSB(b)
+	// Second most significant bits (tops of low(a), low(b)).
+	ta := r.Bit(a, r.Bits-2)
+	tb := r.Bit(b, r.Bits-2)
+	if ta == tb {
+		return false, false
+	}
+	lt := tb < ta // low(b) < low(a) decided by the top low bit
+	msb := sa ^ sb
+	if lt {
+		msb ^= 1
+	}
+	return msb == 1, true
+}
+
+// SignOf is the plaintext reference: the sign of rec([[x]]).
+func SignOf(r ring.Ring, xi, xj uint64) bool {
+	return r.MSB(r.Add(xi, xj)) == 1
+}
+
+// QuadrantCensus exhaustively evaluates an ℓ-bit ring (intended for small
+// ℓ) and reports, per quadrant, how many share pairs hide a negative x and
+// how many were directly decidable — the data behind Fig. 7's picture.
+type QuadrantCensus struct {
+	Total    [5]int
+	Negative [5]int
+	Direct   [5]int
+}
+
+// Census enumerates all Q² share pairs of the ring.
+func Census(r ring.Ring) QuadrantCensus {
+	var c QuadrantCensus
+	for xi := uint64(0); xi <= r.Mask; xi++ {
+		for xj := uint64(0); xj <= r.Mask; xj++ {
+			q := QuadrantOf(r, xi, xj)
+			c.Total[q]++
+			if SignOf(r, xi, xj) {
+				c.Negative[q]++
+			}
+			if _, ok := DirectSign(r, xi, xj); ok {
+				c.Direct[q]++
+			}
+		}
+	}
+	return c
+}

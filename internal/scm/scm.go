@@ -1,0 +1,201 @@
+// Package scm implements the Secure Comparison Machine (Sec. 4.3.3): the
+// possible-value comparison matrix of Fig. 5/6, its transfer over the
+// OT-flow, and the two-step ABReLU sign evaluation of Sec. 4.4 — quadrant
+// detection on the most significant bits plus an OT-based group-wise
+// comparison of the remaining bits.
+//
+// The correctness identity, derived from the quadrant analysis of Fig. 7:
+// with a = (−x_i) mod Q held by party i and b = x_j held by party j,
+//
+//	MSB(x) = MSB(a) ⊕ MSB(b) ⊕ [ low(b) < low(a) ]
+//
+// where low(·) strips the sign bit. The MSBs are local (the "quadrant
+// detection" step); [low(b) < low(a)] is evaluated lexicographically over
+// the A2BM groups, each group resolved by one (1, 2^su)-OT whose tokens
+// are the {LT, EQ, GT} entries of the comparison matrix (Eq. 6). Party i
+// masks the outcome by randomly swapping the LT/GT labels, so the parties
+// end with XOR (boolean) shares of MSB(x) and neither learns the sign.
+package scm
+
+import (
+	"fmt"
+
+	"aq2pnn/internal/a2b"
+	"aq2pnn/internal/ot"
+	"aq2pnn/internal/prg"
+	"aq2pnn/internal/ring"
+)
+
+// Comparison tokens of Eq. 6. From the receiver's perspective a token
+// reports how its own group value compares to the sender's.
+const (
+	TokenLT byte = 1 // receiver's group < sender's group
+	TokenEQ byte = 2 // equal: move to the next group
+	TokenGT byte = 3 // receiver's group > sender's group
+)
+
+// SenderTokens builds one element's comparison matrix rows: for each low
+// group u (widths from a2b.LowGroups) and each possible receiver value pm,
+// the token the receiver should learn. flip=1 swaps the LT/GT labels (the
+// OUT-MSK masking). In the final group EQ is resolved to "not less",
+// encoded through the same flip so the receiver always terminates with a
+// definite label.
+func SenderTokens(gaLow []uint64, widths []uint, flip uint64) [][]byte {
+	rows := make([][]byte, len(widths))
+	lt, gt := TokenLT, TokenGT
+	if flip == 1 {
+		lt, gt = gt, lt
+	}
+	for u, w := range widths {
+		n := 1 << w
+		row := make([]byte, n)
+		last := u == len(widths)-1
+		for pm := 0; pm < n; pm++ {
+			switch {
+			case uint64(pm) < gaLow[u]:
+				row[pm] = lt
+			case uint64(pm) > gaLow[u]:
+				row[pm] = gt
+			case last:
+				// low(b) == low(a): "less" is false, so the receiver's raw
+				// bit must equal the flip.
+				row[pm] = gt
+			default:
+				row[pm] = TokenEQ
+			}
+		}
+		rows[u] = row
+	}
+	return rows
+}
+
+// ScanTokens is the receiver's lexicographic combination: the first
+// non-EQ token decides. It returns 1 when that token is LT. The sender's
+// matrix construction guarantees the last group never yields EQ.
+func ScanTokens(tokens []byte) (uint64, error) {
+	for _, tk := range tokens {
+		switch tk {
+		case TokenLT:
+			return 1, nil
+		case TokenGT:
+			return 0, nil
+		case TokenEQ:
+			continue
+		default:
+			return 0, fmt.Errorf("scm: invalid token %d", tk)
+		}
+	}
+	return 0, fmt.Errorf("scm: comparison did not terminate (all tokens EQ)")
+}
+
+// batchPlan groups the (element, group) OT instances by arity so a whole
+// tensor's comparison runs in one online batch per arity.
+type batchPlan struct {
+	widths []uint
+	// byArity[n] lists, in deterministic order, the (v, u) pairs using
+	// (1,n)-OT.
+	arities []int // distinct arities in ascending order
+	pairs   map[int][][2]int
+}
+
+func planBatches(bits uint, count int) batchPlan {
+	widths := a2b.LowGroups(bits)
+	p := batchPlan{widths: widths, pairs: map[int][][2]int{}}
+	for u, w := range widths {
+		n := 1 << w
+		if p.pairs[n] == nil {
+			p.arities = append(p.arities, n)
+		}
+		for v := 0; v < count; v++ {
+			p.pairs[n] = append(p.pairs[n], [2]int{v, u})
+		}
+	}
+	// arities were appended in group order; sort small-to-large for a
+	// deterministic protocol schedule (u-order within an arity preserved).
+	for i := 0; i < len(p.arities); i++ {
+		for j := i + 1; j < len(p.arities); j++ {
+			if p.arities[j] < p.arities[i] {
+				p.arities[i], p.arities[j] = p.arities[j], p.arities[i]
+			}
+		}
+	}
+	return p
+}
+
+// MSBSender runs party i's side of the secure sign computation for a batch
+// of shared values; xi are party i's arithmetic shares. It returns party
+// i's boolean shares m of MSB(x) (the OUT-MSK values).
+func MSBSender(ep *ot.Endpoint, rng *prg.PRG, r ring.Ring, xi []uint64) ([]uint64, error) {
+	if r.Bits < 2 {
+		return nil, fmt.Errorf("scm: ring must have at least 2 bits, got %d", r.Bits)
+	}
+	count := len(xi)
+	m := make([]uint64, count)
+	tokens := make([][][]byte, count) // per element, per group, the token row
+	widths := a2b.LowGroups(r.Bits)
+	for v, share := range xi {
+		a := r.Neg(share)
+		m[v] = rng.Bit()
+		flip := m[v] ^ r.MSB(a)
+		tokens[v] = SenderTokens(a2b.SplitLow(r, a), widths, flip)
+	}
+	plan := planBatches(r.Bits, count)
+	for _, n := range plan.arities {
+		pairs := plan.pairs[n]
+		msgs := make([][][]byte, len(pairs))
+		for k, vu := range pairs {
+			row := tokens[vu[0]][vu[1]]
+			cand := make([][]byte, n)
+			for pm := 0; pm < n; pm++ {
+				cand[pm] = []byte{row[pm]}
+			}
+			msgs[k] = cand
+		}
+		if err := ep.Send1ofN(n, msgs); err != nil {
+			return nil, fmt.Errorf("scm: token transfer (1-of-%d): %w", n, err)
+		}
+	}
+	return m, nil
+}
+
+// MSBReceiver runs party j's side; xj are party j's arithmetic shares. It
+// returns party j's boolean shares MSB(x) ⊕ m.
+func MSBReceiver(ep *ot.Endpoint, r ring.Ring, xj []uint64) ([]uint64, error) {
+	if r.Bits < 2 {
+		return nil, fmt.Errorf("scm: ring must have at least 2 bits, got %d", r.Bits)
+	}
+	count := len(xj)
+	widths := a2b.LowGroups(r.Bits)
+	groups := make([][]uint64, count)
+	for v, share := range xj {
+		groups[v] = a2b.SplitLow(r, share)
+	}
+	plan := planBatches(r.Bits, count)
+	received := make([][]byte, count)
+	for v := range received {
+		received[v] = make([]byte, len(widths))
+	}
+	for _, n := range plan.arities {
+		pairs := plan.pairs[n]
+		choices := make([]int, len(pairs))
+		for k, vu := range pairs {
+			choices[k] = int(groups[vu[0]][vu[1]])
+		}
+		got, err := ep.Recv1ofN(n, choices, 1)
+		if err != nil {
+			return nil, fmt.Errorf("scm: token transfer (1-of-%d): %w", n, err)
+		}
+		for k, vu := range pairs {
+			received[vu[0]][vu[1]] = got[k][0]
+		}
+	}
+	out := make([]uint64, count)
+	for v, share := range xj {
+		raw, err := ScanTokens(received[v])
+		if err != nil {
+			return nil, err
+		}
+		out[v] = raw ^ r.MSB(share)
+	}
+	return out, nil
+}

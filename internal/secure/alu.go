@@ -1,0 +1,78 @@
+package secure
+
+import (
+	"fmt"
+
+	"aq2pnn/internal/ring"
+	"aq2pnn/internal/share"
+)
+
+// The AS-ALU operations of Sec. 4.1.3 (all local) and the composite
+// 2PC-BNReQ operator of Sec. 5.1: per-channel bias add, P-C multiplication
+// by the folded batch-norm scale I_m, and truncation by I_e bits.
+
+// Add performs C-C addition in place: x += y.
+func (c *Context) Add(r ring.Ring, x, y []uint64) {
+	r.AddVec(x, x, y)
+}
+
+// Sub performs C-C subtraction in place: x -= y.
+func (c *Context) Sub(r ring.Ring, x, y []uint64) {
+	r.SubVec(x, x, y)
+}
+
+// AddConst performs P-C addition of a public constant (applied by party i
+// only).
+func (c *Context) AddConst(r ring.Ring, x []uint64, a []uint64) {
+	share.AddConstVec(r, c.Party, x, a)
+}
+
+// MulConst performs P-C multiplication by a public signed constant.
+func (c *Context) MulConst(r ring.Ring, x []uint64, a int64) {
+	share.MulConstVec(r, x, a)
+}
+
+// Truncate performs the local probabilistic share truncation by d bits
+// (P-C division by 2^d).
+func (c *Context) Truncate(r ring.Ring, x []uint64, d uint) {
+	share.TruncateShareVec(r, c.Party, x, d)
+}
+
+// Contract maps shares into a narrower ring in place (the AS-ALU
+// "clipping": values wider than the target ring wrap).
+func (c *Context) Contract(from, to ring.Ring, x []uint64) {
+	share.ContractVec(from, to, x)
+}
+
+// BNReQ applies the fused batch-norm + requantization operator to a
+// (channels × spatial) activation tensor: per channel ch,
+//
+//	out = ( x + bias[ch] ) · im[ch]  >>  ie
+//
+// staying on ring r. bias is this party's additive share of the folded
+// bias (nil when absent); im and ie are the public dyadic scale. The
+// multiplication is the AS-ALU's P-C multiply; the shift uses
+// RequantTruncate — faithful by default, or the paper's local
+// zero-communication truncation under Context.LocalTrunc.
+func (c *Context) BNReQ(r ring.Ring, x []uint64, chans, spatial int, biasShare []uint64, im []int64, ie uint) error {
+	if len(x) != chans*spatial {
+		return fmt.Errorf("secure: BNReQ tensor %d for %d×%d", len(x), chans, spatial)
+	}
+	if len(im) != chans {
+		return fmt.Errorf("secure: BNReQ has %d multipliers for %d channels", len(im), chans)
+	}
+	if biasShare != nil && len(biasShare) != chans {
+		return fmt.Errorf("secure: BNReQ has %d bias values for %d channels", len(biasShare), chans)
+	}
+	for ch := 0; ch < chans; ch++ {
+		row := x[ch*spatial : (ch+1)*spatial]
+		if biasShare != nil {
+			b := biasShare[ch]
+			for i := range row {
+				row[i] = r.Add(row[i], b)
+			}
+		}
+		r.ScaleVec(row, row, im[ch])
+	}
+	return c.RequantTruncate(r, x, ie)
+}

@@ -1,0 +1,106 @@
+package secure
+
+import (
+	"fmt"
+
+	"aq2pnn/internal/ring"
+)
+
+// Secure argmax: classification without revealing the logits. A natural
+// extension of ABReLU's machinery (the paper's protocol reveals the
+// output vector; with this operator only the winning class index is
+// opened): a sequential tournament where each round keeps the running
+// maximum via max(a,b) = a + ReLU(b−a) and carries the winning *index*
+// through the same OT multiplexer, selecting with the DReLU bit of the
+// difference.
+
+// ArgMax returns arithmetic shares of the index of the maximum element,
+// breaking ties toward the LATER index (the challenger wins on equality,
+// because DReLU(0) = 1). It costs n−1 rounds of one DReLU + two Mux calls
+// (value and index lanes).
+func (c *Context) ArgMax(r ring.Ring, x []uint64) (uint64, error) {
+	if len(x) == 0 {
+		return 0, fmt.Errorf("secure: ArgMax of empty vector")
+	}
+	// curVal/curIdx are this party's shares of the running winner. Index
+	// shares start as the public constant 0 (party i holds it).
+	curVal := x[0]
+	var curIdx uint64
+	for k := 1; k < len(x); k++ {
+		diff := r.Sub(x[k], curVal)
+		d, err := c.DReLU(r, []uint64{diff}) // d = [x_k ≥ cur]
+		if err != nil {
+			return 0, fmt.Errorf("secure: ArgMax round %d: %w", k, err)
+		}
+		// Value lane: cur += d·diff.
+		dv, err := c.Mux(r, []uint64{diff}, d)
+		if err != nil {
+			return 0, err
+		}
+		curVal = r.Add(curVal, dv[0])
+		// Index lane: cur_idx += d·(k − cur_idx). The index difference is
+		// a valid share vector: party i adds the public k.
+		idxDiff := r.Neg(curIdx)
+		if c.Party == 0 {
+			idxDiff = r.Add(idxDiff, uint64(k))
+		}
+		di, err := c.Mux(r, []uint64{idxDiff}, d)
+		if err != nil {
+			return 0, err
+		}
+		curIdx = r.Add(curIdx, di[0])
+	}
+	return curIdx, nil
+}
+
+// ArgMaxBatched evaluates the tournament with a logarithmic schedule:
+// pairs are compared in parallel each round, halving the candidate set —
+// ⌈log₂ n⌉ protocol rounds instead of n−1, the variant an accelerator
+// would run.
+func (c *Context) ArgMaxBatched(r ring.Ring, x []uint64) (uint64, error) {
+	n := len(x)
+	if n == 0 {
+		return 0, fmt.Errorf("secure: ArgMax of empty vector")
+	}
+	vals := append([]uint64(nil), x...)
+	idxs := make([]uint64, n)
+	if c.Party == 0 {
+		for i := range idxs {
+			idxs[i] = uint64(i)
+		}
+	}
+	for len(vals) > 1 {
+		half := len(vals) / 2
+		diffs := make([]uint64, half)
+		idxDiffs := make([]uint64, half)
+		for i := 0; i < half; i++ {
+			a, b := 2*i, 2*i+1
+			diffs[i] = r.Sub(vals[b], vals[a])
+			idxDiffs[i] = r.Sub(idxs[b], idxs[a])
+		}
+		d, err := c.DReLU(r, diffs)
+		if err != nil {
+			return 0, err
+		}
+		dv, err := c.Mux(r, diffs, d)
+		if err != nil {
+			return 0, err
+		}
+		di, err := c.Mux(r, idxDiffs, d)
+		if err != nil {
+			return 0, err
+		}
+		nextVals := make([]uint64, 0, half+1)
+		nextIdxs := make([]uint64, 0, half+1)
+		for i := 0; i < half; i++ {
+			nextVals = append(nextVals, r.Add(vals[2*i], dv[i]))
+			nextIdxs = append(nextIdxs, r.Add(idxs[2*i], di[i]))
+		}
+		if len(vals)%2 == 1 {
+			nextVals = append(nextVals, vals[len(vals)-1])
+			nextIdxs = append(nextIdxs, idxs[len(idxs)-1])
+		}
+		vals, idxs = nextVals, nextIdxs
+	}
+	return idxs[0], nil
+}

@@ -1,0 +1,137 @@
+package secure
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"aq2pnn/internal/prg"
+	"aq2pnn/internal/ring"
+	"aq2pnn/internal/share"
+	"aq2pnn/internal/transport"
+)
+
+// Failure injection: every protocol layer must surface transport faults
+// as errors — never hang, never return silently wrong shares.
+
+// faultySession wraps party i's connection so it fails after n ops. The
+// returned trip function closes the underlying pipe, unblocking the peer
+// (whose side of the protocol would otherwise wait forever — a deployment
+// handles this with transport timeouts).
+func faultySession(seed uint64, opsBeforeFault int) (s *Session, trip func(), closeFn func()) {
+	s = NewLocalSession(seed)
+	inner := s.P0.Conn
+	f := transport.NewFaultyConn(inner, opsBeforeFault, false)
+	s.P0.Conn = f
+	s.P0.OT.Conn = f
+	return s, func() { inner.Close() }, s.Close
+}
+
+// runWithTrip executes the two party functions, tripping the pipe when a
+// party errors so its peer unblocks.
+func runWithTrip(s *Session, trip func(), f0, f1 func(*Context) error) error {
+	wrap := func(f func(*Context) error) func(*Context) error {
+		return func(c *Context) error {
+			err := f(c)
+			if err != nil {
+				trip()
+			}
+			return err
+		}
+	}
+	return s.Run(wrap(f0), wrap(f1))
+}
+
+func TestABReLUSurfacesTransportFault(t *testing.T) {
+	r := ring.New(16)
+	g := prg.NewSeeded(50)
+	x0, x1 := share.SplitVec(g, r, g.Elems(32, r))
+	for _, ops := range []int{0, 1, 2, 3} {
+		s, trip, closeFn := faultySession(uint64(51+ops), ops)
+		err := runWithTrip(s, trip,
+			func(c *Context) error { _, e := c.ABReLU(r, x0); return e },
+			func(c *Context) error { _, e := c.ABReLU(r, x1); return e })
+		closeFn()
+		if err == nil {
+			t.Fatalf("ops=%d: fault swallowed", ops)
+		}
+		if !errors.Is(err, transport.ErrInjected) && !errors.Is(err, transport.ErrClosed) {
+			t.Fatalf("ops=%d: unexpected error chain: %v", ops, err)
+		}
+	}
+}
+
+func TestPreparedLinearSurfacesFault(t *testing.T) {
+	r := ring.New(16)
+	g := prg.NewSeeded(60)
+	w0, w1 := share.SplitVec(g, r, g.Elems(12, r))
+	s, trip, closeFn := faultySession(61, 0)
+	defer closeFn()
+	err := runWithTrip(s, trip,
+		func(c *Context) error { _, e := c.PrepareLinear("x", r, w0, 3, 4); return e },
+		func(c *Context) error { _, e := c.PrepareLinear("x", r, w1, 3, 4); return e })
+	if err == nil {
+		t.Fatal("fault swallowed during F opening")
+	}
+}
+
+func TestTruncateFaithfulSurfacesFault(t *testing.T) {
+	r := ring.New(16)
+	g := prg.NewSeeded(62)
+	x0, x1 := share.SplitVec(g, r, g.Elems(16, r))
+	s, trip, closeFn := faultySession(63, 1)
+	defer closeFn()
+	err := runWithTrip(s, trip,
+		func(c *Context) error { return c.TruncateFaithful(r, x0, 3) },
+		func(c *Context) error { return c.TruncateFaithful(r, x1, 3) })
+	if err == nil {
+		t.Fatal("fault swallowed during truncation")
+	}
+}
+
+func TestMalformedFrameRejected(t *testing.T) {
+	// A peer that sends the wrong number of elements must trigger a
+	// protocol error, not a mis-parse.
+	a, b := transport.Pipe()
+	defer a.Close()
+	defer b.Close()
+	r := ring.New(16)
+	go transport.SendElems(a, r, []uint64{1, 2, 3})
+	_, err := transport.RecvElems(b, r, 7)
+	if err == nil || !strings.Contains(err.Error(), "expected 7 elements") {
+		t.Errorf("malformed frame error = %v", err)
+	}
+}
+
+func TestMSBMaskingHidesSignFromReceiver(t *testing.T) {
+	// The receiver's boolean share must be statistically independent of
+	// the hidden sign: over many fresh sessions with the same positive
+	// value, party j's share should flip roughly half the time (it is
+	// XOR-masked by party i's random bit).
+	r := ring.New(12)
+	ones := 0
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		s := NewLocalSession(uint64(1000 + trial))
+		g := prg.NewSeeded(uint64(2000 + trial))
+		x0, x1 := share.SplitVec(g, r, []uint64{r.FromInt(77)})
+		var share1 uint64
+		err := s.Run(
+			func(c *Context) error { _, e := c.MSBShares(r, x0); return e },
+			func(c *Context) error {
+				v, e := c.MSBShares(r, x1)
+				if e == nil {
+					share1 = v[0]
+				}
+				return e
+			})
+		s.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ones += int(share1)
+	}
+	if ones < trials/4 || ones > 3*trials/4 {
+		t.Errorf("receiver share biased: %d/%d ones — the mask is not hiding the sign", ones, trials)
+	}
+}

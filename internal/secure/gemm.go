@@ -1,0 +1,129 @@
+package secure
+
+import (
+	"fmt"
+
+	"aq2pnn/internal/ring"
+	"aq2pnn/internal/tensor"
+	"aq2pnn/internal/transport"
+	"aq2pnn/internal/triple"
+)
+
+// AS-GEMM: the ciphertext-ciphertext matrix multiplication of Sec. 4.1.2.
+// With Beaver triple [[A]], [[B]], [[Z]] (Z = A⊗B) and opened masks
+// E = rec(IN − A), F = rec(W − B), each party computes Eq. 1:
+//
+//	OUT_p = −p·E⊗F + IN_p⊗F + E⊗W_p + Z_p
+//
+// which we fold into two GEMMs: OUT_p = E⊗(W_p − p·F) + IN_p⊗F + Z_p.
+// The paper's AS-GEMM array evaluates the same expression with one C-C
+// multiplication unit per (input, output) channel pair.
+
+// MatMul multiplies shared matrices using a fresh ad-hoc triple: shares of
+// rec(IN) ⊗ rec(W) for IN (M×K) and W (K×N). Both masks are opened, so it
+// costs two share exchanges; prepared layers (PrepareLinear) avoid the F
+// exchange for static weights.
+func (c *Context) MatMul(r ring.Ring, in, w []uint64, m, k, n int) ([]uint64, error) {
+	if len(in) != m*k || len(w) != k*n {
+		return nil, fmt.Errorf("secure: MatMul dims %dx%d × %dx%d with lens %d,%d", m, k, k, n, len(in), len(w))
+	}
+	t, err := c.Triples.MatTriple(r, m, k, n)
+	if err != nil {
+		return nil, err
+	}
+	eShare := make([]uint64, m*k)
+	r.SubVec(eShare, in, t.A)
+	fShare := make([]uint64, k*n)
+	r.SubVec(fShare, w, t.B)
+	e, err := c.Open(r, eShare)
+	if err != nil {
+		return nil, err
+	}
+	f, err := c.Open(r, fShare)
+	if err != nil {
+		return nil, err
+	}
+	return c.beaverCombine(r, e, f, in, w, t.Z, m, k, n), nil
+}
+
+// beaverCombine evaluates Eq. 1 given the opened masks.
+func (c *Context) beaverCombine(r ring.Ring, e, f, inShare, wShare, zShare []uint64, m, k, n int) []uint64 {
+	// W_p − p·F (party j subtracts the public F once).
+	wf := wShare
+	if c.Party == 1 {
+		wf = make([]uint64, len(wShare))
+		r.SubVec(wf, wShare, f)
+	}
+	out := tensor.MatMulMod(e, wf, m, k, n, r.Mask)
+	inf := tensor.MatMulMod(inShare, f, m, k, n, r.Mask)
+	r.AddVec(out, out, inf)
+	r.AddVec(out, out, zShare)
+	return out
+}
+
+// Linear is a prepared linear operator (Conv2D via im2col, or FC): the
+// weight mask F has been opened once at preparation time ("pre-deployed in
+// the memory of each party"), so each online call exchanges only the input
+// mask E — the communication pattern the paper's Table 5 profiles.
+type Linear struct {
+	ctx  *Context
+	R    ring.Ring
+	K, N int
+	// wMinusPF is W_p − p·F, this party's precombined weight term.
+	wMinusPF []uint64
+	// F is the public opened weight mask.
+	F   []uint64
+	fam triple.Family
+}
+
+// PrepareLinear opens F = rec(W − B) for a static weight share (K×N) and
+// returns the prepared layer. id must be unique per layer and identical on
+// both parties.
+func (c *Context) PrepareLinear(id string, r ring.Ring, wShare []uint64, k, n int) (*Linear, error) {
+	if len(wShare) != k*n {
+		return nil, fmt.Errorf("secure: weight share length %d for %dx%d", len(wShare), k, n)
+	}
+	if c.NewFamily == nil {
+		return nil, fmt.Errorf("secure: context has no triple-family provider")
+	}
+	fam, err := c.NewFamily(id, r, k, n)
+	if err != nil {
+		return nil, err
+	}
+	fShare := make([]uint64, k*n)
+	r.SubVec(fShare, wShare, fam.BShare())
+	f, err := c.Open(r, fShare)
+	if err != nil {
+		return nil, err
+	}
+	wf := wShare
+	if c.Party == 1 {
+		wf = make([]uint64, len(wShare))
+		r.SubVec(wf, wShare, f)
+	}
+	return &Linear{ctx: c, R: r, K: k, N: n, wMinusPF: wf, F: f, fam: fam}, nil
+}
+
+// Mul multiplies a shared input (M×K) against the prepared weights,
+// exchanging only the E mask.
+func (l *Linear) Mul(in []uint64, m int) ([]uint64, error) {
+	if len(in) != m*l.K {
+		return nil, fmt.Errorf("secure: input length %d for %dx%d", len(in), m, l.K)
+	}
+	t, err := l.fam.Next(m)
+	if err != nil {
+		return nil, err
+	}
+	r := l.R
+	eShare := make([]uint64, m*l.K)
+	r.SubVec(eShare, in, t.A)
+	e, err := transport.ExchangeOpen(l.ctx.Conn, r, l.ctx.P(), eShare)
+	if err != nil {
+		return nil, err
+	}
+	out := tensor.MatMulMod(e, l.wMinusPF, m, l.K, l.N, r.Mask)
+	inf := tensor.MatMulMod(in, l.F, m, l.K, l.N, r.Mask)
+	r.AddVec(out, out, inf)
+	r.AddVec(out, out, t.Z)
+	return out, nil
+}

@@ -1,0 +1,86 @@
+package secure
+
+import (
+	"fmt"
+
+	"aq2pnn/internal/ring"
+	"aq2pnn/internal/transport"
+)
+
+// Element-wise ciphertext-ciphertext multiplication — the scalar Beaver
+// protocol underlying AS-GEMM, exposed directly. A Hadamard product of
+// n elements consumes an (n×1)⊗(1×1)-shaped triple per lane; we batch all
+// lanes into one diagonal triple request and one mask exchange, so the
+// online cost is two opened vectors regardless of n. These primitives
+// support extensions beyond the paper's operator set (squared activations,
+// secure distance computations) and give the tests an independent
+// cross-check of the triple machinery.
+
+// HadamardMul returns shares of the element-wise product rec(x)·rec(y).
+func (c *Context) HadamardMul(r ring.Ring, x, y []uint64) ([]uint64, error) {
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("secure: HadamardMul lengths %d vs %d", len(x), len(y))
+	}
+	n := len(x)
+	if n == 0 {
+		return nil, nil
+	}
+	// One scalar (1,1,1) triple per lane; the masks of all lanes are
+	// opened in two batched exchanges, so the round count stays constant.
+	eShare := make([]uint64, n)
+	fShare := make([]uint64, n)
+	zs := make([]uint64, n)
+	as := make([]uint64, n)
+	bs := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		t, err := c.Triples.MatTriple(r, 1, 1, 1)
+		if err != nil {
+			return nil, err
+		}
+		as[i], bs[i], zs[i] = t.A[0], t.B[0], t.Z[0]
+		eShare[i] = r.Sub(x[i], as[i])
+		fShare[i] = r.Sub(y[i], bs[i])
+	}
+	e, err := transport.ExchangeOpen(c.Conn, r, c.P(), eShare)
+	if err != nil {
+		return nil, err
+	}
+	f, err := transport.ExchangeOpen(c.Conn, r, c.P(), fShare)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		// out = −p·e·f + x_p·f + e·y_p + z_p  (Eq. 1, scalar form)
+		v := r.Add(r.Mul(x[i], f[i]), r.Mul(e[i], y[i]))
+		v = r.Add(v, zs[i])
+		if c.Party == 1 {
+			v = r.Sub(v, r.Mul(e[i], f[i]))
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Square returns shares of rec(x)² element-wise (a Hadamard product with
+// itself; a dedicated square triple would halve the opened masks, which a
+// production offline phase would exploit).
+func (c *Context) Square(r ring.Ring, x []uint64) ([]uint64, error) {
+	return c.HadamardMul(r, x, x)
+}
+
+// Dot returns shares of the inner product rec(x)·rec(y) using one (1,n,1)
+// matrix triple: a single E/F exchange and a local contraction.
+func (c *Context) Dot(r ring.Ring, x, y []uint64) (uint64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("secure: Dot lengths %d vs %d", len(x), len(y))
+	}
+	if len(x) == 0 {
+		return 0, nil
+	}
+	out, err := c.MatMul(r, x, y, 1, len(x), 1)
+	if err != nil {
+		return 0, err
+	}
+	return out[0], nil
+}

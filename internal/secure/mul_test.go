@@ -1,0 +1,95 @@
+package secure
+
+import (
+	"testing"
+	"testing/quick"
+
+	"aq2pnn/internal/prg"
+	"aq2pnn/internal/ring"
+	"aq2pnn/internal/share"
+)
+
+func TestHadamardMulMatchesPlaintext(t *testing.T) {
+	r := ring.New(16)
+	g := prg.NewSeeded(70)
+	x := g.Elems(64, r)
+	y := g.Elems(64, r)
+	s := NewLocalSession(71)
+	defer s.Close()
+	x0, x1 := share.SplitVec(g, r, x)
+	y0, y1 := share.SplitVec(g, r, y)
+	var o0, o1 []uint64
+	err := s.Run(
+		func(c *Context) error { var e error; o0, e = c.HadamardMul(r, x0, y0); return e },
+		func(c *Context) error { var e error; o1, e = c.HadamardMul(r, x1, y1); return e })
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := share.OpenVec(r, o0, o1)
+	for i := range x {
+		if got[i] != r.Mul(x[i], y[i]) {
+			t.Fatalf("product[%d] = %d, want %d", i, got[i], r.Mul(x[i], y[i]))
+		}
+	}
+}
+
+func TestSquareProperty(t *testing.T) {
+	// quick.Check: squaring any signed value on the ring reconstructs to
+	// v² mod Q.
+	r := ring.New(20)
+	g := prg.NewSeeded(72)
+	s := NewLocalSession(73)
+	defer s.Close()
+	f := func(raw int32) bool {
+		v := int64(raw % 500)
+		x0, x1 := share.Split(g, r, r.FromInt(v))
+		var o0, o1 []uint64
+		err := s.Run(
+			func(c *Context) error { var e error; o0, e = c.Square(r, []uint64{x0}); return e },
+			func(c *Context) error { var e error; o1, e = c.Square(r, []uint64{x1}); return e })
+		if err != nil {
+			return false
+		}
+		return r.ToInt(share.Open(r, o0[0], o1[0])) == r.ToInt(r.FromInt(v*v))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDotProduct(t *testing.T) {
+	r := ring.New(24)
+	g := prg.NewSeeded(74)
+	xs := []int64{3, -4, 7, 0, 2}
+	ys := []int64{1, 5, -2, 9, -3}
+	want := int64(3 - 20 - 14 + 0 - 6)
+	s := NewLocalSession(75)
+	defer s.Close()
+	x0, x1 := share.SplitVec(g, r, r.FromInts(xs))
+	y0, y1 := share.SplitVec(g, r, r.FromInts(ys))
+	var d0, d1 uint64
+	err := s.Run(
+		func(c *Context) error { var e error; d0, e = c.Dot(r, x0, y0); return e },
+		func(c *Context) error { var e error; d1, e = c.Dot(r, x1, y1); return e })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.ToInt(share.Open(r, d0, d1)); got != want {
+		t.Errorf("dot = %d, want %d", got, want)
+	}
+}
+
+func TestMulValidation(t *testing.T) {
+	s := NewLocalSession(76)
+	defer s.Close()
+	r := ring.New(8)
+	if _, err := s.P0.HadamardMul(r, []uint64{1}, []uint64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := s.P0.Dot(r, []uint64{1}, []uint64{1, 2}); err == nil {
+		t.Error("dot length mismatch accepted")
+	}
+	if out, err := s.P0.HadamardMul(r, nil, nil); err != nil || out != nil {
+		t.Error("empty product should be trivially nil")
+	}
+}

@@ -1,0 +1,136 @@
+package secure
+
+import (
+	"fmt"
+
+	"aq2pnn/internal/ring"
+	"aq2pnn/internal/scm"
+	"aq2pnn/internal/transport"
+)
+
+// ABReLU (Sec. 4.4): ReLU over additive shares without garbled circuits.
+// Step ① (quadrant detection) and step ② (OT-flow group comparison) yield
+// boolean shares of the sign of x; an OT multiplexer then computes
+// [[ReLU(x)]] = [[x · (1 ⊕ MSB(x))]]. The comparison result mask lives in
+// the OUT-MSK buffer on the accelerator; here it is the sender's boolean
+// share.
+
+// MSBShares computes boolean shares of the sign bit of every shared value:
+// party i plays the SCM token sender, party j the receiver.
+func (c *Context) MSBShares(r ring.Ring, x []uint64) ([]uint64, error) {
+	if c.Party == 0 {
+		return scm.MSBSender(c.OT, c.Rng, r, x)
+	}
+	return scm.MSBReceiver(c.OT, r, x)
+}
+
+// Mux computes arithmetic shares of x·d from arithmetic shares of x and
+// boolean shares d of a bit, using one 1-of-2 OT per element in each
+// direction: writing d = d_i ⊕ d_j,
+//
+//	x·d = x_i·d + x_j·d,
+//
+// and for each term the holder of x_p offers { x_p·(d_p⊕c) − r_p } c∈{0,1}
+// while the other party selects with its bit, leaving the parties with
+// additive shares of x_p·d.
+func (c *Context) Mux(r ring.Ring, x, d []uint64) ([]uint64, error) {
+	if len(x) != len(d) {
+		return nil, fmt.Errorf("secure: Mux lengths %d vs %d", len(x), len(d))
+	}
+	n := len(x)
+	w := r.Bytes()
+
+	buildMsgs := func(rp []uint64) [][][]byte {
+		msgs := make([][][]byte, n)
+		for k := 0; k < n; k++ {
+			m := make([][]byte, 2)
+			for cBit := uint64(0); cBit < 2; cBit++ {
+				var v uint64
+				if d[k]^cBit == 1 {
+					v = x[k]
+				}
+				m[cBit] = transport.PackElems(r, []uint64{r.Sub(v, rp[k])})
+			}
+			msgs[k] = m
+		}
+		return msgs
+	}
+	choices := make([]int, n)
+	for k := range choices {
+		choices[k] = int(d[k] & 1)
+	}
+
+	out := make([]uint64, n)
+	sendPart := func() error {
+		rp := c.Rng.Elems(n, r)
+		if err := c.OT.Send1ofN(2, buildMsgs(rp)); err != nil {
+			return err
+		}
+		r.AddVec(out, out, rp)
+		return nil
+	}
+	recvPart := func() error {
+		got, err := c.OT.Recv1ofN(2, choices, w)
+		if err != nil {
+			return err
+		}
+		for k := range got {
+			vals, err := transport.UnpackElems(r, got[k])
+			if err != nil {
+				return err
+			}
+			out[k] = r.Add(out[k], vals[0])
+		}
+		return nil
+	}
+	// Party 0 sends its term first, then receives; party 1 mirrors.
+	if c.Party == 0 {
+		if err := sendPart(); err != nil {
+			return nil, err
+		}
+		if err := recvPart(); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := recvPart(); err != nil {
+			return nil, err
+		}
+		if err := sendPart(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ABReLU computes shares of ReLU(x) element-wise.
+func (c *Context) ABReLU(r ring.Ring, x []uint64) ([]uint64, error) {
+	msb, err := c.MSBShares(r, x)
+	if err != nil {
+		return nil, fmt.Errorf("secure: ABReLU sign: %w", err)
+	}
+	// d = 1 ⊕ MSB: party i flips its boolean share.
+	if c.Party == 0 {
+		for k := range msb {
+			msb[k] ^= 1
+		}
+	}
+	out, err := c.Mux(r, x, msb)
+	if err != nil {
+		return nil, fmt.Errorf("secure: ABReLU mux: %w", err)
+	}
+	return out, nil
+}
+
+// DReLU returns boolean shares of the derivative of ReLU, i.e. [x ≥ 0].
+func (c *Context) DReLU(r ring.Ring, x []uint64) ([]uint64, error) {
+	msb, err := c.MSBShares(r, x)
+	if err != nil {
+		return nil, err
+	}
+	if c.Party == 0 {
+		for k := range msb {
+			msb[k] ^= 1
+		}
+	}
+	return msb, nil
+}

@@ -1,0 +1,80 @@
+package secure
+
+import (
+	"fmt"
+
+	"aq2pnn/internal/ring"
+	"aq2pnn/internal/scm"
+	"aq2pnn/internal/share"
+)
+
+// Faithful share truncation. The local AS-ALU truncation (share.TruncateShare)
+// wraps with probability ≈ |v|/Q per element, which is negligible on the
+// 64-bit rings of CryptGPU-class systems but NOT on AQ2PNN's aggressive
+// 16-bit carriers. This file provides an exact (±1 LSB) truncation built
+// entirely from machinery the paper already has — the secure comparison
+// machine and B2A — in the spirit of CrypTFlow2's faithful truncation:
+//
+//	v' = v + Q/4                       (shift into the non-negative range)
+//	k  = [ x'_0 + x_1 ≥ Q ]            (unsigned wrap bit, one SCM compare)
+//	y_p = (x'_p >> d) − arith(k)_p·(Q/2^d)   ;   party i also − (Q/4)/2^d
+//
+// which reconstructs to (v >> d) ± 1 whenever |v| < Q/4. The engine uses
+// it by default for 2PC-BNReQ and 2PC-AvgPool; Context.LocalTrunc restores
+// the paper's zero-communication local truncation as a measured ablation.
+
+// TruncateFaithful truncates shares by d bits in place, exact to ±1 LSB
+// for hidden values with |v| < Q/4.
+func (c *Context) TruncateFaithful(r ring.Ring, x []uint64, d uint) error {
+	if d == 0 {
+		r.ReduceVec(x)
+		return nil
+	}
+	quarter := r.Q() / 4
+	// Party i offsets its share by Q/4.
+	xp := x
+	if c.Party == 0 {
+		xp = make([]uint64, len(x))
+		for i, v := range x {
+			xp[i] = r.Add(v, quarter)
+		}
+	}
+	// Wrap bit k = [x_1 > Q−1−x'_0].
+	var kb []uint64
+	var err error
+	if c.Party == 0 {
+		a := make([]uint64, len(xp))
+		for i, v := range xp {
+			a[i] = r.Sub(r.Mask, v)
+		}
+		kb, err = scm.CmpSender(c.OT, c.Rng, r, a, scm.BGtA)
+	} else {
+		kb, err = scm.CmpReceiver(c.OT, r, xp, scm.BGtA)
+	}
+	if err != nil {
+		return fmt.Errorf("secure: faithful truncation wrap bit: %w", err)
+	}
+	ka, err := c.B2A(r, kb)
+	if err != nil {
+		return fmt.Errorf("secure: faithful truncation B2A: %w", err)
+	}
+	big := int64(r.Q() >> d)
+	for i := range x {
+		y := r.Sub(xp[i]>>d, r.MulConst(ka[i], big))
+		if c.Party == 0 {
+			y = r.Sub(y, quarter>>d)
+		}
+		x[i] = y
+	}
+	return nil
+}
+
+// RequantTruncate dispatches between the faithful truncation (default) and
+// the paper's local AS-ALU truncation (Context.LocalTrunc).
+func (c *Context) RequantTruncate(r ring.Ring, x []uint64, d uint) error {
+	if c.LocalTrunc {
+		share.TruncateShareVec(r, c.Party, x, d)
+		return nil
+	}
+	return c.TruncateFaithful(r, x, d)
+}

@@ -1,0 +1,145 @@
+// Package share implements 2PC additive secret-sharing over Z_Q
+// (Definition 3 of the paper): a value x is split as [[x]] ← (r, x−r) with
+// r uniform, and recovered as rec([[x]]) = (x_i + x_j) mod Q.
+//
+// It also provides the local (non-interactive) AS-ALU operations of
+// Sec. 4.1.3 — C-C addition, P-C addition/multiplication/division — and the
+// probabilistic local share truncation used by 2PC-BNReQ. The truncation is
+// the SecureML trick: it is exact up to ±1 LSB as long as the hidden value
+// is far from ±Q/2, and fails catastrophically (off by Q/2^d) when a share
+// wrap occurs. This failure mode is precisely why AQ2PNN's adaptive
+// quantization keeps a 4-bit carrier margin, and is what produces the
+// 12-bit accuracy cliff in Tables 7/8.
+package share
+
+import (
+	"aq2pnn/internal/prg"
+	"aq2pnn/internal/ring"
+)
+
+// Party identifies one of the two computation parties. By Definition 3 the
+// parties are indexed from {0, 1}.
+type Party int
+
+const (
+	// PartyI is party i (index 0), conventionally the user holding the
+	// input feature map.
+	PartyI Party = 0
+	// PartyJ is party j (index 1), conventionally the model provider.
+	PartyJ Party = 1
+)
+
+// Other returns the opposite party.
+func (p Party) Other() Party { return 1 - p }
+
+// Split produces the two additive shares of a single value:
+// [[x]] ← (r, x − r).
+func Split(g *prg.PRG, r ring.Ring, x uint64) (xi, xj uint64) {
+	xi = g.Elem(r)
+	xj = r.Sub(x, xi)
+	return xi, xj
+}
+
+// Open recovers x ← (x_i + x_j) mod Q.
+func Open(r ring.Ring, xi, xj uint64) uint64 { return r.Add(xi, xj) }
+
+// SplitVec secret-shares a vector element-wise.
+func SplitVec(g *prg.PRG, r ring.Ring, x []uint64) (xi, xj []uint64) {
+	xi = make([]uint64, len(x))
+	xj = make([]uint64, len(x))
+	g.FillElems(xi, r)
+	r.SubVec(xj, x, xi)
+	return xi, xj
+}
+
+// OpenVec recovers a shared vector.
+func OpenVec(r ring.Ring, xi, xj []uint64) []uint64 {
+	out := make([]uint64, len(xi))
+	r.AddVec(out, xi, xj)
+	return out
+}
+
+// AddConst performs P-C addition [[a+x]] ← (a+x_i, x_j): exactly one party
+// (by convention party i) adds the public constant. Each party calls this
+// with its own share; only party i applies the constant.
+func AddConst(r ring.Ring, p Party, xs uint64, a uint64) uint64 {
+	if p == PartyI {
+		return r.Add(xs, a)
+	}
+	return xs
+}
+
+// AddConstVec is the vector form of AddConst.
+func AddConstVec(r ring.Ring, p Party, xs []uint64, a []uint64) {
+	if p != PartyI {
+		return
+	}
+	r.AddVec(xs, xs, a)
+}
+
+// MulConst performs P-C multiplication [[a·x]] ← (a·x_i, a·x_j); both
+// parties scale their share by the public constant.
+func MulConst(r ring.Ring, xs uint64, a int64) uint64 { return r.MulConst(xs, a) }
+
+// MulConstVec scales a share vector by a public constant in place.
+func MulConstVec(r ring.Ring, xs []uint64, a int64) { r.ScaleVec(xs, xs, a) }
+
+// TruncateShare performs the local probabilistic truncation of one share by
+// d bits (the P-C division / requantization logic of the AS-ALU): party i
+// computes x_i >> d; party j computes −((−x_j) >> d). If no share wrap
+// occurred the reconstructed value is (x >> d) ± 1.
+func TruncateShare(r ring.Ring, p Party, xs uint64, d uint) uint64 {
+	if d == 0 {
+		return r.Reduce(xs)
+	}
+	if p == PartyI {
+		return r.ShiftRightLogical(xs, d)
+	}
+	return r.Neg(r.ShiftRightLogical(r.Neg(xs), d))
+}
+
+// TruncateShareVec truncates a share vector in place.
+func TruncateShareVec(r ring.Ring, p Party, xs []uint64, d uint) {
+	if d == 0 {
+		r.ReduceVec(xs)
+		return
+	}
+	if p == PartyI {
+		for i := range xs {
+			xs[i] = r.ShiftRightLogical(xs[i], d)
+		}
+		return
+	}
+	for i := range xs {
+		xs[i] = r.Neg(r.ShiftRightLogical(r.Neg(xs[i]), d))
+	}
+}
+
+// ContractVec maps a share vector into a narrower ring in place (only the
+// representation changes; slices keep their backing array). Contraction of
+// shares is exact: the reconstructed value is reduced modulo the small
+// ring, which preserves the signed value whenever it fits.
+func ContractVec(from, to ring.Ring, xs []uint64) {
+	for i := range xs {
+		xs[i] = from.Contract(xs[i], to)
+	}
+}
+
+// Tensor is a shared tensor held by one party: a flat share vector plus the
+// ring it lives on. Shape bookkeeping stays in the layers that use it.
+type Tensor struct {
+	R    ring.Ring
+	Data []uint64
+}
+
+// NewTensor allocates a zero share tensor.
+func NewTensor(r ring.Ring, n int) *Tensor {
+	return &Tensor{R: r, Data: make([]uint64, n)}
+}
+
+// Clone deep-copies the share tensor.
+func (t *Tensor) Clone() *Tensor {
+	c := NewTensor(t.R, len(t.Data))
+	copy(c.Data, t.Data)
+	return c
+}

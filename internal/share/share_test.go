@@ -1,0 +1,245 @@
+package share
+
+import (
+	"testing"
+	"testing/quick"
+
+	"aq2pnn/internal/prg"
+	"aq2pnn/internal/ring"
+)
+
+func TestSplitOpenRoundTrip(t *testing.T) {
+	r := ring.New(16)
+	g := prg.NewSeeded(1)
+	for i := 0; i < 1000; i++ {
+		x := g.Elem(r)
+		xi, xj := Split(g, r, x)
+		if Open(r, xi, xj) != x {
+			t.Fatalf("open(split(%d)) failed", x)
+		}
+	}
+}
+
+func TestSplitUniformity(t *testing.T) {
+	// The first share of a fixed secret must look uniform: bucket counts
+	// over 20k draws should be balanced.
+	r := ring.New(8)
+	g := prg.NewSeeded(2)
+	counts := make([]int, 4)
+	for i := 0; i < 20000; i++ {
+		xi, _ := Split(g, r, 42)
+		counts[xi>>6]++
+	}
+	for b, c := range counts {
+		if c < 4500 || c > 5500 {
+			t.Errorf("share quartile %d has %d of 20000", b, c)
+		}
+	}
+}
+
+func TestVecRoundTripQuick(t *testing.T) {
+	r := ring.New(20)
+	g := prg.NewSeeded(3)
+	f := func(raw []uint64) bool {
+		x := make([]uint64, len(raw))
+		for i := range raw {
+			x[i] = r.Reduce(raw[i])
+		}
+		xi, xj := SplitVec(g, r, x)
+		got := OpenVec(r, xi, xj)
+		for i := range x {
+			if got[i] != x[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCCAddition(t *testing.T) {
+	// [[x+y]] ← (x_i+y_i, x_j+y_j): shares add locally.
+	r := ring.New(12)
+	g := prg.NewSeeded(4)
+	for i := 0; i < 200; i++ {
+		x, y := g.Elem(r), g.Elem(r)
+		xi, xj := Split(g, r, x)
+		yi, yj := Split(g, r, y)
+		if Open(r, r.Add(xi, yi), r.Add(xj, yj)) != r.Add(x, y) {
+			t.Fatal("C-C addition broken")
+		}
+	}
+}
+
+func TestPCAdditionOneSideOnly(t *testing.T) {
+	r := ring.New(12)
+	g := prg.NewSeeded(5)
+	x := r.FromInt(-100)
+	xi, xj := Split(g, r, x)
+	a := r.FromInt(37)
+	yi := AddConst(r, PartyI, xi, a)
+	yj := AddConst(r, PartyJ, xj, a)
+	if r.ToInt(Open(r, yi, yj)) != -63 {
+		t.Errorf("P-C addition = %d, want -63", r.ToInt(Open(r, yi, yj)))
+	}
+	if yj != xj {
+		t.Error("party j must not apply the public constant")
+	}
+}
+
+func TestPCMultiplication(t *testing.T) {
+	r := ring.New(16)
+	g := prg.NewSeeded(6)
+	x := r.FromInt(-123)
+	xi, xj := Split(g, r, x)
+	yi := MulConst(r, xi, -4)
+	yj := MulConst(r, xj, -4)
+	if got := r.ToInt(Open(r, yi, yj)); got != 492 {
+		t.Errorf("P-C mul = %d, want 492", got)
+	}
+}
+
+func TestTruncationWithinOneLSB(t *testing.T) {
+	// With a value well inside the ring, local truncation errs by at most
+	// 1 LSB relative to the plaintext arithmetic shift.
+	// Share truncation is probabilistic: it wraps with probability ≈ |v|/Q.
+	// With |v| ≤ 2^12 on a 2^20 ring that is ≤ 0.4% per element; successful
+	// trials must land within ±1 of the arithmetic shift.
+	r := ring.New(20)
+	g := prg.NewSeeded(7)
+	const d = 6
+	const trials = 5000
+	wraps := 0
+	for trial := 0; trial < trials; trial++ {
+		v := g.Int64n(1 << 12) // |v| ≤ 2^12 ≪ 2^19
+		x := r.FromInt(v)
+		xi, xj := Split(g, r, x)
+		ti := TruncateShare(r, PartyI, xi, d)
+		tj := TruncateShare(r, PartyJ, xj, d)
+		got := r.ToInt(Open(r, ti, tj))
+		want := v >> d
+		diff := got - want
+		if diff < -1 || diff > 1 {
+			wraps++
+		}
+	}
+	if rate := float64(wraps) / trials; rate > 0.01 {
+		t.Errorf("wrap rate %.4f exceeds the ≈0.002 theoretical bound", rate)
+	}
+	t.Logf("wraps: %d/%d", wraps, trials)
+}
+
+func TestTruncationFailureNearRingEdge(t *testing.T) {
+	// When |v| approaches Q/2 the share-wrap probability approaches 1/2
+	// and truncation produces huge errors. This is the overflow failure
+	// mode the ℓ+4 margin guards against; assert that it actually occurs.
+	r := ring.New(12)
+	g := prg.NewSeeded(8)
+	const d = 4
+	failures := 0
+	const trials = 2000
+	for trial := 0; trial < trials; trial++ {
+		v := int64(1900) // close to Q/2 = 2048
+		xi, xj := Split(g, r, r.FromInt(v))
+		ti := TruncateShare(r, PartyI, xi, d)
+		tj := TruncateShare(r, PartyJ, xj, d)
+		got := r.ToInt(Open(r, ti, tj))
+		if got < v>>d-1 || got > v>>d+1 {
+			failures++
+		}
+	}
+	if failures == 0 {
+		t.Error("expected share-wrap truncation failures near the ring edge, saw none")
+	}
+	if failures > trials {
+		t.Error("impossible")
+	}
+	t.Logf("near-edge truncation failure rate: %d/%d", failures, trials)
+}
+
+func TestTruncationFailureRateMatchesTheory(t *testing.T) {
+	// P[wrap] ≈ |v|/Q for positive v: check within a factor.
+	r := ring.New(16)
+	g := prg.NewSeeded(9)
+	v := int64(8192) // Q/8 → expect ≈ 12.5% failures
+	failures := 0
+	const trials = 8000
+	for trial := 0; trial < trials; trial++ {
+		xi, xj := Split(g, r, r.FromInt(v))
+		ti := TruncateShare(r, PartyI, xi, 3)
+		tj := TruncateShare(r, PartyJ, xj, 3)
+		got := r.ToInt(Open(r, ti, tj))
+		if got < v>>3-1 || got > v>>3+1 {
+			failures++
+		}
+	}
+	rate := float64(failures) / trials
+	if rate < 0.08 || rate > 0.18 {
+		t.Errorf("failure rate %.3f, expected ≈ 0.125", rate)
+	}
+}
+
+func TestTruncateShareVecMatchesScalar(t *testing.T) {
+	r := ring.New(18)
+	g := prg.NewSeeded(10)
+	xs := g.Elems(64, r)
+	ys := append([]uint64(nil), xs...)
+	TruncateShareVec(r, PartyJ, ys, 5)
+	for i := range xs {
+		if ys[i] != TruncateShare(r, PartyJ, xs[i], 5) {
+			t.Fatal("vector truncation diverges from scalar")
+		}
+	}
+	zs := append([]uint64(nil), xs...)
+	TruncateShareVec(r, PartyI, zs, 0)
+	for i := range xs {
+		if zs[i] != r.Reduce(xs[i]) {
+			t.Fatal("d=0 should only reduce")
+		}
+	}
+}
+
+func TestContractVecPreservesSmallValues(t *testing.T) {
+	q2, q1 := ring.New(16), ring.New(12)
+	g := prg.NewSeeded(11)
+	for trial := 0; trial < 500; trial++ {
+		v := g.Int64n(2000) // fits in 12 bits
+		xi, xj := Split(g, q2, q2.FromInt(v))
+		si := []uint64{xi}
+		sj := []uint64{xj}
+		ContractVec(q2, q1, si)
+		ContractVec(q2, q1, sj)
+		if q1.ToInt(Open(q1, si[0], sj[0])) != v {
+			t.Fatalf("contract lost value %d", v)
+		}
+	}
+}
+
+func TestPartyOther(t *testing.T) {
+	if PartyI.Other() != PartyJ || PartyJ.Other() != PartyI {
+		t.Error("Other wrong")
+	}
+}
+
+func TestTensorClone(t *testing.T) {
+	r := ring.New(8)
+	a := NewTensor(r, 4)
+	a.Data[2] = 9
+	b := a.Clone()
+	b.Data[2] = 1
+	if a.Data[2] != 9 {
+		t.Error("Tensor.Clone aliases")
+	}
+}
+
+func BenchmarkSplitVec(b *testing.B) {
+	r := ring.New(16)
+	g := prg.NewSeeded(1)
+	x := g.Elems(4096, r)
+	b.SetBytes(int64(len(x) * 8))
+	for i := 0; i < b.N; i++ {
+		SplitVec(g, r, x)
+	}
+}

@@ -1,0 +1,154 @@
+package train
+
+import (
+	"fmt"
+
+	"aq2pnn/internal/prg"
+	"aq2pnn/internal/tensor"
+)
+
+// Stand-in architectures for the accuracy experiments: width-reduced,
+// sequential versions of the paper's models, small enough to train from
+// scratch on one core in seconds. The reductions (documented per builder)
+// preserve what the accuracy experiments measure — depth class, pooling
+// structure and the conv/BNReQ/ReLU building-block pattern — while the
+// full-size graphs in the nn zoo drive the cost experiments.
+
+// PoolChoice selects pooling for the Sec. 6.5 max-vs-avg study.
+type PoolChoice int
+
+const (
+	// Max uses max pooling.
+	Max PoolChoice = iota
+	// Avg uses average pooling.
+	Avg
+)
+
+// Standin couples a trainable network with the metadata the quantizer
+// needs to emit an equivalent nn.Model.
+type Standin struct {
+	Name          string
+	Net           *Net
+	InC, InH, InW int
+	Classes       int
+}
+
+func convGeom(c, h, w, outC, k, stride, pad int) tensor.ConvGeom {
+	return tensor.ConvGeom{InC: c, InH: h, InW: w, OutC: outC, KH: k, KW: k,
+		StrideH: stride, StrideW: stride, PadH: pad, PadW: pad}
+}
+
+func poolLayer(choice PoolChoice, g tensor.ConvGeom) Layer {
+	if choice == Max {
+		return &MaxPoolLayer{Geom: g}
+	}
+	return &AvgPoolLayer{Geom: g}
+}
+
+// NewLeNet5 is the full LeNet5 (it is already small): 28×28 grayscale.
+func NewLeNet5(rng *prg.PRG, pool PoolChoice, classes int) *Standin {
+	g1 := convGeom(1, 28, 28, 6, 5, 1, 2)
+	p1 := tensor.ConvGeom{InC: 6, InH: 28, InW: 28, KH: 2, KW: 2, StrideH: 2, StrideW: 2}
+	g2 := convGeom(6, 14, 14, 16, 5, 1, 0)
+	p2 := tensor.ConvGeom{InC: 16, InH: 10, InW: 10, KH: 2, KW: 2, StrideH: 2, StrideW: 2}
+	net := &Net{Layers: []Layer{
+		NewConv(g1, rng), &ReLULayer{}, poolLayer(pool, p1),
+		NewConv(g2, rng), &ReLULayer{}, poolLayer(pool, p2),
+		NewFC(16*5*5, 120, rng), &ReLULayer{},
+		NewFC(120, 84, rng), &ReLULayer{},
+		NewFC(84, classes, rng),
+	}}
+	return &Standin{Name: "lenet5", Net: net, InC: 1, InH: 28, InW: 28, Classes: classes}
+}
+
+// NewAlexNetStandin is a width-reduced AlexNet (channels ÷8, single FC
+// head) on 28×28 or 32×32 inputs.
+func NewAlexNetStandin(rng *prg.PRG, pool PoolChoice, inC, side, classes int) *Standin {
+	g1 := convGeom(inC, side, side, 8, 5, 1, 2)
+	p1 := tensor.ConvGeom{InC: 8, InH: side, InW: side, KH: 2, KW: 2, StrideH: 2, StrideW: 2}
+	s2 := side / 2
+	g2 := convGeom(8, s2, s2, 24, 5, 1, 2)
+	p2 := tensor.ConvGeom{InC: 24, InH: s2, InW: s2, KH: 2, KW: 2, StrideH: 2, StrideW: 2}
+	s3 := s2 / 2
+	g3 := convGeom(24, s3, s3, 32, 3, 1, 1)
+	g4 := convGeom(32, s3, s3, 32, 3, 1, 1)
+	p3 := tensor.ConvGeom{InC: 32, InH: s3, InW: s3, KH: 2, KW: 2, StrideH: 2, StrideW: 2}
+	s4 := s3 / 2
+	net := &Net{Layers: []Layer{
+		NewConv(g1, rng), &ReLULayer{}, poolLayer(pool, p1),
+		NewConv(g2, rng), &ReLULayer{}, poolLayer(pool, p2),
+		NewConv(g3, rng), &ReLULayer{},
+		NewConv(g4, rng), &ReLULayer{}, poolLayer(pool, p3),
+		NewFC(32*s4*s4, 64, rng), &ReLULayer{},
+		NewFC(64, classes, rng),
+	}}
+	return &Standin{Name: "alexnet", Net: net, InC: inC, InH: side, InW: side, Classes: classes}
+}
+
+// NewVGGStandin is a depth-preserving, width-reduced VGG: three
+// conv-conv-pool stages (the 32×32 VGG16's pooling cadence) at 1/8 width.
+func NewVGGStandin(rng *prg.PRG, pool PoolChoice, inC, side, classes int) *Standin {
+	layers := []Layer{}
+	c, s := inC, side
+	for stage, ch := range []int{8, 16, 32} {
+		layers = append(layers,
+			NewConv(convGeom(c, s, s, ch, 3, 1, 1), rng), &ReLULayer{},
+			NewConv(convGeom(ch, s, s, ch, 3, 1, 1), rng), &ReLULayer{},
+			poolLayer(pool, tensor.ConvGeom{InC: ch, InH: s, InW: s, KH: 2, KW: 2, StrideH: 2, StrideW: 2}),
+		)
+		c, s = ch, s/2
+		_ = stage
+	}
+	layers = append(layers, NewFC(c*s*s, classes, rng))
+	return &Standin{Name: "vgg16", Net: net(layers), InC: inC, InH: side, InW: side, Classes: classes}
+}
+
+// NewResNetStandin approximates the ResNet18 profile without residual
+// connections (the trainable substrate is sequential): a stem plus three
+// stride-2 stages and a global average pool.
+func NewResNetStandin(rng *prg.PRG, pool PoolChoice, inC, side, classes int) *Standin {
+	layers := []Layer{
+		NewConv(convGeom(inC, side, side, 8, 3, 1, 1), rng), &ReLULayer{},
+	}
+	if pool == Max {
+		layers = append(layers, &MaxPoolLayer{Geom: tensor.ConvGeom{InC: 8, InH: side, InW: side, KH: 2, KW: 2, StrideH: 2, StrideW: 2}})
+	} else {
+		layers = append(layers, &AvgPoolLayer{Geom: tensor.ConvGeom{InC: 8, InH: side, InW: side, KH: 2, KW: 2, StrideH: 2, StrideW: 2}})
+	}
+	c, s := 8, side/2
+	for _, ch := range []int{16, 32} {
+		layers = append(layers,
+			NewConv(convGeom(c, s, s, ch, 3, 2, 1), rng), &ReLULayer{},
+			NewConv(convGeom(ch, (s+1)/2, (s+1)/2, ch, 3, 1, 1), rng), &ReLULayer{},
+		)
+		c, s = ch, (s+1)/2
+	}
+	// A 2×2 pool + flatten head replaces the full-size model's global
+	// average pool: the synthetic classes carry positional structure that
+	// a GAP over an 8-channel stand-in would erase entirely.
+	layers = append(layers,
+		&AvgPoolLayer{Geom: tensor.ConvGeom{InC: c, InH: s, InW: s, KH: 2, KW: 2, StrideH: 2, StrideW: 2}},
+		NewFC(c*(s/2)*(s/2), classes, rng),
+	)
+	return &Standin{Name: "resnet18", Net: net(layers), InC: inC, InH: side, InW: side, Classes: classes}
+}
+
+func net(layers []Layer) *Net { return &Net{Layers: layers} }
+
+// StandinByName builds a stand-in by experiment name.
+func StandinByName(name string, rng *prg.PRG, pool PoolChoice, inC, side, classes int) (*Standin, error) {
+	switch name {
+	case "lenet5":
+		return NewLeNet5(rng, pool, classes), nil
+	case "alexnet":
+		return NewAlexNetStandin(rng, pool, inC, side, classes), nil
+	case "vgg16":
+		return NewVGGStandin(rng, pool, inC, side, classes), nil
+	case "resnet18", "resnet50":
+		// The ResNet50 accuracy stand-in shares the ResNet18 profile; the
+		// cost experiments use the true bottleneck graph from the zoo.
+		return NewResNetStandin(rng, pool, inC, side, classes), nil
+	default:
+		return nil, fmt.Errorf("train: unknown stand-in %q", name)
+	}
+}

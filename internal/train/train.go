@@ -1,0 +1,401 @@
+// Package train is the from-scratch float training substrate: enough
+// backprop (conv, fully connected, ReLU, max/average pooling, softmax
+// cross-entropy, SGD with momentum) to train the reduced stand-in models
+// whose quantized versions drive the paper's accuracy experiments
+// (Table 2, Table 6, Figs. 10/11, Tables 7/8).
+package train
+
+import (
+	"fmt"
+	"math"
+
+	"aq2pnn/internal/prg"
+	"aq2pnn/internal/tensor"
+)
+
+// Layer is one differentiable stage of a sequential network.
+type Layer interface {
+	// Forward computes the output; train enables gradient caching.
+	Forward(x []float64, train bool) []float64
+	// Backward consumes dL/dout and returns dL/din, accumulating
+	// parameter gradients.
+	Backward(grad []float64) []float64
+	// Step applies an SGD-with-momentum update and clears gradients.
+	Step(lr, momentum float64)
+}
+
+// ConvLayer is a 2D convolution with bias.
+type ConvLayer struct {
+	Geom tensor.ConvGeom
+	W    []float64 // (OutC, PatchLen)
+	B    []float64
+	dW   []float64
+	dB   []float64
+	vW   []float64
+	vB   []float64
+	x    []float64 // cached input
+	cols []float64 // cached im2col
+}
+
+// NewConv initialises a conv layer with He-scaled weights.
+func NewConv(g tensor.ConvGeom, rng *prg.PRG) *ConvLayer {
+	n := g.OutC * g.PatchLen()
+	l := &ConvLayer{
+		Geom: g,
+		W:    make([]float64, n),
+		B:    make([]float64, g.OutC),
+		dW:   make([]float64, n),
+		dB:   make([]float64, g.OutC),
+		vW:   make([]float64, n),
+		vB:   make([]float64, g.OutC),
+	}
+	std := math.Sqrt(2.0 / float64(g.PatchLen()))
+	for i := range l.W {
+		l.W[i] = rng.NormFloat64() * std
+	}
+	return l
+}
+
+// Forward implements Layer. Output layout is (OutC, OutH, OutW).
+func (l *ConvLayer) Forward(x []float64, train bool) []float64 {
+	g := l.Geom
+	cols := tensor.Im2ColFloat(x, g) // (P, PL)
+	p := g.Patches()
+	pl := g.PatchLen()
+	// out(P, OutC) = cols × Wᵀ, then transpose to (OutC, P).
+	wt := tensor.TransposeFloat(l.W, g.OutC, pl) // (PL, OutC)
+	o := tensor.MatMulFloat(cols, wt, p, pl, g.OutC)
+	out := make([]float64, g.OutC*p)
+	for pt := 0; pt < p; pt++ {
+		for oc := 0; oc < g.OutC; oc++ {
+			out[oc*p+pt] = o[pt*g.OutC+oc] + l.B[oc]
+		}
+	}
+	if train {
+		l.x = x
+		l.cols = cols
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *ConvLayer) Backward(grad []float64) []float64 {
+	g := l.Geom
+	p := g.Patches()
+	pl := g.PatchLen()
+	// grad arrives as (OutC, P); transpose to (P, OutC).
+	gt := make([]float64, len(grad))
+	for oc := 0; oc < g.OutC; oc++ {
+		for pt := 0; pt < p; pt++ {
+			gt[pt*g.OutC+oc] = grad[oc*p+pt]
+			l.dB[oc] += grad[oc*p+pt]
+		}
+	}
+	// dW(OutC, PL) = gradᵀ(OutC, P) × cols(P, PL).
+	dw := tensor.MatMulFloat(tensor.TransposeFloat(gt, p, g.OutC), l.cols, g.OutC, p, pl)
+	for i := range dw {
+		l.dW[i] += dw[i]
+	}
+	// dcols(P, PL) = gt(P, OutC) × W(OutC, PL).
+	dcols := tensor.MatMulFloat(gt, l.W, p, g.OutC, pl)
+	return tensor.Col2ImFloat(dcols, g)
+}
+
+// Step implements Layer.
+func (l *ConvLayer) Step(lr, momentum float64) {
+	sgd(l.W, l.dW, l.vW, lr, momentum)
+	sgd(l.B, l.dB, l.vB, lr, momentum)
+}
+
+// FCLayer is a fully connected layer with bias.
+type FCLayer struct {
+	In, Out int
+	W       []float64 // (Out, In)
+	B       []float64
+	dW, dB  []float64
+	vW, vB  []float64
+	x       []float64
+}
+
+// NewFC initialises a fully connected layer.
+func NewFC(in, out int, rng *prg.PRG) *FCLayer {
+	l := &FCLayer{
+		In: in, Out: out,
+		W: make([]float64, in*out), B: make([]float64, out),
+		dW: make([]float64, in*out), dB: make([]float64, out),
+		vW: make([]float64, in*out), vB: make([]float64, out),
+	}
+	std := math.Sqrt(2.0 / float64(in))
+	for i := range l.W {
+		l.W[i] = rng.NormFloat64() * std
+	}
+	return l
+}
+
+// Forward implements Layer.
+func (l *FCLayer) Forward(x []float64, train bool) []float64 {
+	out := make([]float64, l.Out)
+	for o := 0; o < l.Out; o++ {
+		w := l.W[o*l.In : (o+1)*l.In]
+		s := l.B[o]
+		for i := range x {
+			s += w[i] * x[i]
+		}
+		out[o] = s
+	}
+	if train {
+		l.x = x
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *FCLayer) Backward(grad []float64) []float64 {
+	din := make([]float64, l.In)
+	for o := 0; o < l.Out; o++ {
+		g := grad[o]
+		l.dB[o] += g
+		w := l.W[o*l.In : (o+1)*l.In]
+		dw := l.dW[o*l.In : (o+1)*l.In]
+		for i := 0; i < l.In; i++ {
+			dw[i] += g * l.x[i]
+			din[i] += g * w[i]
+		}
+	}
+	return din
+}
+
+// Step implements Layer.
+func (l *FCLayer) Step(lr, momentum float64) {
+	sgd(l.W, l.dW, l.vW, lr, momentum)
+	sgd(l.B, l.dB, l.vB, lr, momentum)
+}
+
+// ReLULayer applies max(0, x).
+type ReLULayer struct{ mask []bool }
+
+// Forward implements Layer.
+func (l *ReLULayer) Forward(x []float64, train bool) []float64 {
+	out := make([]float64, len(x))
+	if train {
+		l.mask = make([]bool, len(x))
+	}
+	for i, v := range x {
+		if v > 0 {
+			out[i] = v
+			if train {
+				l.mask[i] = true
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *ReLULayer) Backward(grad []float64) []float64 {
+	out := make([]float64, len(grad))
+	for i, g := range grad {
+		if l.mask[i] {
+			out[i] = g
+		}
+	}
+	return out
+}
+
+// Step implements Layer.
+func (l *ReLULayer) Step(lr, momentum float64) {}
+
+// MaxPoolLayer is channel-wise max pooling.
+type MaxPoolLayer struct {
+	Geom tensor.ConvGeom
+	arg  []int
+	inN  int
+}
+
+// Forward implements Layer.
+func (l *MaxPoolLayer) Forward(x []float64, train bool) []float64 {
+	g := l.Geom
+	out := make([]float64, g.InC*g.OutH()*g.OutW())
+	if train {
+		l.arg = make([]int, len(out))
+		l.inN = len(x)
+	}
+	tensor.PoolWindows(g, func(oi int, win []int) {
+		best := win[0]
+		for _, ii := range win[1:] {
+			if x[ii] > x[best] {
+				best = ii
+			}
+		}
+		out[oi] = x[best]
+		if train {
+			l.arg[oi] = best
+		}
+	})
+	return out
+}
+
+// Backward implements Layer.
+func (l *MaxPoolLayer) Backward(grad []float64) []float64 {
+	din := make([]float64, l.inN)
+	for oi, g := range grad {
+		din[l.arg[oi]] += g
+	}
+	return din
+}
+
+// Step implements Layer.
+func (l *MaxPoolLayer) Step(lr, momentum float64) {}
+
+// AvgPoolLayer is channel-wise average pooling.
+type AvgPoolLayer struct {
+	Geom tensor.ConvGeom
+	inN  int
+}
+
+// Forward implements Layer.
+func (l *AvgPoolLayer) Forward(x []float64, train bool) []float64 {
+	g := l.Geom
+	out := make([]float64, g.InC*g.OutH()*g.OutW())
+	l.inN = len(x)
+	tensor.PoolWindows(g, func(oi int, win []int) {
+		var s float64
+		for _, ii := range win {
+			s += x[ii]
+		}
+		out[oi] = s / float64(len(win))
+	})
+	return out
+}
+
+// Backward implements Layer.
+func (l *AvgPoolLayer) Backward(grad []float64) []float64 {
+	din := make([]float64, l.inN)
+	tensor.PoolWindows(l.Geom, func(oi int, win []int) {
+		g := grad[oi] / float64(len(win))
+		for _, ii := range win {
+			din[ii] += g
+		}
+	})
+	return din
+}
+
+// Step implements Layer.
+func (l *AvgPoolLayer) Step(lr, momentum float64) {}
+
+func sgd(w, dw, v []float64, lr, momentum float64) {
+	for i := range w {
+		v[i] = momentum*v[i] - lr*dw[i]
+		w[i] += v[i]
+		dw[i] = 0
+	}
+}
+
+// Net is a sequential network.
+type Net struct {
+	Layers []Layer
+}
+
+// Forward runs the network.
+func (n *Net) Forward(x []float64, train bool) []float64 {
+	for _, l := range n.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// LossAndGrad computes softmax cross-entropy and its input gradient.
+func LossAndGrad(logits []float64, label int) (float64, []float64) {
+	maxv := logits[0]
+	for _, v := range logits {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	exps := make([]float64, len(logits))
+	for i, v := range logits {
+		exps[i] = math.Exp(v - maxv)
+		sum += exps[i]
+	}
+	grad := make([]float64, len(logits))
+	for i := range logits {
+		p := exps[i] / sum
+		grad[i] = p
+	}
+	grad[label] -= 1
+	return -math.Log(exps[label]/sum + 1e-12), grad
+}
+
+// Config holds the training hyperparameters.
+type Config struct {
+	Epochs   int
+	LR       float64
+	Momentum float64
+	// LRDecay multiplies the learning rate after each epoch (default 1).
+	LRDecay float64
+	// Quiet suppresses the per-epoch log callback.
+	Log func(epoch int, loss float64, acc float64)
+}
+
+// Fit trains the network on (xs, ys) with plain SGD (batch size 1 — the
+// stand-ins are tiny and single-core determinism is worth more than
+// vectorized batching here).
+func (n *Net) Fit(xs [][]float64, ys []int, rng *prg.PRG, cfg Config) error {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return fmt.Errorf("train: %d inputs for %d labels", len(xs), len(ys))
+	}
+	lr := cfg.LR
+	if lr == 0 {
+		lr = 0.01
+	}
+	decay := cfg.LRDecay
+	if decay == 0 {
+		decay = 1
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		perm := rng.Perm(len(xs))
+		var lossSum float64
+		correct := 0
+		for _, idx := range perm {
+			logits := n.Forward(xs[idx], true)
+			loss, grad := LossAndGrad(logits, ys[idx])
+			lossSum += loss
+			if argmaxF(logits) == ys[idx] {
+				correct++
+			}
+			for li := len(n.Layers) - 1; li >= 0; li-- {
+				grad = n.Layers[li].Backward(grad)
+			}
+			for _, l := range n.Layers {
+				l.Step(lr, cfg.Momentum)
+			}
+		}
+		if cfg.Log != nil {
+			cfg.Log(epoch, lossSum/float64(len(xs)), float64(correct)/float64(len(xs)))
+		}
+		lr *= decay
+	}
+	return nil
+}
+
+// Accuracy scores the network on a labelled set.
+func (n *Net) Accuracy(xs [][]float64, ys []int) float64 {
+	correct := 0
+	for i := range xs {
+		if argmaxF(n.Forward(xs[i], false)) == ys[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(xs))
+}
+
+func argmaxF(v []float64) int {
+	best := 0
+	for i := range v {
+		if v[i] > v[best] {
+			best = i
+		}
+	}
+	return best
+}

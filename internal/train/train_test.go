@@ -1,0 +1,200 @@
+package train
+
+import (
+	"math"
+	"testing"
+
+	"aq2pnn/internal/prg"
+	"aq2pnn/internal/tensor"
+)
+
+// numericalGrad checks one parameter's analytic gradient by central
+// differences through the given loss closure.
+func numericalGrad(param *float64, loss func() float64) float64 {
+	const eps = 1e-5
+	orig := *param
+	*param = orig + eps
+	lp := loss()
+	*param = orig - eps
+	lm := loss()
+	*param = orig
+	return (lp - lm) / (2 * eps)
+}
+
+func TestConvGradientCheck(t *testing.T) {
+	rng := prg.NewSeeded(1)
+	g := tensor.ConvGeom{InC: 2, InH: 5, InW: 5, OutC: 3, KH: 3, KW: 3, StrideH: 2, StrideW: 2, PadH: 1, PadW: 1}
+	conv := NewConv(g, rng)
+	x := make([]float64, 2*5*5)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	label := 1
+	net := &Net{Layers: []Layer{conv, &ReLULayer{}, NewFC(3*g.OutH()*g.OutW(), 4, rng)}}
+	loss := func() float64 {
+		l, _ := LossAndGrad(net.Forward(x, false), label)
+		return l
+	}
+	// Analytic gradients.
+	logits := net.Forward(x, true)
+	_, grad := LossAndGrad(logits, label)
+	for li := len(net.Layers) - 1; li >= 0; li-- {
+		grad = net.Layers[li].Backward(grad)
+	}
+	for _, idx := range []int{0, 7, len(conv.W) - 1} {
+		want := numericalGrad(&conv.W[idx], loss)
+		if math.Abs(conv.dW[idx]-want) > 1e-4*(1+math.Abs(want)) {
+			t.Errorf("conv dW[%d] = %g, numerical %g", idx, conv.dW[idx], want)
+		}
+	}
+	want := numericalGrad(&conv.B[1], loss)
+	if math.Abs(conv.dB[1]-want) > 1e-4*(1+math.Abs(want)) {
+		t.Errorf("conv dB[1] = %g, numerical %g", conv.dB[1], want)
+	}
+	// Input gradient too.
+	for _, idx := range []int{0, 13} {
+		wantIn := numericalGrad(&x[idx], loss)
+		if math.Abs(grad[idx]-wantIn) > 1e-4*(1+math.Abs(wantIn)) {
+			t.Errorf("dX[%d] = %g, numerical %g", idx, grad[idx], wantIn)
+		}
+	}
+}
+
+func TestFCGradientCheck(t *testing.T) {
+	rng := prg.NewSeeded(2)
+	fc := NewFC(6, 3, rng)
+	x := make([]float64, 6)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	loss := func() float64 {
+		l, _ := LossAndGrad(fc.Forward(x, false), 2)
+		return l
+	}
+	logits := fc.Forward(x, true)
+	_, grad := LossAndGrad(logits, 2)
+	fc.Backward(grad)
+	for _, idx := range []int{0, 9, 17} {
+		want := numericalGrad(&fc.W[idx], loss)
+		if math.Abs(fc.dW[idx]-want) > 1e-5*(1+math.Abs(want)) {
+			t.Errorf("fc dW[%d] = %g, numerical %g", idx, fc.dW[idx], want)
+		}
+	}
+}
+
+func TestPoolGradients(t *testing.T) {
+	rng := prg.NewSeeded(3)
+	g := tensor.ConvGeom{InC: 1, InH: 4, InW: 4, KH: 2, KW: 2, StrideH: 2, StrideW: 2}
+	x := make([]float64, 16)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	mp := &MaxPoolLayer{Geom: g}
+	out := mp.Forward(x, true)
+	grad := make([]float64, len(out))
+	for i := range grad {
+		grad[i] = 1
+	}
+	din := mp.Backward(grad)
+	var nz int
+	for _, v := range din {
+		if v != 0 {
+			nz++
+		}
+	}
+	if nz != 4 {
+		t.Errorf("max-pool routed gradient to %d inputs, want 4", nz)
+	}
+	ap := &AvgPoolLayer{Geom: g}
+	ap.Forward(x, true)
+	din = ap.Backward(grad)
+	for _, v := range din {
+		if math.Abs(v-0.25) > 1e-12 {
+			t.Errorf("avg-pool gradient %g, want 0.25", v)
+		}
+	}
+}
+
+func TestLossAndGrad(t *testing.T) {
+	loss, grad := LossAndGrad([]float64{2, 1, 0.1}, 0)
+	if loss < 0 || loss > 2 {
+		t.Errorf("loss = %g", loss)
+	}
+	var sum float64
+	for _, g := range grad {
+		sum += g
+	}
+	if math.Abs(sum) > 1e-9 {
+		t.Errorf("softmax gradient sums to %g", sum)
+	}
+	if grad[0] >= 0 {
+		t.Error("true-class gradient must be negative")
+	}
+}
+
+func TestFitLearnsXorLikeTask(t *testing.T) {
+	// A tiny two-blob classification in 8 dims: training must beat chance
+	// decisively.
+	rng := prg.NewSeeded(4)
+	n := 120
+	xs := make([][]float64, n)
+	ys := make([]int, n)
+	for i := range xs {
+		x := make([]float64, 8)
+		cls := i % 2
+		for j := range x {
+			x[j] = rng.NormFloat64()*0.3 + float64(cls)*0.8*float64(j%2*2-1)
+		}
+		xs[i] = x
+		ys[i] = cls
+	}
+	net := &Net{Layers: []Layer{NewFC(8, 12, rng), &ReLULayer{}, NewFC(12, 2, rng)}}
+	var lastLoss float64
+	err := net.Fit(xs, ys, rng, Config{Epochs: 20, LR: 0.05, Momentum: 0.9,
+		Log: func(e int, loss, acc float64) { lastLoss = loss }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastLoss > 0.3 {
+		t.Errorf("final loss %g, training did not converge", lastLoss)
+	}
+	if acc := net.Accuracy(xs, ys); acc < 0.9 {
+		t.Errorf("train accuracy %.2f", acc)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	net := &Net{Layers: []Layer{NewFC(2, 2, prg.NewSeeded(1))}}
+	if err := net.Fit(nil, nil, prg.NewSeeded(1), Config{Epochs: 1}); err == nil {
+		t.Error("empty set accepted")
+	}
+	if err := net.Fit([][]float64{{1, 2}}, []int{0, 1}, prg.NewSeeded(1), Config{Epochs: 1}); err == nil {
+		t.Error("mismatched labels accepted")
+	}
+}
+
+func TestStandinBuilders(t *testing.T) {
+	rng := prg.NewSeeded(5)
+	for _, name := range []string{"lenet5", "alexnet", "vgg16", "resnet18", "resnet50"} {
+		inC, side := 3, 32
+		if name == "lenet5" {
+			inC, side = 1, 28
+		}
+		s, err := StandinByName(name, rng, Max, inC, side, 10)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		x := make([]float64, inC*side*side)
+		out := s.Net.Forward(x, false)
+		if len(out) != 10 {
+			t.Errorf("%s output %d", name, len(out))
+		}
+	}
+	if _, err := StandinByName("nope", rng, Max, 1, 28, 10); err == nil {
+		t.Error("unknown stand-in accepted")
+	}
+	// Avg-pool variants build too.
+	if _, err := StandinByName("vgg16", rng, Avg, 3, 32, 10); err != nil {
+		t.Error(err)
+	}
+}

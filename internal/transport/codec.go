@@ -1,0 +1,104 @@
+package transport
+
+import (
+	"fmt"
+
+	"aq2pnn/internal/ring"
+)
+
+// PackElems serialises ring elements at the ring's wire width ⌈ℓ/8⌉,
+// little-endian. This width is what makes the measured communication
+// proportional to the adaptive bit-width.
+func PackElems(r ring.Ring, xs []uint64) []byte {
+	w := r.Bytes()
+	out := make([]byte, len(xs)*w)
+	for i, x := range xs {
+		x &= r.Mask
+		for b := 0; b < w; b++ {
+			out[i*w+b] = byte(x >> (8 * b))
+		}
+	}
+	return out
+}
+
+// UnpackElems is the inverse of PackElems. It fails when the payload length
+// is not a multiple of the element width.
+func UnpackElems(r ring.Ring, p []byte) ([]uint64, error) {
+	w := r.Bytes()
+	if len(p)%w != 0 {
+		return nil, fmt.Errorf("transport: payload of %d bytes is not a multiple of element width %d", len(p), w)
+	}
+	xs := make([]uint64, len(p)/w)
+	for i := range xs {
+		var x uint64
+		for b := 0; b < w; b++ {
+			x |= uint64(p[i*w+b]) << (8 * b)
+		}
+		xs[i] = x & r.Mask
+	}
+	return xs, nil
+}
+
+// SendElems transmits a ring-element vector in one frame.
+func SendElems(c Conn, r ring.Ring, xs []uint64) error {
+	return c.Send(PackElems(r, xs))
+}
+
+// RecvElems receives a ring-element vector, checking the expected length.
+func RecvElems(c Conn, r ring.Ring, n int) ([]uint64, error) {
+	p, err := c.Recv()
+	if err != nil {
+		return nil, err
+	}
+	xs, err := UnpackElems(r, p)
+	if err != nil {
+		return nil, err
+	}
+	if len(xs) != n {
+		return nil, fmt.Errorf("transport: expected %d elements, received %d", n, len(xs))
+	}
+	return xs, nil
+}
+
+// Exchange performs the symmetric send+receive that opens masked values
+// (e.g. the E matrices of AS-GEMM): each party transmits its share and
+// receives the peer's. Party 0 sends first; with the buffered pipe and TCP
+// framing both orders are deadlock-free, but a fixed order keeps round
+// accounting deterministic.
+func Exchange(c Conn, r ring.Ring, party int, mine []uint64) ([]uint64, error) {
+	if party == 0 {
+		if err := SendElems(c, r, mine); err != nil {
+			return nil, err
+		}
+		return RecvElems(c, r, len(mine))
+	}
+	theirs, err := RecvElems(c, r, len(mine))
+	if err != nil {
+		return nil, err
+	}
+	if err := SendElems(c, r, mine); err != nil {
+		return nil, err
+	}
+	return theirs, nil
+}
+
+// ExchangeOpen exchanges shares of a masked vector and returns the opened
+// (reconstructed) values: rec([[x]]) = x_mine + x_theirs mod Q.
+func ExchangeOpen(c Conn, r ring.Ring, party int, mine []uint64) ([]uint64, error) {
+	theirs, err := Exchange(c, r, party, mine)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint64, len(mine))
+	r.AddVec(out, mine, theirs)
+	return out, nil
+}
+
+// SendBytes / RecvBytes are thin aliases used by the OT layer for pad and
+// token traffic, so that all accounting funnels through the same Conn.
+
+// SendBytes transmits raw bytes as one frame.
+func SendBytes(c Conn, p []byte) error { return c.Send(p) }
+
+// RecvBytes receives one frame of raw bytes.
+func RecvBytes(c Conn) ([]byte, error) { return c.Recv() }

@@ -1,0 +1,69 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrInjected is the error produced by a FaultyConn once its budget is
+// exhausted. Tests use it to verify that protocol layers surface transport
+// failures instead of deadlocking or corrupting shares.
+var ErrInjected = errors.New("transport: injected fault")
+
+// FaultyConn wraps a Conn and starts failing after a configured number of
+// operations. FailAfter counts Sends and Recvs together.
+type FaultyConn struct {
+	Inner     Conn
+	mu        sync.Mutex
+	remaining int
+	corrupt   bool
+}
+
+// NewFaultyConn returns a connection that performs ops operations normally
+// and then returns ErrInjected forever. If corrupt is true, the final
+// permitted Recv additionally flips a byte of the payload (when non-empty)
+// to exercise integrity handling.
+func NewFaultyConn(inner Conn, ops int, corrupt bool) *FaultyConn {
+	return &FaultyConn{Inner: inner, remaining: ops, corrupt: corrupt}
+}
+
+func (f *FaultyConn) take() (ok, last bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.remaining <= 0 {
+		return false, false
+	}
+	f.remaining--
+	return true, f.remaining == 0
+}
+
+// Send implements Conn.
+func (f *FaultyConn) Send(p []byte) error {
+	ok, _ := f.take()
+	if !ok {
+		return ErrInjected
+	}
+	return f.Inner.Send(p)
+}
+
+// Recv implements Conn.
+func (f *FaultyConn) Recv() ([]byte, error) {
+	ok, last := f.take()
+	if !ok {
+		return nil, ErrInjected
+	}
+	p, err := f.Inner.Recv()
+	if err == nil && last && f.corrupt && len(p) > 0 {
+		p[len(p)/2] ^= 0xFF
+	}
+	return p, err
+}
+
+// Stats implements Conn.
+func (f *FaultyConn) Stats() Stats { return f.Inner.Stats() }
+
+// ResetStats implements Conn.
+func (f *FaultyConn) ResetStats() { f.Inner.ResetStats() }
+
+// Close implements Conn.
+func (f *FaultyConn) Close() error { return f.Inner.Close() }

@@ -1,0 +1,35 @@
+package transport
+
+import "time"
+
+// NetworkModel converts measured traffic into wall-clock time for the
+// experiment tables, modelling the paper's deployment: two ZCU104 boards on
+// a 1000 Mbps Ethernet LAN. Transfer time is bytes/bandwidth; every
+// protocol round additionally pays one round-trip latency.
+type NetworkModel struct {
+	// BandwidthBitsPerSec is the link rate (default 1 Gbps).
+	BandwidthBitsPerSec float64
+	// RoundTrip is the per-round latency (LAN default 200 µs).
+	RoundTrip time.Duration
+}
+
+// GigabitLAN is the paper's evaluation network.
+func GigabitLAN() NetworkModel {
+	return NetworkModel{BandwidthBitsPerSec: 1e9, RoundTrip: 200 * time.Microsecond}
+}
+
+// Time returns the modelled wire time for the given traffic.
+func (m NetworkModel) Time(bytes uint64, rounds uint64) time.Duration {
+	if m.BandwidthBitsPerSec <= 0 {
+		return 0
+	}
+	transfer := time.Duration(float64(bytes*8) / m.BandwidthBitsPerSec * float64(time.Second))
+	return transfer + time.Duration(rounds)*m.RoundTrip
+}
+
+// TimeForStats applies the model to an endpoint's counters. Only sent bytes
+// are charged (the peer's send covers the other direction of the duplex
+// link).
+func (m NetworkModel) TimeForStats(s Stats) time.Duration {
+	return m.Time(s.BytesSent, s.Rounds)
+}

@@ -1,0 +1,270 @@
+// Package transport provides the two-party communication substrate: framed
+// message channels with per-direction byte, message and round accounting.
+// Every protocol byte in the system flows through a Conn, so the
+// communication numbers in the experiment tables are measured, not
+// estimated. Ring elements are serialised at ⌈ℓ/8⌉ bytes, which is how
+// adaptive quantization turns smaller rings into less traffic.
+//
+// Two implementations are provided: an in-memory duplex pipe (both parties
+// in one process, used by tests, benchmarks and the experiment harness) and
+// a TCP transport (cmd/party) that emulates the paper's two-board Ethernet
+// setup.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrClosed is returned by operations on a closed connection.
+var ErrClosed = errors.New("transport: connection closed")
+
+// MaxFrame is the largest accepted frame payload (64 MiB), a sanity bound
+// against corrupted length prefixes.
+const MaxFrame = 64 << 20
+
+// Stats accumulates traffic counters for one endpoint. A "round" is counted
+// at every send→receive direction change: it approximates the number of
+// protocol round-trips, the quantity that pays the network latency.
+type Stats struct {
+	BytesSent uint64
+	BytesRecv uint64
+	MsgsSent  uint64
+	MsgsRecv  uint64
+	Rounds    uint64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.BytesSent += other.BytesSent
+	s.BytesRecv += other.BytesRecv
+	s.MsgsSent += other.MsgsSent
+	s.MsgsRecv += other.MsgsRecv
+	s.Rounds += other.Rounds
+}
+
+// TotalBytes is the traffic volume visible at this endpoint.
+func (s Stats) TotalBytes() uint64 { return s.BytesSent + s.BytesRecv }
+
+// MiB converts the total byte count to mebibytes, the unit of the paper's
+// communication tables.
+func (s Stats) MiB() float64 { return float64(s.TotalBytes()) / (1 << 20) }
+
+func (s Stats) String() string {
+	return fmt.Sprintf("sent=%dB recv=%dB msgs=%d/%d rounds=%d",
+		s.BytesSent, s.BytesRecv, s.MsgsSent, s.MsgsRecv, s.Rounds)
+}
+
+// Conn is one endpoint of a two-party channel.
+type Conn interface {
+	// Send transmits one frame. The payload is copied before Send returns.
+	Send(payload []byte) error
+	// Recv blocks for the next frame.
+	Recv() ([]byte, error)
+	// Stats returns a snapshot of the endpoint's counters.
+	Stats() Stats
+	// ResetStats zeroes the counters (used between experiment phases).
+	ResetStats()
+	Close() error
+}
+
+// statsTracker implements the shared counter logic.
+type statsTracker struct {
+	mu       sync.Mutex
+	stats    Stats
+	lastSend bool
+}
+
+func (t *statsTracker) noteSend(n int) {
+	t.mu.Lock()
+	t.stats.BytesSent += uint64(n)
+	t.stats.MsgsSent++
+	t.lastSend = true
+	t.mu.Unlock()
+}
+
+func (t *statsTracker) noteRecv(n int) {
+	t.mu.Lock()
+	t.stats.BytesRecv += uint64(n)
+	t.stats.MsgsRecv++
+	if t.lastSend {
+		t.stats.Rounds++
+		t.lastSend = false
+	}
+	t.mu.Unlock()
+}
+
+func (t *statsTracker) snapshot() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+func (t *statsTracker) reset() {
+	t.mu.Lock()
+	t.stats = Stats{}
+	t.lastSend = false
+	t.mu.Unlock()
+}
+
+// pipeConn is one end of an in-memory duplex channel.
+type pipeConn struct {
+	statsTracker
+	out  chan<- []byte
+	in   <-chan []byte
+	done chan struct{}
+	once sync.Once
+	peer *pipeConn
+}
+
+// Pipe returns the two connected endpoints of an in-memory channel. The
+// internal buffering (1024 frames per direction) lets simple
+// send-then-receive exchanges proceed without extra goroutines.
+func Pipe() (Conn, Conn) {
+	a2b := make(chan []byte, 1024)
+	b2a := make(chan []byte, 1024)
+	a := &pipeConn{out: a2b, in: b2a, done: make(chan struct{})}
+	b := &pipeConn{out: b2a, in: a2b, done: make(chan struct{})}
+	a.peer, b.peer = b, a
+	return a, b
+}
+
+func (c *pipeConn) Send(payload []byte) error {
+	// Check for closure first: the select below would otherwise choose
+	// randomly between a ready buffer slot and a closed done channel.
+	select {
+	case <-c.done:
+		return ErrClosed
+	case <-c.peer.done:
+		return ErrClosed
+	default:
+	}
+	cp := append([]byte(nil), payload...)
+	select {
+	case <-c.done:
+		return ErrClosed
+	case <-c.peer.done:
+		return ErrClosed
+	case c.out <- cp:
+		c.noteSend(len(cp))
+		return nil
+	}
+}
+
+func (c *pipeConn) Recv() ([]byte, error) {
+	select {
+	case <-c.done:
+		return nil, ErrClosed
+	case p, ok := <-c.in:
+		if !ok {
+			return nil, ErrClosed
+		}
+		c.noteRecv(len(p))
+		return p, nil
+	case <-c.peer.done:
+		// Drain anything the peer sent before closing.
+		select {
+		case p := <-c.in:
+			c.noteRecv(len(p))
+			return p, nil
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+func (c *pipeConn) Stats() Stats { return c.snapshot() }
+func (c *pipeConn) ResetStats()  { c.reset() }
+
+func (c *pipeConn) Close() error {
+	c.once.Do(func() { close(c.done) })
+	return nil
+}
+
+// netConn frames messages over a stream connection with a 4-byte
+// little-endian length prefix.
+type netConn struct {
+	statsTracker
+	c  net.Conn
+	wm sync.Mutex
+	rm sync.Mutex
+}
+
+// NewNetConn wraps a stream connection (typically TCP) as a framed Conn.
+func NewNetConn(c net.Conn) Conn { return &netConn{c: c} }
+
+// Dial connects to a listening party at addr, retrying until the timeout
+// elapses so that the two party processes may start in either order.
+func Dial(addr string, timeout time.Duration) (Conn, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		c, err := net.Dial("tcp", addr)
+		if err == nil {
+			return NewNetConn(c), nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// Listen accepts a single peer connection on addr.
+func Listen(addr string) (Conn, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer l.Close()
+	c, err := l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return NewNetConn(c), nil
+}
+
+func (c *netConn) Send(payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds MaxFrame", len(payload))
+	}
+	c.wm.Lock()
+	defer c.wm.Unlock()
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := c.c.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := c.c.Write(payload); err != nil {
+		return err
+	}
+	c.noteSend(len(payload))
+	return nil
+}
+
+func (c *netConn) Recv() ([]byte, error) {
+	c.rm.Lock()
+	defer c.rm.Unlock()
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.c, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("transport: peer announced oversized frame (%d bytes)", n)
+	}
+	p := make([]byte, n)
+	if _, err := io.ReadFull(c.c, p); err != nil {
+		return nil, err
+	}
+	c.noteRecv(len(p))
+	return p, nil
+}
+
+func (c *netConn) Stats() Stats { return c.snapshot() }
+func (c *netConn) ResetStats()  { c.reset() }
+func (c *netConn) Close() error { return c.c.Close() }

@@ -1,0 +1,306 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"aq2pnn/internal/prg"
+	"aq2pnn/internal/ring"
+)
+
+func TestPipeRoundTrip(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	msg := []byte("hello 2pc")
+	if err := a.Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestPipeCopiesPayload(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	msg := []byte{1, 2, 3}
+	a.Send(msg)
+	msg[0] = 99 // mutate after send
+	got, _ := b.Recv()
+	if got[0] != 1 {
+		t.Error("Send did not copy the payload")
+	}
+}
+
+func TestPipeStatsAndRounds(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	a.Send(make([]byte, 10))
+	a.Send(make([]byte, 20))
+	b.Recv()
+	b.Recv()
+	b.Send(make([]byte, 5))
+	a.Recv()
+	sa, sb := a.Stats(), b.Stats()
+	if sa.BytesSent != 30 || sa.MsgsSent != 2 || sa.BytesRecv != 5 {
+		t.Errorf("a stats %+v", sa)
+	}
+	if sa.Rounds != 1 { // a: send,send,recv → one direction change
+		t.Errorf("a rounds = %d", sa.Rounds)
+	}
+	if sb.Rounds != 0 { // b only receives then sends
+		t.Errorf("b rounds = %d", sb.Rounds)
+	}
+	if sa.MiB() <= 0 {
+		t.Error("MiB should be positive")
+	}
+	a.ResetStats()
+	if a.Stats().TotalBytes() != 0 {
+		t.Error("ResetStats did not zero")
+	}
+}
+
+func TestPipeCloseUnblocks(t *testing.T) {
+	a, b := Pipe()
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Recv()
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	a.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("Recv after peer close = %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Recv did not unblock on peer close")
+	}
+	if err := a.Send([]byte{1}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Send on closed conn = %v", err)
+	}
+}
+
+func TestPackUnpackWidths(t *testing.T) {
+	g := prg.NewSeeded(1)
+	for _, bits := range []uint{8, 12, 16, 24, 32, 48} {
+		r := ring.New(bits)
+		xs := g.Elems(100, r)
+		p := PackElems(r, xs)
+		if len(p) != 100*r.Bytes() {
+			t.Errorf("ℓ=%d: packed %d bytes, want %d", bits, len(p), 100*r.Bytes())
+		}
+		got, err := UnpackElems(r, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range xs {
+			if got[i] != xs[i] {
+				t.Fatalf("ℓ=%d: element %d mismatch", bits, i)
+			}
+		}
+	}
+}
+
+func TestUnpackRejectsBadLength(t *testing.T) {
+	r := ring.New(16)
+	if _, err := UnpackElems(r, make([]byte, 5)); err == nil {
+		t.Error("expected length error")
+	}
+}
+
+func TestPackQuick(t *testing.T) {
+	r := ring.New(14)
+	f := func(raw []uint64) bool {
+		xs := make([]uint64, len(raw))
+		for i := range raw {
+			xs[i] = r.Reduce(raw[i])
+		}
+		got, err := UnpackElems(r, PackElems(r, xs))
+		if err != nil || len(got) != len(xs) {
+			return false
+		}
+		for i := range xs {
+			if got[i] != xs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExchangeOpen(t *testing.T) {
+	r := ring.New(16)
+	g := prg.NewSeeded(2)
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	x := g.Elems(32, r)
+	y := g.Elems(32, r)
+	var got0, got1 []uint64
+	var err0, err1 error
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); got0, err0 = ExchangeOpen(a, r, 0, x) }()
+	go func() { defer wg.Done(); got1, err1 = ExchangeOpen(b, r, 1, y) }()
+	wg.Wait()
+	if err0 != nil || err1 != nil {
+		t.Fatal(err0, err1)
+	}
+	for i := range x {
+		want := r.Add(x[i], y[i])
+		if got0[i] != want || got1[i] != want {
+			t.Fatalf("exchange open mismatch at %d", i)
+		}
+	}
+}
+
+func TestRecvElemsLengthCheck(t *testing.T) {
+	r := ring.New(8)
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	SendElems(a, r, []uint64{1, 2, 3})
+	if _, err := RecvElems(b, r, 5); err == nil {
+		t.Error("expected element-count error")
+	}
+}
+
+func TestTCPConn(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	var server Conn
+	done := make(chan struct{})
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			server = NewNetConn(c)
+		}
+		close(done)
+	}()
+	client, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	l.Close()
+	defer client.Close()
+	defer server.Close()
+
+	r := ring.New(24)
+	g := prg.NewSeeded(3)
+	xs := g.Elems(500, r)
+	if err := SendElems(client, r, xs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := RecvElems(server, r, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		if got[i] != xs[i] {
+			t.Fatal("TCP round trip mismatch")
+		}
+	}
+	// Empty frame.
+	if err := server.Send(nil); err != nil {
+		t.Fatal(err)
+	}
+	p, err := client.Recv()
+	if err != nil || len(p) != 0 {
+		t.Fatalf("empty frame: %v %v", p, err)
+	}
+	if client.Stats().BytesSent != uint64(500*r.Bytes()) {
+		t.Errorf("client bytes sent = %d", client.Stats().BytesSent)
+	}
+}
+
+func TestNetworkModel(t *testing.T) {
+	m := GigabitLAN()
+	// 1 MiB at 1 Gbps ≈ 8.39 ms, plus 2 rounds × 200 µs.
+	d := m.Time(1<<20, 2)
+	if d < 8*time.Millisecond || d > 10*time.Millisecond {
+		t.Errorf("1 MiB + 2 rounds = %v", d)
+	}
+	if (NetworkModel{}).Time(1<<20, 5) != 0 {
+		t.Error("zero model should cost nothing")
+	}
+	s := Stats{BytesSent: 1 << 20, Rounds: 2}
+	if m.TimeForStats(s) != d {
+		t.Error("TimeForStats mismatch")
+	}
+}
+
+func TestFaultyConn(t *testing.T) {
+	a, b := Pipe()
+	defer b.Close()
+	f := NewFaultyConn(a, 2, false)
+	if err := f.Send([]byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Send([]byte{2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Send([]byte{3}); !errors.Is(err, ErrInjected) {
+		t.Errorf("third op = %v, want injected fault", err)
+	}
+	if _, err := f.Recv(); !errors.Is(err, ErrInjected) {
+		t.Errorf("recv after budget = %v", err)
+	}
+}
+
+func TestFaultyConnCorruption(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	f := NewFaultyConn(b, 1, true)
+	a.Send([]byte{0, 0, 0})
+	p, err := f.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[1] != 0xFF {
+		t.Error("corruption not applied on final op")
+	}
+}
+
+func BenchmarkPipeSendRecv(b *testing.B) {
+	x, y := Pipe()
+	defer x.Close()
+	defer y.Close()
+	payload := make([]byte, 4096)
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		x.Send(payload)
+		y.Recv()
+	}
+}
+
+func BenchmarkPackElems16(b *testing.B) {
+	r := ring.New(16)
+	g := prg.NewSeeded(1)
+	xs := g.Elems(4096, r)
+	b.SetBytes(int64(len(xs) * r.Bytes()))
+	for i := 0; i < b.N; i++ {
+		PackElems(r, xs)
+	}
+}

@@ -1,0 +1,131 @@
+package triple
+
+import (
+	"fmt"
+
+	"aq2pnn/internal/ot"
+	"aq2pnn/internal/prg"
+	"aq2pnn/internal/ring"
+	"aq2pnn/internal/tensor"
+)
+
+// A triple *family* serves one linear layer with static weights: the
+// weight-side mask B is fixed, so the opened F = rec(W) − rec(B) can be
+// "pre-deployed in the memory of each party" (Sec. 4.1.2) and only the
+// input-side mask E is exchanged per inference. Each call to Next yields a
+// fresh input mask A and the matching Z = rec(A) ⊗ rec(B).
+
+// Family is one party's handle to a layer's triple family.
+type Family interface {
+	// BShare returns this party's share of the fixed weight mask (K×N).
+	BShare() []uint64
+	// Next returns a fresh triple for an M-row multiplication against the
+	// fixed B.
+	Next(m int) (*Mat, error)
+}
+
+type dealerFamilyState struct {
+	b       []uint64
+	bShares [2][]uint64
+	queues  map[int][2][]*Mat // per m, per party
+}
+
+// Family returns the party's view of the layer family identified by id,
+// creating it (with a fixed random B) on first use.
+func (d *Dealer) Family(party int, id string, r ring.Ring, k, n int) (Family, error) {
+	if k <= 0 || n <= 0 {
+		return nil, fmt.Errorf("triple: non-positive family dims %dx%d", k, n)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.families == nil {
+		d.families = map[string]*dealerFamilyState{}
+	}
+	key := fmt.Sprintf("%s|%s|%dx%d", id, r, k, n)
+	st := d.families[key]
+	if st == nil {
+		b := d.g.Elems(k*n, r)
+		s0 := d.g.Elems(k*n, r)
+		s1 := make([]uint64, k*n)
+		r.SubVec(s1, b, s0)
+		st = &dealerFamilyState{b: b, bShares: [2][]uint64{s0, s1}, queues: map[int][2][]*Mat{}}
+		d.families[key] = st
+	}
+	return &dealerFamily{d: d, st: st, party: party, r: r, k: k, n: n}, nil
+}
+
+type dealerFamily struct {
+	d     *Dealer
+	st    *dealerFamilyState
+	party int
+	r     ring.Ring
+	k, n  int
+}
+
+func (f *dealerFamily) BShare() []uint64 { return f.st.bShares[f.party] }
+
+func (f *dealerFamily) Next(m int) (*Mat, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("triple: non-positive row count %d", m)
+	}
+	f.d.mu.Lock()
+	defer f.d.mu.Unlock()
+	q := f.st.queues[m]
+	if len(q[f.party]) == 0 {
+		a := f.d.g.Elems(m*f.k, f.r)
+		z := tensor.MatMulMod(a, f.st.b, m, f.k, f.n, f.r.Mask)
+		split := func(x []uint64) (s0, s1 []uint64) {
+			s0 = f.d.g.Elems(len(x), f.r)
+			s1 = make([]uint64, len(x))
+			f.r.SubVec(s1, x, s0)
+			return
+		}
+		a0, a1 := split(a)
+		z0, z1 := split(z)
+		mk := func(as, zs, bs []uint64) *Mat {
+			return &Mat{R: f.r, M: m, K: f.k, N: f.n, A: as, B: bs, Z: zs}
+		}
+		q[0] = append(q[0], mk(a0, z0, f.st.bShares[0]))
+		q[1] = append(q[1], mk(a1, z1, f.st.bShares[1]))
+	}
+	out := q[f.party][0]
+	q[f.party] = q[f.party][1:]
+	f.st.queues[m] = q
+	return out, nil
+}
+
+// GilboaFamily generates family triples through the OT-based protocol: B
+// shares are drawn locally once; every Next runs the two Gilboa cross
+// products for a fresh A. Both parties must call Next in lockstep.
+type GilboaFamily struct {
+	EP     *ot.Endpoint
+	Rng    *prg.PRG
+	Party  int
+	R      ring.Ring
+	K, N   int
+	bShare []uint64
+}
+
+// NewGilboaFamily initialises the party's fixed weight-mask share.
+func NewGilboaFamily(ep *ot.Endpoint, rng *prg.PRG, party int, r ring.Ring, k, n int) *GilboaFamily {
+	return &GilboaFamily{EP: ep, Rng: rng, Party: party, R: r, K: k, N: n, bShare: rng.Elems(k*n, r)}
+}
+
+// BShare implements Family.
+func (f *GilboaFamily) BShare() []uint64 { return f.bShare }
+
+// Next implements Family.
+func (f *GilboaFamily) Next(m int) (*Mat, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("triple: non-positive row count %d", m)
+	}
+	t := &Mat{R: f.R, M: m, K: f.K, N: f.N}
+	t.A = f.Rng.Elems(m*f.K, f.R)
+	t.B = f.bShare
+	var err error
+	t.Z, err = gilboaZ(f.EP, f.Rng, f.R, f.Party, m, f.K, f.N, t.A, t.B)
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}

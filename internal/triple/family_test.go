@@ -1,0 +1,163 @@
+package triple
+
+import (
+	"sync"
+	"testing"
+
+	"aq2pnn/internal/ot"
+	"aq2pnn/internal/prg"
+	"aq2pnn/internal/ring"
+	"aq2pnn/internal/tensor"
+	"aq2pnn/internal/transport"
+)
+
+func checkFamilyTriple(t *testing.T, r ring.Ring, m int, f0, f1 Family) {
+	t.Helper()
+	var t0, t1 *Mat
+	var e0, e1 error
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); t0, e0 = f0.Next(m) }()
+	go func() { defer wg.Done(); t1, e1 = f1.Next(m) }()
+	wg.Wait()
+	if e0 != nil || e1 != nil {
+		t.Fatal(e0, e1)
+	}
+	checkTriple(t, r, t0, t1)
+	// B must be the family's fixed mask.
+	for i := range t0.B {
+		if t0.B[i] != f0.BShare()[i] || t1.B[i] != f1.BShare()[i] {
+			t.Fatal("triple B diverges from the family mask")
+		}
+	}
+}
+
+func TestDealerFamilyFixedBFreshA(t *testing.T) {
+	d := NewDealer(prg.NewSeeded(20))
+	r := ring.New(16)
+	f0, err := d.Family(0, "layer1", r, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := d.Family(1, "layer1", r, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFamilyTriple(t, r, 2, f0, f1)
+	checkFamilyTriple(t, r, 2, f0, f1) // fresh A, same B
+	checkFamilyTriple(t, r, 5, f0, f1) // different row count
+
+	// Consecutive A masks must differ (fresh randomness per inference).
+	a1, _ := f0.Next(2)
+	b1, _ := f1.Next(2)
+	a2, _ := f0.Next(2)
+	b2, _ := f1.Next(2)
+	r.AddVec(a1.A, a1.A, b1.A)
+	r.AddVec(a2.A, a2.A, b2.A)
+	same := true
+	for i := range a1.A {
+		if a1.A[i] != a2.A[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("family reused the input mask A across inferences")
+	}
+}
+
+func TestDealerFamilyDistinctLayers(t *testing.T) {
+	d := NewDealer(prg.NewSeeded(21))
+	r := ring.New(12)
+	fa0, _ := d.Family(0, "convA", r, 2, 2)
+	fb0, _ := d.Family(0, "convB", r, 2, 2)
+	same := true
+	for i := range fa0.BShare() {
+		if fa0.BShare()[i] != fb0.BShare()[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different layers share a weight mask")
+	}
+	if _, err := d.Family(0, "bad", r, 0, 1); err == nil {
+		t.Error("zero dims accepted")
+	}
+	if _, err := fa0.Next(0); err == nil {
+		t.Error("zero rows accepted")
+	}
+}
+
+func TestGilboaFamily(t *testing.T) {
+	r := ring.New(10)
+	dealer := ot.NewDealer(prg.NewSeeded(22))
+	a, b := transport.Pipe()
+	defer a.Close()
+	defer b.Close()
+	e0 := ot.NewEndpoint(0, a, prg.NewSeeded(23))
+	e0.Dealer = dealer
+	e1 := ot.NewEndpoint(1, b, prg.NewSeeded(24))
+	e1.Dealer = dealer
+	f0 := NewGilboaFamily(e0, prg.NewSeeded(25), 0, r, 3, 2)
+	f1 := NewGilboaFamily(e1, prg.NewSeeded(26), 1, r, 3, 2)
+	checkFamilyTriple(t, r, 2, f0, f1)
+	checkFamilyTriple(t, r, 2, f0, f1)
+	if _, err := f0.Next(0); err == nil {
+		t.Error("zero rows accepted")
+	}
+}
+
+func TestFamilyTripleUsableForBeaver(t *testing.T) {
+	// The family triple must actually support a Beaver multiplication:
+	// OUT = −p·E⊗F + IN_p⊗F + E⊗W_p + Z_p reconstructs to IN⊗W when the
+	// weight equals rec(B)+F.
+	d := NewDealer(prg.NewSeeded(27))
+	r := ring.New(16)
+	g := prg.NewSeeded(28)
+	k, n, m := 3, 2, 2
+	f0, _ := d.Family(0, "l", r, k, n)
+	f1, _ := d.Family(1, "l", r, k, n)
+	t0, _ := f0.Next(m)
+	t1, _ := f1.Next(m)
+
+	in := g.Elems(m*k, r)
+	w := g.Elems(k*n, r)
+	in0 := g.Elems(m*k, r)
+	in1 := make([]uint64, m*k)
+	r.SubVec(in1, in, in0)
+	w0 := g.Elems(k*n, r)
+	w1 := make([]uint64, k*n)
+	r.SubVec(w1, w, w0)
+
+	e := make([]uint64, m*k)
+	r.SubVec(e, in0, t0.A)
+	tmp := make([]uint64, m*k)
+	r.SubVec(tmp, in1, t1.A)
+	r.AddVec(e, e, tmp)
+	f := make([]uint64, k*n)
+	r.SubVec(f, w0, t0.B)
+	tmpF := make([]uint64, k*n)
+	r.SubVec(tmpF, w1, t1.B)
+	r.AddVec(f, f, tmpF)
+
+	outP := func(p int, inS, wS []uint64, tr *Mat) []uint64 {
+		out := tensor.MatMulMod(e, wS, m, k, n, r.Mask)
+		if p == 1 {
+			ef := tensor.MatMulMod(e, f, m, k, n, r.Mask)
+			r.SubVec(out, out, ef)
+		}
+		inf := tensor.MatMulMod(inS, f, m, k, n, r.Mask)
+		r.AddVec(out, out, inf)
+		r.AddVec(out, out, tr.Z)
+		return out
+	}
+	o0 := outP(0, in0, w0, t0)
+	o1 := outP(1, in1, w1, t1)
+	got := make([]uint64, m*n)
+	r.AddVec(got, o0, o1)
+	want := tensor.MatMulMod(in, w, m, k, n, r.Mask)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Beaver output [%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package triple
+
+import (
+	"fmt"
+
+	"aq2pnn/internal/ot"
+	"aq2pnn/internal/prg"
+	"aq2pnn/internal/ring"
+	"aq2pnn/internal/tensor"
+	"aq2pnn/internal/transport"
+)
+
+// Gilboa's OT-based secure multiplication, the "[28]"-style triple
+// generator: for a cross product a·b with a held by the receiver and b by
+// the sender, the parties run one 1-of-2 OT per bit of a. For bit t the
+// sender offers (r_t, r_t + 2^t·b); the receiver picks with bit a_t and
+// accumulates, ending with Σ = a·b + r, while the sender keeps −r. Vector
+// messages amortize one bit's OT over a whole row of B.
+
+// gilboaVecSend is the sender side of shares of a·b for `rows` scalars a
+// (held by the peer) times this party's vectors bs[i] (each of width w).
+// It returns this party's additive shares (−r per element).
+func gilboaVecSend(ep *ot.Endpoint, rng *prg.PRG, r ring.Ring, bs [][]uint64) ([][]uint64, error) {
+	bits := int(r.Bits)
+	out := make([][]uint64, len(bs))
+	msgs := make([][][]byte, 0, len(bs)*bits)
+	for i, b := range bs {
+		acc := make([]uint64, len(b))
+		for t := 0; t < bits; t++ {
+			rt := rng.Elems(len(b), r)
+			m0 := transport.PackElems(r, rt)
+			m1v := make([]uint64, len(b))
+			for j := range b {
+				m1v[j] = r.Add(rt[j], r.Mul(b[j], 1<<uint(t)))
+			}
+			m1 := transport.PackElems(r, m1v)
+			msgs = append(msgs, [][]byte{m0, m1})
+			for j := range rt {
+				acc[j] = r.Sub(acc[j], rt[j])
+			}
+		}
+		out[i] = acc
+	}
+	if err := ep.Send1ofN(2, msgs); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// gilboaVecRecv is the receiver side: as[i] is this party's scalar, w the
+// width of the peer's vectors. It returns this party's additive shares
+// (Σ received values per element).
+func gilboaVecRecv(ep *ot.Endpoint, r ring.Ring, as []uint64, w int) ([][]uint64, error) {
+	bits := int(r.Bits)
+	choices := make([]int, 0, len(as)*bits)
+	for _, a := range as {
+		for t := 0; t < bits; t++ {
+			choices = append(choices, int((a>>uint(t))&1))
+		}
+	}
+	got, err := ep.Recv1ofN(2, choices, len(transport.PackElems(r, make([]uint64, w))))
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]uint64, len(as))
+	idx := 0
+	for i := range as {
+		acc := make([]uint64, w)
+		for t := 0; t < bits; t++ {
+			vals, err := transport.UnpackElems(r, got[idx])
+			if err != nil {
+				return nil, err
+			}
+			if len(vals) != w {
+				return nil, fmt.Errorf("triple: gilboa row width %d, want %d", len(vals), w)
+			}
+			for j := range vals {
+				acc[j] = r.Add(acc[j], vals[j])
+			}
+			idx++
+		}
+		out[i] = acc
+	}
+	return out, nil
+}
+
+// GenMatGilboa generates one party's share of a matrix triple by running
+// the OT-based protocol with the peer. Both parties call it with their own
+// endpoint; party 0 plays the OT receiver for the A₀⊗B₁ cross term first.
+// Cost: M·K·ℓ 1-of-2 OTs per cross term with N-element messages — heavy,
+// as offline phases are, which is exactly why the accelerator buffers
+// triples in the AS-CST buffer.
+func GenMatGilboa(ep *ot.Endpoint, rng *prg.PRG, r ring.Ring, party, m, k, n int) (*Mat, error) {
+	if m <= 0 || k <= 0 || n <= 0 {
+		return nil, fmt.Errorf("triple: non-positive dims %dx%dx%d", m, k, n)
+	}
+	t := &Mat{R: r, M: m, K: k, N: n}
+	t.A = rng.Elems(m*k, r)
+	t.B = rng.Elems(k*n, r)
+	var err error
+	t.Z, err = gilboaZ(ep, rng, r, party, m, k, n, t.A, t.B)
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// gilboaZ computes this party's share of rec(A) ⊗ rec(B) given its shares
+// of A (M×K) and B (K×N): the local term A_p⊗B_p plus two OT-based cross
+// products. Party 0 plays the OT receiver first.
+func gilboaZ(ep *ot.Endpoint, rng *prg.PRG, r ring.Ring, party, m, k, n int, aShare, bShare []uint64) ([]uint64, error) {
+	z := tensor.MatMulMod(aShare, bShare, m, k, n, r.Mask)
+	// rec(A)⊗rec(B) = A0B0 + A0B1 + A1B0 + A1B1: cross terms via OT.
+	addCross := func(rows [][]uint64) {
+		// rows are indexed by (i·K + kk); each row is the contribution of
+		// a_ik times B's row kk, added into Z row i.
+		for idx, row := range rows {
+			zi := idx / k
+			for j := 0; j < n; j++ {
+				z[zi*n+j] = r.Add(z[zi*n+j], row[j])
+			}
+		}
+	}
+	bRows := make([][]uint64, m*k)
+	for i := 0; i < m; i++ {
+		for kk := 0; kk < k; kk++ {
+			bRows[i*k+kk] = bShare[kk*n : (kk+1)*n]
+		}
+	}
+	if party == 0 {
+		rows, err := gilboaVecRecv(ep, r, aShare, n)
+		if err != nil {
+			return nil, err
+		}
+		addCross(rows)
+		sent, err := gilboaVecSend(ep, rng, r, bRows)
+		if err != nil {
+			return nil, err
+		}
+		addCross(sent)
+	} else {
+		sent, err := gilboaVecSend(ep, rng, r, bRows)
+		if err != nil {
+			return nil, err
+		}
+		addCross(sent)
+		rows, err := gilboaVecRecv(ep, r, aShare, n)
+		if err != nil {
+			return nil, err
+		}
+		addCross(rows)
+	}
+	return z, nil
+}
+
+// OTSource generates triples on demand through the Gilboa protocol.
+type OTSource struct {
+	EP    *ot.Endpoint
+	Rng   *prg.PRG
+	Party int
+}
+
+// MatTriple implements Source.
+func (s *OTSource) MatTriple(r ring.Ring, m, k, n int) (*Mat, error) {
+	return GenMatGilboa(s.EP, s.Rng, r, s.Party, m, k, n)
+}

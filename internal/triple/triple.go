@@ -1,0 +1,111 @@
+// Package triple provides Beaver multiplication triples, the pre-computed
+// constants (AS-CST buffer) that power ciphertext-ciphertext GEMM:
+// matrices [[A]], [[B]], [[Z]] with Z = rec(A) ⊗ rec(B) (Sec. 4.1.2).
+//
+// Two offline generators are provided. The trusted Dealer mirrors the
+// paper's treatment of triples as pre-deployed constants (the paper points
+// at HE [60] or OT [28] for their generation and leaves it offline). The
+// Gilboa generator actually runs the OT-based protocol over the session
+// connection, so the full pipeline can be exercised without any trusted
+// party.
+package triple
+
+import (
+	"fmt"
+	"sync"
+
+	"aq2pnn/internal/prg"
+	"aq2pnn/internal/ring"
+	"aq2pnn/internal/tensor"
+)
+
+// Mat is one party's share of a matrix multiplication triple for the
+// product (M×K) ⊗ (K×N).
+type Mat struct {
+	R       ring.Ring
+	M, K, N int
+	A       []uint64 // share of the random input mask  (M×K)
+	B       []uint64 // share of the random weight mask (K×N)
+	Z       []uint64 // share of Z = rec(A) ⊗ rec(B)    (M×N)
+}
+
+// Key identifies a triple shape for buffering.
+func (t *Mat) Key() string { return matKey(t.R, t.M, t.K, t.N) }
+
+func matKey(r ring.Ring, m, k, n int) string {
+	return fmt.Sprintf("%d:%dx%dx%d", r.Bits, m, k, n)
+}
+
+// DealMat samples a fresh matrix triple and splits it between the parties.
+func DealMat(g *prg.PRG, r ring.Ring, m, k, n int) (p0, p1 *Mat) {
+	a := g.Elems(m*k, r)
+	b := g.Elems(k*n, r)
+	z := tensor.MatMulMod(a, b, m, k, n, r.Mask)
+	p0 = &Mat{R: r, M: m, K: k, N: n}
+	p1 = &Mat{R: r, M: m, K: k, N: n}
+	split := func(x []uint64) (s0, s1 []uint64) {
+		s0 = make([]uint64, len(x))
+		s1 = make([]uint64, len(x))
+		g.FillElems(s0, r)
+		r.SubVec(s1, x, s0)
+		return
+	}
+	p0.A, p1.A = split(a)
+	p0.B, p1.B = split(b)
+	p0.Z, p1.Z = split(z)
+	return p0, p1
+}
+
+// Source supplies one party's triples in protocol order. Both parties must
+// request identical shapes in identical order, which holds because they
+// execute the same layer schedule.
+type Source interface {
+	MatTriple(r ring.Ring, m, k, n int) (*Mat, error)
+}
+
+// Dealer is the in-process trusted offline phase shared by the two
+// parties' DealerSource views. It is safe for concurrent use.
+type Dealer struct {
+	mu       sync.Mutex
+	g        *prg.PRG
+	queue    map[string][2][]*Mat // per shape, per party, FIFO of undelivered views
+	families map[string]*dealerFamilyState
+}
+
+// NewDealer returns a dealer drawing randomness from g.
+func NewDealer(g *prg.PRG) *Dealer {
+	return &Dealer{g: g, queue: map[string][2][]*Mat{}}
+}
+
+// take returns the next triple view for the party, dealing a new triple
+// when that party's queue is empty.
+func (d *Dealer) take(party int, r ring.Ring, m, k, n int) *Mat {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	key := matKey(r, m, k, n)
+	q := d.queue[key]
+	if len(q[party]) == 0 {
+		p0, p1 := DealMat(d.g, r, m, k, n)
+		q[0] = append(q[0], p0)
+		q[1] = append(q[1], p1)
+	}
+	out := q[party][0]
+	q[party] = q[party][1:]
+	d.queue[key] = q
+	return out
+}
+
+// SourceFor returns the party's view of the dealer.
+func (d *Dealer) SourceFor(party int) Source { return &dealerSource{d: d, party: party} }
+
+type dealerSource struct {
+	d     *Dealer
+	party int
+}
+
+func (s *dealerSource) MatTriple(r ring.Ring, m, k, n int) (*Mat, error) {
+	if m <= 0 || k <= 0 || n <= 0 {
+		return nil, fmt.Errorf("triple: non-positive dims %dx%dx%d", m, k, n)
+	}
+	return s.d.take(s.party, r, m, k, n), nil
+}
