@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: build test race vet bench bench-matmul bench-batch ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The race detector slows the protocol tests ~10x; give the slowest
+# package (internal/engine) headroom beyond the default 10m.
+race:
+	$(GO) test -race -timeout 30m ./...
+
+vet:
+	$(GO) vet ./...
+
+# Serial-vs-parallel GEMM kernel on the 32-bit ring (512x512x512).
+bench-matmul:
+	$(GO) test ./internal/tensor/ -run XXX -bench 'BenchmarkMatMulMod512' -benchmem
+
+# Batched secure inference throughput at different Workers settings.
+bench-batch:
+	$(GO) test . -run XXX -bench 'BenchmarkSecureInferBatch' -benchtime 2x
+
+bench: bench-matmul bench-batch
+
+ci: vet build race

@@ -24,6 +24,7 @@
 package aq2pnn
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -84,7 +85,10 @@ func BuildModel(name string, cfg ZooConfig) (*Model, error) {
 // 1 Gbps LAN).
 func ZCU104() Accelerator { return fpga.ZCU104() }
 
-// InferenceConfig controls SecureInfer.
+// InferenceConfig controls every secure-inference entrypoint: local
+// (SecureInfer), batched (SecureInferBatch) and networked
+// (ServeModelTCP / SecureInferTCP). The zero value is a working
+// configuration.
 type InferenceConfig struct {
 	// CarrierBits is the ring width ℓc (0 = model bits + 4, the paper's
 	// adaptive rule).
@@ -102,6 +106,19 @@ type InferenceConfig struct {
 	// RevealClassOnly replaces the logit reveal with a secure argmax: the
 	// user learns only the predicted class.
 	RevealClassOnly bool
+	// Workers caps local compute parallelism (GEMM rows, SCM token
+	// matrices, batch pipelining); 0 uses all CPUs. Results are
+	// bit-identical at every setting.
+	Workers uint
+	// DemoGroup selects the small fast OT group on the TCP entrypoints
+	// (NOT cryptographically strong; demos and tests only).
+	DemoGroup bool
+	// DialTimeout bounds SecureInferTCP's connection retry window; 0
+	// means 10 seconds.
+	DialTimeout time.Duration
+	// ServeSessions makes ServeModelTCP return after that many sessions
+	// complete; 0 serves until its context is cancelled.
+	ServeSessions uint
 }
 
 // InferenceResult reports a secure inference.
@@ -123,9 +140,10 @@ type InferenceResult struct {
 // parties execute the AQ2PNN protocol over an instrumented in-process
 // channel, and the logits are revealed to the user party.
 func SecureInfer(m *Model, x []int64, cfg InferenceConfig) (*InferenceResult, error) {
-	res, err := engine.RunLocal(m, x, engine.Config{
+	res, err := engine.RunLocal(m, x, engine.Options{
 		CarrierBits: cfg.CarrierBits, Seed: cfg.Seed, LocalTrunc: cfg.LocalTrunc,
 		ABReLUBits: cfg.ABReLUBits, RevealClassOnly: cfg.RevealClassOnly,
+		Workers: cfg.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -227,28 +245,37 @@ func CompileProgram(m *Model, carrierBits uint) (*Program, error) {
 }
 
 // ServeModelTCP runs the model-provider side of a two-process deployment:
-// it listens on addr, secret-shares m's weights with the connecting user
-// and executes one secure inference. demoGroup selects the small fast OT
-// group for demonstrations (NOT cryptographically strong).
-func ServeModelTCP(addr string, m *Model, cfg InferenceConfig, demoGroup bool) error {
-	conn, err := transport.Listen(addr)
+// it listens on addr and serves every connecting user a complete secure
+// inference, with simultaneous clients handled concurrently. With
+// cfg.ServeSessions > 0 it returns once that many sessions complete;
+// otherwise it serves until ctx is cancelled (returning nil). Set
+// cfg.DemoGroup for the small fast OT group in demonstrations (NOT
+// cryptographically strong).
+func ServeModelTCP(ctx context.Context, addr string, m *Model, cfg InferenceConfig) error {
+	l, err := transport.NewListener(addr)
 	if err != nil {
 		return err
 	}
-	defer conn.Close()
-	return engine.RunProvider(conn, m, networkConfig(cfg, demoGroup))
+	defer l.Close()
+	return engine.ServeTCP(ctx, l, m, networkConfig(cfg), int(cfg.ServeSessions), nil)
 }
 
 // SecureInferTCP runs the user side of a two-process deployment against a
-// provider at addr. Both sides must agree on the model architecture,
+// provider at addr, retrying the dial for cfg.DialTimeout (10 s when zero)
+// so the processes may start in either order. Cancelling ctx aborts the
+// dial and the protocol. Both sides must agree on the model architecture,
 // carrier width and seed.
-func SecureInferTCP(addr string, m *Model, x []int64, cfg InferenceConfig, demoGroup bool, timeout time.Duration) (*InferenceResult, error) {
-	conn, err := transport.Dial(addr, timeout)
+func SecureInferTCP(ctx context.Context, addr string, m *Model, x []int64, cfg InferenceConfig) (*InferenceResult, error) {
+	timeout := cfg.DialTimeout
+	if timeout == 0 {
+		timeout = 10 * time.Second
+	}
+	conn, err := transport.DialContext(ctx, addr, timeout)
 	if err != nil {
 		return nil, err
 	}
 	defer conn.Close()
-	res, err := engine.RunUser(conn, m, x, networkConfig(cfg, demoGroup))
+	res, err := engine.RunUser(conn, m, x, networkConfig(cfg))
 	if err != nil {
 		return nil, err
 	}
@@ -262,9 +289,32 @@ func SecureInferTCP(addr string, m *Model, x []int64, cfg InferenceConfig, demoG
 	}, nil
 }
 
-func networkConfig(cfg InferenceConfig, demoGroup bool) engine.NetworkConfig {
-	nc := engine.NetworkConfig{CarrierBits: cfg.CarrierBits, Seed: cfg.Seed, LocalTrunc: cfg.LocalTrunc}
-	if demoGroup {
+// ServeModelTCPOnce is the former single-session ServeModelTCP.
+//
+// Deprecated: use ServeModelTCP with cfg.ServeSessions = 1 and
+// cfg.DemoGroup = demoGroup.
+func ServeModelTCPOnce(addr string, m *Model, cfg InferenceConfig, demoGroup bool) error {
+	cfg.DemoGroup = demoGroup
+	cfg.ServeSessions = 1
+	return ServeModelTCP(context.Background(), addr, m, cfg)
+}
+
+// SecureInferTCPTimeout is the former SecureInferTCP with positional
+// demoGroup and timeout parameters.
+//
+// Deprecated: use SecureInferTCP with cfg.DemoGroup and cfg.DialTimeout.
+func SecureInferTCPTimeout(addr string, m *Model, x []int64, cfg InferenceConfig, demoGroup bool, timeout time.Duration) (*InferenceResult, error) {
+	cfg.DemoGroup = demoGroup
+	cfg.DialTimeout = timeout
+	return SecureInferTCP(context.Background(), addr, m, x, cfg)
+}
+
+func networkConfig(cfg InferenceConfig) engine.Options {
+	nc := engine.Options{
+		CarrierBits: cfg.CarrierBits, Seed: cfg.Seed, LocalTrunc: cfg.LocalTrunc,
+		Workers: cfg.Workers,
+	}
+	if cfg.DemoGroup {
 		nc.Group = ot.TestGroup()
 	}
 	return nc
@@ -286,10 +336,12 @@ type BatchResult = engine.BatchResult
 
 // SecureInferBatch runs secure inference over a batch of quantized inputs
 // with a single weight-preparation phase, the deployment pattern behind
-// the paper's 1,000-iteration throughput averages.
+// the paper's 1,000-iteration throughput averages. Images are pipelined
+// over cfg.Workers lanes with bit-identical results at every setting.
 func SecureInferBatch(m *Model, xs [][]int64, cfg InferenceConfig) (*BatchResult, error) {
-	return engine.RunLocalBatch(m, xs, engine.Config{
+	return engine.RunLocalBatch(m, xs, engine.Options{
 		CarrierBits: cfg.CarrierBits, Seed: cfg.Seed, LocalTrunc: cfg.LocalTrunc,
-		ABReLUBits: cfg.ABReLUBits,
+		ABReLUBits: cfg.ABReLUBits, RevealClassOnly: cfg.RevealClassOnly,
+		Workers: cfg.Workers,
 	})
 }

@@ -10,10 +10,13 @@
 // secret-shared over the wire; the user's input never leaves its process
 // unmasked. The offline phase runs real base OTs and Gilboa triples —
 // pass -demo-group to use the small fast group (NOT cryptographically
-// strong) for quick demonstrations.
+// strong) for quick demonstrations. The provider serves -sessions
+// concurrent clients (0 = serve forever); -workers caps each side's
+// local compute parallelism (0 = all CPUs).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -33,41 +36,51 @@ func main() {
 	bits := flag.Uint("bits", 16, "carrier ring bit-width")
 	seed := flag.Uint64("seed", 7, "shared randomness seed (must match the peer)")
 	demoGroup := flag.Bool("demo-group", false, "use the fast demo OT group (NOT secure)")
+	workers := flag.Uint("workers", 0, "local compute parallelism (0 = all CPUs)")
+	sessions := flag.Uint("sessions", 1, "provider: sessions to serve before exiting (0 = forever)")
 	flag.Parse()
 
-	if err := run(*role, *listen, *connect, *model, *bits, *seed, *demoGroup); err != nil {
+	cfg := engine.Options{CarrierBits: *bits, Seed: *seed, Workers: *workers}
+	if *demoGroup {
+		cfg.Group = ot.TestGroup()
+	}
+	if err := run(*role, *listen, *connect, *model, cfg, int(*sessions)); err != nil {
 		fmt.Fprintln(os.Stderr, "party:", err)
 		os.Exit(1)
 	}
 }
 
-func run(role, listen, connect, model string, bits uint, seed uint64, demoGroup bool) error {
-	m, err := nn.ByName(model, nn.ZooConfig{Seed: seed})
+func run(role, listen, connect, model string, cfg engine.Options, sessions int) error {
+	m, err := nn.ByName(model, nn.ZooConfig{Seed: cfg.Seed})
 	if err != nil {
 		return err
 	}
-	cfg := engine.NetworkConfig{CarrierBits: bits, Seed: seed}
-	if demoGroup {
-		cfg.Group = ot.TestGroup()
-	}
 	switch role {
 	case "provider":
-		fmt.Printf("provider: %s, %d-bit carrier, waiting on %s\n", m.Name, bits, listen)
-		conn, err := transport.Listen(listen)
+		fmt.Printf("provider: %s, %d-bit carrier, waiting on %s\n", m.Name, cfg.CarrierBits, listen)
+		l, err := transport.NewListener(listen)
 		if err != nil {
 			return err
 		}
-		defer conn.Close()
+		defer l.Close()
 		start := time.Now()
-		if err := engine.RunProvider(conn, m, cfg); err != nil {
+		n := 0
+		err = engine.ServeTCP(context.Background(), l, m, cfg, sessions, func(err error) {
+			n++
+			if err != nil {
+				fmt.Printf("provider: session %d failed: %v\n", n, err)
+				return
+			}
+			fmt.Printf("provider: session %d served (%v elapsed)\n", n, time.Since(start))
+		})
+		if err != nil {
 			return err
 		}
-		st := conn.Stats()
-		fmt.Printf("provider done in %v: %.3f MiB exchanged\n", time.Since(start), st.MiB())
+		fmt.Printf("provider done in %v: %d session(s)\n", time.Since(start), n)
 		return nil
 	case "user":
-		fmt.Printf("user: %s, %d-bit carrier, dialing %s\n", m.Name, bits, connect)
-		conn, err := transport.Dial(connect, 30*time.Second)
+		fmt.Printf("user: %s, %d-bit carrier, dialing %s\n", m.Name, cfg.CarrierBits, connect)
+		conn, err := transport.DialContext(context.Background(), connect, 30*time.Second)
 		if err != nil {
 			return err
 		}

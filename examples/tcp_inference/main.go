@@ -1,12 +1,15 @@
 // Two real processes over localhost TCP, emulating the paper's two-board
 // deployment: this program re-executes itself as the model provider and
-// the user, who then run one dealer-free secure inference — κ base OTs
-// through the Fig. 4 OT-flow on the production 512-bit group, IKNP OT
-// extension for every correlation after that, and Gilboa Beaver triples,
-// all on the wire. Run ./cmd/party for full models and role control.
+// two concurrent users, who each run one dealer-free secure inference —
+// κ base OTs through the Fig. 4 OT-flow on the production 512-bit group,
+// IKNP OT extension for every correlation after that, and Gilboa Beaver
+// triples, all on the wire. The provider serves both sessions
+// concurrently and exits once they complete. Run ./cmd/party for full
+// models and role control.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -25,7 +28,7 @@ func main() {
 			runProvider()
 			return
 		case "user":
-			runUser()
+			runUser(os.Args[2])
 			return
 		}
 	}
@@ -48,25 +51,31 @@ func cfg() aq2pnn.InferenceConfig {
 
 func runProvider() {
 	fmt.Println("[provider] listening on", addr)
-	if err := aq2pnn.ServeModelTCP(addr, model(), cfg(), false); err != nil {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	c := cfg()
+	c.ServeSessions = 2
+	if err := aq2pnn.ServeModelTCP(ctx, addr, model(), c); err != nil {
 		log.Fatal("[provider] ", err)
 	}
-	fmt.Println("[provider] inference served")
+	fmt.Println("[provider] both inferences served")
 }
 
-func runUser() {
+func runUser(tag string) {
 	x := make([]int64, 8*8)
 	for i := range x {
 		x[i] = int64(i%23) - 11
 	}
-	fmt.Println("[user] dialing", addr)
+	fmt.Printf("[user %s] dialing %s\n", tag, addr)
 	start := time.Now()
-	res, err := aq2pnn.SecureInferTCP(addr, model(), x, cfg(), false, 30*time.Second)
+	c := cfg()
+	c.DialTimeout = 30 * time.Second
+	res, err := aq2pnn.SecureInferTCP(context.Background(), addr, model(), x, c)
 	if err != nil {
-		log.Fatal("[user] ", err)
+		log.Fatalf("[user %s] %v", tag, err)
 	}
-	fmt.Printf("[user] class %d in %v; online %.3f MiB over %d rounds\n",
-		res.Class, time.Since(start), res.Online.MiB(), res.Online.Rounds)
+	fmt.Printf("[user %s] class %d in %v; online %.3f MiB over %d rounds\n",
+		tag, res.Class, time.Since(start), res.Online.MiB(), res.Online.Rounds)
 }
 
 func orchestrate() {
@@ -80,14 +89,24 @@ func orchestrate() {
 		log.Fatal(err)
 	}
 	time.Sleep(300 * time.Millisecond) // let the listener come up
-	user := exec.Command(self, "user")
-	user.Stdout, user.Stderr = os.Stdout, os.Stderr
-	if err := user.Run(); err != nil {
-		provider.Process.Kill()
-		log.Fatal(err)
+	users := make([]*exec.Cmd, 2)
+	for i := range users {
+		u := exec.Command(self, "user", fmt.Sprint(i))
+		u.Stdout, u.Stderr = os.Stdout, os.Stderr
+		if err := u.Start(); err != nil {
+			provider.Process.Kill()
+			log.Fatal(err)
+		}
+		users[i] = u
+	}
+	for _, u := range users {
+		if err := u.Wait(); err != nil {
+			provider.Process.Kill()
+			log.Fatal(err)
+		}
 	}
 	if err := provider.Wait(); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("two-process secure inference complete")
+	fmt.Println("two concurrent secure inferences complete")
 }

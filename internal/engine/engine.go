@@ -11,20 +11,25 @@ import (
 	"time"
 
 	"aq2pnn/internal/nn"
+	"aq2pnn/internal/ot"
+	"aq2pnn/internal/parallel"
 	"aq2pnn/internal/prg"
 	"aq2pnn/internal/ring"
 	"aq2pnn/internal/secure"
 	"aq2pnn/internal/share"
 	"aq2pnn/internal/tensor"
 	"aq2pnn/internal/transport"
+	"aq2pnn/internal/triple"
 )
 
 // Margin is the paper's carrier headroom: an ℓ-bit plaintext model rides a
 // 2^(ℓ+4) ring (Sec. 5.1).
 const Margin = 4
 
-// Config controls a secure inference run.
-type Config struct {
+// Options controls a secure inference run — local, batched or networked.
+// The zero value is a working configuration (carrier from the model,
+// faithful truncation, full-width ReLU, logit reveal, one worker per CPU).
+type Options struct {
 	// CarrierBits is the ring width ℓ_c; 0 selects InBits+Margin.
 	CarrierBits uint
 	// Seed drives all protocol randomness for reproducible experiments.
@@ -41,10 +46,37 @@ type Config struct {
 	// RevealClassOnly replaces the logit reveal with a secure argmax
 	// tournament: the user learns only the predicted class index.
 	RevealClassOnly bool
+	// Workers caps this process's local compute parallelism (GEMM rows,
+	// im2col patches, SCM token matrices, batch pipelining). 0 uses
+	// GOMAXPROCS. Results are bit-identical at every setting.
+	Workers uint
+	// Group selects the OT-flow group for networked runs. The zero value
+	// uses the production 512-bit prime; demos may pass ot.TestGroup() for
+	// speed (explicitly NOT cryptographically strong). Ignored by local
+	// dealer-backed runs.
+	Group ot.Group
+	// NoExtension disables IKNP OT extension on networked runs and
+	// harvests every correlation through base OTs (slow; for tests and
+	// comparisons). Ignored by local runs.
+	NoExtension bool
 }
 
+// Config is the former name of Options.
+//
+// Deprecated: use Options.
+type Config = Options
+
+// NetworkConfig is the former networked-run configuration, now unified
+// with Options.
+//
+// Deprecated: use Options.
+type NetworkConfig = Options
+
+// Pool resolves the compute pool for the Workers setting.
+func (c Options) Pool() *parallel.Pool { return parallel.New(c.Workers) }
+
 // Carrier resolves the ring for a model.
-func (c Config) Carrier(m *nn.Model) ring.Ring {
+func (c Options) Carrier(m *nn.Model) ring.Ring {
 	bits := c.CarrierBits
 	if bits == 0 {
 		bits = m.InBits + Margin
@@ -140,34 +172,76 @@ type Party struct {
 	// ReLURing, when a valid ring narrower than R, hosts the ABReLU
 	// evaluations (shares are contracted before and zero-extended after).
 	ReLURing ring.Ring
+	// Pool distributes this party's local tensor work (im2col, activation
+	// transpose); nil runs serially. The context carries its own pool for
+	// the secure operators.
+	Pool *parallel.Pool
+	// Families optionally overrides the triple family per linear node
+	// (node id → family); Prepare falls back to the context's NewFamily
+	// provider for nodes not present.
+	Families map[int]triple.Family
 	linears  map[int]*secure.Linear
 	// Profile receives per-node cost entries when non-nil (party i only,
 	// by convention).
 	Profile *[]OpProfile
 }
 
+// LinearDims reports the GEMM shape (K×N) of a linear node, or ok=false
+// for non-linear nodes.
+func LinearDims(node nn.Node) (k, n int, ok bool) {
+	switch op := node.Op.(type) {
+	case *nn.Conv:
+		return op.Geom.PatchLen(), op.Geom.OutC, true
+	case *nn.FC:
+		return op.In, op.Out, true
+	}
+	return 0, 0, false
+}
+
 // Prepare opens the weight masks F for every linear node (the setup
 // phase; its communication is reported separately from the online phase).
+// When Families supplies a node's triple family it is used directly;
+// otherwise the context's NewFamily provider is consulted.
 func (p *Party) Prepare() error {
 	p.linears = map[int]*secure.Linear{}
 	for i, node := range p.Model.Nodes {
-		switch op := node.Op.(type) {
-		case *nn.Conv:
-			pl := op.Geom.PatchLen()
-			l, err := p.Ctx.PrepareLinear(fmt.Sprintf("n%d", i), p.R, p.Weights.W[i], pl, op.Geom.OutC)
-			if err != nil {
-				return fmt.Errorf("engine: prepare node %d: %w", i, err)
-			}
-			p.linears[i] = l
-		case *nn.FC:
-			l, err := p.Ctx.PrepareLinear(fmt.Sprintf("n%d", i), p.R, p.Weights.W[i], op.In, op.Out)
-			if err != nil {
-				return fmt.Errorf("engine: prepare node %d: %w", i, err)
-			}
-			p.linears[i] = l
+		k, n, ok := LinearDims(node)
+		if !ok {
+			continue
 		}
+		var l *secure.Linear
+		var err error
+		if fam := p.Families[i]; fam != nil {
+			l, err = p.Ctx.PrepareLinearWith(p.R, p.Weights.W[i], k, n, fam)
+		} else {
+			l, err = p.Ctx.PrepareLinear(fmt.Sprintf("n%d", i), p.R, p.Weights.W[i], k, n)
+		}
+		if err != nil {
+			return fmt.Errorf("engine: prepare node %d: %w", i, err)
+		}
+		p.linears[i] = l
 	}
 	return nil
+}
+
+// PreparedWeights exports every prepared layer's connection-independent
+// product (opened F, precombined W_p − p·F). Call after Prepare.
+func (p *Party) PreparedWeights() map[int]*secure.Prepared {
+	out := map[int]*secure.Prepared{}
+	for i, l := range p.linears {
+		out[i] = l.Export()
+	}
+	return out
+}
+
+// Bind installs already-prepared weights with fresh per-node triple
+// families, skipping the setup-phase F openings entirely — the batch
+// executor pays preparation once and binds it into each image's session.
+func (p *Party) Bind(preps map[int]*secure.Prepared, fams map[int]triple.Family) {
+	p.linears = map[int]*secure.Linear{}
+	for i, prep := range preps {
+		p.linears[i] = p.Ctx.BindLinear(prep, fams[i])
+	}
 }
 
 // Infer runs the secure forward pass on this party's input share and
@@ -263,7 +337,7 @@ func (p *Party) runReLU(in []uint64) ([]uint64, error) {
 
 func (p *Party) runConv(i int, op *nn.Conv, in []uint64) ([]uint64, error) {
 	g := op.Geom
-	cols := tensor.Im2ColInt(in, g)
+	cols := tensor.Im2ColIntPar(p.Pool, in, g)
 	acc, err := p.linears[i].Mul(cols, g.Patches()) // (patches × OutC)
 	if err != nil {
 		return nil, err
@@ -271,11 +345,13 @@ func (p *Party) runConv(i int, op *nn.Conv, in []uint64) ([]uint64, error) {
 	// Transpose to (OutC × patches) to match the NCHW activation layout.
 	patches := g.Patches()
 	out := make([]uint64, len(acc))
-	for pt := 0; pt < patches; pt++ {
-		for oc := 0; oc < g.OutC; oc++ {
-			out[oc*patches+pt] = acc[pt*g.OutC+oc]
+	p.Pool.Blocks(patches, func(lo, hi int) {
+		for pt := lo; pt < hi; pt++ {
+			for oc := 0; oc < g.OutC; oc++ {
+				out[oc*patches+pt] = acc[pt*g.OutC+oc]
+			}
 		}
-	}
+	})
 	if err := p.Ctx.BNReQ(p.R, out, g.OutC, patches, p.Weights.Bias[i], op.Im, op.Ie); err != nil {
 		return nil, err
 	}
@@ -305,6 +381,9 @@ func RunLocal(m *nn.Model, x []int64, cfg Config) (*Result, error) {
 	defer sess.Close()
 	sess.P0.LocalTrunc = cfg.LocalTrunc
 	sess.P1.LocalTrunc = cfg.LocalTrunc
+	pool := cfg.Pool()
+	sess.P0.Pool = pool
+	sess.P1.Pool = pool
 	g := prg.NewSeeded(cfg.Seed ^ 0xA92B11E5D00DF00D)
 	ws0, ws1, err := SplitModel(g, m, r)
 	if err != nil {
@@ -317,8 +396,8 @@ func RunLocal(m *nn.Model, x []int64, cfg Config) (*Result, error) {
 		reluRing = ring.New(cfg.ABReLUBits)
 	}
 	var profile []OpProfile
-	party0 := &Party{Ctx: sess.P0, Model: m, Weights: ws0, R: r, ReLURing: reluRing, Profile: &profile}
-	party1 := &Party{Ctx: sess.P1, Model: m, Weights: ws1, R: r, ReLURing: reluRing}
+	party0 := &Party{Ctx: sess.P0, Model: m, Weights: ws0, R: r, ReLURing: reluRing, Pool: pool, Profile: &profile}
+	party1 := &Party{Ctx: sess.P1, Model: m, Weights: ws1, R: r, ReLURing: reluRing, Pool: pool}
 
 	// Setup phase: weight preparation (F openings).
 	if err := sess.Run(

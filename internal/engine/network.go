@@ -21,23 +21,9 @@ import (
 // Gilboa protocol. This is the cmd/party / examples/tcp_inference path,
 // emulating the paper's two-board setup.
 
-// NetworkConfig parameterizes a networked party.
-type NetworkConfig struct {
-	CarrierBits uint
-	Seed        uint64
-	LocalTrunc  bool
-	// Group selects the OT-flow group. The zero value uses the production
-	// 512-bit prime; demos may pass ot.TestGroup() for speed (explicitly
-	// NOT cryptographically strong).
-	Group ot.Group
-	// NoExtension disables IKNP OT extension and harvests every
-	// correlation through base OTs (slow; for tests and comparisons).
-	NoExtension bool
-}
-
 // NewNetworkContext builds a party context over a live connection with
 // harvest-backed OT and Gilboa triple families.
-func NewNetworkContext(party int, conn transport.Conn, cfg NetworkConfig) *secure.Context {
+func NewNetworkContext(party int, conn transport.Conn, cfg Options) *secure.Context {
 	rng := prg.NewSeeded(cfg.Seed + uint64(party)*7919)
 	grp := cfg.Group
 	if grp.P == nil {
@@ -54,6 +40,7 @@ func NewNetworkContext(party int, conn transport.Conn, cfg NetworkConfig) *secur
 		Rng:        rng.Fork(),
 		Triples:    &triple.OTSource{EP: ep, Rng: gilboaRng.Fork(), Party: party},
 		LocalTrunc: cfg.LocalTrunc,
+		Pool:       cfg.Pool(),
 		NewFamily: func(id string, r ring.Ring, k, n int) (triple.Family, error) {
 			return triple.NewGilboaFamily(ep, gilboaRng.Fork(), party, r, k, n), nil
 		},
@@ -86,8 +73,8 @@ func recvGob(c transport.Conn, v any) error {
 // RunUser executes the user side (party i): it secret-shares its input,
 // receives its weight shares from the provider, runs the protocol and
 // returns the revealed logits with the measured traffic.
-func RunUser(conn transport.Conn, m *nn.Model, x []int64, cfg NetworkConfig) (*Result, error) {
-	r := Config{CarrierBits: cfg.CarrierBits}.Carrier(m)
+func RunUser(conn transport.Conn, m *nn.Model, x []int64, cfg Options) (*Result, error) {
+	r := cfg.Carrier(m)
 	if len(x) != m.InputShape().Numel() {
 		return nil, fmt.Errorf("engine: input length %d, want %d", len(x), m.InputShape().Numel())
 	}
@@ -104,7 +91,7 @@ func RunUser(conn transport.Conn, m *nn.Model, x []int64, cfg NetworkConfig) (*R
 		return nil, fmt.Errorf("engine: sending input share: %w", err)
 	}
 	var profile []OpProfile
-	p := &Party{Ctx: ctx, Model: m, Weights: &WeightShares{W: wp.W, Bias: wp.Bias}, R: r, Profile: &profile}
+	p := &Party{Ctx: ctx, Model: m, Weights: &WeightShares{W: wp.W, Bias: wp.Bias}, R: r, Pool: ctx.Pool, Profile: &profile}
 	if err := p.Prepare(); err != nil {
 		return nil, err
 	}
@@ -132,8 +119,8 @@ func RunUser(conn transport.Conn, m *nn.Model, x []int64, cfg NetworkConfig) (*R
 // the protocol. The model must carry real weights (not a skeleton); the
 // architecture and quantization metadata are assumed public and identical
 // on both sides.
-func RunProvider(conn transport.Conn, m *nn.Model, cfg NetworkConfig) error {
-	r := Config{CarrierBits: cfg.CarrierBits}.Carrier(m)
+func RunProvider(conn transport.Conn, m *nn.Model, cfg Options) error {
+	r := cfg.Carrier(m)
 	ctx := NewNetworkContext(1, conn, cfg)
 	g := prg.NewSeeded(cfg.Seed ^ 0x0DE17272)
 	ws0, ws1, err := SplitModel(g, m, r)
@@ -150,7 +137,7 @@ func RunProvider(conn transport.Conn, m *nn.Model, cfg NetworkConfig) error {
 	if len(in.X) != m.InputShape().Numel() {
 		return fmt.Errorf("engine: peer input share has %d elements, want %d", len(in.X), m.InputShape().Numel())
 	}
-	p := &Party{Ctx: ctx, Model: m, Weights: ws1, R: r}
+	p := &Party{Ctx: ctx, Model: m, Weights: ws1, R: r, Pool: ctx.Pool}
 	if err := p.Prepare(); err != nil {
 		return err
 	}

@@ -1,0 +1,54 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"aq2pnn/internal/nn"
+	"aq2pnn/internal/transport"
+)
+
+// ServeTCP hosts the model-provider side for many clients: every accepted
+// connection runs a complete RunProvider protocol in its own goroutine, so
+// simultaneous users are served concurrently. sessions > 0 accepts exactly
+// that many connections and returns once they all finish; sessions == 0
+// serves until ctx is cancelled (which then returns nil). onSession, when
+// non-nil, observes each finished session's error as it completes.
+func ServeTCP(ctx context.Context, l *transport.Listener, m *nn.Model, cfg Options, sessions int, onSession func(error)) error {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var errs []error
+	record := func(err error) {
+		if onSession != nil {
+			onSession(err)
+		}
+		if err != nil {
+			mu.Lock()
+			errs = append(errs, err)
+			mu.Unlock()
+		}
+	}
+	for n := 0; sessions == 0 || n < sessions; n++ {
+		conn, err := l.Accept(ctx)
+		if err != nil {
+			wg.Wait()
+			if ctx.Err() != nil {
+				err = nil // cancelled: a clean shutdown, not a failure
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			return errors.Join(append(errs, err)...)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer conn.Close()
+			record(RunProvider(conn, m, cfg))
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	return errors.Join(errs...)
+}

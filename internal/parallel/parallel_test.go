@@ -1,0 +1,116 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestNilAndZeroPoolsRunSerially(t *testing.T) {
+	var nilPool *Pool
+	if nilPool.Workers() != 1 || !nilPool.Serial() {
+		t.Errorf("nil pool workers = %d", nilPool.Workers())
+	}
+	var zero Pool
+	if zero.Workers() != 1 {
+		t.Errorf("zero pool workers = %d", zero.Workers())
+	}
+	ran := 0
+	nilPool.Blocks(5, func(lo, hi int) { ran += hi - lo })
+	if ran != 5 {
+		t.Errorf("nil pool covered %d of 5", ran)
+	}
+}
+
+func TestBlocksCoverRangeExactlyOnce(t *testing.T) {
+	for _, workers := range []uint{1, 2, 3, 8, 64} {
+		p := New(workers)
+		const n = 1000
+		var hits [n]int32
+		p.Blocks(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForVisitsEveryIndex(t *testing.T) {
+	p := New(4)
+	var sum int64
+	p.For(100, func(i int) { atomic.AddInt64(&sum, int64(i)) })
+	if sum != 99*100/2 {
+		t.Errorf("sum = %d", sum)
+	}
+}
+
+func TestEmptyAndTinyRanges(t *testing.T) {
+	p := New(8)
+	p.Blocks(0, func(lo, hi int) { t.Error("fn called for empty range") })
+	ran := false
+	p.Blocks(1, func(lo, hi int) {
+		if lo != 0 || hi != 1 {
+			t.Errorf("block [%d,%d)", lo, hi)
+		}
+		ran = true
+	})
+	if !ran {
+		t.Error("single-element range skipped")
+	}
+}
+
+func TestNestedBlocksDoNotDeadlock(t *testing.T) {
+	outer := New(4)
+	inner := New(4)
+	var total int64
+	var wg sync.WaitGroup
+	// Saturate well beyond the shared slot capacity from several goroutines.
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			outer.Blocks(64, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					inner.For(32, func(int) { atomic.AddInt64(&total, 1) })
+				}
+			})
+		}()
+	}
+	wg.Wait()
+	if total != 8*64*32 {
+		t.Errorf("total = %d", total)
+	}
+}
+
+func TestDeterministicPartition(t *testing.T) {
+	// The same (n, workers) must always produce the same block boundaries,
+	// so protocol schedules built per block stay identical across runs.
+	collect := func() [][2]int {
+		var mu sync.Mutex
+		var blocks [][2]int
+		New(3).Blocks(10, func(lo, hi int) {
+			mu.Lock()
+			blocks = append(blocks, [2]int{lo, hi})
+			mu.Unlock()
+		})
+		return blocks
+	}
+	a, b := collect(), collect()
+	if len(a) != len(b) {
+		t.Fatalf("block counts %d vs %d", len(a), len(b))
+	}
+	seen := map[[2]int]bool{}
+	for _, blk := range a {
+		seen[blk] = true
+	}
+	for _, blk := range b {
+		if !seen[blk] {
+			t.Errorf("block %v not in first run", blk)
+		}
+	}
+}

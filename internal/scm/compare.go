@@ -5,6 +5,7 @@ import (
 
 	"aq2pnn/internal/a2b"
 	"aq2pnn/internal/ot"
+	"aq2pnn/internal/parallel"
 	"aq2pnn/internal/prg"
 	"aq2pnn/internal/ring"
 )
@@ -62,26 +63,36 @@ func PredTokens(ga []uint64, widths []uint, flip uint64, rel Rel) [][]byte {
 // CmpSender runs party i's side of the batched unsigned comparison for its
 // values a, returning its boolean shares (the masks).
 func CmpSender(ep *ot.Endpoint, rng *prg.PRG, r ring.Ring, a []uint64, rel Rel) ([]uint64, error) {
+	return CmpSenderPar(ep, rng, r, a, rel, nil)
+}
+
+// CmpSenderPar is CmpSender with the token-matrix construction distributed
+// over the pool; the masks are drawn serially so the transcript is
+// identical at any worker count.
+func CmpSenderPar(ep *ot.Endpoint, rng *prg.PRG, r ring.Ring, a []uint64, rel Rel, pool *parallel.Pool) ([]uint64, error) {
 	widths := a2b.Groups(r.Bits)
 	count := len(a)
 	m := make([]uint64, count)
-	tokens := make([][][]byte, count)
-	for v, av := range a {
+	for v := range m {
 		m[v] = rng.Bit()
-		tokens[v] = PredTokens(a2b.Split(r, av), widths, m[v], rel)
 	}
+	tokens := make([][][]byte, count)
+	pool.For(count, func(v int) {
+		tokens[v] = PredTokens(a2b.Split(r, a[v]), widths, m[v], rel)
+	})
 	plan := planFullBatches(r.Bits, count)
 	for _, n := range plan.arities {
 		pairs := plan.pairs[n]
 		msgs := make([][][]byte, len(pairs))
-		for k, vu := range pairs {
+		pool.For(len(pairs), func(k int) {
+			vu := pairs[k]
 			row := tokens[vu[0]][vu[1]]
 			cand := make([][]byte, n)
 			for pm := 0; pm < n; pm++ {
 				cand[pm] = []byte{row[pm]}
 			}
 			msgs[k] = cand
-		}
+		})
 		if err := ep.Send1ofN(n, msgs); err != nil {
 			return nil, fmt.Errorf("scm: compare token transfer (1-of-%d): %w", n, err)
 		}
@@ -92,12 +103,18 @@ func CmpSender(ep *ot.Endpoint, rng *prg.PRG, r ring.Ring, a []uint64, rel Rel) 
 // CmpReceiver runs party j's side for its values b, returning its boolean
 // shares (predicate ⊕ mask).
 func CmpReceiver(ep *ot.Endpoint, r ring.Ring, b []uint64, rel Rel) ([]uint64, error) {
+	return CmpReceiverPar(ep, r, b, rel, nil)
+}
+
+// CmpReceiverPar is CmpReceiver with the A2BM splits and token scans
+// distributed over the pool.
+func CmpReceiverPar(ep *ot.Endpoint, r ring.Ring, b []uint64, rel Rel, pool *parallel.Pool) ([]uint64, error) {
 	widths := a2b.Groups(r.Bits)
 	count := len(b)
 	groups := make([][]uint64, count)
-	for v, bv := range b {
-		groups[v] = a2b.Split(r, bv)
-	}
+	pool.For(count, func(v int) {
+		groups[v] = a2b.Split(r, b[v])
+	})
 	plan := planFullBatches(r.Bits, count)
 	received := make([][]byte, count)
 	for v := range received {
@@ -118,12 +135,19 @@ func CmpReceiver(ep *ot.Endpoint, r ring.Ring, b []uint64, rel Rel) ([]uint64, e
 		}
 	}
 	out := make([]uint64, count)
-	for v := range received {
+	errs := make([]error, count)
+	pool.For(count, func(v int) {
 		raw, err := ScanTokens(received[v])
+		if err != nil {
+			errs[v] = err
+			return
+		}
+		out[v] = raw
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		out[v] = raw
 	}
 	return out, nil
 }

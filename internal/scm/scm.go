@@ -22,6 +22,7 @@ import (
 
 	"aq2pnn/internal/a2b"
 	"aq2pnn/internal/ot"
+	"aq2pnn/internal/parallel"
 	"aq2pnn/internal/prg"
 	"aq2pnn/internal/ring"
 )
@@ -126,31 +127,41 @@ func planBatches(bits uint, count int) batchPlan {
 // of shared values; xi are party i's arithmetic shares. It returns party
 // i's boolean shares m of MSB(x) (the OUT-MSK values).
 func MSBSender(ep *ot.Endpoint, rng *prg.PRG, r ring.Ring, xi []uint64) ([]uint64, error) {
+	return MSBSenderPar(ep, rng, r, xi, nil)
+}
+
+// MSBSenderPar is MSBSender with the comparison-matrix construction
+// distributed over the pool. The OUT-MSK bits are drawn serially first, so
+// the protocol transcript is identical at any worker count.
+func MSBSenderPar(ep *ot.Endpoint, rng *prg.PRG, r ring.Ring, xi []uint64, pool *parallel.Pool) ([]uint64, error) {
 	if r.Bits < 2 {
 		return nil, fmt.Errorf("scm: ring must have at least 2 bits, got %d", r.Bits)
 	}
 	count := len(xi)
 	m := make([]uint64, count)
+	for v := range m {
+		m[v] = rng.Bit()
+	}
 	tokens := make([][][]byte, count) // per element, per group, the token row
 	widths := a2b.LowGroups(r.Bits)
-	for v, share := range xi {
-		a := r.Neg(share)
-		m[v] = rng.Bit()
+	pool.For(count, func(v int) {
+		a := r.Neg(xi[v])
 		flip := m[v] ^ r.MSB(a)
 		tokens[v] = SenderTokens(a2b.SplitLow(r, a), widths, flip)
-	}
+	})
 	plan := planBatches(r.Bits, count)
 	for _, n := range plan.arities {
 		pairs := plan.pairs[n]
 		msgs := make([][][]byte, len(pairs))
-		for k, vu := range pairs {
+		pool.For(len(pairs), func(k int) {
+			vu := pairs[k]
 			row := tokens[vu[0]][vu[1]]
 			cand := make([][]byte, n)
 			for pm := 0; pm < n; pm++ {
 				cand[pm] = []byte{row[pm]}
 			}
 			msgs[k] = cand
-		}
+		})
 		if err := ep.Send1ofN(n, msgs); err != nil {
 			return nil, fmt.Errorf("scm: token transfer (1-of-%d): %w", n, err)
 		}
@@ -161,15 +172,21 @@ func MSBSender(ep *ot.Endpoint, rng *prg.PRG, r ring.Ring, xi []uint64) ([]uint6
 // MSBReceiver runs party j's side; xj are party j's arithmetic shares. It
 // returns party j's boolean shares MSB(x) ⊕ m.
 func MSBReceiver(ep *ot.Endpoint, r ring.Ring, xj []uint64) ([]uint64, error) {
+	return MSBReceiverPar(ep, r, xj, nil)
+}
+
+// MSBReceiverPar is MSBReceiver with the A2BM splits and token scans
+// distributed over the pool.
+func MSBReceiverPar(ep *ot.Endpoint, r ring.Ring, xj []uint64, pool *parallel.Pool) ([]uint64, error) {
 	if r.Bits < 2 {
 		return nil, fmt.Errorf("scm: ring must have at least 2 bits, got %d", r.Bits)
 	}
 	count := len(xj)
 	widths := a2b.LowGroups(r.Bits)
 	groups := make([][]uint64, count)
-	for v, share := range xj {
-		groups[v] = a2b.SplitLow(r, share)
-	}
+	pool.For(count, func(v int) {
+		groups[v] = a2b.SplitLow(r, xj[v])
+	})
 	plan := planBatches(r.Bits, count)
 	received := make([][]byte, count)
 	for v := range received {
@@ -190,12 +207,19 @@ func MSBReceiver(ep *ot.Endpoint, r ring.Ring, xj []uint64) ([]uint64, error) {
 		}
 	}
 	out := make([]uint64, count)
-	for v, share := range xj {
+	errs := make([]error, count)
+	pool.For(count, func(v int) {
 		raw, err := ScanTokens(received[v])
+		if err != nil {
+			errs[v] = err
+			return
+		}
+		out[v] = raw ^ r.MSB(xj[v])
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		out[v] = raw ^ r.MSB(share)
 	}
 	return out, nil
 }

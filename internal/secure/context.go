@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"aq2pnn/internal/ot"
+	"aq2pnn/internal/parallel"
 	"aq2pnn/internal/prg"
 	"aq2pnn/internal/ring"
 	"aq2pnn/internal/share"
@@ -41,6 +42,11 @@ type Context struct {
 	// truncation for requantization instead of the default faithful
 	// truncation (see trunc.go). Both parties must agree.
 	LocalTrunc bool
+	// Pool distributes this party's local compute (GEMM rows, SCM token
+	// matrices, OT message assembly) over the shared worker pool; nil runs
+	// serially. Parallelism never changes the protocol transcript, so the
+	// two parties may use different pools.
+	Pool *parallel.Pool
 }
 
 // P returns the party index as an int (0 for i, 1 for j).
@@ -80,7 +86,14 @@ type Session struct {
 // NewLocalSession wires two contexts with dealer-backed OT and triples.
 // The seed makes runs reproducible.
 func NewLocalSession(seed uint64) *Session {
-	master := prg.NewSeeded(seed)
+	return NewLocalSessionFrom(prg.NewSeeded(seed))
+}
+
+// NewLocalSessionFrom is NewLocalSession drawing all session randomness
+// from an existing generator — the batch executor forks one per image so
+// every image's transcript is independent of how images are scheduled
+// across workers.
+func NewLocalSessionFrom(master *prg.PRG) *Session {
 	otDealer := ot.NewDealer(master.Fork())
 	trDealer := triple.NewDealer(master.Fork())
 	a, b := transport.Pipe()

@@ -32,14 +32,14 @@ func (c *Context) B2A(r ring.Ring, d []uint64) ([]uint64, error) {
 	if c.Party == 0 {
 		rp := c.Rng.Elems(n, r)
 		msgs := make([][][]byte, n)
-		for k := 0; k < n; k++ {
+		c.Pool.For(n, func(k int) {
 			m := make([][]byte, 2)
 			for cBit := uint64(0); cBit < 2; cBit++ {
 				prod := (d[k] & 1) * cBit
 				m[cBit] = transport.PackElems(r, []uint64{r.Sub(prod, rp[k])})
 			}
 			msgs[k] = m
-		}
+		})
 		if err := c.OT.Send1ofN(2, msgs); err != nil {
 			return nil, err
 		}
@@ -87,9 +87,9 @@ func (c *Context) ZeroExtend(from, to ring.Ring, x []uint64) ([]uint64, error) {
 		for i, v := range x {
 			a[i] = from.Sub(from.Mask, v) // Q₁ − 1 − x_0
 		}
-		kb, err = scm.CmpSender(c.OT, c.Rng, from, a, scm.BGtA)
+		kb, err = scm.CmpSenderPar(c.OT, c.Rng, from, a, scm.BGtA, c.Pool)
 	} else {
-		kb, err = scm.CmpReceiver(c.OT, from, x, scm.BGtA)
+		kb, err = scm.CmpReceiverPar(c.OT, from, x, scm.BGtA, c.Pool)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("secure: ZeroExtend wrap bit: %w", err)

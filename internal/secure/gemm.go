@@ -54,8 +54,8 @@ func (c *Context) beaverCombine(r ring.Ring, e, f, inShare, wShare, zShare []uin
 		wf = make([]uint64, len(wShare))
 		r.SubVec(wf, wShare, f)
 	}
-	out := tensor.MatMulMod(e, wf, m, k, n, r.Mask)
-	inf := tensor.MatMulMod(inShare, f, m, k, n, r.Mask)
+	out := tensor.MatMulModPar(c.Pool, e, wf, m, k, n, r.Mask)
+	inf := tensor.MatMulModPar(c.Pool, inShare, f, m, k, n, r.Mask)
 	r.AddVec(out, out, inf)
 	r.AddVec(out, out, zShare)
 	return out
@@ -80,15 +80,22 @@ type Linear struct {
 // returns the prepared layer. id must be unique per layer and identical on
 // both parties.
 func (c *Context) PrepareLinear(id string, r ring.Ring, wShare []uint64, k, n int) (*Linear, error) {
-	if len(wShare) != k*n {
-		return nil, fmt.Errorf("secure: weight share length %d for %dx%d", len(wShare), k, n)
-	}
 	if c.NewFamily == nil {
 		return nil, fmt.Errorf("secure: context has no triple-family provider")
 	}
 	fam, err := c.NewFamily(id, r, k, n)
 	if err != nil {
 		return nil, err
+	}
+	return c.PrepareLinearWith(r, wShare, k, n, fam)
+}
+
+// PrepareLinearWith opens F against an explicitly supplied triple family —
+// the batch executor's path, where the family's fixed mask B is dealt
+// per-layer so fresh per-image pools can later serve the same weights.
+func (c *Context) PrepareLinearWith(r ring.Ring, wShare []uint64, k, n int, fam triple.Family) (*Linear, error) {
+	if len(wShare) != k*n {
+		return nil, fmt.Errorf("secure: weight share length %d for %dx%d", len(wShare), k, n)
 	}
 	fShare := make([]uint64, k*n)
 	r.SubVec(fShare, wShare, fam.BShare())
@@ -102,6 +109,29 @@ func (c *Context) PrepareLinear(id string, r ring.Ring, wShare []uint64, k, n in
 		r.SubVec(wf, wShare, f)
 	}
 	return &Linear{ctx: c, R: r, K: k, N: n, wMinusPF: wf, F: f, fam: fam}, nil
+}
+
+// Prepared is the connection-independent product of weight preparation: the
+// public opened mask F and this party's precombined W_p − p·F term. It can
+// be bound to any number of contexts (BindLinear), which is how the batch
+// executor pays the F opening once and reuses it across concurrent images.
+type Prepared struct {
+	R        ring.Ring
+	K, N     int
+	F        []uint64
+	WMinusPF []uint64
+}
+
+// Export extracts the reusable preparation product of a prepared layer.
+func (l *Linear) Export() *Prepared {
+	return &Prepared{R: l.R, K: l.K, N: l.N, F: l.F, WMinusPF: l.wMinusPF}
+}
+
+// BindLinear attaches prepared weights to this context with a fresh triple
+// family. The family's fixed mask B must be the one F was opened against
+// (same per-layer secrets), or the Beaver identity breaks.
+func (c *Context) BindLinear(p *Prepared, fam triple.Family) *Linear {
+	return &Linear{ctx: c, R: p.R, K: p.K, N: p.N, wMinusPF: p.WMinusPF, F: p.F, fam: fam}
 }
 
 // Mul multiplies a shared input (M×K) against the prepared weights,
@@ -121,8 +151,8 @@ func (l *Linear) Mul(in []uint64, m int) ([]uint64, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := tensor.MatMulMod(e, l.wMinusPF, m, l.K, l.N, r.Mask)
-	inf := tensor.MatMulMod(in, l.F, m, l.K, l.N, r.Mask)
+	out := tensor.MatMulModPar(l.ctx.Pool, e, l.wMinusPF, m, l.K, l.N, r.Mask)
+	inf := tensor.MatMulModPar(l.ctx.Pool, in, l.F, m, l.K, l.N, r.Mask)
 	r.AddVec(out, out, inf)
 	r.AddVec(out, out, t.Z)
 	return out, nil

@@ -19,9 +19,9 @@ import (
 // party i plays the SCM token sender, party j the receiver.
 func (c *Context) MSBShares(r ring.Ring, x []uint64) ([]uint64, error) {
 	if c.Party == 0 {
-		return scm.MSBSender(c.OT, c.Rng, r, x)
+		return scm.MSBSenderPar(c.OT, c.Rng, r, x, c.Pool)
 	}
-	return scm.MSBReceiver(c.OT, r, x)
+	return scm.MSBReceiverPar(c.OT, r, x, c.Pool)
 }
 
 // Mux computes arithmetic shares of x·d from arithmetic shares of x and
@@ -42,7 +42,7 @@ func (c *Context) Mux(r ring.Ring, x, d []uint64) ([]uint64, error) {
 
 	buildMsgs := func(rp []uint64) [][][]byte {
 		msgs := make([][][]byte, n)
-		for k := 0; k < n; k++ {
+		c.Pool.For(n, func(k int) {
 			m := make([][]byte, 2)
 			for cBit := uint64(0); cBit < 2; cBit++ {
 				var v uint64
@@ -52,7 +52,7 @@ func (c *Context) Mux(r ring.Ring, x, d []uint64) ([]uint64, error) {
 				m[cBit] = transport.PackElems(r, []uint64{r.Sub(v, rp[k])})
 			}
 			msgs[k] = m
-		}
+		})
 		return msgs
 	}
 	choices := make([]int, n)

@@ -47,9 +47,9 @@ func (c *Context) TruncateFaithful(r ring.Ring, x []uint64, d uint) error {
 		for i, v := range xp {
 			a[i] = r.Sub(r.Mask, v)
 		}
-		kb, err = scm.CmpSender(c.OT, c.Rng, r, a, scm.BGtA)
+		kb, err = scm.CmpSenderPar(c.OT, c.Rng, r, a, scm.BGtA, c.Pool)
 	} else {
-		kb, err = scm.CmpReceiver(c.OT, r, xp, scm.BGtA)
+		kb, err = scm.CmpReceiverPar(c.OT, r, xp, scm.BGtA, c.Pool)
 	}
 	if err != nil {
 		return fmt.Errorf("secure: faithful truncation wrap bit: %w", err)

@@ -1,0 +1,105 @@
+package tensor
+
+import (
+	"fmt"
+
+	"aq2pnn/internal/parallel"
+)
+
+// Parallel kernel variants. Each one partitions its output into disjoint
+// contiguous ranges over the shared worker pool and reproduces the serial
+// kernel bit-for-bit at any worker count: per-row accumulation order never
+// changes, only which goroutine owns a row. A nil pool runs the serial
+// kernel directly.
+
+// parRowThreshold is the smallest per-kernel output row count worth forking
+// for; below it the goroutine handoff costs more than the arithmetic.
+const parRowThreshold = 8
+
+// MatMulModPar computes C = A(m×k) × B(k×n) mod (mask+1), row-blocked over
+// the pool. Identical output to MatMulMod for every pool degree.
+func MatMulModPar(p *parallel.Pool, a, b []uint64, m, k, n int, mask uint64) []uint64 {
+	if p.Serial() || m < parRowThreshold {
+		return MatMulMod(a, b, m, k, n, mask)
+	}
+	if len(a) != m*k || len(b) != k*n {
+		panic(fmt.Sprintf("tensor: MatMulModPar dims %dx%d × %dx%d with lens %d,%d", m, k, k, n, len(a), len(b)))
+	}
+	c := make([]uint64, m*n)
+	p.Blocks(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ar := a[i*k : (i+1)*k]
+			cr := c[i*n : (i+1)*n]
+			for q := 0; q < k; q++ {
+				av := ar[q]
+				br := b[q*n : (q+1)*n]
+				for j := 0; j < n; j++ {
+					cr[j] = (cr[j] + av*br[j]) & mask
+				}
+			}
+		}
+	})
+	return c
+}
+
+// MatMulFloatPar is the row-blocked float64 GEMM, used by the training and
+// calibration substrate. Per-row accumulation order matches MatMulFloat, so
+// results are bit-identical at any degree.
+func MatMulFloatPar(p *parallel.Pool, a, b []float64, m, k, n int) []float64 {
+	if p.Serial() || m < parRowThreshold {
+		return MatMulFloat(a, b, m, k, n)
+	}
+	if len(a) != m*k || len(b) != k*n {
+		panic(fmt.Sprintf("tensor: MatMulFloatPar dims %dx%d × %dx%d with lens %d,%d", m, k, k, n, len(a), len(b)))
+	}
+	c := make([]float64, m*n)
+	p.Blocks(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ar := a[i*k : (i+1)*k]
+			cr := c[i*n : (i+1)*n]
+			for q := 0; q < k; q++ {
+				av := ar[q]
+				if av == 0 {
+					continue
+				}
+				br := b[q*n : (q+1)*n]
+				for j := 0; j < n; j++ {
+					cr[j] += av * br[j]
+				}
+			}
+		}
+	})
+	return c
+}
+
+// Im2ColIntPar lowers an NCHW image into the (Patches, PatchLen) GEMM
+// matrix with the patch rows distributed over the pool. Each patch writes
+// its own out[pi*pl : (pi+1)*pl] slice, so the result equals Im2ColInt.
+func Im2ColIntPar(p *parallel.Pool, img []uint64, g ConvGeom) []uint64 {
+	oh, ow := g.OutH(), g.OutW()
+	patches := oh * ow
+	if p.Serial() || patches < parRowThreshold {
+		return Im2ColInt(img, g)
+	}
+	pl := g.PatchLen()
+	out := make([]uint64, patches*pl)
+	p.Blocks(patches, func(lo, hi int) {
+		for pi := lo; pi < hi; pi++ {
+			oy, ox := pi/ow, pi%ow
+			idx := pi * pl
+			for c := 0; c < g.InC; c++ {
+				for ky := 0; ky < g.KH; ky++ {
+					iy := oy*g.StrideH + ky - g.PadH
+					for kx := 0; kx < g.KW; kx++ {
+						ix := ox*g.StrideW + kx - g.PadW
+						if iy >= 0 && iy < g.InH && ix >= 0 && ix < g.InW {
+							out[idx] = img[(c*g.InH+iy)*g.InW+ix]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	})
+	return out
+}

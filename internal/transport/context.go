@@ -1,0 +1,113 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Context-aware TCP entrypoints. Cancelling the context aborts an
+// in-flight dial or accept and unblocks any Send/Recv on the returned
+// connection by closing it — the mechanism by which the engine's public
+// TCP API honours deadlines and shutdown.
+
+// DialContext connects to a listening party at addr, retrying until the
+// timeout elapses or ctx is cancelled (whichever is sooner), so the two
+// party processes may start in either order. The returned Conn is bound
+// to ctx: cancellation closes it.
+func DialContext(ctx context.Context, addr string, timeout time.Duration) (Conn, error) {
+	deadline := time.Now().Add(timeout)
+	var d net.Dialer
+	for {
+		c, err := d.DialContext(ctx, "tcp", addr)
+		if err == nil {
+			return bindContext(ctx, NewNetConn(c)), nil
+		}
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("transport: dial %s: %w", addr, ctx.Err())
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("transport: dial %s: %w", addr, ctx.Err())
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// Listener accepts framed party connections; unlike the one-shot Listen it
+// stays open, so a server can host many concurrent sessions.
+type Listener struct {
+	l net.Listener
+}
+
+// NewListener starts listening on addr.
+func NewListener(addr string) (*Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Listener{l: l}, nil
+}
+
+// Addr returns the bound address (useful with ":0" ephemeral ports).
+func (l *Listener) Addr() string { return l.l.Addr().String() }
+
+// Close stops accepting; a blocked Accept returns an error.
+func (l *Listener) Close() error { return l.l.Close() }
+
+// Accept blocks for the next peer connection. Cancelling ctx closes the
+// listener and returns ctx's error. The returned Conn is bound to ctx.
+func (l *Listener) Accept(ctx context.Context) (Conn, error) {
+	stop := make(chan struct{})
+	defer close(stop)
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				l.l.Close()
+			case <-stop:
+			}
+		}()
+	}
+	c, err := l.l.Accept()
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, err
+	}
+	return bindContext(ctx, NewNetConn(c)), nil
+}
+
+// ctxConn couples a Conn's lifetime to a context: a watchdog closes the
+// underlying connection on cancellation, failing any blocked Send/Recv.
+type ctxConn struct {
+	Conn
+	stop chan struct{}
+	once sync.Once
+}
+
+func bindContext(ctx context.Context, c Conn) Conn {
+	if ctx.Done() == nil {
+		return c
+	}
+	cc := &ctxConn{Conn: c, stop: make(chan struct{})}
+	go func() {
+		select {
+		case <-ctx.Done():
+			c.Close()
+		case <-cc.stop:
+		}
+	}()
+	return cc
+}
+
+func (c *ctxConn) Close() error {
+	c.once.Do(func() { close(c.stop) })
+	return c.Conn.Close()
+}

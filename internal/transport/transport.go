@@ -12,6 +12,7 @@
 package transport
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -201,31 +202,18 @@ func NewNetConn(c net.Conn) Conn { return &netConn{c: c} }
 // Dial connects to a listening party at addr, retrying until the timeout
 // elapses so that the two party processes may start in either order.
 func Dial(addr string, timeout time.Duration) (Conn, error) {
-	deadline := time.Now().Add(timeout)
-	for {
-		c, err := net.Dial("tcp", addr)
-		if err == nil {
-			return NewNetConn(c), nil
-		}
-		if time.Now().After(deadline) {
-			return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
-		}
-		time.Sleep(50 * time.Millisecond)
-	}
+	return DialContext(context.Background(), addr, timeout)
 }
 
-// Listen accepts a single peer connection on addr.
+// Listen accepts a single peer connection on addr, closing the listener
+// afterwards. Servers hosting concurrent sessions use NewListener.
 func Listen(addr string) (Conn, error) {
-	l, err := net.Listen("tcp", addr)
+	l, err := NewListener(addr)
 	if err != nil {
 		return nil, err
 	}
 	defer l.Close()
-	c, err := l.Accept()
-	if err != nil {
-		return nil, err
-	}
-	return NewNetConn(c), nil
+	return l.Accept(context.Background())
 }
 
 func (c *netConn) Send(payload []byte) error {
