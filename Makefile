@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-matmul bench-batch ci
+# The vettool binary is cached here; `go build` is a no-op when the lint
+# sources are unchanged, so repeat `make lint` runs pay only for go vet.
+LINTBIN ?= bin/aq2pnnlint
+
+.PHONY: build test race vet lint lintbin bench bench-matmul bench-batch ci
 
 build:
 	$(GO) build ./...
@@ -16,6 +20,15 @@ race:
 vet:
 	$(GO) vet ./...
 
+lintbin:
+	$(GO) build -o $(LINTBIN) ./cmd/aq2pnnlint
+
+# Project invariants (ring reduction, PRG-only randomness, transport error
+# discipline, ...) via the aq2pnnlint analyzer suite. See DESIGN.md,
+# "Static invariants".
+lint: lintbin
+	$(GO) vet -vettool=$(LINTBIN) ./...
+
 # Serial-vs-parallel GEMM kernel on the 32-bit ring (512x512x512).
 bench-matmul:
 	$(GO) test ./internal/tensor/ -run XXX -bench 'BenchmarkMatMulMod512' -benchmem
@@ -26,4 +39,4 @@ bench-batch:
 
 bench: bench-matmul bench-batch
 
-ci: vet build race
+ci: vet lint build race

@@ -18,6 +18,7 @@ import (
 // matching the paper's U = ⌊ℓ/2⌋ + 1.
 func Groups(bits uint) []uint {
 	if bits == 0 {
+		//lint:allow panicfree config-time guard: every caller passes ring.Ring.Bits, which ring.New bounds to [1,MaxBits]
 		panic("a2b: zero bit-length")
 	}
 	if bits == 1 {
@@ -62,6 +63,7 @@ func Join(r ring.Ring, groups []uint64) (uint64, error) {
 		if groups[i] >= 1<<w {
 			return 0, fmt.Errorf("a2b: group %d value %d exceeds %d bits", i, groups[i], w)
 		}
+		//lint:allow ringmask bit-group reassembly: the groups are validated against their widths, so the shifts stay inside the ℓ-bit layout
 		x = x<<w | groups[i]
 	}
 	return x, nil

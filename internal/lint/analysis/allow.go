@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// AllowPrefix introduces a suppression directive:
+//
+//	//lint:allow <rule> <reason...>
+//
+// The directive silences <rule> on the line it occupies and on the line
+// immediately below it (so it can trail the offending statement or sit on
+// its own line above it). The reason is mandatory; it is what turns an
+// escape hatch into documentation.
+const AllowPrefix = "//lint:allow"
+
+// allowKey identifies one (file, line) that a rule may fire on.
+type allowKey struct {
+	file string
+	line int
+	rule string
+}
+
+type allowSet map[allowKey]bool
+
+func (s allowSet) allowed(pos token.Position, rule string) bool {
+	return s[allowKey{pos.Filename, pos.Line, rule}]
+}
+
+// collectAllows scans every comment of every file for allow directives.
+// Malformed directives (missing rule or reason) and directives naming an
+// unknown rule are returned as diagnostics instead of being honoured.
+func collectAllows(fset *token.FileSet, files []*ast.File, analyzers []*Analyzer) (allowSet, []Diagnostic) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	allows := make(allowSet)
+	var diags []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, AllowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, AllowPrefix)
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					diags = append(diags, Diagnostic{
+						Pos:     c.Pos(),
+						Rule:    "lintdirective",
+						Message: "malformed //lint:allow: missing rule name",
+					})
+					continue
+				}
+				rule := fields[0]
+				if !known[rule] {
+					diags = append(diags, Diagnostic{
+						Pos:     c.Pos(),
+						Rule:    "lintdirective",
+						Message: "//lint:allow names unknown rule " + rule,
+					})
+					continue
+				}
+				if len(fields) < 2 {
+					diags = append(diags, Diagnostic{
+						Pos:     c.Pos(),
+						Rule:    "lintdirective",
+						Message: "//lint:allow " + rule + " needs a reason",
+					})
+					continue
+				}
+				p := fset.Position(c.Pos())
+				allows[allowKey{p.Filename, p.Line, rule}] = true
+				allows[allowKey{p.Filename, p.Line + 1, rule}] = true
+			}
+		}
+	}
+	return allows, diags
+}

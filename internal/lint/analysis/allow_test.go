@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// lineAnalyzer reports one diagnostic per statement of every function body,
+// which makes the allow-filtering behaviour directly observable.
+var lineAnalyzer = &Analyzer{
+	Name: "testrule",
+	Doc:  "reports every statement (test helper)",
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if fd, ok := n.(*ast.FuncDecl); ok && fd.Body != nil {
+					for _, s := range fd.Body.List {
+						pass.Reportf(s.Pos(), "statement")
+					}
+					return false
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func runOnSource(t *testing.T, src string) (*token.FileSet, []Diagnostic) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "allow.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	diags, err := Run(fset, []*ast.File{f}, nil, nil, []*Analyzer{lineAnalyzer})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return fset, diags
+}
+
+func messages(diags []Diagnostic) []string {
+	var out []string
+	for _, d := range diags {
+		out = append(out, d.Rule+": "+d.Message)
+	}
+	return out
+}
+
+func TestAllowSuppressesSameLine(t *testing.T) {
+	_, diags := runOnSource(t, `package p
+func f() {
+	_ = 1 //lint:allow testrule trailing directive on the offending line
+
+	_ = 2
+}
+`)
+	if len(diags) != 1 {
+		t.Fatalf("want 1 diagnostic (only the undirected line), got %v", messages(diags))
+	}
+}
+
+func TestAllowSuppressesNextLine(t *testing.T) {
+	_, diags := runOnSource(t, `package p
+func f() {
+	//lint:allow testrule directive on its own line above
+	_ = 1
+	_ = 2
+}
+`)
+	if len(diags) != 1 {
+		t.Fatalf("want 1 diagnostic (only the undirected line), got %v", messages(diags))
+	}
+}
+
+func TestAllowDoesNotReachTwoLinesDown(t *testing.T) {
+	_, diags := runOnSource(t, `package p
+func f() {
+	//lint:allow testrule directive must be adjacent
+
+	_ = 1
+}
+`)
+	if len(diags) != 1 {
+		t.Fatalf("want 1 diagnostic (blank line breaks adjacency), got %v", messages(diags))
+	}
+}
+
+func TestAllowIsPerRule(t *testing.T) {
+	_, diags := runOnSource(t, `package p
+func f() {
+	//lint:allow testrule suppression is keyed by rule name
+	_ = 1
+}
+`)
+	if len(diags) != 0 {
+		t.Fatalf("want no diagnostics, got %v", messages(diags))
+	}
+	_, diags = runOnSource(t, `package p
+func f() {
+	//lint:allow otherrule names a rule this run does not know
+	_ = 1
+}
+`)
+	// The statement still fires AND the directive itself is flagged.
+	if len(diags) != 2 {
+		t.Fatalf("want 2 diagnostics (statement + unknown-rule directive), got %v", messages(diags))
+	}
+	if !hasRule(diags, "lintdirective", "unknown rule otherrule") {
+		t.Errorf("missing unknown-rule directive diagnostic: %v", messages(diags))
+	}
+}
+
+func TestAllowRequiresReason(t *testing.T) {
+	_, diags := runOnSource(t, `package p
+func f() {
+	//lint:allow testrule
+	_ = 1
+}
+`)
+	if len(diags) != 2 {
+		t.Fatalf("want 2 diagnostics (statement + missing-reason directive), got %v", messages(diags))
+	}
+	if !hasRule(diags, "lintdirective", "needs a reason") {
+		t.Errorf("missing needs-a-reason diagnostic: %v", messages(diags))
+	}
+}
+
+func TestAllowRequiresRuleName(t *testing.T) {
+	_, diags := runOnSource(t, `package p
+//lint:allow
+func f() {}
+`)
+	if !hasRule(diags, "lintdirective", "missing rule name") {
+		t.Errorf("missing malformed-directive diagnostic: %v", messages(diags))
+	}
+}
+
+func TestDiagnosticsSortedByPosition(t *testing.T) {
+	fset, diags := runOnSource(t, `package p
+func b() {
+	_ = 1
+}
+func a() {
+	_ = 2
+}
+`)
+	for i := 1; i < len(diags); i++ {
+		if fset.Position(diags[i].Pos).Line < fset.Position(diags[i-1].Pos).Line {
+			t.Fatalf("diagnostics out of order: %v", messages(diags))
+		}
+	}
+}
+
+func hasRule(diags []Diagnostic, rule, msgSubstr string) bool {
+	for _, d := range diags {
+		if d.Rule == rule && strings.Contains(d.Message, msgSubstr) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,132 @@
+// Package analysis is a self-contained, dependency-free re-creation of the
+// core of golang.org/x/tools/go/analysis, sized for this repository: an
+// Analyzer is a named check, a Pass is one analyzer applied to one
+// type-checked package, and a Diagnostic is one finding. The toolchain
+// module is not vendored here, so the framework is rebuilt on the standard
+// library (go/ast, go/types, go/token) — the x/tools API shape is kept so
+// analyzers could be ported to a real go/analysis driver verbatim.
+//
+// Suppression is part of the framework: a `//lint:allow <rule> <reason>`
+// comment on (or immediately above) an offending line silences that rule
+// for that line. A reason is mandatory — an allow without one is itself a
+// diagnostic, so every escape hatch in the tree documents why it is safe.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name is the rule identifier used on the command line and in
+	// //lint:allow directives. Lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description, shown by `aq2pnnlint help`.
+	Doc string
+	// Run applies the check to one package and reports findings via
+	// pass.Report / pass.Reportf.
+	Run func(*Pass) error
+}
+
+// Pass is the interface between one analyzer and one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Rule    string
+	Message string
+}
+
+// Report records a diagnostic.
+func (p *Pass) Report(d Diagnostic) {
+	if d.Rule == "" {
+		d.Rule = p.Analyzer.Name
+	}
+	p.diags = append(p.diags, d)
+}
+
+// Reportf records a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// TypeOf returns the static type of e, or nil when unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.TypesInfo == nil {
+		return nil
+	}
+	return p.TypesInfo.TypeOf(e)
+}
+
+// ObjectOf resolves an identifier, or nil when unknown.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if p.TypesInfo == nil {
+		return nil
+	}
+	return p.TypesInfo.ObjectOf(id)
+}
+
+// IsConst reports whether e evaluates to a compile-time constant.
+func (p *Pass) IsConst(e ast.Expr) bool {
+	if p.TypesInfo == nil {
+		return false
+	}
+	tv, ok := p.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+// Run applies every analyzer to the package described by (fset, files, pkg,
+// info), applies //lint:allow suppression, and returns the surviving
+// diagnostics sorted by position. Malformed or unknown directives are
+// reported as findings of the pseudo-rule "lintdirective".
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	allows, dirDiags := collectAllows(fset, files, analyzers)
+	var out []Diagnostic
+	out = append(out, dirDiags...)
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+		for _, d := range pass.diags {
+			if allows.allowed(fset.Position(d.Pos), d.Rule) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	sortDiagnostics(fset, out)
+	return out, nil
+}
+
+func sortDiagnostics(fset *token.FileSet, ds []Diagnostic) {
+	// Insertion sort by (file, line, col); diagnostic counts are tiny.
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && posLess(fset, ds[j].Pos, ds[j-1].Pos); j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+}
+
+func posLess(fset *token.FileSet, a, b token.Pos) bool {
+	pa, pb := fset.Position(a), fset.Position(b)
+	if pa.Filename != pb.Filename {
+		return pa.Filename < pb.Filename
+	}
+	if pa.Line != pb.Line {
+		return pa.Line < pb.Line
+	}
+	return pa.Column < pb.Column
+}

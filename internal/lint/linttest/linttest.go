@@ -1,0 +1,212 @@
+// Package linttest is a standard-library re-creation of
+// golang.org/x/tools/go/analysis/analysistest: it loads a testdata
+// package, runs one analyzer over it (with //lint:allow suppression
+// applied, so directives are testable too), and compares the findings
+// against `// want "regexp"` comments in the sources.
+//
+// Layout follows analysistest's GOPATH convention: the package named p
+// lives in testdata/src/p/, and testdata packages may import each other
+// by that path (testdata/src/transport/ is importable as "transport"),
+// which lets each analyzer be exercised against small mimics of the real
+// protocol packages instead of dragging the whole module in.
+package linttest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"aq2pnn/internal/lint/analysis"
+)
+
+// Run loads testdata/src/<pkg> (relative to the test's working directory),
+// applies the analyzer, and reports mismatches against the `// want`
+// expectations via t.Errorf.
+func Run(t *testing.T, testdata, pkg string, a *analysis.Analyzer) {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", pkg)
+	fset := token.NewFileSet()
+	ld := &loader{
+		fset:     fset,
+		root:     filepath.Join(testdata, "src"),
+		std:      importer.ForCompiler(fset, "source", nil),
+		packages: make(map[string]*types.Package),
+		files:    make(map[string][]*ast.File),
+	}
+	tpkg, files, err := ld.load(pkg, dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	info := ld.infos[pkg]
+	diags, err := analysis.Run(fset, files, tpkg, info, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	checkWants(t, fset, files, diags)
+}
+
+// loader type-checks testdata packages, resolving imports first against
+// the testdata src tree, then against the standard library (compiled from
+// source), and finally against an empty stub so a missing dependency
+// degrades the type information instead of failing the load.
+type loader struct {
+	fset     *token.FileSet
+	root     string
+	std      types.Importer
+	packages map[string]*types.Package
+	files    map[string][]*ast.File
+	infos    map[string]*types.Info
+}
+
+func (l *loader) load(path, dir string) (*types.Package, []*ast.File, error) {
+	if pkg, ok := l.packages[path]; ok {
+		return pkg, l.files[path], nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	tc := &types.Config{
+		Importer: l,
+		// Testdata deliberately contains broken invariants; tolerate any
+		// incidental type errors rather than refusing to analyze.
+		Error: func(error) {},
+	}
+	pkg, _ := tc.Check(path, l.fset, files, info)
+	l.packages[path] = pkg
+	l.files[path] = files
+	if l.infos == nil {
+		l.infos = make(map[string]*types.Info)
+	}
+	l.infos[path] = info
+	return pkg, files, nil
+}
+
+// Import implements types.Importer for the loader itself.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if pkg, ok := l.packages[path]; ok {
+		return pkg, nil
+	}
+	if dir := filepath.Join(l.root, path); dirExists(dir) {
+		pkg, _, err := l.load(path, dir)
+		if err == nil && pkg != nil {
+			return pkg, nil
+		}
+	}
+	if pkg, err := l.std.Import(path); err == nil {
+		l.packages[path] = pkg
+		return pkg, nil
+	}
+	// Stub: an empty, complete package named after the last path element.
+	name := path
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	stub := types.NewPackage(path, name)
+	stub.MarkComplete()
+	l.packages[path] = stub
+	return stub, nil
+}
+
+func dirExists(dir string) bool {
+	st, err := os.Stat(dir)
+	return err == nil && st.IsDir()
+}
+
+// want is one expectation parsed from a `// want "re"` comment.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantStringRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"` + "|`[^`]*`")
+
+func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				i := strings.Index(text, "// want ")
+				if i < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, lit := range wantStringRE.FindAllString(text[i+len("// want "):], -1) {
+					pattern, err := strconv.Unquote(lit)
+					if err != nil {
+						t.Errorf("%s: bad want literal %s: %v", pos, lit, err)
+						continue
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", pos, pattern, err)
+						continue
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: pattern})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := parseWants(t, fset, files)
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", pos, d.Rule, d.Message)
+		}
+	}
+	sort.SliceStable(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+
+	"aq2pnn/internal/lint/analysis"
+)
+
+// LoopPar guards the determinism contract of parallel.Pool: a kernel body
+// passed to Pool.Blocks or Pool.For may only write state it owns through
+// its block indices. A write to a variable captured from the enclosing
+// scope (an accumulator, an appended slice, a map) is executed by several
+// workers at once — at best a data race, at worst a result that varies with
+// the Workers setting, which breaks the engine's bit-identical-at-every-
+// worker-count guarantee that the two parties' transcripts rely on.
+//
+// Indexed writes are allowed when the index involves a variable declared
+// inside the kernel body (the per-block i / lo / hi), because the Blocks
+// contract makes those ranges disjoint. An indexed write whose index comes
+// entirely from outside (out[0], m[key]) hits the same location from every
+// worker and is flagged.
+var LoopPar = &analysis.Analyzer{
+	Name: "looppar",
+	Doc: "flags parallel.Pool kernel bodies that write shared captured " +
+		"state, which races and breaks worker-count determinism",
+	Run: runLoopPar,
+}
+
+func runLoopPar(pass *analysis.Pass) error {
+	analysis.WithStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isPoolSubmit(pass, call) {
+			return true
+		}
+		lit, ok := call.Args[len(call.Args)-1].(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		checkKernelBody(pass, lit)
+		return true
+	})
+	return nil
+}
+
+// isPoolSubmit matches p.Blocks(n, fn) / p.For(n, fn) where p is a
+// *parallel.Pool (any named type called Pool).
+func isPoolSubmit(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) < 2 {
+		return false
+	}
+	if sel.Sel.Name != "Blocks" && sel.Sel.Name != "For" {
+		return false
+	}
+	recv := pass.TypeOf(sel.X)
+	return recv != nil && typeNameIs(recv, "Pool")
+}
+
+// checkKernelBody flags writes to captured variables inside the kernel.
+func checkKernelBody(pass *analysis.Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			// A nested literal has its own (also unsafe) story; one
+			// report level is enough.
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				checkKernelWrite(pass, lit, lhs)
+			}
+		case *ast.IncDecStmt:
+			checkKernelWrite(pass, lit, s.X)
+		}
+		return true
+	})
+}
+
+func checkKernelWrite(pass *analysis.Pass, lit *ast.FuncLit, lhs ast.Expr) {
+	switch x := lhs.(type) {
+	case *ast.Ident:
+		if x.Name == "_" {
+			return
+		}
+		if declaredOutside(pass, x, lit) {
+			pass.Reportf(x.Pos(),
+				"parallel kernel writes captured variable %q; every worker races on it and the result depends on the Workers setting",
+				x.Name)
+		}
+	case *ast.IndexExpr:
+		base := baseIdent(x.X)
+		if base == nil || !declaredOutside(pass, base, lit) {
+			return
+		}
+		if !indexUsesLocal(pass, x.Index, lit) {
+			pass.Reportf(x.Pos(),
+				"parallel kernel writes %q at an index independent of the block range; workers collide on the same element",
+				base.Name)
+		}
+	}
+}
+
+// declaredOutside reports whether id resolves to an object declared outside
+// the function literal lit (i.e. a captured variable).
+func declaredOutside(pass *analysis.Pass, id *ast.Ident, lit *ast.FuncLit) bool {
+	obj := pass.ObjectOf(id)
+	if obj == nil || obj.Pos() == token.NoPos {
+		return false
+	}
+	return obj.Pos() < lit.Pos() || obj.Pos() > lit.End()
+}
+
+// indexUsesLocal reports whether the index expression mentions at least one
+// identifier declared inside the kernel literal — the signature of a
+// block-partitioned access like out[i] or dst[row*w+c].
+func indexUsesLocal(pass *analysis.Pass, idx ast.Expr, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(idx, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		if obj := pass.ObjectOf(id); obj != nil && obj.Pos() != token.NoPos {
+			if obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End() {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

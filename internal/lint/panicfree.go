@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"aq2pnn/internal/lint/analysis"
+)
+
+// PanicFree forbids panic in protocol-runtime code. A panic on one party
+// kills that process while the peer blocks forever inside Recv — in a
+// served deployment that is a connection leak per incident and an easy
+// remote crash. Runtime failures must travel as errors back through the
+// SecureInfer* call chain, where the engine closes the session cleanly.
+//
+// Config-time constructors are exempt by name (New*, Must*, init): a bad
+// static configuration (ring.New with 0 bits) is a programming error that
+// should fail loudly before any protocol bytes flow.
+var PanicFree = &analysis.Analyzer{
+	Name: "panicfree",
+	Doc: "forbids panic in protocol-runtime paths; config-time " +
+		"constructors (New*, Must*, init) are exempt",
+	Run: runPanicFree,
+}
+
+func runPanicFree(pass *analysis.Pass) error {
+	analysis.WithStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "panic" {
+			return true
+		}
+		if obj := pass.ObjectOf(id); obj != nil {
+			if _, isBuiltin := obj.(*types.Builtin); !isBuiltin {
+				return true // a local function shadowing panic
+			}
+		}
+		if fn := enclosingFuncName(stack); isConfigTimeFunc(fn) {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"panic in a protocol-runtime path; return an error instead (SecureInfer paths must be panic-free)")
+		return true
+	})
+	return nil
+}
+
+// enclosingFuncName returns the name of the innermost enclosing function
+// declaration. Function literals inherit their declaring function's name,
+// so a helper closure inside a constructor keeps the exemption.
+func enclosingFuncName(stack []ast.Node) string {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return fd.Name.Name
+		}
+	}
+	return ""
+}
+
+func isConfigTimeFunc(name string) bool {
+	return name == "init" ||
+		strings.HasPrefix(name, "New") ||
+		strings.HasPrefix(name, "Must")
+}

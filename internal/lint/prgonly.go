@@ -1,0 +1,43 @@
+package lint
+
+import (
+	"strconv"
+
+	"aq2pnn/internal/lint/analysis"
+)
+
+// PRGOnly forbids ad-hoc randomness in secret-handling packages. Every
+// random value that becomes a share, mask, triple or OT pad must come from
+// the session PRG (internal/prg): math/rand is not cryptographically
+// strong, and bare crypto/rand breaks the deterministic, seed-reproducible
+// transcripts the batch executor and the experiment harness depend on.
+// internal/prg itself (which seeds from crypto/rand) is excluded by the
+// suite scope table, and deliberate exceptions carry a //lint:allow.
+var PRGOnly = &analysis.Analyzer{
+	Name: "prgonly",
+	Doc: "forbids math/rand and bare crypto/rand in secret-handling " +
+		"packages; share randomness must flow through internal/prg",
+	Run: runPRGOnly,
+}
+
+func runPRGOnly(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			switch path {
+			case "math/rand", "math/rand/v2":
+				pass.Reportf(imp.Pos(),
+					"import of %s in a secret-handling package; draw randomness from the session PRG (internal/prg)", path)
+			case "crypto/rand":
+				pass.Reportf(imp.Pos(),
+					"bare crypto/rand import; share randomness must flow through internal/prg sessions (seed a prg.PRG instead)")
+			}
+		}
+	}
+	// The import set is authoritative: Go forbids using a package
+	// without importing it, so no use-site scan is needed.
+	return nil
+}

@@ -1,0 +1,239 @@
+// Package lint hosts the aq2pnnlint analyzers: static checks for the
+// invariants the 2PC engine relies on but the Go compiler cannot see —
+// shares stay reduced on their ring Z_{2^ℓ} (Definition 1 of the paper),
+// all share randomness flows through the session PRG, every transport
+// exchange is error-checked, engine paths honour their context, protocol
+// code never panics, and parallel kernels only write their own block.
+//
+// Each analyzer is pure: it looks only at the package it is handed.
+// Which packages an analyzer applies to is decided by the Suite scope
+// table (suite.go), so the analyzers themselves stay testable on small
+// self-contained testdata packages.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"aq2pnn/internal/lint/analysis"
+)
+
+// RingMask flags uint64 arithmetic (+ - * <<) on share values whose result
+// is not immediately reduced onto the ring — either by being the operand of
+// an `& mask` expression or by flowing directly into a ring.Ring method.
+// Computing mod 2^64 and reducing later is numerically fine for + - * <<,
+// which is why a whole chain of those operators under one final mask is
+// accepted; what the analyzer rejects is a chain that escapes (is assigned,
+// returned, compared or passed on) without a reduction, because from that
+// point on nothing guarantees the value is a ring element (Definition 1).
+var RingMask = &analysis.Analyzer{
+	Name: "ringmask",
+	Doc: "flags uint64 share arithmetic that is not immediately reduced " +
+		"via ring.Ring ops or '& Mask'",
+	Run: runRingMask,
+}
+
+var ringMaskOps = map[token.Token]bool{
+	token.ADD: true,
+	token.SUB: true,
+	token.MUL: true,
+	token.SHL: true,
+}
+
+func runRingMask(pass *analysis.Pass) error {
+	analysis.WithStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || !ringMaskOps[be.Op] {
+			return true
+		}
+		if !isUint64(pass.TypeOf(be)) {
+			return true
+		}
+		// A fully constant expression is configuration, not share math; so
+		// is a shift of a constant base (1<<k) and the mask-construction
+		// idiom (1<<w)-1 with a variable width.
+		if pass.IsConst(be) || (be.Op == token.SHL && pass.IsConst(be.X)) || isMaskConstruction(pass, be) {
+			return true
+		}
+		if ringReduced(pass, be, stack) {
+			return true
+		}
+		pass.Reportf(be.OpPos,
+			"unmasked uint64 %q on ring values; reduce immediately with a ring.Ring op or '& Mask'",
+			be.Op.String())
+		// Report the outermost unreduced expression only; its operands
+		// are part of the same finding.
+		return false
+	})
+	return nil
+}
+
+// ringReduced reports whether the arithmetic expression e is reduced by its
+// enclosing context: every ancestor that is itself + - * << arithmetic (or
+// parentheses) is skipped, and the first non-arithmetic ancestor must be a
+// masking AND or a ring.Ring method call.
+func ringReduced(pass *analysis.Pass, e ast.Expr, stack []ast.Node) bool {
+	child := ast.Node(e)
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr:
+			child = p
+			continue
+		case *ast.BinaryExpr:
+			if ringMaskOps[p.Op] {
+				child = p
+				continue
+			}
+			if p.Op == token.AND {
+				// Masked if the *other* operand looks like a reduction
+				// mask: a constant, or something named (or selecting a
+				// field named) Mask.
+				other := p.X
+				if p.X == child {
+					other = p.Y
+				}
+				return isMaskExpr(pass, other)
+			}
+			return false
+		case *ast.UnaryExpr:
+			if p.Op == token.SUB {
+				child = p
+				continue
+			}
+			return false
+		case *ast.CallExpr:
+			if child == p.Fun {
+				return false
+			}
+			// Arguments of ring.Ring methods are reduced by the method.
+			// Two further sinks leave the share domain entirely: an
+			// explicit conversion (int(nPairs*nPairs) is cardinality, not
+			// a share) and PRG seed derivation (prg.NewSeeded(seed+1) or
+			// any argument bound to a parameter named "seed").
+			return isRingMethodCall(pass, p) || isConversion(pass, p) ||
+				isSeedCall(p) || isSeedArg(pass, p, child)
+		case *ast.AssignStmt:
+			// x &= r.Mask on the same statement still leaves this
+			// expression's value unreduced when it escapes; only the
+			// in-expression forms count as "immediate".
+			return false
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// isMaskConstruction recognises the idiom that *builds* a reduction mask
+// from a variable width: (1 << w) - 1, i.e. a subtraction of a constant
+// from a constant-base shift.
+func isMaskConstruction(pass *analysis.Pass, be *ast.BinaryExpr) bool {
+	if be.Op != token.SUB || !pass.IsConst(be.Y) {
+		return false
+	}
+	x := be.X
+	if p, ok := x.(*ast.ParenExpr); ok {
+		x = p.X
+	}
+	shl, ok := x.(*ast.BinaryExpr)
+	return ok && shl.Op == token.SHL && pass.IsConst(shl.X)
+}
+
+// isMaskExpr recognises reduction masks: compile-time constants, or any
+// identifier / field selection whose name contains "mask".
+func isMaskExpr(pass *analysis.Pass, e ast.Expr) bool {
+	if pass.IsConst(e) {
+		return true
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		return strings.Contains(strings.ToLower(x.Name), "mask")
+	case *ast.SelectorExpr:
+		return strings.Contains(strings.ToLower(x.Sel.Name), "mask")
+	case *ast.ParenExpr:
+		return isMaskExpr(pass, x.X)
+	}
+	return false
+}
+
+// isRingMethodCall reports whether call invokes a method whose receiver is
+// the ring.Ring type (any package named type called Ring): all such methods
+// reduce their operands onto the ring.
+func isRingMethodCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	recv := pass.TypeOf(sel.X)
+	if recv == nil {
+		return false
+	}
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Name() == "Ring"
+}
+
+// isConversion reports whether call is a type conversion like int(x):
+// converting out of uint64 moves the value out of the share domain, so
+// whatever it was counting, it was not a ring element.
+func isConversion(pass *analysis.Pass, call *ast.CallExpr) bool {
+	if pass.TypesInfo == nil {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// isSeedCall reports whether call derives a PRG seed (prg.NewSeeded and
+// friends): seed arithmetic is uint64 but not ring arithmetic.
+func isSeedCall(call *ast.CallExpr) bool {
+	switch f := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		return strings.HasPrefix(f.Sel.Name, "NewSeeded")
+	case *ast.Ident:
+		return strings.HasPrefix(f.Name, "NewSeeded")
+	}
+	return false
+}
+
+// isSeedArg reports whether arg is bound to a callee parameter whose name
+// marks it as a PRG seed.
+func isSeedArg(pass *analysis.Pass, call *ast.CallExpr, arg ast.Node) bool {
+	sig, ok := pass.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return false
+	}
+	idx := -1
+	for i, a := range call.Args {
+		if ast.Node(a) == arg {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false
+	}
+	if idx >= sig.Params().Len() {
+		if !sig.Variadic() {
+			return false
+		}
+		idx = sig.Params().Len() - 1
+	}
+	name := strings.ToLower(sig.Params().At(idx).Name())
+	return strings.Contains(name, "seed")
+}
+
+func isUint64(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint64
+}

@@ -1,0 +1,42 @@
+package lint_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestRepoIsLintClean builds the vettool and runs the full suite over this
+// module, asserting zero findings: the repository must satisfy its own
+// static invariants (modulo the documented //lint:allow escapes).
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the vettool and vets the whole module")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("repo root not found at %s: %v", root, err)
+	}
+
+	bin := filepath.Join(t.TempDir(), "aq2pnnlint")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/aq2pnnlint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building vettool: %v\n%s", err, out)
+	}
+
+	var stdout, stderr bytes.Buffer
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = root
+	vet.Stdout = &stdout
+	vet.Stderr = &stderr
+	if err := vet.Run(); err != nil {
+		t.Errorf("aq2pnnlint found violations (or failed): %v\nstdout:\n%s\nstderr:\n%s",
+			err, stdout.String(), stderr.String())
+	}
+}

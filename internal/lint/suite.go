@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"strings"
+
+	"aq2pnn/internal/lint/analysis"
+)
+
+// Suite returns every analyzer, in reporting order.
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		RingMask,
+		PRGOnly,
+		SendCheck,
+		CtxPlumb,
+		PanicFree,
+		LoopPar,
+	}
+}
+
+// scopes maps an analyzer to the import paths it patrols. A nil entry
+// means every package of this module. The analyzers themselves are scope-
+// agnostic; this table is the single place where "secret-handling
+// package" and "protocol-runtime package" are defined.
+var scopes = map[string][]string{
+	// Share arithmetic lives in the protocol operator packages. The ring
+	// package itself is the reduction layer (every op carries the mask),
+	// and tensor/fpga do plaintext-domain math, so they are out of scope.
+	RingMask.Name: {
+		"aq2pnn/internal/secure",
+		"aq2pnn/internal/scm",
+		"aq2pnn/internal/a2b",
+		"aq2pnn/internal/triple",
+		"aq2pnn/internal/share",
+	},
+	// Everything that touches shares, masks, triples or pads. internal/prg
+	// is deliberately absent: it is the one place allowed to consume
+	// crypto/rand (to seed sessions).
+	PRGOnly.Name: {
+		"aq2pnn/internal/secure",
+		"aq2pnn/internal/scm",
+		"aq2pnn/internal/a2b",
+		"aq2pnn/internal/triple",
+		"aq2pnn/internal/share",
+		"aq2pnn/internal/ot",
+		"aq2pnn/internal/engine",
+		"aq2pnn/internal/transport",
+		"aq2pnn/internal/ring",
+	},
+	// Dropped transport errors are a bug anywhere in the module.
+	SendCheck.Name: nil,
+	// Context plumbing is an engine/transport concern (the serving path).
+	CtxPlumb.Name: {
+		"aq2pnn",
+		"aq2pnn/internal/engine",
+		"aq2pnn/internal/transport",
+	},
+	// Protocol-runtime packages reachable from SecureInfer*.
+	PanicFree.Name: {
+		"aq2pnn/internal/secure",
+		"aq2pnn/internal/scm",
+		"aq2pnn/internal/a2b",
+		"aq2pnn/internal/triple",
+		"aq2pnn/internal/transport",
+		"aq2pnn/internal/ot",
+		"aq2pnn/internal/engine",
+	},
+	// Pool kernels appear wherever the shared pool is used.
+	LoopPar.Name: nil,
+}
+
+// AnalyzersFor returns the analyzers that patrol the package with the
+// given canonical import path, honouring an optional explicit selection
+// (analyzer name -> enabled) from the command line.
+func AnalyzersFor(importPath string, selected map[string]bool) []*analysis.Analyzer {
+	path := NormalizeImportPath(importPath)
+	var out []*analysis.Analyzer
+	for _, a := range Suite() {
+		if selected != nil && !selected[a.Name] {
+			continue
+		}
+		paths, ok := scopes[a.Name]
+		if !ok {
+			continue // unscoped analyzers never run implicitly
+		}
+		if paths == nil || containsPath(paths, path) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// NormalizeImportPath maps the package-variant paths the go command
+// produces back onto the source package path: the test-augmented variant
+// "p [p.test]" and the external test package "p_test" both patrol as "p".
+func NormalizeImportPath(importPath string) string {
+	if i := strings.Index(importPath, " ["); i >= 0 {
+		importPath = importPath[:i]
+	}
+	importPath = strings.TrimSuffix(importPath, "_test")
+	return importPath
+}
+
+func containsPath(paths []string, p string) bool {
+	for _, s := range paths {
+		if s == p {
+			return true
+		}
+	}
+	return false
+}

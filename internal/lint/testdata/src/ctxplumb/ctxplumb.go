@@ -1,0 +1,48 @@
+// Testdata for the ctxplumb analyzer.
+package ctxplumb
+
+import (
+	"context"
+
+	"transport"
+)
+
+func good(ctx context.Context) error {
+	c, err := transport.DialContext(ctx, "peer:9000")
+	if err != nil {
+		return err
+	}
+	return c.Close()
+}
+
+// noCtx has no context parameter, so fabricating one is legitimate.
+func noCtx() error {
+	c, err := transport.DialContext(context.Background(), "peer:9000")
+	if err != nil {
+		return err
+	}
+	return c.Close()
+}
+
+func bad(ctx context.Context) error {
+	bg := context.Background() // want `context.Background inside a function that already receives`
+	todo := context.TODO()     // want `context.TODO inside a function that already receives`
+	_, _ = bg, todo
+	c, err := transport.Dial("peer:9000") // want `transport.Dial ignores the available context.Context`
+	if err != nil {
+		return err
+	}
+	//lint:allow ctxplumb testdata: detached background task must outlive the request
+	detached := context.Background()
+	_ = detached
+	return c.Close()
+}
+
+// literal checks that function literals are scoped independently.
+func literal(ctx context.Context) {
+	go func() {
+		// The literal itself has no ctx parameter; the analyzer is
+		// per-function, so this is accepted.
+		_ = context.Background()
+	}()
+}

@@ -1,0 +1,46 @@
+// Testdata for the looppar analyzer.
+package looppar
+
+import (
+	"sync"
+
+	"parallel"
+)
+
+// good writes only to disjoint index ranges derived from the kernel arguments.
+func good(p *parallel.Pool, in []uint64) []uint64 {
+	out := make([]uint64, len(in))
+	p.For(len(in), func(i int) {
+		out[i] = in[i] * 3
+	})
+	p.Blocks(len(in), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			local := in[i] + 1
+			out[i] = local
+		}
+	})
+	return out
+}
+
+func bad(p *parallel.Pool, in []uint64) uint64 {
+	var sum uint64
+	var total int
+	acc := []uint64{}
+	out := make([]uint64, len(in))
+	p.For(len(in), func(i int) {
+		sum += in[i]             // want `captured variable "sum"`
+		acc = append(acc, in[i]) // want `captured variable "acc"`
+		out[0] = in[i]           // want `workers collide on the same element`
+		total++                  // want `captured variable "total"`
+	})
+	var mu sync.Mutex
+	seen := []int{}
+	p.Blocks(len(in), func(lo, hi int) {
+		mu.Lock()
+		//lint:allow looppar testdata: mutex-guarded append compared as a set
+		seen = append(seen, lo)
+		mu.Unlock()
+	})
+	_ = seen
+	return sum + uint64(total) + uint64(len(acc)) + out[0]
+}

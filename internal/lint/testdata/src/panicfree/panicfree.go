@@ -1,0 +1,50 @@
+// Testdata for the panicfree analyzer.
+package panicfree
+
+// New-style constructors validate configuration eagerly and may panic.
+func NewThing(bits int) int {
+	if bits <= 0 {
+		panic("panicfree: bits must be positive")
+	}
+	return bits
+}
+
+// Must-style helpers are the conventional panic wrappers.
+func MustThing(v int, err error) int {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+func init() {
+	if NewThing(8) != 8 {
+		panic("panicfree: self-check failed")
+	}
+}
+
+// NewChecked shows that literals inside a constructor inherit its exemption.
+func NewChecked(vs []int) func() {
+	return func() {
+		if len(vs) == 0 {
+			panic("panicfree: empty")
+		}
+	}
+}
+
+// run is protocol-runtime code: panics here tear down the 2PC session.
+func run(shares []uint64) uint64 {
+	if len(shares) == 0 {
+		panic("no shares") // want `panic in a protocol-runtime path`
+	}
+	defer func() {
+		if shares[0] == 0 {
+			panic("zero share") // want `panic in a protocol-runtime path`
+		}
+	}()
+	if len(shares) > 1<<30 {
+		//lint:allow panicfree testdata: unreachable-by-construction guard
+		panic("absurd share count")
+	}
+	return shares[0]
+}

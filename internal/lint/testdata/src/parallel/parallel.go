@@ -1,0 +1,16 @@
+// Package parallel is a miniature mimic of aq2pnn/internal/parallel for
+// analyzer testdata (matched by the Pool type name and its Blocks/For
+// methods).
+package parallel
+
+type Pool struct{ degree int }
+
+func New(workers uint) *Pool { return &Pool{degree: int(workers)} }
+
+func (p *Pool) Blocks(n int, fn func(lo, hi int)) { fn(0, n) }
+
+func (p *Pool) For(n int, fn func(i int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}

@@ -1,0 +1,6 @@
+package prgonly
+
+import (
+	//lint:allow prgonly testdata: the documented-exception form
+	_ "math/rand/v2"
+)

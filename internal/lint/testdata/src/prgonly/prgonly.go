@@ -1,0 +1,7 @@
+// Testdata for the prgonly analyzer.
+package prgonly
+
+import (
+	_ "crypto/rand" // want `bare crypto/rand import`
+	_ "math/rand"   // want `import of math/rand`
+)

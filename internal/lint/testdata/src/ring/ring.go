@@ -1,0 +1,16 @@
+// Package ring is a miniature mimic of aq2pnn/internal/ring for analyzer
+// testdata: the analyzers match the type name Ring and its method set, so
+// the testdata packages can exercise them without importing the module.
+package ring
+
+type Ring struct {
+	Bits uint
+	Mask uint64
+}
+
+func New(bits uint) Ring { return Ring{Bits: bits, Mask: uint64(1)<<bits - 1} }
+
+func (r Ring) Reduce(x uint64) uint64 { return x & r.Mask }
+func (r Ring) Add(a, b uint64) uint64 { return (a + b) & r.Mask }
+func (r Ring) Sub(a, b uint64) uint64 { return (a - b) & r.Mask }
+func (r Ring) Mul(a, b uint64) uint64 { return (a * b) & r.Mask }

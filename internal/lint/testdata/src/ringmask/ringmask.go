@@ -1,0 +1,42 @@
+// Testdata for the ringmask analyzer.
+package ringmask
+
+import "ring"
+
+// good shows every accepted reduction idiom.
+func good(r ring.Ring, a, b uint64) uint64 {
+	x := (a + b) & r.Mask         // masked immediately
+	y := r.Add(a, b)              // ring method
+	z := r.Mul(a+b, b)            // chain feeding a ring method
+	w := (a*b + b - a) & r.Mask   // whole chain under one mask
+	mask := uint64(1)<<r.Bits - 1 // mask construction
+	v := (a << 3) & mask          // shift reduced by a named mask
+	n := int(a * b)               // conversion leaves the share domain
+	lo := a >> 3                  // logical right shift is truncation, not growth
+	return (x + y + z + w + v + mask + uint64(n) + lo) & r.Mask
+}
+
+// seeds shows the PRG-seed sinks.
+func seeds(seed uint64) {
+	NewSeeded(seed + 1) // seed derivation sink by callee name
+	session(seed + 2)   // seed derivation sink by parameter name
+}
+
+func NewSeeded(seed uint64) {}
+func session(seed uint64)   {}
+
+func bad(r ring.Ring, a, b uint64) uint64 {
+	s := a + b        // want `unmasked uint64 "\+"`
+	p := a * b        // want `unmasked uint64 "\*"`
+	d := a - b        // want `unmasked uint64 "-"`
+	sh := a << 2      // want `unmasked uint64 "<<"`
+	if a+b > r.Mask { // want `unmasked uint64 "\+"`
+		s = 0
+	}
+	other(a + b) // want `unmasked uint64 "\+"`
+	//lint:allow ringmask testdata: deliberately unreduced to prove the escape hatch
+	ok := a + b
+	return (s + p + d + sh + ok) & r.Mask
+}
+
+func other(x uint64) {}

@@ -1,0 +1,276 @@
+// Package vetdriver runs the aq2pnnlint suite under the go command's
+// (unpublished but stable) vet tool protocol, the same contract
+// golang.org/x/tools/go/analysis/unitchecker implements:
+//
+//   - `tool -flags` prints a JSON description of the tool's flags;
+//   - `tool [flags] <objdir>/vet.cfg` analyzes one package unit described
+//     by the JSON config the go command wrote, writes the (here: empty)
+//     facts file named by VetxOutput, prints findings to stderr and exits
+//     with status 2 when there are any.
+//
+// Re-implementing the protocol on the standard library keeps the module
+// dependency-free: package loading, export data and build caching all stay
+// on the go command's side, and the driver only type-checks the one unit
+// it is handed, importing dependencies from the export data files listed
+// in the config (PackageFile) via go/importer's gc lookup mode.
+package vetdriver
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+
+	"aq2pnn/internal/lint"
+	"aq2pnn/internal/lint/analysis"
+)
+
+// Config mirrors cmd/go/internal/work.vetConfig — the JSON the go command
+// writes to <objdir>/vet.cfg for each package unit.
+type Config struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ModulePath    string
+	ModuleVersion string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	Standard      map[string]bool
+	PackageVetx   map[string]string
+	VetxOnly      bool
+	VetxOutput    string
+	GoVersion     string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// jsonFlag is the element type of the `-flags` response the go command
+// parses (cmd/go/internal/vet.vetFlags).
+type jsonFlag struct {
+	Name  string
+	Bool  bool
+	Usage string
+}
+
+// Main is the entry point of the vet-protocol mode. args are the raw
+// command-line arguments after the program name. It returns the process
+// exit code.
+func Main(args []string, stdout, stderr io.Writer) int {
+	selected := map[string]bool{}
+	anySelected := false
+	var cfgPath string
+	for _, arg := range args {
+		switch {
+		case arg == "-flags" || arg == "--flags":
+			return printFlags(stdout)
+		case strings.HasPrefix(arg, "-V"):
+			// Version fingerprint for the build cache.
+			fmt.Fprintln(stdout, "aq2pnnlint version v1 (ring/secrecy/transport invariant suite)")
+			return 0
+		case strings.HasSuffix(arg, ".cfg"):
+			cfgPath = arg
+		case strings.HasPrefix(arg, "-"):
+			name, val, ok := parseBoolFlag(arg)
+			if !ok {
+				fmt.Fprintf(stderr, "aq2pnnlint: unrecognized flag %s\n", arg)
+				return 2
+			}
+			if val {
+				anySelected = true
+			}
+			selected[name] = val
+		default:
+			fmt.Fprintf(stderr, "aq2pnnlint: unexpected argument %s (want a vet .cfg file; run via 'go vet -vettool' or with package patterns)\n", arg)
+			return 2
+		}
+	}
+	if cfgPath == "" {
+		fmt.Fprintln(stderr, "aq2pnnlint: no vet config supplied")
+		return 2
+	}
+	var sel map[string]bool
+	if anySelected {
+		sel = map[string]bool{}
+		for name, on := range selected {
+			if on {
+				sel[name] = true
+			}
+		}
+	}
+	return runUnit(cfgPath, sel, stderr)
+}
+
+// parseBoolFlag accepts -name, -name=true, -name=false for known analyzer
+// names (the only flags the tool advertises).
+func parseBoolFlag(arg string) (name string, val bool, ok bool) {
+	arg = strings.TrimPrefix(arg, "-")
+	arg = strings.TrimPrefix(arg, "-")
+	val = true
+	if i := strings.IndexByte(arg, '='); i >= 0 {
+		switch arg[i+1:] {
+		case "true", "1":
+			val = true
+		case "false", "0":
+			val = false
+		default:
+			return "", false, false
+		}
+		arg = arg[:i]
+	}
+	for _, a := range lint.Suite() {
+		if a.Name == arg {
+			return arg, val, true
+		}
+	}
+	return "", false, false
+}
+
+func printFlags(w io.Writer) int {
+	var flags []jsonFlag
+	for _, a := range lint.Suite() {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		flags = append(flags, jsonFlag{Name: a.Name, Bool: true, Usage: doc})
+	}
+	data, err := json.MarshalIndent(flags, "", "\t")
+	if err != nil {
+		return 2
+	}
+	w.Write(data)
+	io.WriteString(w, "\n")
+	return 0
+}
+
+func runUnit(cfgPath string, selected map[string]bool, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "aq2pnnlint: reading config: %v\n", err)
+		return 2
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "aq2pnnlint: parsing config %s: %v\n", cfgPath, err)
+		return 2
+	}
+	// The go command caches our (empty) facts file; writing it is also
+	// what tells it the run happened at all.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(stderr, "aq2pnnlint: writing vetx output: %v\n", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency-only run: the suite keeps no cross-package facts, so
+		// there is nothing to compute.
+		return 0
+	}
+	analyzers := lint.AnalyzersFor(cfg.ImportPath, selected)
+	if len(analyzers) == 0 {
+		return 0
+	}
+	diags, err := analyzeUnit(&cfg, analyzers)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(stderr, "aq2pnnlint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	for _, d := range diags.list {
+		fmt.Fprintf(stderr, "%s: %s: %s\n", diags.fset.Position(d.Pos), d.Rule, d.Message)
+	}
+	if len(diags.list) > 0 {
+		return 2
+	}
+	return 0
+}
+
+type unitDiags struct {
+	fset *token.FileSet
+	list []analysis.Diagnostic
+}
+
+func analyzeUnit(cfg *Config, analyzers []*analysis.Analyzer) (unitDiags, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return unitDiags{}, err
+		}
+		files = append(files, f)
+	}
+	imp := newExportDataImporter(cfg, fset)
+	tc := &types.Config{
+		Importer:  imp,
+		GoVersion: cfg.GoVersion,
+		Sizes:     types.SizesFor(cfg.Compiler, buildArch()),
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return unitDiags{}, err
+	}
+	list, err := analysis.Run(fset, files, pkg, info, analyzers)
+	if err != nil {
+		return unitDiags{}, err
+	}
+	return unitDiags{fset: fset, list: list}, nil
+}
+
+func buildArch() string {
+	if v := os.Getenv("GOARCH"); v != "" {
+		return v
+	}
+	return runtime.GOARCH
+}
+
+// exportDataImporter resolves imports from the export data files the go
+// command listed in the vet config, translating source import paths
+// through ImportMap first (this is how vendoring and test variants are
+// canonicalized). A single underlying gc importer is shared by every
+// import so that diamond dependencies resolve to identical
+// *types.Package objects.
+type exportDataImporter struct {
+	cfg *Config
+	gc  types.Importer
+}
+
+func newExportDataImporter(cfg *Config, fset *token.FileSet) *exportDataImporter {
+	e := &exportDataImporter{cfg: cfg}
+	e.gc = importer.ForCompiler(fset, "gc", func(p string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[p]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q in vet config", p)
+		}
+		return os.Open(file)
+	})
+	return e
+}
+
+func (e *exportDataImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := e.cfg.ImportMap[path]; ok {
+		path = mapped
+	}
+	return e.gc.Import(path)
+}

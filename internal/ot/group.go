@@ -7,6 +7,7 @@
 package ot
 
 import (
+	//lint:allow prgonly crypto/rand generates the public group prime, a protocol parameter both parties learn — never share randomness
 	crand "crypto/rand"
 	"math/big"
 
@@ -67,6 +68,7 @@ func DefaultGroup() Group {
 	if defaultGroup == nil {
 		p, err := crand.Prime(crand.Reader, 512)
 		if err != nil {
+			//lint:allow panicfree config-time: the group is built once per process before any protocol bytes flow, and crand.Prime fails only when the OS CSPRNG is broken
 			panic("ot: cannot generate group prime: " + err.Error())
 		}
 		defaultGroup = &Group{P: p, G: big.NewInt(5)}

@@ -101,7 +101,10 @@ func TestFlowUnchosenMessagesUnrecoverable(t *testing.T) {
 	defer b.Close()
 	done := make(chan error, 1)
 	go func() { done <- FlowSend(a, TestGroup(), prg.NewSeeded(8), 2, msgs) }()
-	hdr, _ := b.Recv()
+	hdr, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
 	h, err := decodeFlowHeader(hdr)
 	if err != nil {
 		t.Fatal(err)
@@ -111,8 +114,13 @@ func TestFlowUnchosenMessagesUnrecoverable(t *testing.T) {
 	rj := h.group.RandScalar(rng)
 	r := h.group.Encode(h.group.Exp(h.rHat, h.labels[0]))
 	xorInto(r, h.group.Encode(h.group.ExpG(rj)))
-	b.Send(r)
-	cts, _ := b.Recv()
+	if err := b.Send(r); err != nil {
+		t.Fatal(err)
+	}
+	cts, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := <-done; err != nil {
 		t.Fatal(err)
 	}

@@ -15,10 +15,16 @@ func TestNilAndZeroPoolsRunSerially(t *testing.T) {
 	if zero.Workers() != 1 {
 		t.Errorf("zero pool workers = %d", zero.Workers())
 	}
-	ran := 0
-	nilPool.Blocks(5, func(lo, hi int) { ran += hi - lo })
-	if ran != 5 {
-		t.Errorf("nil pool covered %d of 5", ran)
+	var cover [5]bool
+	nilPool.Blocks(5, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			cover[i] = true
+		}
+	})
+	for i, ok := range cover {
+		if !ok {
+			t.Errorf("nil pool skipped index %d", i)
+		}
 	}
 }
 
@@ -57,6 +63,7 @@ func TestEmptyAndTinyRanges(t *testing.T) {
 		if lo != 0 || hi != 1 {
 			t.Errorf("block [%d,%d)", lo, hi)
 		}
+		//lint:allow looppar n=1 yields exactly one block, so the write is single-threaded
 		ran = true
 	})
 	if !ran {
@@ -95,6 +102,7 @@ func TestDeterministicPartition(t *testing.T) {
 		var blocks [][2]int
 		New(3).Blocks(10, func(lo, hi int) {
 			mu.Lock()
+			//lint:allow looppar mutex-guarded append; the test compares block sets, so arrival order does not matter
 			blocks = append(blocks, [2]int{lo, hi})
 			mu.Unlock()
 		})

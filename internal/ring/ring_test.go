@@ -1,6 +1,12 @@
 package ring
 
 import (
+	// The documented prgonly exception: this package is below internal/prg
+	// in the dependency order (prg imports ring), so its property tests
+	// cannot use the session PRG. The source is explicitly seeded, which
+	// keeps the quick-check corpus reproducible, and nothing here is
+	// secret — the tests exercise public modular arithmetic.
+	//lint:allow prgonly explicitly seeded statistical-test randomness in the one package beneath internal/prg
 	"math/rand"
 	"testing"
 	"testing/quick"

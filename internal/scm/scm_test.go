@@ -207,7 +207,9 @@ func TestMSBCommScalesWithBitWidth(t *testing.T) {
 		go func() { defer wg.Done(); MSBSender(e0, prg.NewSeeded(13), r, xi) }()
 		go func() { defer wg.Done(); MSBReceiver(e1, r, xj) }()
 		wg.Wait()
-		return a.Stats().BytesSent + b.Stats().BytesSent
+		// Every byte sent on one endpoint of a pipe is received on the
+		// other, so one endpoint's TotalBytes is the whole conversation.
+		return a.Stats().TotalBytes()
 	}
 	c16 := measure(16)
 	c32 := measure(32)

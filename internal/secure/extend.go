@@ -35,7 +35,7 @@ func (c *Context) B2A(r ring.Ring, d []uint64) ([]uint64, error) {
 		c.Pool.For(n, func(k int) {
 			m := make([][]byte, 2)
 			for cBit := uint64(0); cBit < 2; cBit++ {
-				prod := (d[k] & 1) * cBit
+				prod := r.Mul(d[k]&1, cBit)
 				m[cBit] = transport.PackElems(r, []uint64{r.Sub(prod, rp[k])})
 			}
 			msgs[k] = m

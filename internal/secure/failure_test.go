@@ -96,10 +96,16 @@ func TestMalformedFrameRejected(t *testing.T) {
 	defer a.Close()
 	defer b.Close()
 	r := ring.New(16)
-	go transport.SendElems(a, r, []uint64{1, 2, 3})
+	sendErr := make(chan error, 1)
+	go func() { sendErr <- transport.SendElems(a, r, []uint64{1, 2, 3}) }()
 	_, err := transport.RecvElems(b, r, 7)
 	if err == nil || !strings.Contains(err.Error(), "expected 7 elements") {
 		t.Errorf("malformed frame error = %v", err)
+	}
+	// The mismatched send itself must still have succeeded: the fault is
+	// detected by the receiver, not swallowed by the pipe.
+	if err := <-sendErr; err != nil {
+		t.Errorf("send of malformed frame failed: %v", err)
 	}
 }
 

@@ -13,6 +13,24 @@ import (
 	"aq2pnn/internal/ring"
 )
 
+// mustSend / mustRecv fail the test on a transport error, keeping the
+// sendcheck invariant (no dropped transport errors) in the tests too.
+func mustSend(t testing.TB, c Conn, p []byte) {
+	t.Helper()
+	if err := c.Send(p); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+}
+
+func mustRecv(t testing.TB, c Conn) []byte {
+	t.Helper()
+	p, err := c.Recv()
+	if err != nil {
+		t.Fatalf("recv: %v", err)
+	}
+	return p
+}
+
 func TestPipeRoundTrip(t *testing.T) {
 	a, b := Pipe()
 	defer a.Close()
@@ -35,9 +53,9 @@ func TestPipeCopiesPayload(t *testing.T) {
 	defer a.Close()
 	defer b.Close()
 	msg := []byte{1, 2, 3}
-	a.Send(msg)
+	mustSend(t, a, msg)
 	msg[0] = 99 // mutate after send
-	got, _ := b.Recv()
+	got := mustRecv(t, b)
 	if got[0] != 1 {
 		t.Error("Send did not copy the payload")
 	}
@@ -47,12 +65,12 @@ func TestPipeStatsAndRounds(t *testing.T) {
 	a, b := Pipe()
 	defer a.Close()
 	defer b.Close()
-	a.Send(make([]byte, 10))
-	a.Send(make([]byte, 20))
-	b.Recv()
-	b.Recv()
-	b.Send(make([]byte, 5))
-	a.Recv()
+	mustSend(t, a, make([]byte, 10))
+	mustSend(t, a, make([]byte, 20))
+	mustRecv(t, b)
+	mustRecv(t, b)
+	mustSend(t, b, make([]byte, 5))
+	mustRecv(t, a)
 	sa, sb := a.Stats(), b.Stats()
 	if sa.BytesSent != 30 || sa.MsgsSent != 2 || sa.BytesRecv != 5 {
 		t.Errorf("a stats %+v", sa)
@@ -273,7 +291,7 @@ func TestFaultyConnCorruption(t *testing.T) {
 	defer a.Close()
 	defer b.Close()
 	f := NewFaultyConn(b, 1, true)
-	a.Send([]byte{0, 0, 0})
+	mustSend(t, a, []byte{0, 0, 0})
 	p, err := f.Recv()
 	if err != nil {
 		t.Fatal(err)
@@ -290,8 +308,8 @@ func BenchmarkPipeSendRecv(b *testing.B) {
 	payload := make([]byte, 4096)
 	b.SetBytes(4096)
 	for i := 0; i < b.N; i++ {
-		x.Send(payload)
-		y.Recv()
+		mustSend(b, x, payload)
+		mustRecv(b, y)
 	}
 }
 
