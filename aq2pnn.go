@@ -38,6 +38,7 @@ import (
 	"aq2pnn/internal/prg"
 	"aq2pnn/internal/quant"
 	"aq2pnn/internal/ring"
+	"aq2pnn/internal/telemetry"
 	"aq2pnn/internal/train"
 	"aq2pnn/internal/transport"
 )
@@ -65,7 +66,35 @@ type (
 	Estimate = fpga.Estimate
 	// CommStats are measured transport counters.
 	CommStats = transport.Stats
+	// Tracer records hierarchical spans with per-span communication deltas.
+	Tracer = telemetry.Tracer
+	// SpanRecord is one finished span of a Tracer.
+	SpanRecord = telemetry.SpanRecord
+	// MetricsRegistry holds process-wide counters and histograms.
+	MetricsRegistry = telemetry.Registry
 )
+
+// NewTracer returns a tracer ready to be passed as InferenceConfig.Trace.
+// Every secure-inference entrypoint accepts one; a nil tracer keeps all
+// instrumentation at zero cost.
+func NewTracer() *Tracer { return telemetry.New() }
+
+// WriteChromeTrace exports a finished trace as Chrome trace-event JSON
+// (load it at chrome://tracing or https://ui.perfetto.dev).
+func WriteChromeTrace(w io.Writer, t *Tracer) error { return telemetry.WriteChromeTrace(w, t) }
+
+// TraceTable renders a finished trace as an aligned per-layer text table
+// (wall time, bytes sent/received and rounds per span).
+func TraceTable(t *Tracer) string { return telemetry.LayerTable(t).String() }
+
+// Metrics returns the process-wide registry served by the /metrics
+// endpoint. Counter and histogram updates are recorded only after
+// EnableMetrics (one atomic-load branch when disabled).
+func Metrics() *MetricsRegistry { return telemetry.Default() }
+
+// EnableMetrics turns on process-wide counter/histogram recording.
+// ServeModelTCP calls it automatically when cfg.MetricsAddr is set.
+func EnableMetrics() { telemetry.Enable() }
 
 // Pooling selection for zoo builders and stand-ins.
 const (
@@ -119,6 +148,17 @@ type InferenceConfig struct {
 	// ServeSessions makes ServeModelTCP return after that many sessions
 	// complete; 0 serves until its context is cancelled.
 	ServeSessions uint
+	// Trace, when non-nil, records a span per protocol phase, layer and
+	// secure operator, each carrying its exact share of the measured
+	// traffic. Export with WriteChromeTrace or TraceTable. A nil tracer
+	// costs one branch per instrumentation point and never changes results.
+	Trace *Tracer
+	// MetricsAddr, when non-empty, makes ServeModelTCP serve /metrics
+	// (Prometheus text) and /debug/pprof on that address for its lifetime.
+	// An address without a host (":9090") binds loopback only: the
+	// endpoint exposes operational detail, so reaching it from another
+	// machine requires an explicit interface address.
+	MetricsAddr string
 }
 
 // InferenceResult reports a secure inference.
@@ -143,7 +183,7 @@ func SecureInfer(m *Model, x []int64, cfg InferenceConfig) (*InferenceResult, er
 	res, err := engine.RunLocal(m, x, engine.Options{
 		CarrierBits: cfg.CarrierBits, Seed: cfg.Seed, LocalTrunc: cfg.LocalTrunc,
 		ABReLUBits: cfg.ABReLUBits, RevealClassOnly: cfg.RevealClassOnly,
-		Workers: cfg.Workers,
+		Workers: cfg.Workers, Trace: cfg.Trace,
 	})
 	if err != nil {
 		return nil, err
@@ -257,6 +297,14 @@ func ServeModelTCP(ctx context.Context, addr string, m *Model, cfg InferenceConf
 		return err
 	}
 	defer l.Close()
+	if cfg.MetricsAddr != "" {
+		telemetry.Enable()
+		_, stop, err := telemetry.StartMetricsServer(cfg.MetricsAddr, telemetry.Default())
+		if err != nil {
+			return fmt.Errorf("aq2pnn: metrics endpoint: %w", err)
+		}
+		defer stop()
+	}
 	return engine.ServeTCP(ctx, l, m, networkConfig(cfg), int(cfg.ServeSessions), nil)
 }
 
@@ -312,7 +360,7 @@ func SecureInferTCPTimeout(addr string, m *Model, x []int64, cfg InferenceConfig
 func networkConfig(cfg InferenceConfig) engine.Options {
 	nc := engine.Options{
 		CarrierBits: cfg.CarrierBits, Seed: cfg.Seed, LocalTrunc: cfg.LocalTrunc,
-		Workers: cfg.Workers,
+		Workers: cfg.Workers, Trace: cfg.Trace,
 	}
 	if cfg.DemoGroup {
 		nc.Group = ot.TestGroup()
@@ -342,6 +390,6 @@ func SecureInferBatch(m *Model, xs [][]int64, cfg InferenceConfig) (*BatchResult
 	return engine.RunLocalBatch(m, xs, engine.Options{
 		CarrierBits: cfg.CarrierBits, Seed: cfg.Seed, LocalTrunc: cfg.LocalTrunc,
 		ABReLUBits: cfg.ABReLUBits, RevealClassOnly: cfg.RevealClassOnly,
-		Workers: cfg.Workers,
+		Workers: cfg.Workers, Trace: cfg.Trace,
 	})
 }

@@ -2,8 +2,9 @@
 // ring reduction of share arithmetic (ringmask), PRG-only randomness in
 // secret-handling packages (prgonly), transport error discipline
 // (sendcheck), context plumbing in the serving engine (ctxplumb),
-// panic-free protocol paths (panicfree) and race-free parallel kernels
-// (looppar). See the "Static invariants" section of DESIGN.md.
+// panic-free protocol paths (panicfree), race-free parallel kernels
+// (looppar) and telemetry spans ended on all paths (spanend). See the
+// "Static invariants" section of DESIGN.md.
 //
 // Usage:
 //

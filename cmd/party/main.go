@@ -13,6 +13,12 @@
 // strong) for quick demonstrations. The provider serves -sessions
 // concurrent clients (0 = serve forever); -workers caps each side's
 // local compute parallelism (0 = all CPUs).
+//
+// Observability (see docs/observability.md): -trace out.json records a
+// span per phase, layer and secure operator with its exact share of the
+// wire traffic and writes a Chrome trace-event file on exit; -metrics
+// :9090 serves /metrics and /debug/pprof for the process lifetime
+// (loopback only unless an interface address is given).
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 	"aq2pnn/internal/engine"
 	"aq2pnn/internal/nn"
 	"aq2pnn/internal/ot"
+	"aq2pnn/internal/telemetry"
 	"aq2pnn/internal/transport"
 )
 
@@ -38,16 +45,54 @@ func main() {
 	demoGroup := flag.Bool("demo-group", false, "use the fast demo OT group (NOT secure)")
 	workers := flag.Uint("workers", 0, "local compute parallelism (0 = all CPUs)")
 	sessions := flag.Uint("sessions", 1, "provider: sessions to serve before exiting (0 = forever)")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file on exit")
+	metrics := flag.String("metrics", "", "serve /metrics and /debug/pprof on this address (e.g. :9090; loopback unless a host is given)")
 	flag.Parse()
 
 	cfg := engine.Options{CarrierBits: *bits, Seed: *seed, Workers: *workers}
 	if *demoGroup {
 		cfg.Group = ot.TestGroup()
 	}
+	if *tracePath != "" || *metrics != "" {
+		telemetry.Enable()
+	}
+	if *tracePath != "" {
+		cfg.Trace = telemetry.New()
+	}
+	if *metrics != "" {
+		bound, stop, err := telemetry.StartMetricsServer(*metrics, telemetry.Default())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "party: metrics endpoint:", err)
+			os.Exit(1)
+		}
+		defer stop()
+		fmt.Printf("metrics: http://%s/metrics (pprof at /debug/pprof)\n", bound)
+	}
 	if err := run(*role, *listen, *connect, *model, cfg, int(*sessions)); err != nil {
 		fmt.Fprintln(os.Stderr, "party:", err)
 		os.Exit(1)
 	}
+	if *tracePath != "" {
+		if err := writeTrace(*tracePath, cfg.Trace); err != nil {
+			fmt.Fprintln(os.Stderr, "party:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: %d spans written to %s (open at chrome://tracing)\n",
+			len(cfg.Trace.Spans()), *tracePath)
+		fmt.Print(telemetry.LayerTable(cfg.Trace).String())
+	}
+}
+
+func writeTrace(path string, tr *telemetry.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WriteChromeTrace(f, tr); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func run(role, listen, connect, model string, cfg engine.Options, sessions int) error {

@@ -2,7 +2,9 @@
 // (the queue the paper's Sec. 4.1.1 describes TVM-style compilers
 // producing) and inspect how LOAD / EXCH / GEMM / ALU / A2B / SCM
 // instructions realize each building block, together with the cycle and
-// traffic totals the cost model derives from them.
+// traffic totals the cost model derives from them. The second half runs
+// the same model through a real traced secure inference, so the modelled
+// per-layer traffic can be read next to the measured span trace.
 package main
 
 import (
@@ -32,4 +34,20 @@ func main() {
 			est.Cycles, est.ComputeTime, est.CommMiB(), est.Comm.Rounds, est.CommTime, est.ThroughputFPS)
 	}
 	fmt.Println("halving the carrier width halves every EXCH payload — the root of the paper's communication savings")
+
+	// Measured counterpart: trace one real 16-bit secure inference and
+	// print the per-layer wall time and traffic attribution (every byte of
+	// the session lands in exactly one layer or reveal span).
+	x := make([]int64, 28*28)
+	for i := range x {
+		x[i] = int64(i%23) - 11
+	}
+	tr := aq2pnn.NewTracer()
+	res, err := aq2pnn.SecureInfer(m, x, aq2pnn.InferenceConfig{CarrierBits: 16, Seed: 3, Trace: tr})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n---- measured spans, carrier 16 bits ----\n")
+	fmt.Print(aq2pnn.TraceTable(tr))
+	fmt.Printf("session online total: %.3f MiB over %d rounds\n", res.Online.MiB(), res.Online.Rounds)
 }

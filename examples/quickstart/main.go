@@ -3,16 +3,24 @@
 // revealed logits with the measured communication — the whole protocol
 // (AS-GEMM convolutions, 2PC-BNReQ, ABReLU, 2PC pooling) runs for real,
 // with both parties' shares exchanged over an instrumented channel.
+//
+// Pass -trace out.json to also record a per-layer span trace and write
+// it as Chrome trace-event JSON (see docs/observability.md).
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"aq2pnn"
 )
 
 func main() {
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file of the inference")
+	flag.Parse()
+
 	// A zoo model with synthetic 8-bit weights (real deployments quantize
 	// a trained model; see examples/lenet_mnist for that pipeline).
 	model, err := aq2pnn.BuildModel("lenet5", aq2pnn.ZooConfig{Seed: 42})
@@ -28,9 +36,27 @@ func main() {
 
 	// One secure inference on a 16-bit carrier ring — the paper's
 	// headline configuration.
-	res, err := aq2pnn.SecureInfer(model, x, aq2pnn.InferenceConfig{CarrierBits: 16, Seed: 1})
+	cfg := aq2pnn.InferenceConfig{CarrierBits: 16, Seed: 1}
+	if *tracePath != "" {
+		cfg.Trace = aq2pnn.NewTracer()
+	}
+	res, err := aq2pnn.SecureInfer(model, x, cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := aq2pnn.WriteChromeTrace(f, cfg.Trace); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace: %d spans written to %s\n", len(cfg.Trace.Spans()), *tracePath)
+		fmt.Print(aq2pnn.TraceTable(cfg.Trace))
 	}
 
 	fmt.Printf("predicted class: %d\n", res.Class)

@@ -11,6 +11,14 @@ import (
 	"fmt"
 
 	"aq2pnn/internal/ring"
+	"aq2pnn/internal/telemetry"
+)
+
+// Conversion volume counters, pre-registered so the per-element hot path
+// pays one branch disabled and one atomic add enabled (no name lookup).
+var (
+	splitCounter    = telemetry.Default().Counter("aq2pnn_a2b_splits_total")
+	splitLowCounter = telemetry.Default().Counter("aq2pnn_a2b_splits_low_total")
 )
 
 // Groups returns the group bit-widths for an ℓ-bit value, MSB first.
@@ -42,6 +50,9 @@ func U(bits uint) int { return len(Groups(bits)) }
 // Split decomposes x (an element of r) into its group values, MSB first.
 // Split(r, x)[0] is the sign bit.
 func Split(r ring.Ring, x uint64) []uint64 {
+	if telemetry.Enabled() {
+		splitCounter.Inc()
+	}
 	gs := Groups(r.Bits)
 	out := make([]uint64, len(gs))
 	shift := r.Bits
@@ -75,6 +86,9 @@ func Join(r ring.Ring, groups []uint64) (uint64, error) {
 // transfers; the sign bits are folded into the final XOR by quadrant
 // detection.
 func SplitLow(r ring.Ring, x uint64) []uint64 {
+	if telemetry.Enabled() {
+		splitLowCounter.Inc()
+	}
 	if r.Bits == 1 {
 		return nil
 	}

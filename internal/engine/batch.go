@@ -9,6 +9,7 @@ import (
 	"aq2pnn/internal/ring"
 	"aq2pnn/internal/secure"
 	"aq2pnn/internal/share"
+	"aq2pnn/internal/telemetry"
 	"aq2pnn/internal/transport"
 	"aq2pnn/internal/triple"
 )
@@ -97,10 +98,17 @@ func RunLocalBatch(m *nn.Model, xs [][]int64, cfg Options) (*BatchResult, error)
 	prepG := g.Fork()
 	party0 := &Party{Ctx: prep.P0, Model: m, Weights: ws0, R: r, Families: famsFor(prepG, 0)}
 	party1 := &Party{Ctx: prep.P1, Model: m, Weights: ws1, R: r, Families: famsFor(prepG, 1)}
-	if err := prep.Run(
+	sp0 := cfg.Trace.Root("p0.setup", telemetry.WithConn(prep.P0.Conn))
+	sp1 := cfg.Trace.Root("p1.setup", telemetry.WithConn(prep.P1.Conn))
+	prep.P0.SetTrace(telemetry.NewScope(sp0))
+	prep.P1.SetTrace(telemetry.NewScope(sp1))
+	err = prep.Run(
 		func(*secure.Context) error { return party0.Prepare() },
 		func(*secure.Context) error { return party1.Prepare() },
-	); err != nil {
+	)
+	sp0.End()
+	sp1.End()
+	if err != nil {
 		prep.Close()
 		return nil, err
 	}
@@ -156,8 +164,19 @@ func RunLocalBatch(m *nn.Model, xs [][]int64, cfg Options) (*BatchResult, error)
 		p1 := &Party{Ctx: sess.P1, Model: m, Weights: ws1, R: r, ReLURing: reluRing, Pool: pool}
 		p0.Bind(preps0, fams0)
 		p1.Bind(preps1, fams1)
+		// Each image session gets its own pair of root spans (= trace
+		// lanes); the tracer is goroutine-safe, the per-lane scopes are
+		// confined to their party goroutine.
+		img0 := cfg.Trace.Root(fmt.Sprintf("p0.image%d", i), telemetry.WithConn(sess.P0.Conn))
+		img1 := cfg.Trace.Root(fmt.Sprintf("p1.image%d", i), telemetry.WithConn(sess.P1.Conn))
+		defer img0.End()
+		defer img1.End()
+		sess.P0.SetTrace(telemetry.NewScope(img0))
+		sess.P1.SetTrace(telemetry.NewScope(img1))
 
 		finish := func(c *secure.Context, o []uint64) error {
+			sp := c.Trace.Enter("reveal")
+			defer c.Trace.Exit(sp)
 			if cfg.RevealClassOnly {
 				idx, err := c.ArgMaxBatched(r, o)
 				if err != nil {
@@ -237,11 +256,7 @@ func RunLocalBatch(m *nn.Model, xs [][]int64, cfg Options) (*BatchResult, error)
 		out.Logits = nil
 	}
 	for i := 0; i < k; i++ {
-		out.Online.BytesSent += stats[i].BytesSent
-		out.Online.BytesRecv += stats[i].BytesRecv
-		out.Online.MsgsSent += stats[i].MsgsSent
-		out.Online.MsgsRecv += stats[i].MsgsRecv
-		out.Online.Rounds += stats[i].Rounds
+		out.Online.Add(stats[i])
 		if profiles[i] != nil {
 			if out.PerOp == nil {
 				out.PerOp = append([]OpProfile(nil), profiles[i]...)
@@ -261,6 +276,8 @@ func RunLocalBatch(m *nn.Model, xs [][]int64, cfg Options) (*BatchResult, error)
 		MsgsSent:  out.Online.MsgsSent / n,
 		MsgsRecv:  out.Online.MsgsRecv / n,
 		Rounds:    out.Online.Rounds / n,
+		SendErrs:  out.Online.SendErrs / n,
+		RecvErrs:  out.Online.RecvErrs / n,
 	}
 	return out, nil
 }

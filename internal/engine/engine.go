@@ -17,6 +17,7 @@ import (
 	"aq2pnn/internal/ring"
 	"aq2pnn/internal/secure"
 	"aq2pnn/internal/share"
+	"aq2pnn/internal/telemetry"
 	"aq2pnn/internal/tensor"
 	"aq2pnn/internal/transport"
 	"aq2pnn/internal/triple"
@@ -59,6 +60,12 @@ type Options struct {
 	// harvests every correlation through base OTs (slow; for tests and
 	// comparisons). Ignored by local runs.
 	NoExtension bool
+	// Trace collects hierarchical telemetry spans (per-phase, per-layer,
+	// per-protocol-op) with exact per-span communication attribution; nil
+	// (the default) disables tracing at one branch per instrumented call.
+	// Tracing never touches protocol bytes: outputs are bit-identical with
+	// it on or off, at every Workers setting.
+	Trace *telemetry.Tracer
 }
 
 // Config is the former name of Options.
@@ -267,6 +274,12 @@ func (p *Party) Infer(x []uint64) ([]uint64, error) {
 	for i, node := range p.Model.Nodes {
 		start := time.Now()
 		before := p.Ctx.Conn.Stats()
+		// One span per layer; it is exited before the error check below, so
+		// failed layers are recorded too. The secure operators nest their
+		// own spans under it through the context's scope.
+		sp := p.Ctx.Trace.Enter("layer."+node.Name, telemetry.WithAttrs(
+			telemetry.String("kind", node.Op.Kind()),
+			telemetry.Int("elems", int64(shapes[i].Numel()))))
 		var out []uint64
 		switch op := node.Op.(type) {
 		case *nn.Conv:
@@ -291,18 +304,22 @@ func (p *Party) Infer(x []uint64) ([]uint64, error) {
 		default:
 			err = fmt.Errorf("engine: unknown op %T", node.Op)
 		}
+		p.Ctx.Trace.Exit(sp)
 		if err != nil {
 			return nil, fmt.Errorf("engine: node %d (%s): %w", i, node.Op.Kind(), err)
 		}
 		vals[i] = out
+		telemetry.Count("aq2pnn_layers_total", 1)
+		telemetry.Observe("aq2pnn_layer_seconds", time.Since(start).Seconds(), telemetry.DurationBuckets)
+		telemetry.Observe("aq2pnn_layer_ring_bits", float64(r.Bits), telemetry.BitBuckets)
 		if p.Profile != nil {
-			after := p.Ctx.Conn.Stats()
+			d := p.Ctx.Conn.Stats().Sub(before)
 			*p.Profile = append(*p.Profile, OpProfile{
 				Name:     node.Name,
 				Kind:     node.Op.Kind(),
 				Elems:    shapes[i].Numel(),
-				Bytes:    (after.BytesSent - before.BytesSent) + (after.BytesRecv - before.BytesRecv),
-				Rounds:   after.Rounds - before.Rounds,
+				Bytes:    d.TotalBytes(),
+				Rounds:   d.Rounds,
 				HostTime: time.Since(start),
 			})
 		}
@@ -399,20 +416,37 @@ func RunLocal(m *nn.Model, x []int64, cfg Config) (*Result, error) {
 	party0 := &Party{Ctx: sess.P0, Model: m, Weights: ws0, R: r, ReLURing: reluRing, Pool: pool, Profile: &profile}
 	party1 := &Party{Ctx: sess.P1, Model: m, Weights: ws1, R: r, ReLURing: reluRing, Pool: pool}
 
-	// Setup phase: weight preparation (F openings).
-	if err := sess.Run(
+	// Setup phase: weight preparation (F openings). Each party's flow gets
+	// its own root span (and scope), since the two run concurrently.
+	sp0 := cfg.Trace.Root("p0.setup", telemetry.WithConn(sess.P0.Conn))
+	sp1 := cfg.Trace.Root("p1.setup", telemetry.WithConn(sess.P1.Conn))
+	sess.P0.SetTrace(telemetry.NewScope(sp0))
+	sess.P1.SetTrace(telemetry.NewScope(sp1))
+	err = sess.Run(
 		func(*secure.Context) error { return party0.Prepare() },
 		func(*secure.Context) error { return party1.Prepare() },
-	); err != nil {
+	)
+	sp0.End()
+	sp1.End()
+	if err != nil {
 		return nil, err
 	}
 	setup, _ := sess.Stats()
 	sess.ResetStats()
 
-	// Online phase.
+	// Online phase: fresh per-party root spans, created after the stats
+	// reset so their communication deltas equal the online Stats exactly.
+	in0 := cfg.Trace.Root("p0.infer", telemetry.WithConn(sess.P0.Conn),
+		telemetry.WithAttrs(telemetry.Int("carrier_bits", int64(r.Bits))))
+	in1 := cfg.Trace.Root("p1.infer", telemetry.WithConn(sess.P1.Conn),
+		telemetry.WithAttrs(telemetry.Int("carrier_bits", int64(r.Bits))))
+	sess.P0.SetTrace(telemetry.NewScope(in0))
+	sess.P1.SetTrace(telemetry.NewScope(in1))
 	var logits []int64
 	class := -1
 	finish := func(c *secure.Context, o []uint64) error {
+		sp := c.Trace.Enter("reveal")
+		defer c.Trace.Exit(sp)
 		if cfg.RevealClassOnly {
 			idx, err := c.ArgMaxBatched(r, o)
 			if err != nil {
@@ -452,6 +486,8 @@ func RunLocal(m *nn.Model, x []int64, cfg Config) (*Result, error) {
 			return finish(c, o)
 		},
 	)
+	in0.End()
+	in1.End()
 	if err != nil {
 		return nil, err
 	}

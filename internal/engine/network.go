@@ -11,9 +11,20 @@ import (
 	"aq2pnn/internal/ring"
 	"aq2pnn/internal/secure"
 	"aq2pnn/internal/share"
+	"aq2pnn/internal/telemetry"
 	"aq2pnn/internal/transport"
 	"aq2pnn/internal/triple"
 )
+
+// tracePhase runs f under a fresh root span scoped to the context's
+// connection (one lane per protocol phase; the span's comm delta is that
+// phase's traffic). With tracing disabled it adds two nil-checks.
+func tracePhase(tr *telemetry.Tracer, ctx *secure.Context, name string, f func() error) error {
+	sp := tr.Root(name, telemetry.WithConn(ctx.Conn))
+	defer sp.End()
+	ctx.SetTrace(telemetry.NewScope(sp))
+	return f()
+}
 
 // Two-process deployment: the same protocol as RunLocal, but over a real
 // transport with no trusted dealer — OT correlations are harvested through
@@ -79,34 +90,55 @@ func RunUser(conn transport.Conn, m *nn.Model, x []int64, cfg Options) (*Result,
 		return nil, fmt.Errorf("engine: input length %d, want %d", len(x), m.InputShape().Numel())
 	}
 	ctx := NewNetworkContext(0, conn, cfg)
-	// Receive this party's weight shares from the model provider.
-	var wp wirePayload
-	if err := recvGob(conn, &wp); err != nil {
-		return nil, fmt.Errorf("engine: receiving weight shares: %w", err)
-	}
-	// Share the input: keep x0, send x1.
-	g := prg.NewSeeded(cfg.Seed ^ 0x1272C0DE)
-	x0, x1 := share.SplitVec(g, r, r.FromInts(x))
-	if err := sendGob(conn, wirePayload{X: x1}); err != nil {
-		return nil, fmt.Errorf("engine: sending input share: %w", err)
-	}
 	var profile []OpProfile
-	p := &Party{Ctx: ctx, Model: m, Weights: &WeightShares{W: wp.W, Bias: wp.Bias}, R: r, Pool: ctx.Pool, Profile: &profile}
-	if err := p.Prepare(); err != nil {
+	p := &Party{Ctx: ctx, Model: m, R: r, Pool: ctx.Pool, Profile: &profile}
+	var x0 []uint64
+	if err := tracePhase(cfg.Trace, ctx, "user.setup", func() error {
+		if err := func() error {
+			sp := ctx.Trace.Enter("exchange.shares")
+			defer ctx.Trace.Exit(sp)
+			// Receive this party's weight shares from the model provider.
+			var wp wirePayload
+			if err := recvGob(conn, &wp); err != nil {
+				return fmt.Errorf("engine: receiving weight shares: %w", err)
+			}
+			// Share the input: keep x0, send x1.
+			g := prg.NewSeeded(cfg.Seed ^ 0x1272C0DE)
+			var x1 []uint64
+			x0, x1 = share.SplitVec(g, r, r.FromInts(x))
+			if err := sendGob(conn, wirePayload{X: x1}); err != nil {
+				return fmt.Errorf("engine: sending input share: %w", err)
+			}
+			p.Weights = &WeightShares{W: wp.W, Bias: wp.Bias}
+			return nil
+		}(); err != nil {
+			return err
+		}
+		return p.Prepare()
+	}); err != nil {
 		return nil, err
 	}
 	setup := conn.Stats()
 	conn.ResetStats()
-	o, err := p.Infer(x0)
-	if err != nil {
-		return nil, err
-	}
-	opened, err := ctx.RevealTo(r, share.PartyI, o)
-	if err != nil {
+	var logits []int64
+	if err := tracePhase(cfg.Trace, ctx, "user.infer", func() error {
+		o, err := p.Infer(x0)
+		if err != nil {
+			return err
+		}
+		sp := ctx.Trace.Enter("reveal")
+		defer ctx.Trace.Exit(sp)
+		opened, err := ctx.RevealTo(r, share.PartyI, o)
+		if err != nil {
+			return err
+		}
+		logits = r.ToInts(opened)
+		return nil
+	}); err != nil {
 		return nil, err
 	}
 	return &Result{
-		Logits:  r.ToInts(opened),
+		Logits:  logits,
 		Setup:   setup,
 		Online:  conn.Stats(),
 		PerOp:   profile,
@@ -127,24 +159,37 @@ func RunProvider(conn transport.Conn, m *nn.Model, cfg Options) error {
 	if err != nil {
 		return err
 	}
-	if err := sendGob(conn, wirePayload{W: ws0.W, Bias: ws0.Bias}); err != nil {
-		return fmt.Errorf("engine: sending weight shares: %w", err)
-	}
-	var in wirePayload
-	if err := recvGob(conn, &in); err != nil {
-		return fmt.Errorf("engine: receiving input share: %w", err)
-	}
-	if len(in.X) != m.InputShape().Numel() {
-		return fmt.Errorf("engine: peer input share has %d elements, want %d", len(in.X), m.InputShape().Numel())
-	}
 	p := &Party{Ctx: ctx, Model: m, Weights: ws1, R: r, Pool: ctx.Pool}
-	if err := p.Prepare(); err != nil {
+	var in wirePayload
+	if err := tracePhase(cfg.Trace, ctx, "provider.setup", func() error {
+		if err := func() error {
+			sp := ctx.Trace.Enter("exchange.shares")
+			defer ctx.Trace.Exit(sp)
+			if err := sendGob(conn, wirePayload{W: ws0.W, Bias: ws0.Bias}); err != nil {
+				return fmt.Errorf("engine: sending weight shares: %w", err)
+			}
+			if err := recvGob(conn, &in); err != nil {
+				return fmt.Errorf("engine: receiving input share: %w", err)
+			}
+			if len(in.X) != m.InputShape().Numel() {
+				return fmt.Errorf("engine: peer input share has %d elements, want %d", len(in.X), m.InputShape().Numel())
+			}
+			return nil
+		}(); err != nil {
+			return err
+		}
+		return p.Prepare()
+	}); err != nil {
 		return err
 	}
-	o, err := p.Infer(in.X)
-	if err != nil {
+	return tracePhase(cfg.Trace, ctx, "provider.infer", func() error {
+		o, err := p.Infer(in.X)
+		if err != nil {
+			return err
+		}
+		sp := ctx.Trace.Enter("reveal")
+		defer ctx.Trace.Exit(sp)
+		_, err = ctx.RevealTo(r, share.PartyI, o)
 		return err
-	}
-	_, err = ctx.RevealTo(r, share.PartyI, o)
-	return err
+	})
 }

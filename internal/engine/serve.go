@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"aq2pnn/internal/nn"
+	"aq2pnn/internal/telemetry"
 	"aq2pnn/internal/transport"
 )
 
@@ -20,10 +21,12 @@ func ServeTCP(ctx context.Context, l *transport.Listener, m *nn.Model, cfg Optio
 	var mu sync.Mutex
 	var errs []error
 	record := func(err error) {
+		telemetry.Count("aq2pnn_sessions_total", 1)
 		if onSession != nil {
 			onSession(err)
 		}
 		if err != nil {
+			telemetry.Count("aq2pnn_session_errors_total", 1)
 			mu.Lock()
 			errs = append(errs, err)
 			mu.Unlock()

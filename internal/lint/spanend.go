@@ -1,0 +1,353 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"aq2pnn/internal/lint/analysis"
+)
+
+// SpanEnd flags telemetry spans that are started but not ended on every
+// path. A span that is never ended keeps its communication window open: it
+// is invisible in exports (the Tracer only reports finished spans), its
+// traffic is silently folded into the parent's delta, and the per-layer
+// partition the subsystem guarantees (children sum exactly to the root)
+// breaks. The analyzer tracks each `Enter`/`Root`/`Child` result through
+// the remainder of its declaring block and requires an `End`/`Exit` (plain
+// or deferred) before every return and before the variable falls out of
+// scope; returning the span hands ownership to the caller and also counts.
+//
+// The walk is flow-sensitive over if/switch/select but deliberately
+// conservative around loop back-edges: a `continue` that skips an End is
+// out of reach of a lexical checker and is not reported.
+var SpanEnd = &analysis.Analyzer{
+	Name: "spanend",
+	Doc: "flags telemetry spans (Scope.Enter / Tracer.Root / Span.Child) " +
+		"not ended on all paths; an unfinished span corrupts the trace's " +
+		"per-span communication attribution",
+	Run: runSpanEnd,
+}
+
+// spanStarters maps the span-creating method name to the telemetry type it
+// must be invoked on.
+var spanStarters = map[string]string{
+	"Enter": "Scope",
+	"Root":  "Tracer",
+	"Child": "Span",
+}
+
+func runSpanEnd(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					spanendScanList(pass, fn.Body.List)
+				}
+			case *ast.FuncLit:
+				spanendScanList(pass, fn.Body.List)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// spanendScanList finds span starts in one statement list (recursing into
+// nested lists, but not into function literals — those are scanned as
+// functions of their own) and checks each start against the remainder of
+// its declaring list, which is exactly the span variable's scope.
+func spanendScanList(pass *analysis.Pass, stmts []ast.Stmt) {
+	for i, s := range stmts {
+		switch s := s.(type) {
+		case *ast.AssignStmt:
+			id, ok := spanStartAssign(pass, s)
+			if !ok {
+				break
+			}
+			if id == nil { // assigned to _
+				pass.Reportf(s.Pos(), "telemetry span is discarded and can never be ended")
+				break
+			}
+			obj := pass.ObjectOf(id)
+			if obj == nil {
+				break
+			}
+			w := &spanWalker{pass: pass, obj: obj, name: id.Name}
+			f := w.list(stmts[i+1:], spanFlow{})
+			if !f.terminated && !f.done {
+				pass.Reportf(s.Pos(), "telemetry span %s is not ended on every path through its scope; call End/Exit or defer it", id.Name)
+			}
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok && spanStartCall(pass, call) {
+				pass.Reportf(call.Pos(), "telemetry span from %s is discarded and can never be ended", callName(call))
+			}
+		}
+		forEachNestedList(s, func(l []ast.Stmt) { spanendScanList(pass, l) })
+	}
+}
+
+// forEachNestedList visits the statement lists directly nested in s,
+// without descending into function literals.
+func forEachNestedList(s ast.Stmt, f func([]ast.Stmt)) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		f(s.List)
+	case *ast.IfStmt:
+		f(s.Body.List)
+		if s.Else != nil {
+			forEachNestedList(s.Else, f)
+		}
+	case *ast.ForStmt:
+		f(s.Body.List)
+	case *ast.RangeStmt:
+		f(s.Body.List)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			f(c.(*ast.CaseClause).Body)
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			f(c.(*ast.CaseClause).Body)
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			f(c.(*ast.CommClause).Body)
+		}
+	case *ast.LabeledStmt:
+		forEachNestedList(s.Stmt, f)
+	}
+}
+
+// spanStartAssign reports whether s assigns a freshly started span to a
+// single variable. The returned identifier is nil when the span is
+// assigned to the blank identifier.
+func spanStartAssign(pass *analysis.Pass, s *ast.AssignStmt) (*ast.Ident, bool) {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return nil, false
+	}
+	call, ok := s.Rhs[0].(*ast.CallExpr)
+	if !ok || !spanStartCall(pass, call) {
+		return nil, false
+	}
+	id, ok := s.Lhs[0].(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	if id.Name == "_" {
+		return nil, true
+	}
+	return id, true
+}
+
+// spanStartCall reports whether call creates a telemetry span.
+func spanStartCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	recvName, ok := spanStarters[sel.Sel.Name]
+	if !ok {
+		return false
+	}
+	t := pass.TypeOf(sel.X)
+	return t != nil && telemetryTypeIs(t, recvName)
+}
+
+// telemetryTypeIs reports whether t (possibly behind a pointer) is the
+// telemetry package's named type with the given name. Testdata mimics are
+// matched by the package name alone.
+func telemetryTypeIs(t types.Type, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != name {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return false
+	}
+	return pkg.Path() == "telemetry" || strings.HasSuffix(pkg.Path(), "/telemetry")
+}
+
+// spanFlow is the walker state along one control-flow path.
+type spanFlow struct {
+	// done: an End/Exit has run, or one is deferred, on this path.
+	done bool
+	// terminated: this path has left the statement list (return, or a
+	// branch out of it).
+	terminated bool
+}
+
+func mergeSpanFlow(a, b spanFlow) spanFlow {
+	if a.terminated && b.terminated {
+		return spanFlow{terminated: true}
+	}
+	if a.terminated {
+		return b
+	}
+	if b.terminated {
+		return a
+	}
+	return spanFlow{done: a.done && b.done}
+}
+
+// spanWalker checks that one span variable is ended before every exit of
+// its scope.
+type spanWalker struct {
+	pass *analysis.Pass
+	obj  types.Object
+	name string
+}
+
+func (w *spanWalker) list(stmts []ast.Stmt, f spanFlow) spanFlow {
+	for _, s := range stmts {
+		if f.terminated {
+			break
+		}
+		f = w.stmt(s, f)
+	}
+	return f
+}
+
+func (w *spanWalker) stmt(s ast.Stmt, f spanFlow) spanFlow {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok && w.isEnder(call) {
+			f.done = true
+		}
+	case *ast.DeferStmt:
+		if w.containsEnder(s.Call) {
+			f.done = true
+		}
+	case *ast.ReturnStmt:
+		if !f.done && !w.handsOff(s) {
+			w.pass.Reportf(s.Pos(), "telemetry span %s may not be ended on this return path; End/Exit it first or defer", w.name)
+		}
+		f.terminated = true
+	case *ast.BranchStmt:
+		// break/continue/goto jump within the function; whether the span
+		// ends afterwards is beyond a lexical walk, so the path is closed
+		// without a verdict.
+		f.terminated = true
+	case *ast.BlockStmt:
+		f = w.list(s.List, f)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			f = w.stmt(s.Init, f)
+		}
+		then := w.list(s.Body.List, f)
+		els := f
+		if s.Else != nil {
+			els = w.stmt(s.Else, f)
+		}
+		f = mergeSpanFlow(then, els)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			f = w.stmt(s.Init, f)
+		}
+		// The body may run zero times: walk it for per-path reports but
+		// keep the pre-loop state.
+		w.list(s.Body.List, f)
+	case *ast.RangeStmt:
+		w.list(s.Body.List, f)
+	case *ast.SwitchStmt:
+		f = w.clauses(s.Body.List, f, switchHasDefault(s.Body.List))
+	case *ast.TypeSwitchStmt:
+		f = w.clauses(s.Body.List, f, switchHasDefault(s.Body.List))
+	case *ast.SelectStmt:
+		// A select always executes exactly one of its clauses.
+		f = w.clauses(s.Body.List, f, true)
+	case *ast.LabeledStmt:
+		f = w.stmt(s.Stmt, f)
+	}
+	return f
+}
+
+// clauses walks every case body from the incoming state. The merged state
+// advances only for exhaustive statements (select, or a switch with a
+// default clause); otherwise the whole statement may be skipped and the
+// incoming state is kept.
+func (w *spanWalker) clauses(list []ast.Stmt, f spanFlow, exhaustive bool) spanFlow {
+	merged := spanFlow{done: true, terminated: true}
+	for _, c := range list {
+		var body []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			body = c.Body
+		case *ast.CommClause:
+			body = c.Body
+		}
+		merged = mergeSpanFlow(merged, w.list(body, f))
+	}
+	if !exhaustive {
+		merged = mergeSpanFlow(merged, f)
+	}
+	return merged
+}
+
+func switchHasDefault(list []ast.Stmt) bool {
+	for _, c := range list {
+		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// isEnder reports whether call ends the tracked span: sp.End(), or any
+// Exit(...) call taking sp as an argument (Scope.Exit restores the parent
+// and ends the span).
+func (w *spanWalker) isEnder(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "End":
+		id, ok := sel.X.(*ast.Ident)
+		return ok && w.pass.ObjectOf(id) == w.obj
+	case "Exit":
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok && w.pass.ObjectOf(id) == w.obj {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// containsEnder reports whether an ender for the span appears anywhere
+// under e — the deferred-call position, where `defer sc.Exit(sp)` and
+// `defer func() { sp.End() }()` both guarantee the end runs.
+func (w *spanWalker) containsEnder(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && w.isEnder(call) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// handsOff reports whether the return statement passes the span to the
+// caller, transferring the obligation to end it.
+func (w *spanWalker) handsOff(ret *ast.ReturnStmt) bool {
+	for _, res := range ret.Results {
+		found := false
+		ast.Inspect(res, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && w.pass.ObjectOf(id) == w.obj {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

@@ -15,6 +15,7 @@ func Suite() []*analysis.Analyzer {
 		CtxPlumb,
 		PanicFree,
 		LoopPar,
+		SpanEnd,
 	}
 }
 
@@ -67,6 +68,18 @@ var scopes = map[string][]string{
 	},
 	// Pool kernels appear wherever the shared pool is used.
 	LoopPar.Name: nil,
+	// Every package that starts telemetry spans (the instrumented protocol
+	// stack, the engine, the facade and the telemetry package itself).
+	SpanEnd.Name: {
+		"aq2pnn",
+		"aq2pnn/internal/engine",
+		"aq2pnn/internal/secure",
+		"aq2pnn/internal/scm",
+		"aq2pnn/internal/ot",
+		"aq2pnn/internal/triple",
+		"aq2pnn/internal/a2b",
+		"aq2pnn/internal/telemetry",
+	},
 }
 
 // AnalyzersFor returns the analyzers that patrol the package with the

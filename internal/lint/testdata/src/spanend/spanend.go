@@ -1,0 +1,136 @@
+// Testdata for the spanend analyzer.
+package spanend
+
+import (
+	"errors"
+
+	"telemetry"
+)
+
+var errFail = errors.New("fail")
+
+func work() error { return nil }
+func cond() bool  { return false }
+
+func goodDefer(sc *telemetry.Scope) error {
+	sp := sc.Enter("op")
+	defer sc.Exit(sp)
+	if cond() {
+		return errFail
+	}
+	return work()
+}
+
+func goodDeferEnd(tr *telemetry.Tracer) {
+	sp := tr.Root("phase")
+	defer sp.End()
+	_ = work()
+}
+
+func goodDeferClosure(tr *telemetry.Tracer) {
+	sp := tr.Root("phase")
+	defer func() { sp.End() }()
+	_ = work()
+}
+
+func goodEndBeforeErrorCheck(tr *telemetry.Tracer) error {
+	sp := tr.Root("phase")
+	err := work()
+	sp.End()
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+func goodBothBranches(sc *telemetry.Scope) {
+	sp := sc.Enter("op")
+	if cond() {
+		sc.Exit(sp)
+		return
+	}
+	sc.Exit(sp)
+}
+
+func goodHandoff(tr *telemetry.Tracer) *telemetry.Span {
+	sp := tr.Root("phase")
+	return sp
+}
+
+func goodSwitch(sc *telemetry.Scope, k int) {
+	sp := sc.Enter("op")
+	switch k {
+	case 0:
+		_ = work()
+	default:
+		_ = work()
+	}
+	sc.Exit(sp)
+}
+
+func goodChild(root *telemetry.Span) {
+	c := root.Child("inner")
+	c.End()
+}
+
+func badReturnBeforeEnd(sc *telemetry.Scope) error {
+	sp := sc.Enter("op")
+	if err := work(); err != nil {
+		return err // want `span sp may not be ended on this return path`
+	}
+	sc.Exit(sp)
+	return nil
+}
+
+func badNeverEnded(tr *telemetry.Tracer) {
+	sp := tr.Root("phase") // want `span sp is not ended on every path`
+	_ = work()
+	_ = sp
+}
+
+func badDiscarded(sc *telemetry.Scope) {
+	sc.Enter("op") // want `span from sc.Enter is discarded`
+}
+
+func badBlank(tr *telemetry.Tracer) {
+	_ = tr.Root("phase") // want `discarded and can never be ended`
+}
+
+func badChildLeak(root *telemetry.Span) {
+	c := root.Child("inner") // want `span c is not ended on every path`
+	_ = work()
+	_ = c
+}
+
+func badSwitchReturn(sc *telemetry.Scope, k int) error {
+	sp := sc.Enter("op")
+	switch k {
+	case 0:
+		return errFail // want `span sp may not be ended on this return path`
+	}
+	sc.Exit(sp)
+	return nil
+}
+
+func badOnlyOneBranch(sc *telemetry.Scope) {
+	sp := sc.Enter("op") // want `span sp is not ended on every path`
+	if cond() {
+		sc.Exit(sp)
+	}
+}
+
+func allowEscape(tr *telemetry.Tracer, keep func(*telemetry.Span)) {
+	//lint:allow spanend testdata: ownership handed to the registry
+	sp := tr.Root("phase")
+	keep(sp)
+}
+
+func funcLitScopes(tr *telemetry.Tracer) {
+	f := func() {
+		sp := tr.Root("inner")
+		sp.End()
+	}
+	f()
+	sp := tr.Root("outer")
+	defer sp.End()
+}

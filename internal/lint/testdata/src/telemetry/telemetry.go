@@ -1,0 +1,24 @@
+// Package telemetry is a miniature mimic of aq2pnn/internal/telemetry for
+// analyzer testdata (matched by the package name and the Scope / Tracer /
+// Span type and method names).
+package telemetry
+
+// SpanOption configures a started span.
+type SpanOption func()
+
+// Span is one started span.
+type Span struct{}
+
+func (s *Span) End()                                        {}
+func (s *Span) Child(name string, opts ...SpanOption) *Span { return &Span{} }
+
+// Tracer starts root spans.
+type Tracer struct{}
+
+func (t *Tracer) Root(name string, opts ...SpanOption) *Span { return &Span{} }
+
+// Scope threads the current span through one party's sequential flow.
+type Scope struct{}
+
+func (s *Scope) Enter(name string, opts ...SpanOption) *Span { return &Span{} }
+func (s *Scope) Exit(sp *Span)                               {}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"aq2pnn/internal/prg"
+	"aq2pnn/internal/telemetry"
 	"aq2pnn/internal/transport"
 )
 
@@ -77,6 +78,11 @@ type Endpoint struct {
 	// UseExtension turns on IKNP OT extension: κ base OTs once, then
 	// PRG+hash-only refills. Both endpoints must agree.
 	UseExtension bool
+
+	// Trace receives a span per online OT batch (nil disables tracing at
+	// one branch per call). Like the rest of the endpoint it belongs to
+	// one party's sequential protocol flow.
+	Trace *telemetry.Scope
 
 	extS *ExtSender
 	extR *ExtReceiver
@@ -189,6 +195,10 @@ func (e *Endpoint) Send1ofN(n int, msgs [][][]byte) error {
 	if len(msgs) == 0 {
 		return nil
 	}
+	sp := e.Trace.Enter("ot.send", telemetry.WithAttrs(
+		telemetry.Int("arity", int64(n)), telemetry.Int("insts", int64(len(msgs)))))
+	defer e.Trace.Exit(sp)
+	telemetry.Count("aq2pnn_ot_send_insts_total", uint64(len(msgs)))
 	if len(e.sendStock[n]) < len(msgs) {
 		if err := e.refillSend(n, len(msgs)-len(e.sendStock[n])); err != nil {
 			return err
@@ -207,6 +217,10 @@ func (e *Endpoint) Recv1ofN(n int, choices []int, msgLen int) ([][]byte, error) 
 	if len(choices) == 0 {
 		return nil, nil
 	}
+	sp := e.Trace.Enter("ot.recv", telemetry.WithAttrs(
+		telemetry.Int("arity", int64(n)), telemetry.Int("insts", int64(len(choices)))))
+	defer e.Trace.Exit(sp)
+	telemetry.Count("aq2pnn_ot_recv_insts_total", uint64(len(choices)))
 	if len(e.recvStock[n]) < len(choices) {
 		if err := e.refillRecv(n, len(choices)-len(e.recvStock[n])); err != nil {
 			return nil, err

@@ -8,6 +8,7 @@ import (
 	"aq2pnn/internal/parallel"
 	"aq2pnn/internal/prg"
 	"aq2pnn/internal/ring"
+	"aq2pnn/internal/telemetry"
 )
 
 // Generic unsigned two-party comparison over the full ℓ-bit A2BM layout.
@@ -70,6 +71,9 @@ func CmpSender(ep *ot.Endpoint, rng *prg.PRG, r ring.Ring, a []uint64, rel Rel) 
 // over the pool; the masks are drawn serially so the transcript is
 // identical at any worker count.
 func CmpSenderPar(ep *ot.Endpoint, rng *prg.PRG, r ring.Ring, a []uint64, rel Rel, pool *parallel.Pool) ([]uint64, error) {
+	sp := ep.Trace.Enter("scm.cmp", telemetry.WithAttrs(
+		telemetry.Int("elems", int64(len(a))), telemetry.Int("bits", int64(r.Bits))))
+	defer ep.Trace.Exit(sp)
 	widths := a2b.Groups(r.Bits)
 	count := len(a)
 	m := make([]uint64, count)
@@ -109,6 +113,9 @@ func CmpReceiver(ep *ot.Endpoint, r ring.Ring, b []uint64, rel Rel) ([]uint64, e
 // CmpReceiverPar is CmpReceiver with the A2BM splits and token scans
 // distributed over the pool.
 func CmpReceiverPar(ep *ot.Endpoint, r ring.Ring, b []uint64, rel Rel, pool *parallel.Pool) ([]uint64, error) {
+	sp := ep.Trace.Enter("scm.cmp", telemetry.WithAttrs(
+		telemetry.Int("elems", int64(len(b))), telemetry.Int("bits", int64(r.Bits))))
+	defer ep.Trace.Exit(sp)
 	widths := a2b.Groups(r.Bits)
 	count := len(b)
 	groups := make([][]uint64, count)

@@ -25,6 +25,7 @@ import (
 	"aq2pnn/internal/parallel"
 	"aq2pnn/internal/prg"
 	"aq2pnn/internal/ring"
+	"aq2pnn/internal/telemetry"
 )
 
 // Comparison tokens of Eq. 6. From the receiver's perspective a token
@@ -137,6 +138,9 @@ func MSBSenderPar(ep *ot.Endpoint, rng *prg.PRG, r ring.Ring, xi []uint64, pool 
 	if r.Bits < 2 {
 		return nil, fmt.Errorf("scm: ring must have at least 2 bits, got %d", r.Bits)
 	}
+	sp := ep.Trace.Enter("scm.msb", telemetry.WithAttrs(
+		telemetry.Int("elems", int64(len(xi))), telemetry.Int("bits", int64(r.Bits))))
+	defer ep.Trace.Exit(sp)
 	count := len(xi)
 	m := make([]uint64, count)
 	for v := range m {
@@ -181,6 +185,9 @@ func MSBReceiverPar(ep *ot.Endpoint, r ring.Ring, xj []uint64, pool *parallel.Po
 	if r.Bits < 2 {
 		return nil, fmt.Errorf("scm: ring must have at least 2 bits, got %d", r.Bits)
 	}
+	sp := ep.Trace.Enter("scm.msb", telemetry.WithAttrs(
+		telemetry.Int("elems", int64(len(xj))), telemetry.Int("bits", int64(r.Bits))))
+	defer ep.Trace.Exit(sp)
 	count := len(xj)
 	widths := a2b.LowGroups(r.Bits)
 	groups := make([][]uint64, count)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"aq2pnn/internal/ring"
+	"aq2pnn/internal/telemetry"
 )
 
 // Secure argmax: classification without revealing the logits. A natural
@@ -22,6 +23,9 @@ func (c *Context) ArgMax(r ring.Ring, x []uint64) (uint64, error) {
 	if len(x) == 0 {
 		return 0, fmt.Errorf("secure: ArgMax of empty vector")
 	}
+	sp := c.Trace.Enter("secure.argmax", telemetry.WithAttrs(
+		telemetry.Int("elems", int64(len(x))), telemetry.Int("bits", int64(r.Bits))))
+	defer c.Trace.Exit(sp)
 	// curVal/curIdx are this party's shares of the running winner. Index
 	// shares start as the public constant 0 (party i holds it).
 	curVal := x[0]
@@ -62,6 +66,9 @@ func (c *Context) ArgMaxBatched(r ring.Ring, x []uint64) (uint64, error) {
 	if n == 0 {
 		return 0, fmt.Errorf("secure: ArgMax of empty vector")
 	}
+	sp := c.Trace.Enter("secure.argmax", telemetry.WithAttrs(
+		telemetry.Int("elems", int64(n)), telemetry.Int("bits", int64(r.Bits))))
+	defer c.Trace.Exit(sp)
 	vals := append([]uint64(nil), x...)
 	idxs := make([]uint64, n)
 	if c.Party == 0 {

@@ -21,6 +21,7 @@ import (
 	"aq2pnn/internal/prg"
 	"aq2pnn/internal/ring"
 	"aq2pnn/internal/share"
+	"aq2pnn/internal/telemetry"
 	"aq2pnn/internal/transport"
 	"aq2pnn/internal/triple"
 )
@@ -47,6 +48,22 @@ type Context struct {
 	// serially. Parallelism never changes the protocol transcript, so the
 	// two parties may use different pools.
 	Pool *parallel.Pool
+	// Trace threads the current telemetry span through this party's
+	// sequential operator calls; nil (the default) disables tracing at one
+	// branch per operator. Tracing never touches protocol bytes, so
+	// outputs are bit-identical with it on or off. Set via SetTrace so the
+	// OT endpoint shares the same scope.
+	Trace *telemetry.Scope
+}
+
+// SetTrace installs a telemetry scope on the context and its OT endpoint
+// (they belong to the same sequential party flow). A nil scope disables
+// tracing.
+func (c *Context) SetTrace(s *telemetry.Scope) {
+	c.Trace = s
+	if c.OT != nil {
+		c.OT.Trace = s
+	}
 }
 
 // P returns the party index as an int (0 for i, 1 for j).

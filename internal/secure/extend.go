@@ -5,6 +5,7 @@ import (
 
 	"aq2pnn/internal/ring"
 	"aq2pnn/internal/scm"
+	"aq2pnn/internal/telemetry"
 	"aq2pnn/internal/transport"
 )
 
@@ -26,6 +27,9 @@ import (
 // k = d_0 ⊕ d_1 = d_0 + d_1 − 2·d_0·d_1, with the product supplied by one
 // 1-of-2 OT (party 0 sending).
 func (c *Context) B2A(r ring.Ring, d []uint64) ([]uint64, error) {
+	sp := c.Trace.Enter("secure.b2a", telemetry.WithAttrs(
+		telemetry.Int("elems", int64(len(d))), telemetry.Int("bits", int64(r.Bits))))
+	defer c.Trace.Exit(sp)
 	n := len(d)
 	w := r.Bytes()
 	out := make([]uint64, n)
@@ -78,6 +82,10 @@ func (c *Context) ZeroExtend(from, to ring.Ring, x []uint64) ([]uint64, error) {
 	if to.Bits == from.Bits {
 		return append([]uint64(nil), x...), nil
 	}
+	sp := c.Trace.Enter("secure.zero_extend", telemetry.WithAttrs(
+		telemetry.Int("elems", int64(len(x))),
+		telemetry.Int("from_bits", int64(from.Bits)), telemetry.Int("to_bits", int64(to.Bits))))
+	defer c.Trace.Exit(sp)
 	// Wrap bit via SCM: party 0 holds a = Q₁−1−x_0, party 1 holds b = x_1;
 	// k = [b > a].
 	var kb []uint64

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"aq2pnn/internal/ring"
+	"aq2pnn/internal/telemetry"
 	"aq2pnn/internal/tensor"
 	"aq2pnn/internal/transport"
 	"aq2pnn/internal/triple"
@@ -27,6 +28,10 @@ func (c *Context) MatMul(r ring.Ring, in, w []uint64, m, k, n int) ([]uint64, er
 	if len(in) != m*k || len(w) != k*n {
 		return nil, fmt.Errorf("secure: MatMul dims %dx%d × %dx%d with lens %d,%d", m, k, k, n, len(in), len(w))
 	}
+	sp := c.Trace.Enter("secure.matmul", telemetry.WithAttrs(
+		telemetry.Int("m", int64(m)), telemetry.Int("k", int64(k)),
+		telemetry.Int("n", int64(n)), telemetry.Int("bits", int64(r.Bits))))
+	defer c.Trace.Exit(sp)
 	t, err := c.Triples.MatTriple(r, m, k, n)
 	if err != nil {
 		return nil, err
@@ -97,6 +102,10 @@ func (c *Context) PrepareLinearWith(r ring.Ring, wShare []uint64, k, n int, fam 
 	if len(wShare) != k*n {
 		return nil, fmt.Errorf("secure: weight share length %d for %dx%d", len(wShare), k, n)
 	}
+	sp := c.Trace.Enter("secure.linear.prepare", telemetry.WithAttrs(
+		telemetry.Int("k", int64(k)), telemetry.Int("n", int64(n)),
+		telemetry.Int("bits", int64(r.Bits))))
+	defer c.Trace.Exit(sp)
 	fShare := make([]uint64, k*n)
 	r.SubVec(fShare, wShare, fam.BShare())
 	f, err := c.Open(r, fShare)
@@ -140,6 +149,10 @@ func (l *Linear) Mul(in []uint64, m int) ([]uint64, error) {
 	if len(in) != m*l.K {
 		return nil, fmt.Errorf("secure: input length %d for %dx%d", len(in), m, l.K)
 	}
+	sp := l.ctx.Trace.Enter("secure.linear.mul", telemetry.WithAttrs(
+		telemetry.Int("m", int64(m)), telemetry.Int("k", int64(l.K)),
+		telemetry.Int("n", int64(l.N)), telemetry.Int("bits", int64(l.R.Bits))))
+	defer l.ctx.Trace.Exit(sp)
 	t, err := l.fam.Next(m)
 	if err != nil {
 		return nil, err

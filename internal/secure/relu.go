@@ -5,6 +5,7 @@ import (
 
 	"aq2pnn/internal/ring"
 	"aq2pnn/internal/scm"
+	"aq2pnn/internal/telemetry"
 	"aq2pnn/internal/transport"
 )
 
@@ -37,6 +38,9 @@ func (c *Context) Mux(r ring.Ring, x, d []uint64) ([]uint64, error) {
 	if len(x) != len(d) {
 		return nil, fmt.Errorf("secure: Mux lengths %d vs %d", len(x), len(d))
 	}
+	sp := c.Trace.Enter("secure.mux", telemetry.WithAttrs(
+		telemetry.Int("elems", int64(len(x))), telemetry.Int("bits", int64(r.Bits))))
+	defer c.Trace.Exit(sp)
 	n := len(x)
 	w := r.Bytes()
 
@@ -104,6 +108,10 @@ func (c *Context) Mux(r ring.Ring, x, d []uint64) ([]uint64, error) {
 
 // ABReLU computes shares of ReLU(x) element-wise.
 func (c *Context) ABReLU(r ring.Ring, x []uint64) ([]uint64, error) {
+	sp := c.Trace.Enter("secure.abrelu", telemetry.WithAttrs(
+		telemetry.Int("elems", int64(len(x))), telemetry.Int("bits", int64(r.Bits))))
+	defer c.Trace.Exit(sp)
+	telemetry.Observe("aq2pnn_relu_ring_bits", float64(r.Bits), telemetry.BitBuckets)
 	msb, err := c.MSBShares(r, x)
 	if err != nil {
 		return nil, fmt.Errorf("secure: ABReLU sign: %w", err)

@@ -6,6 +6,7 @@ import (
 	"aq2pnn/internal/ring"
 	"aq2pnn/internal/scm"
 	"aq2pnn/internal/share"
+	"aq2pnn/internal/telemetry"
 )
 
 // Faithful share truncation. The local AS-ALU truncation (share.TruncateShare)
@@ -30,6 +31,10 @@ func (c *Context) TruncateFaithful(r ring.Ring, x []uint64, d uint) error {
 		r.ReduceVec(x)
 		return nil
 	}
+	sp := c.Trace.Enter("secure.trunc", telemetry.WithAttrs(
+		telemetry.Int("elems", int64(len(x))), telemetry.Int("shift", int64(d)),
+		telemetry.Int("bits", int64(r.Bits))))
+	defer c.Trace.Exit(sp)
 	quarter := r.Q() / 4
 	// Party i offsets its share by Q/4.
 	xp := x

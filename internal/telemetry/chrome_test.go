@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"aq2pnn/internal/transport"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenTrace builds the fixed span tree behind the golden file: a
+// deterministic clock, deterministic span IDs and fixed payload sizes
+// make the exported JSON byte-stable.
+func goldenTrace(t *testing.T) *Tracer {
+	t.Helper()
+	a, b := transport.Pipe()
+	defer a.Close()
+	defer b.Close()
+	tr := NewWithClock(stepClock())
+	root := tr.Root("infer", WithConn(a), WithAttrs(String("model", "lenet5"), Int("bits", 14)))
+	conv := root.Child("layer.conv1")
+	mustSendN(t, a, 96)
+	mustSendN(t, b, 32)
+	mustRecvN(t, a)
+	conv.End()
+	relu := root.Child("layer.relu1", WithAttrs(Int("ring_bits", 14)))
+	mustSendN(t, a, 48)
+	relu.End()
+	root.End()
+	local := tr.Root("precompute") // no conn: args carry attrs only
+	local.End()
+	return tr
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, goldenTrace(t)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "chrome_trace.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace JSON deviates from golden file:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestChromeTraceShape validates the structural schema every consumer
+// (chrome://tracing, the CI trace check) relies on, independent of the
+// exact golden bytes.
+func TestChromeTraceShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, goldenTrace(t)); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Unit        string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	if doc.Unit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.Unit)
+	}
+	var complete, meta int
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			complete++
+			for _, key := range []string{"name", "ts", "dur", "pid", "tid"} {
+				if _, ok := ev[key]; !ok {
+					t.Errorf("complete event missing %q: %v", key, ev)
+				}
+			}
+		case "M":
+			meta++
+		default:
+			t.Errorf("unexpected event phase %v", ev["ph"])
+		}
+	}
+	if complete != 4 || meta != 2 {
+		t.Errorf("got %d complete / %d metadata events, want 4 / 2", complete, meta)
+	}
+}
+
+func TestChromeTraceNilTracer(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty trace is not valid JSON: %v", err)
+	}
+}

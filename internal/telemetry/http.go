@@ -1,0 +1,55 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler returns an HTTP handler exposing the registry:
+//
+//	/metrics       Prometheus text exposition of every counter/histogram
+//	/debug/pprof/  the standard Go profiling endpoints
+//
+// The pprof routes are registered on this private mux, not the package
+// DefaultServeMux, so importing telemetry never adds handlers to servers
+// the caller owns.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// StartMetricsServer serves Handler(r) on addr in the background and
+// returns the bound address plus a stop function.
+//
+// Security: the metrics and profiling endpoints reveal traffic shape and
+// internals of the running party, so an addr without an explicit host
+// (":9090") binds loopback only. Exposing the endpoint beyond the local
+// machine must be an explicit choice ("0.0.0.0:9090").
+func StartMetricsServer(addr string, r *Registry) (bound string, stop func() error, err error) {
+	host, port, splitErr := net.SplitHostPort(addr)
+	if splitErr != nil {
+		return "", nil, fmt.Errorf("telemetry: bad metrics address %q: %w", addr, splitErr)
+	}
+	if host == "" {
+		addr = net.JoinHostPort("127.0.0.1", port)
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: Handler(r), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(l) }()
+	return l.Addr().String(), srv.Close, nil
+}

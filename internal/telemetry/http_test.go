@@ -1,0 +1,76 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMetricsEndpoint(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("triples_consumed_total").Add(42)
+	r.Histogram("layer_seconds", DurationBuckets).Observe(0.02)
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status=%d err=%v", resp.StatusCode, err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	for _, want := range []string{
+		"triples_consumed_total 42",
+		`layer_seconds_bucket{le="0.03"} 1`,
+		"layer_seconds_count 1",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	// The profiling index must be reachable on the same handler.
+	resp, err = http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("GET /debug/pprof/: status=%d", resp.StatusCode)
+	}
+}
+
+func TestStartMetricsServerLoopbackDefault(t *testing.T) {
+	bound, stop, err := StartMetricsServer(":0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	if !strings.HasPrefix(bound, "127.0.0.1:") {
+		t.Errorf("host-less addr bound to %q, want loopback", bound)
+	}
+	resp, err := http.Get("http://" + bound + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestStartMetricsServerBadAddr(t *testing.T) {
+	if _, _, err := StartMetricsServer("no-port", NewRegistry()); err == nil {
+		t.Fatal("expected an error for a port-less address")
+	}
+}

@@ -1,0 +1,238 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. A nil *Counter is a valid
+// disabled counter (all methods are single-branch no-ops).
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Histogram is a fixed-bucket distribution: bounds are upper bucket edges
+// in ascending order, with an implicit +Inf bucket. A nil *Histogram is a
+// valid disabled histogram.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []uint64 // len(bounds)+1; the last is the +Inf bucket
+	sum    float64
+	n      uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.n++
+	h.mu.Unlock()
+}
+
+// Snapshot returns cumulative bucket counts (Prometheus convention: the
+// bucket for bound b counts samples ≤ b), the sample sum and count.
+func (h *Histogram) Snapshot() (bounds []float64, cumulative []uint64, sum float64, n uint64) {
+	if h == nil {
+		return nil, nil, 0, 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	bounds = append([]float64(nil), h.bounds...)
+	cumulative = make([]uint64, len(h.counts))
+	var acc uint64
+	for i, c := range h.counts {
+		acc += c
+		cumulative[i] = acc
+	}
+	return bounds, cumulative, h.sum, h.n
+}
+
+// Standard bucket layouts.
+var (
+	// DurationBuckets covers protocol phases from 100 µs to ~1 min.
+	DurationBuckets = []float64{1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1, 3, 10, 30, 60}
+	// BitBuckets covers the adaptive ring widths (Sec. 5).
+	BitBuckets = []float64{4, 8, 12, 16, 20, 24, 28, 32, 40, 48, 64}
+)
+
+// Registry is a namespace of counters and histograms. The process-wide
+// Default registry backs the /metrics endpoint; tests construct private
+// registries. A nil *Registry hands out nil instruments.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: map[string]*Counter{}, hists: map[string]*Histogram{}}
+}
+
+// Counter returns the named counter, creating it on first use. Metric
+// names use [a-z0-9_] so the Prometheus exposition needs no escaping.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket bounds on first use (later bounds arguments are ignored).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{bounds: append([]float64(nil), bounds...), counts: make([]uint64, len(bounds)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Counters returns a snapshot of every counter value, for tests and the
+// table exporters.
+func (r *Registry) Counters() map[string]uint64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]uint64, len(r.counters))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	return out
+}
+
+// WriteText renders the registry in the Prometheus text exposition format
+// (sorted by name, so the output is deterministic).
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	cNames := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		cNames = append(cNames, name)
+	}
+	hNames := make([]string, 0, len(r.hists))
+	for name := range r.hists {
+		hNames = append(hNames, name)
+	}
+	counters := make(map[string]*Counter, len(cNames))
+	for _, n := range cNames {
+		counters[n] = r.counters[n]
+	}
+	hists := make(map[string]*Histogram, len(hNames))
+	for _, n := range hNames {
+		hists[n] = r.hists[n]
+	}
+	r.mu.Unlock()
+
+	sort.Strings(cNames)
+	sort.Strings(hNames)
+	for _, name := range cNames {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, counters[name].Value()); err != nil {
+			return err
+		}
+	}
+	for _, name := range hNames {
+		bounds, cum, sum, n := hists[name].Snapshot()
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		for i, b := range bounds {
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, trimFloat(b), cum[i]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %g\n%s_count %d\n",
+			name, cum[len(cum)-1], name, sum, name, n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func trimFloat(v float64) string { return fmt.Sprintf("%g", v) }
+
+// The process-wide default registry and the global collection gate. The
+// gate keeps the disabled cost of package-level Count/Observe at one
+// (atomic-load) branch in the protocol hot paths; enabling it is what the
+// -metrics / -trace surfaces do.
+var (
+	defaultRegistry = NewRegistry()
+	enabledFlag     atomic.Bool
+)
+
+// Default returns the process-wide registry (always non-nil; collection
+// into it via Count/Observe is gated by Enable).
+func Default() *Registry { return defaultRegistry }
+
+// Enable turns on collection into the default registry.
+func Enable() { enabledFlag.Store(true) }
+
+// Disable turns collection off again (instruments already handed out keep
+// counting; only the package-level helpers are gated).
+func Disable() { enabledFlag.Store(false) }
+
+// Enabled reports whether collection is on.
+func Enabled() bool { return enabledFlag.Load() }
+
+// Count adds n to the named default-registry counter when collection is
+// enabled; disabled cost is one branch.
+func Count(name string, n uint64) {
+	if !enabledFlag.Load() {
+		return
+	}
+	defaultRegistry.Counter(name).Add(n)
+}
+
+// Observe records a sample into the named default-registry histogram when
+// collection is enabled; disabled cost is one branch.
+func Observe(name string, v float64, bounds []float64) {
+	if !enabledFlag.Load() {
+		return
+	}
+	defaultRegistry.Histogram(name, bounds).Observe(v)
+}

@@ -1,0 +1,47 @@
+package telemetry
+
+import (
+	"fmt"
+
+	"aq2pnn/internal/report"
+)
+
+// LayerTable renders the direct children of each root span — the
+// per-layer spans of an inference — as an aligned text table in the
+// style of the paper's cost breakdowns, reusing internal/report. Spans
+// with connections also report their communication delta; the footnote
+// totals those deltas so the table can be checked against the session's
+// transport.Stats by eye. A nil tracer yields an empty table.
+func LayerTable(t *Tracer) *report.Table {
+	tb := &report.Table{
+		Title:  "per-layer telemetry",
+		Header: []string{"lane", "span", "ms", "sent B", "recv B", "rounds"},
+	}
+	spans := t.Spans()
+	roots := map[uint64]bool{}
+	for _, r := range spans {
+		if r.Parent == 0 {
+			roots[r.ID] = true
+		}
+	}
+	var total, rootTotal uint64
+	for _, r := range spans {
+		if r.Parent == 0 && r.HasConn {
+			rootTotal += r.Comm.TotalBytes()
+		}
+		if !roots[r.Parent] {
+			continue
+		}
+		sent, recv, rounds := "-", "-", "-"
+		if r.HasConn {
+			sent = fmt.Sprintf("%d", r.Comm.BytesSent)
+			recv = fmt.Sprintf("%d", r.Comm.BytesRecv)
+			rounds = fmt.Sprintf("%d", r.Comm.Rounds)
+			total += r.Comm.TotalBytes()
+		}
+		tb.AddRow(fmt.Sprintf("%d", r.Lane), r.Name,
+			report.F(float64(r.Dur().Nanoseconds())/1e6, 3), sent, recv, rounds)
+	}
+	tb.AddNote("layer-span traffic totals %d B (root spans: %d B)", total, rootTotal)
+	return tb
+}

@@ -1,0 +1,34 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLayerTable(t *testing.T) {
+	out := LayerTable(goldenTrace(t)).String()
+	for _, want := range []string{
+		"per-layer telemetry",
+		"layer.conv1",
+		"layer.relu1",
+		"96", // conv1 bytes sent
+		"48", // relu1 bytes sent
+		"layer-span traffic totals 176 B (root spans: 176 B)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	// Roots themselves are not rows — only their direct children.
+	for _, row := range []string{"\ninfer", "precompute"} {
+		if strings.Contains(out, row) {
+			t.Errorf("table should not list root span %q:\n%s", strings.TrimSpace(row), out)
+		}
+	}
+}
+
+func TestLayerTableNil(t *testing.T) {
+	if out := LayerTable(nil).String(); !strings.Contains(out, "per-layer telemetry") {
+		t.Errorf("nil-tracer table: %q", out)
+	}
+}

@@ -1,0 +1,263 @@
+// Package telemetry is the engine's zero-dependency observability layer:
+// hierarchical spans with per-span communication deltas, a process-wide
+// registry of counters and histograms, and pluggable exporters (Chrome
+// trace-event JSON, aligned-text tables via internal/report, and a
+// /metrics + /debug/pprof HTTP endpoint).
+//
+// The paper's whole evaluation is a per-layer cost breakdown — bytes and
+// rounds of GEMM vs ABReLU (A2BM/SCM/OT) under adaptive ring sizes — and
+// this package is what lets the runtime attribute the endpoint-global
+// transport.Stats counters to a layer or protocol phase: every span
+// snapshots its connection's counters at start and end, so the span's
+// Comm delta is exactly the traffic that endpoint moved while the span
+// was open.
+//
+// Cost discipline: a nil *Tracer, nil *Span or nil *Scope is a valid
+// disabled instrument — every method is nil-safe and costs exactly one
+// branch, and tracing never touches protocol bytes, so inference outputs
+// are bit-identical with telemetry on or off. Tracers are goroutine-safe
+// (the batch executor runs one span tree per image lane concurrently);
+// a Scope is deliberately not — it threads the current span through ONE
+// party's sequential protocol flow.
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"aq2pnn/internal/transport"
+)
+
+// Attr is one key/value annotation on a span. Values are limited to
+// strings and integers so every exporter can render them deterministically.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// String builds a string attribute.
+func String(k, v string) Attr { return Attr{Key: k, Value: v} }
+
+// Int builds an integer attribute.
+func Int(k string, v int64) Attr { return Attr{Key: k, Value: v} }
+
+// SpanRecord is the immutable snapshot of a finished span.
+type SpanRecord struct {
+	// ID is unique within the tracer; Parent is 0 for root spans.
+	ID, Parent uint64
+	// Lane groups a root span and all its descendants (the Chrome trace
+	// "thread" row); concurrent batch images land on distinct lanes.
+	Lane uint64
+	Name string
+	// Start and End are offsets from the tracer's epoch.
+	Start, End time.Duration
+	Attrs      []Attr
+	// Comm is the delta of the span's connection counters between Start
+	// and End; HasConn distinguishes a zero delta from "no connection".
+	Comm    transport.Stats
+	HasConn bool
+}
+
+// Dur is the span's wall-clock duration.
+func (r SpanRecord) Dur() time.Duration { return r.End - r.Start }
+
+// Tracer collects spans. The zero value is not usable; construct with New.
+// A nil *Tracer is a disabled tracer: Root returns a nil span and the
+// whole instrument chain degrades to single-branch no-ops.
+type Tracer struct {
+	mu       sync.Mutex
+	now      func() time.Time
+	epoch    time.Time
+	nextID   uint64
+	finished []SpanRecord
+}
+
+// New returns a tracer using the wall clock.
+func New() *Tracer { return NewWithClock(time.Now) }
+
+// NewWithClock returns a tracer drawing timestamps from now — tests and
+// golden-file exporters inject a deterministic clock here.
+func NewWithClock(now func() time.Time) *Tracer {
+	return &Tracer{now: now, epoch: now()}
+}
+
+// Span is one timed region of the protocol. All methods are nil-safe.
+type Span struct {
+	tr     *Tracer
+	parent *Span
+	id     uint64
+	lane   uint64
+	name   string
+	start  time.Duration
+	attrs  []Attr
+	conn   transport.Conn
+	pre    transport.Stats
+	ended  bool
+}
+
+// SpanOption configures a span at start.
+type SpanOption func(*Span)
+
+// WithConn scopes the span to a connection: the span's Comm field becomes
+// the delta of the connection's Stats between start and end. Children
+// inherit the parent's connection unless overridden.
+func WithConn(c transport.Conn) SpanOption {
+	return func(s *Span) { s.conn = c }
+}
+
+// WithAttrs attaches annotations at start.
+func WithAttrs(attrs ...Attr) SpanOption {
+	return func(s *Span) { s.attrs = append(s.attrs, attrs...) }
+}
+
+// Root starts a top-level span on its own lane. A nil tracer returns nil.
+func (t *Tracer) Root(name string, opts ...SpanOption) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.start(nil, name, opts)
+}
+
+// Child starts a sub-span. A nil span returns nil, so a disabled tracer
+// propagates through instrumented call chains at one branch per call.
+func (s *Span) Child(name string, opts ...SpanOption) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tr.start(s, name, opts)
+}
+
+func (t *Tracer) start(parent *Span, name string, opts []SpanOption) *Span {
+	s := &Span{tr: t, parent: parent, name: name}
+	if parent != nil {
+		s.conn = parent.conn
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.conn != nil {
+		s.pre = s.conn.Stats()
+	}
+	t.mu.Lock()
+	t.nextID++
+	s.id = t.nextID
+	if parent != nil {
+		s.lane = parent.lane
+	} else {
+		s.lane = s.id
+	}
+	s.start = t.now().Sub(t.epoch)
+	t.mu.Unlock()
+	return s
+}
+
+// SetAttr annotates a live span. Nil-safe.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.tr.mu.Unlock()
+}
+
+// End finishes the span, snapshotting the connection delta. Nil-safe and
+// idempotent (a second End is ignored).
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	var comm transport.Stats
+	if s.conn != nil {
+		comm = s.conn.Stats().Sub(s.pre)
+	}
+	t := s.tr
+	t.mu.Lock()
+	if s.ended {
+		t.mu.Unlock()
+		return
+	}
+	s.ended = true
+	var parentID uint64
+	if s.parent != nil {
+		parentID = s.parent.id
+	}
+	t.finished = append(t.finished, SpanRecord{
+		ID: s.id, Parent: parentID, Lane: s.lane, Name: s.name,
+		Start: s.start, End: t.now().Sub(t.epoch),
+		Attrs: s.attrs, Comm: comm, HasConn: s.conn != nil,
+	})
+	t.mu.Unlock()
+}
+
+// Spans returns the finished spans sorted by start time (ID breaks ties,
+// so the order is deterministic under a deterministic clock).
+func (t *Tracer) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := append([]SpanRecord(nil), t.finished...)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Scope threads the current span through one party's sequential protocol
+// flow, so nested operators (secure → scm → ot) attach their spans under
+// the caller's without plumbing a span through every signature. It is NOT
+// goroutine-safe: each party flow (and each batch image lane) owns its
+// own Scope. A nil *Scope is a disabled scope; Enter returns nil spans.
+type Scope struct {
+	cur *Span
+}
+
+// NewScope roots a scope at span. A nil span yields a nil (disabled)
+// scope, which keeps the one-branch cost contract downstream.
+func NewScope(root *Span) *Scope {
+	if root == nil {
+		return nil
+	}
+	return &Scope{cur: root}
+}
+
+// Current returns the scope's innermost live span (nil when disabled).
+func (s *Scope) Current() *Span {
+	if s == nil {
+		return nil
+	}
+	return s.cur
+}
+
+// Enter starts a child of the current span and makes it current.
+func (s *Scope) Enter(name string, opts ...SpanOption) *Span {
+	if s == nil {
+		return nil
+	}
+	sp := s.cur.Child(name, opts...)
+	if sp != nil {
+		s.cur = sp
+	}
+	return sp
+}
+
+// Exit ends sp and restores its parent as current. Nil-safe, so the
+// idiomatic pairing is:
+//
+//	sp := scope.Enter("gemm.mul")
+//	defer scope.Exit(sp)
+func (s *Scope) Exit(sp *Span) {
+	if s == nil || sp == nil {
+		return
+	}
+	if s.cur == sp {
+		s.cur = sp.parent
+	}
+	sp.End()
+}

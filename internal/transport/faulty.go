@@ -12,11 +12,19 @@ var ErrInjected = errors.New("transport: injected fault")
 
 // FaultyConn wraps a Conn and starts failing after a configured number of
 // operations. FailAfter counts Sends and Recvs together.
+//
+// Injected failures are accounted the same way the wrapped transports
+// account their own failures: they increment Stats.SendErrs/RecvErrs and
+// leave every byte/message/round counter untouched (no payload crossed
+// the transport). The returned Stats merge the inner connection's
+// counters with the injected-failure counts, so telemetry span deltas
+// over a FaultyConn attribute exactly the bytes that really moved.
 type FaultyConn struct {
 	Inner     Conn
 	mu        sync.Mutex
 	remaining int
 	corrupt   bool
+	injected  Stats // only SendErrs/RecvErrs are ever non-zero
 }
 
 // NewFaultyConn returns a connection that performs ops operations normally
@@ -41,6 +49,9 @@ func (f *FaultyConn) take() (ok, last bool) {
 func (f *FaultyConn) Send(p []byte) error {
 	ok, _ := f.take()
 	if !ok {
+		f.mu.Lock()
+		f.injected.SendErrs++
+		f.mu.Unlock()
 		return ErrInjected
 	}
 	return f.Inner.Send(p)
@@ -50,6 +61,9 @@ func (f *FaultyConn) Send(p []byte) error {
 func (f *FaultyConn) Recv() ([]byte, error) {
 	ok, last := f.take()
 	if !ok {
+		f.mu.Lock()
+		f.injected.RecvErrs++
+		f.mu.Unlock()
 		return nil, ErrInjected
 	}
 	p, err := f.Inner.Recv()
@@ -59,11 +73,22 @@ func (f *FaultyConn) Recv() ([]byte, error) {
 	return p, err
 }
 
-// Stats implements Conn.
-func (f *FaultyConn) Stats() Stats { return f.Inner.Stats() }
+// Stats implements Conn: the inner counters plus the injected failures.
+func (f *FaultyConn) Stats() Stats {
+	s := f.Inner.Stats()
+	f.mu.Lock()
+	s.Add(f.injected)
+	f.mu.Unlock()
+	return s
+}
 
 // ResetStats implements Conn.
-func (f *FaultyConn) ResetStats() { f.Inner.ResetStats() }
+func (f *FaultyConn) ResetStats() {
+	f.mu.Lock()
+	f.injected = Stats{}
+	f.mu.Unlock()
+	f.Inner.ResetStats()
+}
 
 // Close implements Conn.
 func (f *FaultyConn) Close() error { return f.Inner.Close() }

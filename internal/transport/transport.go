@@ -38,6 +38,12 @@ type Stats struct {
 	MsgsSent  uint64
 	MsgsRecv  uint64
 	Rounds    uint64
+	// SendErrs and RecvErrs count failed operations (transport errors and
+	// injected faults). Failed operations move no accounted payload bytes,
+	// so fault injection never skews byte attribution, but the failures
+	// stay visible to telemetry spans and the fault-injection tests.
+	SendErrs uint64
+	RecvErrs uint64
 }
 
 // Add accumulates other into s.
@@ -47,6 +53,31 @@ func (s *Stats) Add(other Stats) {
 	s.MsgsSent += other.MsgsSent
 	s.MsgsRecv += other.MsgsRecv
 	s.Rounds += other.Rounds
+	s.SendErrs += other.SendErrs
+	s.RecvErrs += other.RecvErrs
+}
+
+// Sub returns the counter delta s − prev, the per-span attribution math of
+// internal/telemetry: snapshot before, snapshot after, subtract. Counters
+// are monotone for snapshots of a live connection, but a concurrent
+// ResetStats can produce prev > s; the subtraction saturates at zero so a
+// torn pair never yields a wrapped (≈2^64) delta.
+func (s Stats) Sub(prev Stats) Stats {
+	sat := func(a, b uint64) uint64 {
+		if a < b {
+			return 0
+		}
+		return a - b
+	}
+	return Stats{
+		BytesSent: sat(s.BytesSent, prev.BytesSent),
+		BytesRecv: sat(s.BytesRecv, prev.BytesRecv),
+		MsgsSent:  sat(s.MsgsSent, prev.MsgsSent),
+		MsgsRecv:  sat(s.MsgsRecv, prev.MsgsRecv),
+		Rounds:    sat(s.Rounds, prev.Rounds),
+		SendErrs:  sat(s.SendErrs, prev.SendErrs),
+		RecvErrs:  sat(s.RecvErrs, prev.RecvErrs),
+	}
 }
 
 // TotalBytes is the traffic volume visible at this endpoint.
@@ -57,8 +88,12 @@ func (s Stats) TotalBytes() uint64 { return s.BytesSent + s.BytesRecv }
 func (s Stats) MiB() float64 { return float64(s.TotalBytes()) / (1 << 20) }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("sent=%dB recv=%dB msgs=%d/%d rounds=%d",
+	out := fmt.Sprintf("sent=%dB recv=%dB msgs=%d/%d rounds=%d",
 		s.BytesSent, s.BytesRecv, s.MsgsSent, s.MsgsRecv, s.Rounds)
+	if s.SendErrs != 0 || s.RecvErrs != 0 {
+		out += fmt.Sprintf(" errs=%d/%d", s.SendErrs, s.RecvErrs)
+	}
+	return out
 }
 
 // Conn is one endpoint of a two-party channel.
@@ -74,7 +109,12 @@ type Conn interface {
 	Close() error
 }
 
-// statsTracker implements the shared counter logic.
+// statsTracker implements the shared counter logic. Every mutation and
+// every snapshot happens under one mutex, so a snapshot taken while the
+// peer goroutine is mid-Send observes either the whole operation or none
+// of it — the per-span delta math of internal/telemetry (snapshot, run,
+// snapshot, Sub) never sees a half-counted message or a round counted
+// ahead of its receive.
 type statsTracker struct {
 	mu       sync.Mutex
 	stats    Stats
@@ -97,6 +137,18 @@ func (t *statsTracker) noteRecv(n int) {
 		t.stats.Rounds++
 		t.lastSend = false
 	}
+	t.mu.Unlock()
+}
+
+func (t *statsTracker) noteSendErr() {
+	t.mu.Lock()
+	t.stats.SendErrs++
+	t.mu.Unlock()
+}
+
+func (t *statsTracker) noteRecvErr() {
+	t.mu.Lock()
+	t.stats.RecvErrs++
 	t.mu.Unlock()
 }
 
@@ -140,16 +192,20 @@ func (c *pipeConn) Send(payload []byte) error {
 	// randomly between a ready buffer slot and a closed done channel.
 	select {
 	case <-c.done:
+		c.noteSendErr()
 		return ErrClosed
 	case <-c.peer.done:
+		c.noteSendErr()
 		return ErrClosed
 	default:
 	}
 	cp := append([]byte(nil), payload...)
 	select {
 	case <-c.done:
+		c.noteSendErr()
 		return ErrClosed
 	case <-c.peer.done:
+		c.noteSendErr()
 		return ErrClosed
 	case c.out <- cp:
 		c.noteSend(len(cp))
@@ -160,9 +216,11 @@ func (c *pipeConn) Send(payload []byte) error {
 func (c *pipeConn) Recv() ([]byte, error) {
 	select {
 	case <-c.done:
+		c.noteRecvErr()
 		return nil, ErrClosed
 	case p, ok := <-c.in:
 		if !ok {
+			c.noteRecvErr()
 			return nil, ErrClosed
 		}
 		c.noteRecv(len(p))
@@ -174,6 +232,7 @@ func (c *pipeConn) Recv() ([]byte, error) {
 			c.noteRecv(len(p))
 			return p, nil
 		default:
+			c.noteRecvErr()
 			return nil, ErrClosed
 		}
 	}
@@ -218,6 +277,7 @@ func Listen(addr string) (Conn, error) {
 
 func (c *netConn) Send(payload []byte) error {
 	if len(payload) > MaxFrame {
+		c.noteSendErr()
 		return fmt.Errorf("transport: frame of %d bytes exceeds MaxFrame", len(payload))
 	}
 	c.wm.Lock()
@@ -225,9 +285,11 @@ func (c *netConn) Send(payload []byte) error {
 	var hdr [4]byte
 	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
 	if _, err := c.c.Write(hdr[:]); err != nil {
+		c.noteSendErr()
 		return err
 	}
 	if _, err := c.c.Write(payload); err != nil {
+		c.noteSendErr()
 		return err
 	}
 	c.noteSend(len(payload))
@@ -239,14 +301,17 @@ func (c *netConn) Recv() ([]byte, error) {
 	defer c.rm.Unlock()
 	var hdr [4]byte
 	if _, err := io.ReadFull(c.c, hdr[:]); err != nil {
+		c.noteRecvErr()
 		return nil, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[:])
 	if n > MaxFrame {
+		c.noteRecvErr()
 		return nil, fmt.Errorf("transport: peer announced oversized frame (%d bytes)", n)
 	}
 	p := make([]byte, n)
 	if _, err := io.ReadFull(c.c, p); err != nil {
+		c.noteRecvErr()
 		return nil, err
 	}
 	c.noteRecv(len(p))

@@ -6,6 +6,7 @@ import (
 	"aq2pnn/internal/ot"
 	"aq2pnn/internal/prg"
 	"aq2pnn/internal/ring"
+	"aq2pnn/internal/telemetry"
 	"aq2pnn/internal/tensor"
 )
 
@@ -68,6 +69,7 @@ func (f *dealerFamily) Next(m int) (*Mat, error) {
 	if m <= 0 {
 		return nil, fmt.Errorf("triple: non-positive row count %d", m)
 	}
+	countConsumed(m, f.k, f.n)
 	f.d.mu.Lock()
 	defer f.d.mu.Unlock()
 	q := f.st.queues[m]
@@ -119,6 +121,11 @@ func (f *GilboaFamily) Next(m int) (*Mat, error) {
 	if m <= 0 {
 		return nil, fmt.Errorf("triple: non-positive row count %d", m)
 	}
+	countConsumed(m, f.K, f.N)
+	sp := f.EP.Trace.Enter("triple.gilboa", telemetry.WithAttrs(
+		telemetry.Int("m", int64(m)), telemetry.Int("k", int64(f.K)),
+		telemetry.Int("n", int64(f.N)), telemetry.Int("bits", int64(f.R.Bits))))
+	defer f.EP.Trace.Exit(sp)
 	t := &Mat{R: f.R, M: m, K: f.K, N: f.N}
 	t.A = f.Rng.Elems(m*f.K, f.R)
 	t.B = f.bShare

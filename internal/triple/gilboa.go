@@ -162,5 +162,6 @@ type OTSource struct {
 
 // MatTriple implements Source.
 func (s *OTSource) MatTriple(r ring.Ring, m, k, n int) (*Mat, error) {
+	countConsumed(m, k, n)
 	return GenMatGilboa(s.EP, s.Rng, r, s.Party, m, k, n)
 }

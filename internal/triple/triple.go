@@ -16,8 +16,22 @@ import (
 
 	"aq2pnn/internal/prg"
 	"aq2pnn/internal/ring"
+	"aq2pnn/internal/telemetry"
 	"aq2pnn/internal/tensor"
 )
+
+// countConsumed records one consumed matrix triple in the default
+// telemetry registry: the triple itself and its scalar-multiplication
+// volume M·K·N (the unit the paper's offline-cost accounting uses). One
+// branch when collection is disabled.
+func countConsumed(m, k, n int) {
+	if !telemetry.Enabled() {
+		return
+	}
+	telemetry.Count("aq2pnn_triples_consumed_total", 1)
+	//lint:allow ringmask metric arithmetic on matrix dimensions, not on ring shares
+	telemetry.Count("aq2pnn_triple_muls_total", uint64(m)*uint64(k)*uint64(n))
+}
 
 // Mat is one party's share of a matrix multiplication triple for the
 // product (M×K) ⊗ (K×N).
@@ -107,5 +121,6 @@ func (s *dealerSource) MatTriple(r ring.Ring, m, k, n int) (*Mat, error) {
 	if m <= 0 || k <= 0 || n <= 0 {
 		return nil, fmt.Errorf("triple: non-positive dims %dx%dx%d", m, k, n)
 	}
+	countConsumed(m, k, n)
 	return s.d.take(s.party, r, m, k, n), nil
 }
