@@ -4,7 +4,7 @@ GO ?= go
 # sources are unchanged, so repeat `make lint` runs pay only for go vet.
 LINTBIN ?= bin/aq2pnnlint
 
-.PHONY: build test race vet lint lintbin bench bench-matmul bench-batch ci
+.PHONY: build test race vet lint lintbin bench bench-matmul bench-batch chaos ci
 
 build:
 	$(GO) build ./...
@@ -38,5 +38,12 @@ bench-batch:
 	$(GO) test . -run XXX -bench 'BenchmarkSecureInferBatch' -benchtime 2x
 
 bench: bench-matmul bench-batch
+
+# Deterministic chaos harness (docs/robustness.md): the sampled fault
+# sweep under the race detector, then the exhaustive micro sweep and the
+# sampled networked-LeNet5 sweep without it. Mirrors the CI chaos job.
+chaos:
+	$(GO) test -race -timeout 20m -count=1 -run 'TestFaultSweep|TestServeTCP|TestRunUserWithRetry|TestChaosConn' ./internal/engine/ ./internal/transport/
+	AQ2PNN_CHAOS=1 AQ2PNN_CHAOS_LENET=1 $(GO) test -timeout 30m -count=1 -run 'TestFaultSweep' ./internal/engine/
 
 ci: vet lint build race

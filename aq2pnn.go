@@ -72,7 +72,26 @@ type (
 	SpanRecord = telemetry.SpanRecord
 	// MetricsRegistry holds process-wide counters and histograms.
 	MetricsRegistry = telemetry.Registry
+	// HandshakeError is a session-parameter disagreement detected by the
+	// versioned handshake (protocol version, model fingerprint, carrier
+	// width, protocol flags). It is permanent: fix the configuration.
+	HandshakeError = engine.HandshakeError
+	// PayloadError is a setup payload that disagrees with the public model
+	// shapes (truncated weight share, stray node id). Also permanent.
+	PayloadError = engine.PayloadError
 )
+
+// ErrSessionAborted wraps session errors caused by the server tearing a
+// session down (shutdown past the drain grace, or a SessionTimeout
+// expiry) rather than by the protocol failing on its own.
+var ErrSessionAborted = engine.ErrSessionAborted
+
+// IsTransient reports whether err looks like a transient networking
+// failure worth retrying (connection refused/reset, peer closed, an
+// injected test fault) as opposed to a permanent one (handshake or
+// payload mismatch, context cancellation). SecureInferTCP applies the
+// same classification internally when cfg.Retries > 0.
+func IsTransient(err error) bool { return transport.IsTransient(err) }
 
 // NewTracer returns a tracer ready to be passed as InferenceConfig.Trace.
 // Every secure-inference entrypoint accepts one; a nil tracer keeps all
@@ -145,6 +164,23 @@ type InferenceConfig struct {
 	// DialTimeout bounds SecureInferTCP's connection retry window; 0
 	// means 10 seconds.
 	DialTimeout time.Duration
+	// Retries is how many additional session attempts SecureInferTCP
+	// makes after a transient failure (connection reset, provider crash
+	// mid-protocol). Each retry re-dials and replays the deterministic
+	// transcript from scratch, so a recovered session reveals the same
+	// logits the failed one would have. Permanent errors (handshake or
+	// payload mismatches) are never retried. 0 = a single attempt.
+	Retries uint
+	// RetryBase is the first retry's backoff delay (default 100ms),
+	// doubling per attempt with deterministic seed-derived jitter.
+	RetryBase time.Duration
+	// SessionTimeout bounds one session attempt end to end, on both the
+	// SecureInferTCP user and each ServeModelTCP session; 0 disables it.
+	SessionTimeout time.Duration
+	// DrainGrace is how long ServeModelTCP lets in-flight sessions finish
+	// after its context is cancelled before force-closing them; 0 tears
+	// sessions down immediately on cancellation.
+	DrainGrace time.Duration
 	// ServeSessions makes ServeModelTCP return after that many sessions
 	// complete; 0 serves until its context is cancelled.
 	ServeSessions uint
@@ -312,18 +348,19 @@ func ServeModelTCP(ctx context.Context, addr string, m *Model, cfg InferenceConf
 // provider at addr, retrying the dial for cfg.DialTimeout (10 s when zero)
 // so the processes may start in either order. Cancelling ctx aborts the
 // dial and the protocol. Both sides must agree on the model architecture,
-// carrier width and seed.
+// carrier width and seed — a disagreement fails the session handshake
+// with the same typed error on both processes. With cfg.Retries > 0 a
+// transiently failed session is re-established from scratch (see
+// InferenceConfig.Retries); use IsTransient to classify a final error.
 func SecureInferTCP(ctx context.Context, addr string, m *Model, x []int64, cfg InferenceConfig) (*InferenceResult, error) {
 	timeout := cfg.DialTimeout
 	if timeout == 0 {
 		timeout = 10 * time.Second
 	}
-	conn, err := transport.DialContext(ctx, addr, timeout)
-	if err != nil {
-		return nil, err
+	dial := func(ctx context.Context) (transport.Conn, error) {
+		return transport.DialContext(ctx, addr, timeout)
 	}
-	defer conn.Close()
-	res, err := engine.RunUser(conn, m, x, networkConfig(cfg))
+	res, err := engine.RunUserWithRetry(ctx, dial, m, x, networkConfig(cfg))
 	if err != nil {
 		return nil, err
 	}
@@ -361,6 +398,8 @@ func networkConfig(cfg InferenceConfig) engine.Options {
 	nc := engine.Options{
 		CarrierBits: cfg.CarrierBits, Seed: cfg.Seed, LocalTrunc: cfg.LocalTrunc,
 		Workers: cfg.Workers, Trace: cfg.Trace,
+		Retries: cfg.Retries, RetryBase: cfg.RetryBase,
+		SessionTimeout: cfg.SessionTimeout, DrainGrace: cfg.DrainGrace,
 	}
 	if cfg.DemoGroup {
 		nc.Group = ot.TestGroup()

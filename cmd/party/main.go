@@ -14,6 +14,14 @@
 // concurrent clients (0 = serve forever); -workers caps each side's
 // local compute parallelism (0 = all CPUs).
 //
+// Fault tolerance (see docs/robustness.md): both roles exchange a
+// versioned handshake before any setup material crosses the wire, so a
+// -model/-bits/-seed disagreement fails fast with a typed error on both
+// processes. The user retries transiently failed sessions (-retries,
+// -retry-base); the provider bounds each session with -session-timeout
+// and, on SIGINT/SIGTERM, drains in-flight sessions for -drain-grace
+// before exiting.
+//
 // Observability (see docs/observability.md): -trace out.json records a
 // span per phase, layer and secure operator with its exact share of the
 // wire traffic and writes a Chrome trace-event file on exit; -metrics
@@ -26,6 +34,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"aq2pnn/internal/engine"
@@ -45,11 +55,19 @@ func main() {
 	demoGroup := flag.Bool("demo-group", false, "use the fast demo OT group (NOT secure)")
 	workers := flag.Uint("workers", 0, "local compute parallelism (0 = all CPUs)")
 	sessions := flag.Uint("sessions", 1, "provider: sessions to serve before exiting (0 = forever)")
+	retries := flag.Uint("retries", 2, "user: extra attempts after a transient session failure")
+	retryBase := flag.Duration("retry-base", 100*time.Millisecond, "user: first retry backoff delay")
+	sessionTimeout := flag.Duration("session-timeout", 0, "bound one session attempt end to end (0 = none)")
+	drainGrace := flag.Duration("drain-grace", 5*time.Second, "provider: let in-flight sessions finish this long after SIGINT/SIGTERM")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file on exit")
 	metrics := flag.String("metrics", "", "serve /metrics and /debug/pprof on this address (e.g. :9090; loopback unless a host is given)")
 	flag.Parse()
 
-	cfg := engine.Options{CarrierBits: *bits, Seed: *seed, Workers: *workers}
+	cfg := engine.Options{
+		CarrierBits: *bits, Seed: *seed, Workers: *workers,
+		Retries: *retries, RetryBase: *retryBase,
+		SessionTimeout: *sessionTimeout, DrainGrace: *drainGrace,
+	}
 	if *demoGroup {
 		cfg.Group = ot.TestGroup()
 	}
@@ -68,7 +86,9 @@ func main() {
 		defer stop()
 		fmt.Printf("metrics: http://%s/metrics (pprof at /debug/pprof)\n", bound)
 	}
-	if err := run(*role, *listen, *connect, *model, cfg, int(*sessions)); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *role, *listen, *connect, *model, cfg, int(*sessions)); err != nil {
 		fmt.Fprintln(os.Stderr, "party:", err)
 		os.Exit(1)
 	}
@@ -95,7 +115,7 @@ func writeTrace(path string, tr *telemetry.Tracer) error {
 	return f.Close()
 }
 
-func run(role, listen, connect, model string, cfg engine.Options, sessions int) error {
+func run(ctx context.Context, role, listen, connect, model string, cfg engine.Options, sessions int) error {
 	m, err := nn.ByName(model, nn.ZooConfig{Seed: cfg.Seed})
 	if err != nil {
 		return err
@@ -110,7 +130,7 @@ func run(role, listen, connect, model string, cfg engine.Options, sessions int) 
 		defer l.Close()
 		start := time.Now()
 		n := 0
-		err = engine.ServeTCP(context.Background(), l, m, cfg, sessions, func(err error) {
+		err = engine.ServeTCP(ctx, l, m, cfg, sessions, func(err error) {
 			n++
 			if err != nil {
 				fmt.Printf("provider: session %d failed: %v\n", n, err)
@@ -125,19 +145,20 @@ func run(role, listen, connect, model string, cfg engine.Options, sessions int) 
 		return nil
 	case "user":
 		fmt.Printf("user: %s, %d-bit carrier, dialing %s\n", m.Name, cfg.CarrierBits, connect)
-		conn, err := transport.DialContext(context.Background(), connect, 30*time.Second)
-		if err != nil {
-			return err
+		dial := func(ctx context.Context) (transport.Conn, error) {
+			return transport.DialContext(ctx, connect, 30*time.Second)
 		}
-		defer conn.Close()
 		n := m.InputShape().Numel()
 		x := make([]int64, n)
 		for i := range x {
 			x[i] = int64((i*13)%23) - 11
 		}
 		start := time.Now()
-		res, err := engine.RunUser(conn, m, x, cfg)
+		res, err := engine.RunUserWithRetry(ctx, dial, m, x, cfg)
 		if err != nil {
+			if transport.IsTransient(err) {
+				return fmt.Errorf("%w (transient: the provider may be down; retry budget exhausted)", err)
+			}
 			return err
 		}
 		fmt.Printf("user done in %v\n", time.Since(start))

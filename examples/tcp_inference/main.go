@@ -46,7 +46,18 @@ func model() *aq2pnn.Model {
 }
 
 func cfg() aq2pnn.InferenceConfig {
-	return aq2pnn.InferenceConfig{CarrierBits: 16, Seed: 9}
+	return aq2pnn.InferenceConfig{
+		CarrierBits: 16,
+		Seed:        9,
+		// Fault tolerance (docs/robustness.md): a transiently failed
+		// session — provider restarting, connection reset — is re-dialed
+		// and replayed from scratch; the deterministic transcript makes
+		// the retried reveal bit-identical. Handshake mismatches (wrong
+		// model/bits/seed on one side) fail fast instead of retrying.
+		Retries:    2,
+		RetryBase:  200 * time.Millisecond,
+		DrainGrace: 10 * time.Second,
+	}
 }
 
 func runProvider() {

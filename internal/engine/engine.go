@@ -66,6 +66,25 @@ type Options struct {
 	// Tracing never touches protocol bytes: outputs are bit-identical with
 	// it on or off, at every Workers setting.
 	Trace *telemetry.Tracer
+	// Retries is how many additional attempts RunUserWithRetry makes
+	// after a transiently failed session (0 = single attempt). Every
+	// retry re-dials and replays the protocol from scratch; with a fixed
+	// Seed the transcript is deterministic, so a retried session reveals
+	// logits bit-identical to what the failed attempt would have produced.
+	Retries uint
+	// RetryBase is the first retry's backoff delay (default 100ms). It
+	// doubles per attempt, capped at 2s, with deterministic seed-derived
+	// jitter (see transport.BackoffDelay).
+	RetryBase time.Duration
+	// SessionTimeout bounds one session attempt end to end — on the user
+	// each RunUserWithRetry attempt, on the provider each ServeTCP
+	// session. 0 disables the deadline.
+	SessionTimeout time.Duration
+	// DrainGrace is how long ServeTCP lets in-flight sessions keep
+	// running after ctx is cancelled before force-closing their
+	// connections. 0 keeps the historical behaviour: cancellation tears
+	// sessions down immediately.
+	DrainGrace time.Duration
 }
 
 // Config is the former name of Options.

@@ -1,0 +1,150 @@
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"aq2pnn/internal/nn"
+	"aq2pnn/internal/ring"
+	"aq2pnn/internal/transport"
+)
+
+// Versioned session handshake. Before any setup material crosses the
+// wire, both parties exchange a fixed 20-byte hello describing the
+// protocol version, their role, the model architecture fingerprint, the
+// carrier ring width and the protocol flags. (The OT group is announced
+// in-band by each OT-flow header — the receiver adopts the sender's
+// group — so it is deliberately absent here.) Any
+// disagreement that would previously surface as a garbled gob decode, a
+// mid-protocol length mismatch or — worst — a silently wrong reveal now
+// fails fast with a typed *HandshakeError naming the offending field on
+// BOTH parties.
+
+// ProtocolVersion is the wire protocol generation. Bump it whenever the
+// session wire format changes incompatibly (the chunked setup exchange
+// and this handshake itself are generation 1).
+const ProtocolVersion = 1
+
+// helloMagic opens every hello frame. A peer speaking the pre-handshake
+// protocol (or not speaking this protocol at all) sends something else as
+// its first frame, which decodeHello rejects with a clear error instead
+// of letting gob chew on it.
+var helloMagic = [4]byte{'A', 'Q', '2', 'S'}
+
+const helloLen = 20
+
+// Protocol flag bits. Flags cover every Options field that changes the
+// wire transcript: parties disagreeing on one of these would desynchronise
+// mid-protocol.
+const (
+	flagLocalTrunc  = 1 << 0
+	flagNoExtension = 1 << 1
+)
+
+// Handshake roles.
+const (
+	roleUser     = 0
+	roleProvider = 1
+)
+
+// sessionHello is one party's view of the session parameters.
+type sessionHello struct {
+	Version uint16
+	Role    uint8
+	Flags   uint8
+	Carrier uint16
+	Model   uint64 // nn.Model architecture fingerprint
+}
+
+// HandshakeError reports a session-parameter disagreement detected during
+// the handshake. Field names the mismatching parameter; Local and Peer
+// carry the two numeric views. It is a permanent error: retrying the
+// session cannot fix a configuration mismatch, and transport.IsTransient
+// classifies it accordingly.
+type HandshakeError struct {
+	Field       string
+	Local, Peer uint64
+}
+
+func (e *HandshakeError) Error() string {
+	return fmt.Sprintf("engine: handshake %s mismatch: local %#x, peer %#x",
+		e.Field, e.Local, e.Peer)
+}
+
+// helloFor assembles this party's hello from the resolved session
+// parameters.
+func helloFor(role uint8, m *nn.Model, r ring.Ring, cfg Options) sessionHello {
+	var flags uint8
+	if cfg.LocalTrunc {
+		flags |= flagLocalTrunc
+	}
+	if cfg.NoExtension {
+		flags |= flagNoExtension
+	}
+	return sessionHello{
+		Version: ProtocolVersion,
+		Role:    role,
+		Flags:   flags,
+		Carrier: uint16(r.Bits),
+		Model:   m.Fingerprint(),
+	}
+}
+
+func (h sessionHello) encode() []byte {
+	p := make([]byte, helloLen)
+	copy(p, helloMagic[:])
+	binary.LittleEndian.PutUint16(p[4:], h.Version)
+	p[6] = h.Role
+	p[7] = h.Flags
+	binary.LittleEndian.PutUint16(p[8:], h.Carrier)
+	// p[10:12] reserved (zero) for future extension.
+	binary.LittleEndian.PutUint64(p[12:], h.Model)
+	return p
+}
+
+func decodeHello(p []byte) (sessionHello, error) {
+	var h sessionHello
+	if len(p) != helloLen || [4]byte(p[:4]) != helloMagic {
+		return h, fmt.Errorf("engine: peer did not send a session hello "+
+			"(got %d-byte frame; peer may speak a pre-handshake protocol version)", len(p))
+	}
+	h.Version = binary.LittleEndian.Uint16(p[4:])
+	h.Role = p[6]
+	h.Flags = p[7]
+	h.Carrier = binary.LittleEndian.Uint16(p[8:])
+	h.Model = binary.LittleEndian.Uint64(p[12:])
+	return h, nil
+}
+
+// exchangeHello sends this party's hello, receives the peer's, and
+// verifies every session parameter. Both parties send before receiving
+// (the transports buffer a frame, so the symmetric order cannot
+// deadlock), and both run identical checks, so a mismatch produces the
+// same typed error on each side instead of one party erroring and the
+// other hanging.
+func exchangeHello(conn transport.Conn, mine sessionHello) error {
+	if err := conn.Send(mine.encode()); err != nil {
+		return fmt.Errorf("engine: sending session hello: %w", err)
+	}
+	p, err := conn.Recv()
+	if err != nil {
+		return fmt.Errorf("engine: receiving session hello: %w", err)
+	}
+	peer, err := decodeHello(p)
+	if err != nil {
+		return err
+	}
+	switch {
+	case peer.Version != mine.Version:
+		return &HandshakeError{Field: "protocol version", Local: uint64(mine.Version), Peer: uint64(peer.Version)}
+	case peer.Role == mine.Role:
+		return &HandshakeError{Field: "role", Local: uint64(mine.Role), Peer: uint64(peer.Role)}
+	case peer.Model != mine.Model:
+		return &HandshakeError{Field: "model fingerprint", Local: mine.Model, Peer: peer.Model}
+	case peer.Carrier != mine.Carrier:
+		return &HandshakeError{Field: "carrier ring width", Local: uint64(mine.Carrier), Peer: uint64(peer.Carrier)}
+	case peer.Flags != mine.Flags:
+		return &HandshakeError{Field: "protocol flags", Local: uint64(mine.Flags), Peer: uint64(peer.Flags)}
+	}
+	return nil
+}

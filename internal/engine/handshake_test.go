@@ -1,0 +1,148 @@
+package engine
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"aq2pnn/internal/nn"
+	"aq2pnn/internal/ring"
+	"aq2pnn/internal/transport"
+)
+
+func TestHelloEncodeDecodeRoundTrip(t *testing.T) {
+	in := sessionHello{Version: 3, Role: roleProvider, Flags: flagLocalTrunc | flagNoExtension, Carrier: 61, Model: 0xDEADBEEFCAFE}
+	out, err := decodeHello(in.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip %+v != %+v", out, in)
+	}
+	if _, err := decodeHello([]byte("definitely not a hello frame")); err == nil {
+		t.Error("garbage frame decoded as a hello")
+	}
+}
+
+// exchangeBoth runs exchangeHello on both ends of a pipe and returns both
+// errors.
+func exchangeBoth(t *testing.T, mine, theirs sessionHello) (errA, errB error) {
+	t.Helper()
+	a, b := transport.Pipe()
+	defer a.Close()
+	defer b.Close()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); errA = exchangeHello(a, mine) }()
+	go func() { defer wg.Done(); errB = exchangeHello(b, theirs) }()
+	wg.Wait()
+	return errA, errB
+}
+
+func TestHandshakeMismatchTypedOnBothParties(t *testing.T) {
+	base := func(role uint8) sessionHello {
+		return sessionHello{Version: ProtocolVersion, Role: role, Carrier: 40, Model: 0x1234}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*sessionHello)
+		field  string
+	}{
+		{"version", func(h *sessionHello) { h.Version++ }, "protocol version"},
+		{"role collision", func(h *sessionHello) { h.Role = roleUser }, "role"},
+		{"model", func(h *sessionHello) { h.Model ^= 1 }, "model fingerprint"},
+		{"carrier", func(h *sessionHello) { h.Carrier = 61 }, "carrier ring width"},
+		{"flags", func(h *sessionHello) { h.Flags = flagLocalTrunc }, "protocol flags"},
+	}
+	for _, tc := range cases {
+		mine, theirs := base(roleUser), base(roleProvider)
+		tc.mutate(&theirs)
+		errA, errB := exchangeBoth(t, mine, theirs)
+		for side, err := range map[string]error{"user": errA, "provider": errB} {
+			var he *HandshakeError
+			if !errors.As(err, &he) {
+				t.Errorf("%s/%s: got %v, want *HandshakeError", tc.name, side, err)
+				continue
+			}
+			if he.Field != tc.field {
+				t.Errorf("%s/%s: field %q, want %q", tc.name, side, he.Field, tc.field)
+			}
+			if transport.IsTransient(err) {
+				t.Errorf("%s/%s: handshake mismatch classified transient", tc.name, side)
+			}
+		}
+	}
+	if errA, errB := exchangeBoth(t, base(roleUser), base(roleProvider)); errA != nil || errB != nil {
+		t.Errorf("matching hellos rejected: %v / %v", errA, errB)
+	}
+}
+
+// TestSessionHandshakeFailsFastEndToEnd runs the real RunUser/RunProvider
+// pair with disagreeing configurations and checks both sides fail with a
+// typed error before any protocol material crosses — previously the
+// carrier mismatch below desynchronised mid-protocol and surfaced as a
+// garbled reveal or a hang.
+func TestSessionHandshakeFailsFastEndToEnd(t *testing.T) {
+	m := tinyModel(nn.PoolAvg)
+	cases := []struct {
+		name         string
+		userCfg      NetworkConfig
+		providerCfg  NetworkConfig
+		field        string
+		providerView *nn.Model
+	}{
+		{
+			name:        "carrier width",
+			userCfg:     NetworkConfig{CarrierBits: 20, Seed: 4},
+			providerCfg: NetworkConfig{CarrierBits: 18, Seed: 4},
+			field:       "carrier ring width",
+		},
+		{
+			name:        "truncation mode",
+			userCfg:     NetworkConfig{CarrierBits: 20, Seed: 4, LocalTrunc: true},
+			providerCfg: NetworkConfig{CarrierBits: 20, Seed: 4},
+			field:       "protocol flags",
+		},
+		{
+			name:         "model architecture",
+			userCfg:      NetworkConfig{CarrierBits: 20, Seed: 4},
+			providerCfg:  NetworkConfig{CarrierBits: 20, Seed: 4},
+			field:        "model fingerprint",
+			providerView: tinyModel(nn.PoolMax),
+		},
+	}
+	for _, tc := range cases {
+		a, b := transport.Pipe()
+		pm := m
+		if tc.providerView != nil {
+			pm = tc.providerView
+		}
+		var errU, errP error
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); _, errU = RunUser(a, m, input(64), tc.userCfg) }()
+		go func() { defer wg.Done(); errP = RunProvider(b, pm, tc.providerCfg) }()
+		wg.Wait()
+		a.Close()
+		b.Close()
+		for side, err := range map[string]error{"user": errU, "provider": errP} {
+			var he *HandshakeError
+			if !errors.As(err, &he) {
+				t.Errorf("%s/%s: got %v, want *HandshakeError", tc.name, side, err)
+				continue
+			}
+			if he.Field != tc.field {
+				t.Errorf("%s/%s: field %q, want %q", tc.name, side, he.Field, tc.field)
+			}
+		}
+	}
+}
+
+func TestHelloForResolvesCarrier(t *testing.T) {
+	m := tinyModel(nn.PoolAvg)
+	cfg := NetworkConfig{CarrierBits: 20}
+	h := helloFor(roleUser, m, ring.New(20), cfg)
+	if h.Carrier != 20 || h.Version != ProtocolVersion || h.Model != m.Fingerprint() {
+		t.Errorf("unexpected hello %+v", h)
+	}
+}

@@ -1,8 +1,6 @@
 package engine
 
 import (
-	"bytes"
-	"encoding/gob"
 	"fmt"
 
 	"aq2pnn/internal/nn"
@@ -65,22 +63,6 @@ type wirePayload struct {
 	X    []uint64
 }
 
-func sendGob(c transport.Conn, v any) error {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
-		return err
-	}
-	return c.Send(buf.Bytes())
-}
-
-func recvGob(c transport.Conn, v any) error {
-	p, err := c.Recv()
-	if err != nil {
-		return err
-	}
-	return gob.NewDecoder(bytes.NewReader(p)).Decode(v)
-}
-
 // RunUser executes the user side (party i): it secret-shares its input,
 // receives its weight shares from the provider, runs the protocol and
 // returns the revealed logits with the measured traffic.
@@ -95,12 +77,22 @@ func RunUser(conn transport.Conn, m *nn.Model, x []int64, cfg Options) (*Result,
 	var x0 []uint64
 	if err := tracePhase(cfg.Trace, ctx, "user.setup", func() error {
 		if err := func() error {
+			sp := ctx.Trace.Enter("handshake")
+			defer ctx.Trace.Exit(sp)
+			return exchangeHello(conn, helloFor(roleUser, m, r, cfg))
+		}(); err != nil {
+			return err
+		}
+		if err := func() error {
 			sp := ctx.Trace.Enter("exchange.shares")
 			defer ctx.Trace.Exit(sp)
 			// Receive this party's weight shares from the model provider.
 			var wp wirePayload
 			if err := recvGob(conn, &wp); err != nil {
 				return fmt.Errorf("engine: receiving weight shares: %w", err)
+			}
+			if err := validateWirePayload(m, &wp); err != nil {
+				return err
 			}
 			// Share the input: keep x0, send x1.
 			g := prg.NewSeeded(cfg.Seed ^ 0x1272C0DE)
@@ -163,6 +155,13 @@ func RunProvider(conn transport.Conn, m *nn.Model, cfg Options) error {
 	var in wirePayload
 	if err := tracePhase(cfg.Trace, ctx, "provider.setup", func() error {
 		if err := func() error {
+			sp := ctx.Trace.Enter("handshake")
+			defer ctx.Trace.Exit(sp)
+			return exchangeHello(conn, helloFor(roleProvider, m, r, cfg))
+		}(); err != nil {
+			return err
+		}
+		if err := func() error {
 			sp := ctx.Trace.Enter("exchange.shares")
 			defer ctx.Trace.Exit(sp)
 			if err := sendGob(conn, wirePayload{W: ws0.W, Bias: ws0.Bias}); err != nil {
@@ -172,7 +171,7 @@ func RunProvider(conn transport.Conn, m *nn.Model, cfg Options) error {
 				return fmt.Errorf("engine: receiving input share: %w", err)
 			}
 			if len(in.X) != m.InputShape().Numel() {
-				return fmt.Errorf("engine: peer input share has %d elements, want %d", len(in.X), m.InputShape().Numel())
+				return &PayloadError{Node: -1, Field: "input", Got: len(in.X), Want: m.InputShape().Numel()}
 			}
 			return nil
 		}(); err != nil {

@@ -1,0 +1,83 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"aq2pnn/internal/nn"
+	"aq2pnn/internal/telemetry"
+	"aq2pnn/internal/transport"
+)
+
+// Redial establishes a fresh connection for one session attempt. Each
+// retry calls it again: a failed 2PC session cannot be resumed
+// mid-protocol (the OT correlations and triple families are bound to the
+// dead transcript), so recovery always re-establishes from scratch.
+type Redial func(ctx context.Context) (transport.Conn, error)
+
+// retrySeedSalt decorrelates the retry backoff stream from the protocol
+// PRG seeds derived from the same cfg.Seed.
+const retrySeedSalt = 0x9E3779B97F4A7C15
+
+// RunUserWithRetry runs the user side of a networked session, re-dialing
+// and replaying the protocol from scratch when an attempt fails
+// transiently (connection refused/reset, peer crash mid-protocol, an
+// injected fault, an attempt-deadline expiry). Permanent errors — a
+// handshake mismatch, a malformed payload, parent-context cancellation —
+// return immediately.
+//
+// Attempts are spaced by transport.BackoffDelay with cfg.Seed-derived
+// jitter, so a given configuration retries on a reproducible schedule.
+// Because the whole transcript is a deterministic function of cfg.Seed,
+// a successful retry reveals logits bit-identical to what the failed
+// attempt would have produced; an aborted prefix leaks nothing beyond
+// what the completed run reveals anyway.
+func RunUserWithRetry(ctx context.Context, dial Redial, m *nn.Model, x []int64, cfg Options) (*Result, error) {
+	attempts := int(cfg.Retries) + 1
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			telemetry.Count("aq2pnn_session_retries_total", 1)
+			t := time.NewTimer(transport.BackoffDelay(attempt-1, cfg.RetryBase, 0, cfg.Seed^retrySeedSalt))
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return nil, errors.Join(ctx.Err(), lastErr)
+			case <-t.C:
+			}
+		}
+		res, err := runUserAttempt(ctx, dial, m, x, cfg)
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			// The parent is gone: whatever the attempt reported, the
+			// caller asked us to stop.
+			return nil, err
+		}
+		// An attempt-deadline expiry is retryable even though the parent
+		// context classifies deadline errors as permanent: the deadline
+		// that fired was this attempt's own.
+		if !transport.IsTransient(err) && !errors.Is(err, context.DeadlineExceeded) {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("engine: session failed after %d attempts: %w", attempts, lastErr)
+}
+
+func runUserAttempt(ctx context.Context, dial Redial, m *nn.Model, x []int64, cfg Options) (*Result, error) {
+	if cfg.SessionTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.SessionTimeout)
+		defer cancel()
+	}
+	conn, err := dial(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	return RunUser(transport.WithContext(ctx, conn), m, x, cfg)
+}

@@ -3,12 +3,19 @@ package engine
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
+	"time"
 
 	"aq2pnn/internal/nn"
 	"aq2pnn/internal/telemetry"
 	"aq2pnn/internal/transport"
 )
+
+// ErrSessionAborted wraps session errors caused by the server tearing the
+// session down (shutdown past the drain grace, or a SessionTimeout
+// expiry) rather than by the protocol itself failing.
+var ErrSessionAborted = errors.New("engine: session aborted")
 
 // ServeTCP hosts the model-provider side for many clients: every accepted
 // connection runs a complete RunProvider protocol in its own goroutine, so
@@ -16,7 +23,40 @@ import (
 // that many connections and returns once they all finish; sessions == 0
 // serves until ctx is cancelled (which then returns nil). onSession, when
 // non-nil, observes each finished session's error as it completes.
+//
+// Shutdown is graceful: cancelling ctx stops accepting immediately, but
+// in-flight sessions get cfg.DrainGrace to run to completion before their
+// connections are force-closed. Sessions cut short by the shutdown (or by
+// a cfg.SessionTimeout expiry) report an ErrSessionAborted-wrapped error
+// to onSession; drained-but-aborted sessions do not turn a clean shutdown
+// into a failure. A panicking session is recovered, surfaced through
+// onSession as an error, and never takes down its sibling sessions or the
+// accept loop.
 func ServeTCP(ctx context.Context, l *transport.Listener, m *nn.Model, cfg Options, sessions int, onSession func(error)) error {
+	// drainCtx governs in-flight sessions. It survives ctx cancellation
+	// by cfg.DrainGrace so accepted sessions may finish; the watcher
+	// below links the two. context.WithoutCancel is deliberate — plain
+	// inheritance would kill sessions the instant ctx dies.
+	drainCtx, cancelDrain := context.WithCancel(context.WithoutCancel(ctx))
+	defer cancelDrain()
+	serveDone := make(chan struct{})
+	defer close(serveDone)
+	go func() {
+		select {
+		case <-serveDone:
+		case <-ctx.Done():
+			if cfg.DrainGrace > 0 {
+				t := time.NewTimer(cfg.DrainGrace)
+				defer t.Stop()
+				select {
+				case <-serveDone:
+				case <-t.C:
+				}
+			}
+			cancelDrain()
+		}
+	}()
+
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var errs []error
@@ -33,11 +73,15 @@ func ServeTCP(ctx context.Context, l *transport.Listener, m *nn.Model, cfg Optio
 		}
 	}
 	for n := 0; sessions == 0 || n < sessions; n++ {
-		conn, err := l.Accept(ctx)
+		conn, err := l.AcceptSession(ctx, drainCtx)
 		if err != nil {
 			wg.Wait()
 			if ctx.Err() != nil {
-				err = nil // cancelled: a clean shutdown, not a failure
+				// Cancelled: a clean shutdown, not a failure. Individual
+				// session errors (including any the shutdown itself
+				// aborted) were already reported through onSession and
+				// the telemetry counters.
+				return nil
 			}
 			mu.Lock()
 			defer mu.Unlock()
@@ -47,11 +91,35 @@ func ServeTCP(ctx context.Context, l *transport.Listener, m *nn.Model, cfg Optio
 		go func() {
 			defer wg.Done()
 			defer conn.Close()
-			record(RunProvider(conn, m, cfg))
+			record(runSession(drainCtx, conn, m, cfg))
 		}()
 	}
 	wg.Wait()
 	mu.Lock()
 	defer mu.Unlock()
 	return errors.Join(errs...)
+}
+
+// runSession executes one provider session with panic containment and the
+// optional per-session deadline. ctx is the drain context: it outlives
+// the accept loop's context by the configured grace.
+func runSession(ctx context.Context, conn transport.Conn, m *nn.Model, cfg Options) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			telemetry.Count("aq2pnn_session_panics_total", 1)
+			err = fmt.Errorf("engine: session panic: %v", r)
+		}
+	}()
+	if cfg.SessionTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.SessionTimeout)
+		defer cancel()
+		conn = transport.WithContext(ctx, conn)
+	}
+	err = RunProvider(conn, m, cfg)
+	if err != nil && ctx.Err() != nil {
+		telemetry.Count("aq2pnn_session_aborts_total", 1)
+		err = fmt.Errorf("%w: %w", ErrSessionAborted, err)
+	}
+	return err
 }

@@ -1,0 +1,167 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+
+	"aq2pnn/internal/nn"
+	"aq2pnn/internal/transport"
+)
+
+// Setup-phase wire helpers. The weight-share payload for a large model
+// easily exceeds transport.MaxFrame (a ResNet50's shares gob-encode to
+// well over 64 MiB), and the old single-frame sendGob died with an
+// opaque "frame exceeds max" on the provider while the user hung in
+// Recv. The exchange is now chunked: a fixed 16-byte header frame
+// announces the chunk count and total payload size, followed by that
+// many frames of at most gobChunk bytes each. The receiver validates
+// the header and reassembles before handing the bytes to gob.
+
+// gobMagic opens every chunked-payload header frame ("AQ2G").
+const gobMagic = 0x47325141
+
+const gobHeaderLen = 16
+
+// maxGobPayload bounds the reassembled setup payload (4 GiB). A header
+// announcing more than this is rejected before any allocation, so a
+// corrupted or hostile header cannot OOM the receiver.
+const maxGobPayload = 4 << 30
+
+// gobChunk is the per-frame budget for one chunk. It is a variable only
+// so tests can shrink it to exercise multi-chunk reassembly without
+// materialising multi-gigabyte payloads; production always uses the
+// transport frame cap.
+var gobChunk = transport.MaxFrame
+
+func sendGob(c transport.Conn, v any) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return err
+	}
+	p := buf.Bytes()
+	if len(p) > maxGobPayload {
+		return fmt.Errorf("engine: setup payload %d bytes exceeds %d-byte cap", len(p), maxGobPayload)
+	}
+	count := (len(p) + gobChunk - 1) / gobChunk
+	hdr := make([]byte, gobHeaderLen)
+	binary.LittleEndian.PutUint32(hdr[0:], gobMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(count))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(p)))
+	if err := c.Send(hdr); err != nil {
+		return err
+	}
+	for off := 0; off < len(p); off += gobChunk {
+		end := min(off+gobChunk, len(p))
+		if err := c.Send(p[off:end]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func recvGob(c transport.Conn, v any) error {
+	hdr, err := c.Recv()
+	if err != nil {
+		return err
+	}
+	if len(hdr) != gobHeaderLen || binary.LittleEndian.Uint32(hdr) != gobMagic {
+		return fmt.Errorf("engine: peer sent a %d-byte frame where a setup chunk header was expected", len(hdr))
+	}
+	count := binary.LittleEndian.Uint32(hdr[4:])
+	total := binary.LittleEndian.Uint64(hdr[8:])
+	if total == 0 || total > maxGobPayload {
+		return fmt.Errorf("engine: setup header announces %d payload bytes, outside (0, %d]", total, maxGobPayload)
+	}
+	if count == 0 || uint64(count) > total {
+		return fmt.Errorf("engine: setup header announces %d chunks for %d bytes", count, total)
+	}
+	buf := make([]byte, 0, total)
+	for i := uint32(0); i < count; i++ {
+		p, err := c.Recv()
+		if err != nil {
+			return fmt.Errorf("engine: receiving setup chunk %d/%d: %w", i+1, count, err)
+		}
+		if uint64(len(buf))+uint64(len(p)) > total {
+			return fmt.Errorf("engine: setup chunks overflow the announced %d bytes", total)
+		}
+		buf = append(buf, p...)
+	}
+	if uint64(len(buf)) != total {
+		return fmt.Errorf("engine: reassembled %d setup bytes, header announced %d", len(buf), total)
+	}
+	return gob.NewDecoder(bytes.NewReader(buf)).Decode(v)
+}
+
+// PayloadError reports a setup payload that disagrees with the public
+// model architecture. Node is the offending node id, or -1 for the
+// shared input vector. Like *HandshakeError it is permanent: the peer is
+// misconfigured (or malicious), and retrying cannot help.
+type PayloadError struct {
+	Node      int
+	Field     string // "weights", "bias" or "input"
+	Got, Want int
+}
+
+func (e *PayloadError) Error() string {
+	if e.Node < 0 {
+		return fmt.Sprintf("engine: setup payload: %s share has %d elements, want %d",
+			e.Field, e.Got, e.Want)
+	}
+	return fmt.Sprintf("engine: setup payload: node %d %s share has %d elements, want %d",
+		e.Node, e.Field, e.Got, e.Want)
+}
+
+// validateWirePayload checks the provider's weight-share payload against
+// the model's public shapes before any share reaches the executor. Every
+// linear node must carry exactly K·N weight elements (GEMM layout) and a
+// bias share iff the architecture declares one; entries for non-linear
+// or out-of-range node ids are rejected. Without this check a
+// short share surfaced later as an index panic deep inside the tiled
+// GEMM — or worse, a silently wrong reveal.
+func validateWirePayload(m *nn.Model, wp *wirePayload) error {
+	for i, node := range m.Nodes {
+		k, n, ok := LinearDims(node)
+		if !ok {
+			if len(wp.W[i]) != 0 {
+				return &PayloadError{Node: i, Field: "weights", Got: len(wp.W[i]), Want: 0}
+			}
+			if len(wp.Bias[i]) != 0 {
+				return &PayloadError{Node: i, Field: "bias", Got: len(wp.Bias[i]), Want: 0}
+			}
+			continue
+		}
+		if len(wp.W[i]) != k*n {
+			return &PayloadError{Node: i, Field: "weights", Got: len(wp.W[i]), Want: k * n}
+		}
+		wantBias := 0
+		if nodeHasBias(node) {
+			wantBias = n
+		}
+		if len(wp.Bias[i]) != wantBias {
+			return &PayloadError{Node: i, Field: "bias", Got: len(wp.Bias[i]), Want: wantBias}
+		}
+	}
+	for id := range wp.W {
+		if id < 0 || id >= len(m.Nodes) {
+			return &PayloadError{Node: id, Field: "weights", Got: len(wp.W[id]), Want: 0}
+		}
+	}
+	for id := range wp.Bias {
+		if id < 0 || id >= len(m.Nodes) {
+			return &PayloadError{Node: id, Field: "bias", Got: len(wp.Bias[id]), Want: 0}
+		}
+	}
+	return nil
+}
+
+func nodeHasBias(node nn.Node) bool {
+	switch op := node.Op.(type) {
+	case *nn.Conv:
+		return op.Bias != nil
+	case *nn.FC:
+		return op.Bias != nil
+	}
+	return false
+}

@@ -50,11 +50,14 @@ var scopes = map[string][]string{
 	},
 	// Dropped transport errors are a bug anywhere in the module.
 	SendCheck.Name: nil,
-	// Context plumbing is an engine/transport concern (the serving path).
+	// Context plumbing is a serving-path concern: the engine/transport
+	// stack plus the long-running party binary, whose graceful shutdown
+	// depends on the signal context reaching every session.
 	CtxPlumb.Name: {
 		"aq2pnn",
 		"aq2pnn/internal/engine",
 		"aq2pnn/internal/transport",
+		"aq2pnn/cmd/party",
 	},
 	// Protocol-runtime packages reachable from SecureInfer*.
 	PanicFree.Name: {

@@ -1,0 +1,70 @@
+package nn
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+
+	"aq2pnn/internal/tensor"
+)
+
+// Fingerprint digests everything two parties must agree on before running
+// the 2PC protocol over a model: the graph topology, every operator's
+// geometry, and the public quantization metadata (the per-channel dyadic
+// BNReQ scales Im and shifts Ie, which both parties apply locally). It
+// deliberately excludes weight and bias *values* — those are the model
+// provider's secret, shared over the wire — and cosmetic names, so the
+// same architecture built in two processes fingerprints identically while
+// any mismatch that would garble the protocol (different layer order,
+// kernel geometry, quantization scales, bias presence) changes the digest.
+//
+// The session handshake exchanges this value to fail fast with a typed
+// error instead of a mid-protocol length mismatch or a silently wrong
+// reveal.
+func (m *Model) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	wi := func(vs ...int64) {
+		for _, v := range vs {
+			binary.LittleEndian.PutUint64(b[:], uint64(v))
+			h.Write(b[:])
+		}
+	}
+	wgeom := func(g tensor.ConvGeom) {
+		wi(int64(g.InC), int64(g.InH), int64(g.InW), int64(g.OutC),
+			int64(g.KH), int64(g.KW), int64(g.StrideH), int64(g.StrideW),
+			int64(g.PadH), int64(g.PadW))
+	}
+	wi(int64(m.InC), int64(m.InH), int64(m.InW), int64(m.InBits), int64(len(m.Nodes)))
+	for _, node := range m.Nodes {
+		k := node.Op.Kind()
+		wi(int64(len(k)))
+		h.Write([]byte(k))
+		wi(int64(len(node.Inputs)))
+		for _, in := range node.Inputs {
+			wi(int64(in))
+		}
+		switch op := node.Op.(type) {
+		case *Conv:
+			wgeom(op.Geom)
+			wi(int64(op.Ie), int64(len(op.Im)))
+			wi(op.Im...)
+			wi(boolInt(op.Bias != nil), boolInt(op.Skeleton()))
+		case *FC:
+			wi(int64(op.In), int64(op.Out), int64(op.Ie), int64(len(op.Im)))
+			wi(op.Im...)
+			wi(boolInt(op.Bias != nil), boolInt(op.Skeleton()))
+		case *MaxPool:
+			wgeom(op.Geom)
+		case *AvgPool:
+			wgeom(op.Geom)
+		}
+	}
+	return h.Sum64()
+}
+
+func boolInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

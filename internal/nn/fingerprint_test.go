@@ -1,0 +1,61 @@
+package nn
+
+import "testing"
+
+func TestFingerprintStableAcrossBuilds(t *testing.T) {
+	a, err := ByName("lenet5", ZooConfig{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ByName("lenet5", ZooConfig{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("identical builds fingerprint differently")
+	}
+}
+
+func TestFingerprintIgnoresWeightValuesAndNames(t *testing.T) {
+	m, err := ByName("micro", ZooConfig{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := m.Fingerprint()
+	for _, node := range m.Nodes {
+		if c, ok := node.Op.(*Conv); ok && c.W != nil {
+			c.W[0] += 17
+		}
+	}
+	m.Name = "renamed"
+	m.Nodes[0].Name = "other"
+	if m.Fingerprint() != fp {
+		t.Error("fingerprint depends on weight values or cosmetic names")
+	}
+}
+
+func TestFingerprintSeparatesArchitectures(t *testing.T) {
+	micro, err := ByName("micro", ZooConfig{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lenet, err := ByName("lenet5", ZooConfig{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if micro.Fingerprint() == lenet.Fingerprint() {
+		t.Error("micro and lenet5 share a fingerprint")
+	}
+	// Quantization metadata is protocol-relevant: changing a BNReQ scale
+	// must change the digest (both parties apply Im/Ie locally).
+	fp := micro.Fingerprint()
+	for _, node := range micro.Nodes {
+		if c, ok := node.Op.(*Conv); ok && c.Im != nil {
+			c.Im[0]++
+			break
+		}
+	}
+	if micro.Fingerprint() == fp {
+		t.Error("fingerprint ignores BNReQ quantization metadata")
+	}
+}

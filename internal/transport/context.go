@@ -15,12 +15,19 @@ import (
 
 // DialContext connects to a listening party at addr, retrying until the
 // timeout elapses or ctx is cancelled (whichever is sooner), so the two
-// party processes may start in either order. The returned Conn is bound
-// to ctx: cancellation closes it.
+// party processes may start in either order. Failed attempts back off
+// exponentially (25 ms base, 1 s cap) with deterministic jitter derived
+// from the address, so a fleet of clients recovering from a provider
+// restart spreads its reconnects instead of stampeding. The returned Conn
+// is bound to ctx: cancellation closes it.
 func DialContext(ctx context.Context, addr string, timeout time.Duration) (Conn, error) {
 	deadline := time.Now().Add(timeout)
+	seed := mix64(uint64(len(addr)))
+	for _, b := range []byte(addr) {
+		seed = mix64(seed ^ uint64(b))
+	}
 	var d net.Dialer
-	for {
+	for attempt := 0; ; attempt++ {
 		c, err := d.DialContext(ctx, "tcp", addr)
 		if err == nil {
 			return bindContext(ctx, NewNetConn(c)), nil
@@ -31,10 +38,16 @@ func DialContext(ctx context.Context, addr string, timeout time.Duration) (Conn,
 		if time.Now().After(deadline) {
 			return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 		}
+		wait := BackoffDelay(attempt, 25*time.Millisecond, time.Second, seed)
+		if rem := time.Until(deadline); wait > rem {
+			wait = rem
+		}
+		t := time.NewTimer(wait)
 		select {
 		case <-ctx.Done():
+			t.Stop()
 			return nil, fmt.Errorf("transport: dial %s: %w", addr, ctx.Err())
-		case <-time.After(50 * time.Millisecond):
+		case <-t.C:
 		}
 	}
 }
@@ -63,12 +76,21 @@ func (l *Listener) Close() error { return l.l.Close() }
 // Accept blocks for the next peer connection. Cancelling ctx closes the
 // listener and returns ctx's error. The returned Conn is bound to ctx.
 func (l *Listener) Accept(ctx context.Context) (Conn, error) {
+	return l.AcceptSession(ctx, ctx)
+}
+
+// AcceptSession accepts under acceptCtx while binding the returned Conn
+// to connCtx. Splitting the two is what makes graceful shutdown possible:
+// a server cancels acceptCtx the moment shutdown begins (no new sessions)
+// but keeps connCtx alive through a drain grace period, so in-flight
+// sessions finish instead of dying mid-protocol.
+func (l *Listener) AcceptSession(acceptCtx, connCtx context.Context) (Conn, error) {
 	stop := make(chan struct{})
 	defer close(stop)
-	if ctx.Done() != nil {
+	if acceptCtx.Done() != nil {
 		go func() {
 			select {
-			case <-ctx.Done():
+			case <-acceptCtx.Done():
 				l.l.Close()
 			case <-stop:
 			}
@@ -76,13 +98,18 @@ func (l *Listener) Accept(ctx context.Context) (Conn, error) {
 	}
 	c, err := l.l.Accept()
 	if err != nil {
-		if ctx.Err() != nil {
-			return nil, ctx.Err()
+		if acceptCtx.Err() != nil {
+			return nil, acceptCtx.Err()
 		}
 		return nil, err
 	}
-	return bindContext(ctx, NewNetConn(c)), nil
+	return bindContext(connCtx, NewNetConn(c)), nil
 }
+
+// WithContext couples an existing Conn's lifetime to ctx: cancellation
+// closes the connection, failing any blocked Send/Recv. Servers use it to
+// impose per-session deadlines on already-accepted connections.
+func WithContext(ctx context.Context, c Conn) Conn { return bindContext(ctx, c) }
 
 // ctxConn couples a Conn's lifetime to a context: a watchdog closes the
 // underlying connection on cancellation, failing any blocked Send/Recv.

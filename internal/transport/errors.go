@@ -1,0 +1,89 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"syscall"
+	"time"
+)
+
+// Error classification for networked sessions. A 2PC session is a pure
+// function of its inputs — shares are per-session, so a failed session can
+// always be re-run from scratch. What decides whether a retry is worth
+// attempting is the *kind* of failure: a peer that vanished mid-protocol
+// (reset, timeout, injected fault) may well be back for the next attempt,
+// while a protocol disagreement (handshake mismatch, malformed payload)
+// will fail identically every time.
+
+// IsTransient reports whether err looks like a transient transport failure
+// worth retrying with a fresh session: connection loss, peer resets,
+// timeouts, injected test faults and truncated streams. Context
+// cancellation and deadline expiry are NOT transient — they mean the
+// caller gave up, not that the network hiccupped. Unknown errors
+// (handshake mismatches, malformed payloads, decode failures) classify as
+// permanent, so a retry loop never spins on a deterministic failure.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	if errors.Is(err, ErrInjected) || errors.Is(err, ErrClosed) || errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	if errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE) || errors.Is(err, syscall.ETIMEDOUT) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne)
+}
+
+// mix64 is the splitmix64 finalizer: a tiny, stateless, high-quality
+// integer hash. It is NOT cryptographic — it only decorrelates retry
+// schedules — but it is fully deterministic, which keeps every backoff
+// sequence reproducible in tests (no math/rand, per the prgonly
+// invariant).
+func mix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// BackoffDelay returns the delay to wait before retry number attempt
+// (0-based): exponential growth base·2^attempt capped at max, with
+// deterministic jitter in [d/2, d] derived from seed and the attempt
+// index. Two clients with different seeds desynchronise instead of
+// retrying in lockstep; the same seed always reproduces the same
+// schedule. base 0 defaults to 100 ms, max 0 to 2 s.
+func BackoffDelay(attempt int, base, max time.Duration, seed uint64) time.Duration {
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	if base > max {
+		base = max
+	}
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	j := time.Duration(mix64(seed^uint64(attempt)*0x51_7CC1B727220A95) % uint64(half+1))
+	return half + j
+}

@@ -3,6 +3,7 @@ package transport
 import (
 	"errors"
 	"sync"
+	"time"
 )
 
 // ErrInjected is the error produced by a FaultyConn once its budget is
@@ -10,8 +11,34 @@ import (
 // failures instead of deadlocking or corrupting shares.
 var ErrInjected = errors.New("transport: injected fault")
 
-// FaultyConn wraps a Conn and starts failing after a configured number of
-// operations. FailAfter counts Sends and Recvs together.
+// FaultPlan describes a deterministic failure scenario for a FaultyConn.
+// Every field is reproducible: the same plan over the same transcript
+// injects exactly the same faults, which is what lets the chaos harness
+// sweep a failure across every operation index of a protocol run.
+type FaultPlan struct {
+	// FailAfter is the number of operations (Sends and Recvs together)
+	// performed normally before every further operation returns
+	// ErrInjected. Negative means never fail (latency-only chaos).
+	FailAfter int
+	// Corrupt flips a byte of the final permitted Recv's payload (when
+	// non-empty) to exercise integrity handling.
+	Corrupt bool
+	// PartialWrite simulates a connection dying mid-frame: if the first
+	// failing operation is a Send, half of its payload is delivered to the
+	// peer before the failure is reported. The peer therefore observes a
+	// truncated frame — the decode layers must reject it cleanly.
+	PartialWrite bool
+	// MaxLatency, when non-zero, injects a deterministic per-operation
+	// delay in [0, MaxLatency), derived from Seed and the operation index.
+	MaxLatency time.Duration
+	// Seed drives the latency schedule.
+	Seed uint64
+}
+
+// FaultyConn wraps a Conn and injects the faults of a FaultPlan: seeded
+// latency on every operation, then a hard failure (optionally with a
+// corrupted or truncated final frame) once the operation budget is
+// exhausted. FailAfter counts Sends and Recvs together.
 //
 // Injected failures are accounted the same way the wrapped transports
 // account their own failures: they increment Stats.SendErrs/RecvErrs and
@@ -20,11 +47,16 @@ var ErrInjected = errors.New("transport: injected fault")
 // counters with the injected-failure counts, so telemetry span deltas
 // over a FaultyConn attribute exactly the bytes that really moved.
 type FaultyConn struct {
-	Inner     Conn
-	mu        sync.Mutex
-	remaining int
-	corrupt   bool
-	injected  Stats // only SendErrs/RecvErrs are ever non-zero
+	Inner       Conn
+	mu          sync.Mutex
+	remaining   int
+	corrupt     bool
+	partial     bool
+	partialDone bool
+	maxLatency  time.Duration
+	seed        uint64
+	op          uint64
+	injected    Stats // only SendErrs/RecvErrs are ever non-zero
 }
 
 // NewFaultyConn returns a connection that performs ops operations normally
@@ -32,26 +64,65 @@ type FaultyConn struct {
 // permitted Recv additionally flips a byte of the payload (when non-empty)
 // to exercise integrity handling.
 func NewFaultyConn(inner Conn, ops int, corrupt bool) *FaultyConn {
-	return &FaultyConn{Inner: inner, remaining: ops, corrupt: corrupt}
+	return NewChaosConn(inner, FaultPlan{FailAfter: ops, Corrupt: corrupt})
 }
 
-func (f *FaultyConn) take() (ok, last bool) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if f.remaining <= 0 {
-		return false, false
+// NewChaosConn returns a connection injecting the faults of plan.
+func NewChaosConn(inner Conn, plan FaultPlan) *FaultyConn {
+	return &FaultyConn{
+		Inner:      inner,
+		remaining:  plan.FailAfter,
+		corrupt:    plan.Corrupt,
+		partial:    plan.PartialWrite,
+		maxLatency: plan.MaxLatency,
+		seed:       plan.Seed,
 	}
-	f.remaining--
-	return true, f.remaining == 0
+}
+
+// take burns one operation from the budget. It also injects the plan's
+// latency (outside the lock) and reports whether this operation may
+// proceed, whether it is the last permitted one, and whether it is the
+// first denied one (the partial-write trigger).
+func (f *FaultyConn) take() (ok, last, first bool) {
+	f.mu.Lock()
+	op := f.op
+	f.op++
+	var wait time.Duration
+	if f.maxLatency > 0 {
+		wait = time.Duration(mix64(f.seed^mix64(op)) % uint64(f.maxLatency))
+	}
+	switch {
+	case f.remaining < 0: // unlimited budget: latency-only chaos
+		ok = true
+	case f.remaining > 0:
+		f.remaining--
+		ok, last = true, f.remaining == 0
+	default: // budget exhausted: deny, flagging the first denial once
+		first = !f.partialDone
+		f.partialDone = true
+	}
+	f.mu.Unlock()
+	if wait > 0 {
+		time.Sleep(wait)
+	}
+	return ok, last, first
 }
 
 // Send implements Conn.
 func (f *FaultyConn) Send(p []byte) error {
-	ok, _ := f.take()
+	ok, _, first := f.take()
 	if !ok {
 		f.mu.Lock()
 		f.injected.SendErrs++
 		f.mu.Unlock()
+		if first && f.partial && len(p) > 1 {
+			// Deliver a truncated frame before dying, like a TCP
+			// connection reset mid-write. The inner Send's own error (if
+			// any) rides along; the injected classification dominates.
+			if err := f.Inner.Send(p[:len(p)/2]); err != nil {
+				return errors.Join(ErrInjected, err)
+			}
+		}
 		return ErrInjected
 	}
 	return f.Inner.Send(p)
@@ -59,7 +130,7 @@ func (f *FaultyConn) Send(p []byte) error {
 
 // Recv implements Conn.
 func (f *FaultyConn) Recv() ([]byte, error) {
-	ok, last := f.take()
+	ok, last, _ := f.take()
 	if !ok {
 		f.mu.Lock()
 		f.injected.RecvErrs++
