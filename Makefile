@@ -4,7 +4,10 @@ GO ?= go
 # sources are unchanged, so repeat `make lint` runs pay only for go vet.
 LINTBIN ?= bin/aq2pnnlint
 
-.PHONY: build test race vet lint lintbin bench bench-matmul bench-batch chaos ci
+.PHONY: build test race vet lint lintbin bench bench-matmul bench-batch chaos fuzz ci
+
+# Per-target budget for `make fuzz`; CI uses 30s per target on PRs.
+FUZZTIME ?= 60s
 
 build:
 	$(GO) build ./...
@@ -45,5 +48,16 @@ bench: bench-matmul bench-batch
 chaos:
 	$(GO) test -race -timeout 20m -count=1 -run 'TestFaultSweep|TestServeTCP|TestRunUserWithRetry|TestChaosConn' ./internal/engine/ ./internal/transport/
 	AQ2PNN_CHAOS=1 AQ2PNN_CHAOS_LENET=1 $(GO) test -timeout 30m -count=1 -run 'TestFaultSweep' ./internal/engine/
+
+# Protocol fuzzing suite (docs/robustness.md, "Hostile peers"): every
+# wire decoder that consumes peer-controlled bytes, from its committed
+# seed corpus in testdata/fuzz/.
+fuzz:
+	$(GO) test ./internal/transport/ -run '^$$' -fuzz '^FuzzRecvFrame$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/engine/ -run '^$$' -fuzz '^FuzzRecvGob$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/engine/ -run '^$$' -fuzz '^FuzzHandshakeHello$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/engine/ -run '^$$' -fuzz '^FuzzWirePayload$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/ot/ -run '^$$' -fuzz '^FuzzOTFlowHeader$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/scm/ -run '^$$' -fuzz '^FuzzSCMMessage$$' -fuzztime $(FUZZTIME)
 
 ci: vet lint build race

@@ -184,6 +184,24 @@ type InferenceConfig struct {
 	// ServeSessions makes ServeModelTCP return after that many sessions
 	// complete; 0 serves until its context is cancelled.
 	ServeSessions uint
+	// MaxConcurrentSessions caps ServeModelTCP's in-flight sessions.
+	// Connections past the cap are shed immediately with a busy-reject
+	// the client classifies as transient (its retry/backoff loop
+	// re-attempts once a slot may have freed); 0 = unlimited.
+	MaxConcurrentSessions int
+	// IdleTimeout is ServeModelTCP's per-frame patience: a peer that
+	// stalls mid-frame longer than this (a slow-loris) has its session cut
+	// with a transient error; 0 disables the defence.
+	IdleTimeout time.Duration
+	// MemBudget caps the bytes one ServeModelTCP session may make the
+	// provider buffer, counting every received frame payload plus the
+	// announced setup-payload total against it — size it at roughly twice
+	// the model's setup volume. A peer declaring past the budget is
+	// rejected before allocation; 0 = unlimited.
+	MemBudget uint64
+	// HandshakeTimeout bounds the wait for the peer's hello on both TCP
+	// entrypoints; 0 applies the 30s default, negative disables it.
+	HandshakeTimeout time.Duration
 	// Trace, when non-nil, records a span per protocol phase, layer and
 	// secure operator, each carrying its exact share of the measured
 	// traffic. Export with WriteChromeTrace or TraceTable. A nil tracer
@@ -400,6 +418,10 @@ func networkConfig(cfg InferenceConfig) engine.Options {
 		Workers: cfg.Workers, Trace: cfg.Trace,
 		Retries: cfg.Retries, RetryBase: cfg.RetryBase,
 		SessionTimeout: cfg.SessionTimeout, DrainGrace: cfg.DrainGrace,
+		MaxConcurrentSessions: cfg.MaxConcurrentSessions,
+		IdleTimeout:           cfg.IdleTimeout,
+		MemBudget:             cfg.MemBudget,
+		HandshakeTimeout:      cfg.HandshakeTimeout,
 	}
 	if cfg.DemoGroup {
 		nc.Group = ot.TestGroup()

@@ -59,6 +59,10 @@ func main() {
 	retryBase := flag.Duration("retry-base", 100*time.Millisecond, "user: first retry backoff delay")
 	sessionTimeout := flag.Duration("session-timeout", 0, "bound one session attempt end to end (0 = none)")
 	drainGrace := flag.Duration("drain-grace", 5*time.Second, "provider: let in-flight sessions finish this long after SIGINT/SIGTERM")
+	maxSessions := flag.Int("max-sessions", 0, "provider: cap on concurrent sessions; excess connections are shed with a transient busy-reject (0 = unlimited)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "provider: cut sessions whose peer stalls mid-frame longer than this (0 = no slow-loris defence)")
+	memBudget := flag.Uint64("mem-budget", 0, "provider: per-session receive-memory budget in bytes; peers declaring past it are rejected before allocation (0 = unlimited)")
+	handshakeTimeout := flag.Duration("handshake-timeout", 0, "bound the wait for the peer's hello (0 = 30s default, negative = none)")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file on exit")
 	metrics := flag.String("metrics", "", "serve /metrics and /debug/pprof on this address (e.g. :9090; loopback unless a host is given)")
 	flag.Parse()
@@ -67,6 +71,8 @@ func main() {
 		CarrierBits: *bits, Seed: *seed, Workers: *workers,
 		Retries: *retries, RetryBase: *retryBase,
 		SessionTimeout: *sessionTimeout, DrainGrace: *drainGrace,
+		MaxConcurrentSessions: *maxSessions, IdleTimeout: *idleTimeout,
+		MemBudget: *memBudget, HandshakeTimeout: *handshakeTimeout,
 	}
 	if *demoGroup {
 		cfg.Group = ot.TestGroup()

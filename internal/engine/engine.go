@@ -85,6 +85,44 @@ type Options struct {
 	// connections. 0 keeps the historical behaviour: cancellation tears
 	// sessions down immediately.
 	DrainGrace time.Duration
+	// MaxConcurrentSessions caps how many sessions ServeTCP runs at
+	// once. Connections beyond the cap are shed with a typed busy reject
+	// (transport.ErrServerBusy — transient, so retrying clients back off
+	// and re-attempt) instead of being queued; 0 admits everything.
+	MaxConcurrentSessions int
+	// IdleTimeout is the longest a networked peer may stall a single
+	// Send/Recv (re-armed per transferred segment, so bulk transfers are
+	// bounded by progress, not total size). It kills slow-loris peers on
+	// the serving path; 0 disables it. Applied by ServeTCP to every
+	// accepted connection.
+	IdleTimeout time.Duration
+	// MemBudget caps the cumulative bytes one session's peer may declare
+	// for this endpoint to receive, charged before any allocation. Every
+	// frame payload counts once, as does the announced total of a chunked
+	// setup payload (the reassembly buffer), so budget roughly 2× the
+	// expected setup volume plus protocol traffic. Exceeding it aborts
+	// the session with a typed *transport.BudgetError; 0 disables it.
+	MemBudget uint64
+	// HandshakeTimeout bounds the hello read at session start on
+	// deadline-capable transports: 0 selects DefaultHandshakeTimeout,
+	// negative disables the bound entirely.
+	HandshakeTimeout time.Duration
+}
+
+// DefaultHandshakeTimeout bounds the hello read when
+// Options.HandshakeTimeout is zero: generous against slow networks,
+// finite against peers that connect and never speak.
+const DefaultHandshakeTimeout = 30 * time.Second
+
+// handshakeTimeout resolves the configured hello deadline.
+func (c Options) handshakeTimeout() time.Duration {
+	switch {
+	case c.HandshakeTimeout < 0:
+		return 0
+	case c.HandshakeTimeout == 0:
+		return DefaultHandshakeTimeout
+	}
+	return c.HandshakeTimeout
 }
 
 // Config is the former name of Options.

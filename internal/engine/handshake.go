@@ -2,7 +2,9 @@ package engine
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"time"
 
 	"aq2pnn/internal/nn"
 	"aq2pnn/internal/ring"
@@ -21,9 +23,10 @@ import (
 // BOTH parties.
 
 // ProtocolVersion is the wire protocol generation. Bump it whenever the
-// session wire format changes incompatibly (the chunked setup exchange
-// and this handshake itself are generation 1).
-const ProtocolVersion = 1
+// session wire format changes incompatibly (generation 1 introduced this
+// handshake and the chunked setup exchange; generation 2 added per-chunk
+// subheaders to the setup exchange and the busy-reject frame).
+const ProtocolVersion = 2
 
 // helloMagic opens every hello frame. A peer speaking the pre-handshake
 // protocol (or not speaking this protocol at all) sends something else as
@@ -32,6 +35,23 @@ const ProtocolVersion = 1
 var helloMagic = [4]byte{'A', 'Q', '2', 'S'}
 
 const helloLen = 20
+
+// busyMagic opens the load-shedding reject frame a provider sends in
+// place of its hello when the admission limit is reached. The client's
+// decodeHello maps it onto transport.ErrServerBusy — transient, so the
+// standard retry/backoff loop re-attempts once a slot may have freed.
+var busyMagic = [4]byte{'A', 'Q', '2', 'B'}
+
+const busyLen = 8
+
+// busyFrame encodes the shed rejection: magic plus the server's protocol
+// version (so a future generation can change the busy wire format too).
+func busyFrame() []byte {
+	p := make([]byte, busyLen)
+	copy(p, busyMagic[:])
+	binary.LittleEndian.PutUint16(p[4:], ProtocolVersion)
+	return p
+}
 
 // Protocol flag bits. Flags cover every Options field that changes the
 // wire transcript: parties disagreeing on one of these would desynchronise
@@ -56,20 +76,31 @@ type sessionHello struct {
 	Model   uint64 // nn.Model architecture fingerprint
 }
 
-// HandshakeError reports a session-parameter disagreement detected during
-// the handshake. Field names the mismatching parameter; Local and Peer
-// carry the two numeric views. It is a permanent error: retrying the
-// session cannot fix a configuration mismatch, and transport.IsTransient
-// classifies it accordingly.
+// HandshakeError reports a handshake failure: a session-parameter
+// disagreement, a malformed hello frame, or a hello that never arrived
+// within the handshake deadline. Field names the mismatching parameter
+// (or the violated framing rule); Local and Peer carry the two numeric
+// views. Mismatches and malformed frames are permanent — retrying cannot
+// fix a misconfigured (or hostile) peer — and transport.IsTransient
+// classifies them accordingly; a hello *timeout* carries its cause in
+// Err and stays transient through it.
 type HandshakeError struct {
 	Field       string
 	Local, Peer uint64
+	// Err, when non-nil, is the underlying transport failure (e.g. the
+	// idle-timeout that cut short a stalled hello read).
+	Err error
 }
 
 func (e *HandshakeError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("engine: handshake %s: %v", e.Field, e.Err)
+	}
 	return fmt.Sprintf("engine: handshake %s mismatch: local %#x, peer %#x",
 		e.Field, e.Local, e.Peer)
 }
+
+func (e *HandshakeError) Unwrap() error { return e.Err }
 
 // helloFor assembles this party's hello from the resolved session
 // parameters.
@@ -104,9 +135,22 @@ func (h sessionHello) encode() []byte {
 
 func decodeHello(p []byte) (sessionHello, error) {
 	var h sessionHello
-	if len(p) != helloLen || [4]byte(p[:4]) != helloMagic {
-		return h, fmt.Errorf("engine: peer did not send a session hello "+
-			"(got %d-byte frame; peer may speak a pre-handshake protocol version)", len(p))
+	if len(p) >= len(busyMagic) && [4]byte(p[:4]) == busyMagic {
+		return h, fmt.Errorf("engine: provider shed this session under load: %w",
+			transport.ErrServerBusy)
+	}
+	// Strict framing: exactly helloLen bytes, opening with the magic. A
+	// truncated hello and one carrying trailing garbage are equally
+	// rejected — a peer that pads its hello is not speaking this protocol.
+	if len(p) != helloLen {
+		return h, &HandshakeError{Field: "hello frame length", Local: helloLen, Peer: uint64(len(p))}
+	}
+	if [4]byte(p[:4]) != helloMagic {
+		return h, &HandshakeError{
+			Field: "hello magic",
+			Local: uint64(binary.LittleEndian.Uint32(helloMagic[:])),
+			Peer:  uint64(binary.LittleEndian.Uint32(p[:4])),
+		}
 	}
 	h.Version = binary.LittleEndian.Uint16(p[4:])
 	h.Role = p[6]
@@ -122,12 +166,23 @@ func decodeHello(p []byte) (sessionHello, error) {
 // deadlock), and both run identical checks, so a mismatch produces the
 // same typed error on each side instead of one party erroring and the
 // other hanging.
-func exchangeHello(conn transport.Conn, mine sessionHello) error {
+//
+// A positive timeout bounds the hello read on transports that support
+// receive deadlines: a peer that connects and sends three bytes then
+// stalls fails fast with a typed *HandshakeError instead of pinning the
+// session goroutine forever. In-memory pipes ignore the timeout.
+func exchangeHello(conn transport.Conn, mine sessionHello, timeout time.Duration) error {
 	if err := conn.Send(mine.encode()); err != nil {
 		return fmt.Errorf("engine: sending session hello: %w", err)
 	}
+	if timeout > 0 && transport.SetRecvDeadline(conn, time.Now().Add(timeout)) {
+		defer transport.SetRecvDeadline(conn, time.Time{})
+	}
 	p, err := conn.Recv()
 	if err != nil {
+		if errors.Is(err, transport.ErrIdleTimeout) {
+			return &HandshakeError{Field: "hello read", Err: err}
+		}
 		return fmt.Errorf("engine: receiving session hello: %w", err)
 	}
 	peer, err := decodeHello(p)

@@ -33,8 +33,8 @@ func exchangeBoth(t *testing.T, mine, theirs sessionHello) (errA, errB error) {
 	defer b.Close()
 	var wg sync.WaitGroup
 	wg.Add(2)
-	go func() { defer wg.Done(); errA = exchangeHello(a, mine) }()
-	go func() { defer wg.Done(); errB = exchangeHello(b, theirs) }()
+	go func() { defer wg.Done(); errA = exchangeHello(a, mine, 0) }()
+	go func() { defer wg.Done(); errB = exchangeHello(b, theirs, 0) }()
 	wg.Wait()
 	return errA, errB
 }

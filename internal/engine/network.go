@@ -79,7 +79,7 @@ func RunUser(conn transport.Conn, m *nn.Model, x []int64, cfg Options) (*Result,
 		if err := func() error {
 			sp := ctx.Trace.Enter("handshake")
 			defer ctx.Trace.Exit(sp)
-			return exchangeHello(conn, helloFor(roleUser, m, r, cfg))
+			return exchangeHello(conn, helloFor(roleUser, m, r, cfg), cfg.handshakeTimeout())
 		}(); err != nil {
 			return err
 		}
@@ -157,7 +157,7 @@ func RunProvider(conn transport.Conn, m *nn.Model, cfg Options) error {
 		if err := func() error {
 			sp := ctx.Trace.Enter("handshake")
 			defer ctx.Trace.Exit(sp)
-			return exchangeHello(conn, helloFor(roleProvider, m, r, cfg))
+			return exchangeHello(conn, helloFor(roleProvider, m, r, cfg), cfg.handshakeTimeout())
 		}(); err != nil {
 			return err
 		}

@@ -32,7 +32,25 @@ var ErrSessionAborted = errors.New("engine: session aborted")
 // into a failure. A panicking session is recovered, surfaced through
 // onSession as an error, and never takes down its sibling sessions or the
 // accept loop.
+//
+// Hostile-peer defences: cfg.MaxConcurrentSessions caps in-flight
+// sessions — excess connections are shed immediately with a busy-reject
+// frame (the client sees transport.ErrServerBusy, which is transient, so
+// its retry/backoff loop re-attempts once a slot frees) and never consume
+// a `sessions` slot. cfg.IdleTimeout and cfg.MemBudget are installed as
+// transport limits on every accepted connection, so a slow-loris peer or
+// one declaring giant frames is cut off inside the transport before the
+// protocol ever blocks or allocates. Shed sessions increment
+// aq2pnn_sessions_shed_total; sessions killed by those limits increment
+// aq2pnn_idle_timeouts_total / aq2pnn_frames_rejected_total.
 func ServeTCP(ctx context.Context, l *transport.Listener, m *nn.Model, cfg Options, sessions int, onSession func(error)) error {
+	if cfg.IdleTimeout > 0 || cfg.MemBudget > 0 {
+		l.SetLimits(transport.Limits{IdleTimeout: cfg.IdleTimeout, MemBudget: cfg.MemBudget})
+	}
+	var admit chan struct{}
+	if cfg.MaxConcurrentSessions > 0 {
+		admit = make(chan struct{}, cfg.MaxConcurrentSessions)
+	}
 	// drainCtx governs in-flight sessions. It survives ctx cancellation
 	// by cfg.DrainGrace so accepted sessions may finish; the watcher
 	// below links the two. context.WithoutCancel is deliberate — plain
@@ -62,6 +80,7 @@ func ServeTCP(ctx context.Context, l *transport.Listener, m *nn.Model, cfg Optio
 	var errs []error
 	record := func(err error) {
 		telemetry.Count("aq2pnn_sessions_total", 1)
+		countHostile(err)
 		if onSession != nil {
 			onSession(err)
 		}
@@ -72,7 +91,7 @@ func ServeTCP(ctx context.Context, l *transport.Listener, m *nn.Model, cfg Optio
 			mu.Unlock()
 		}
 	}
-	for n := 0; sessions == 0 || n < sessions; n++ {
+	for n := 0; sessions == 0 || n < sessions; {
 		conn, err := l.AcceptSession(ctx, drainCtx)
 		if err != nil {
 			wg.Wait()
@@ -87,17 +106,66 @@ func ServeTCP(ctx context.Context, l *transport.Listener, m *nn.Model, cfg Optio
 			defer mu.Unlock()
 			return errors.Join(append(errs, err)...)
 		}
+		if admit != nil {
+			select {
+			case admit <- struct{}{}:
+			default:
+				// At capacity: shed the connection without consuming a
+				// `sessions` slot or reporting a session error — the
+				// busy-reject frame tells the client to back off and retry.
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					shedSession(conn)
+				}()
+				continue
+			}
+		}
+		n++
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			defer conn.Close()
-			record(runSession(drainCtx, conn, m, cfg))
+			err := runSession(drainCtx, conn, m, cfg)
+			if admit != nil {
+				<-admit
+			}
+			record(err)
 		}()
 	}
 	wg.Wait()
 	mu.Lock()
 	defer mu.Unlock()
 	return errors.Join(errs...)
+}
+
+// shedSession rejects a connection that arrived while every admission
+// slot was busy: it sends the busy frame (best-effort — a client that
+// already hung up simply misses it) and closes the connection.
+func shedSession(conn transport.Conn) {
+	defer conn.Close()
+	telemetry.Count("aq2pnn_sessions_shed_total", 1)
+	if err := conn.Send(busyFrame()); err != nil {
+		return
+	}
+}
+
+// countHostile attributes a finished session's failure to the defence
+// that triggered it, so operators can distinguish hostile or broken peers
+// from ordinary protocol failures on the metrics endpoint.
+func countHostile(err error) {
+	if err == nil {
+		return
+	}
+	if errors.Is(err, transport.ErrIdleTimeout) {
+		telemetry.Count("aq2pnn_idle_timeouts_total", 1)
+	}
+	var fe *transport.FrameError
+	var be *transport.BudgetError
+	var pe *PayloadError
+	if errors.As(err, &fe) || errors.As(err, &be) || (errors.As(err, &pe) && pe.Wire) {
+		telemetry.Count("aq2pnn_frames_rejected_total", 1)
+	}
 }
 
 // runSession executes one provider session with panic containment and the

@@ -141,7 +141,7 @@ func TestServeTCPSessionTimeout(t *testing.T) {
 	defer conn.Close()
 	// Valid hello, then silence.
 	r := cfg.Carrier(m)
-	if err := exchangeHello(conn, helloFor(roleUser, m, r, cfg)); err != nil {
+	if err := exchangeHello(conn, helloFor(roleUser, m, r, cfg), 0); err != nil {
 		t.Fatal(err)
 	}
 	select {

@@ -14,26 +14,35 @@ import (
 // easily exceeds transport.MaxFrame (a ResNet50's shares gob-encode to
 // well over 64 MiB), and the old single-frame sendGob died with an
 // opaque "frame exceeds max" on the provider while the user hung in
-// Recv. The exchange is now chunked: a fixed 16-byte header frame
-// announces the chunk count and total payload size, followed by that
-// many frames of at most gobChunk bytes each. The receiver validates
-// the header and reassembles before handing the bytes to gob.
+// Recv. The exchange is chunked: a fixed 16-byte header frame announces
+// the chunk count and total payload size, followed by that many chunk
+// frames, each opening with an 8-byte subheader (chunk index, chunk
+// length). The receiver validates the header, charges the announced
+// total against the session memory budget before buffering a byte,
+// checks every chunk's index and length against the announcement
+// (duplicates, reorderings and truncations are typed *PayloadError
+// rejections, not silent concatenations), reassembles incrementally, and
+// only then hands the bytes to gob.
 
 // gobMagic opens every chunked-payload header frame ("AQ2G").
 const gobMagic = 0x47325141
 
 const gobHeaderLen = 16
 
+// gobChunkHeaderLen is the per-chunk subheader: chunk index (uint32) and
+// chunk payload length (uint32), little-endian.
+const gobChunkHeaderLen = 8
+
 // maxGobPayload bounds the reassembled setup payload (4 GiB). A header
 // announcing more than this is rejected before any allocation, so a
 // corrupted or hostile header cannot OOM the receiver.
 const maxGobPayload = 4 << 30
 
-// gobChunk is the per-frame budget for one chunk. It is a variable only
-// so tests can shrink it to exercise multi-chunk reassembly without
-// materialising multi-gigabyte payloads; production always uses the
-// transport frame cap.
-var gobChunk = transport.MaxFrame
+// gobChunk is the per-frame budget for one chunk's payload (the
+// subheader rides in the same frame, hence the headroom under the frame
+// cap). It is a variable only so tests can shrink it to exercise
+// multi-chunk reassembly without materialising multi-gigabyte payloads.
+var gobChunk = transport.MaxFrame - gobChunkHeaderLen
 
 func sendGob(c transport.Conn, v any) error {
 	var buf bytes.Buffer
@@ -52,11 +61,17 @@ func sendGob(c transport.Conn, v any) error {
 	if err := c.Send(hdr); err != nil {
 		return err
 	}
+	idx := uint32(0)
 	for off := 0; off < len(p); off += gobChunk {
 		end := min(off+gobChunk, len(p))
-		if err := c.Send(p[off:end]); err != nil {
+		chunk := make([]byte, gobChunkHeaderLen+end-off)
+		binary.LittleEndian.PutUint32(chunk[0:], idx)
+		binary.LittleEndian.PutUint32(chunk[4:], uint32(end-off))
+		copy(chunk[gobChunkHeaderLen:], p[off:end])
+		if err := c.Send(chunk); err != nil {
 			return err
 		}
+		idx++
 	}
 	return nil
 }
@@ -67,7 +82,7 @@ func recvGob(c transport.Conn, v any) error {
 		return err
 	}
 	if len(hdr) != gobHeaderLen || binary.LittleEndian.Uint32(hdr) != gobMagic {
-		return fmt.Errorf("engine: peer sent a %d-byte frame where a setup chunk header was expected", len(hdr))
+		return wireError("setup header frame", len(hdr), gobHeaderLen)
 	}
 	count := binary.LittleEndian.Uint32(hdr[4:])
 	total := binary.LittleEndian.Uint64(hdr[8:])
@@ -77,16 +92,39 @@ func recvGob(c transport.Conn, v any) error {
 	if count == 0 || uint64(count) > total {
 		return fmt.Errorf("engine: setup header announces %d chunks for %d bytes", count, total)
 	}
-	buf := make([]byte, 0, total)
+	// Charge the announced total against the session memory budget before
+	// buffering a single payload byte: a hostile header claiming gigabytes
+	// is rejected here, not discovered at OOM time.
+	if err := transport.ReserveBudget(c, total); err != nil {
+		return fmt.Errorf("engine: setup payload: %w", err)
+	}
+	// The buffer grows with the chunks actually received rather than being
+	// preallocated at the announced total, so a peer that announces big and
+	// sends small never costs more memory than it ships.
+	var buf []byte
 	for i := uint32(0); i < count; i++ {
 		p, err := c.Recv()
 		if err != nil {
 			return fmt.Errorf("engine: receiving setup chunk %d/%d: %w", i+1, count, err)
 		}
-		if uint64(len(buf))+uint64(len(p)) > total {
+		if len(p) < gobChunkHeaderLen {
+			return wireError(fmt.Sprintf("chunk %d frame length", i), len(p), gobChunkHeaderLen)
+		}
+		idx := binary.LittleEndian.Uint32(p[0:])
+		clen := binary.LittleEndian.Uint32(p[4:])
+		// Indices must arrive strictly in order: a duplicate, a reordering
+		// or a skipped chunk would silently reassemble a corrupted payload.
+		if idx != i {
+			return wireError("chunk index", int(idx), int(i))
+		}
+		body := p[gobChunkHeaderLen:]
+		if int(clen) != len(body) {
+			return wireError(fmt.Sprintf("chunk %d length", i), len(body), int(clen))
+		}
+		if uint64(len(buf))+uint64(len(body)) > total {
 			return fmt.Errorf("engine: setup chunks overflow the announced %d bytes", total)
 		}
-		buf = append(buf, p...)
+		buf = append(buf, body...)
 	}
 	if uint64(len(buf)) != total {
 		return fmt.Errorf("engine: reassembled %d setup bytes, header announced %d", len(buf), total)
@@ -95,22 +133,37 @@ func recvGob(c transport.Conn, v any) error {
 }
 
 // PayloadError reports a setup payload that disagrees with the public
-// model architecture. Node is the offending node id, or -1 for the
-// shared input vector. Like *HandshakeError it is permanent: the peer is
-// misconfigured (or malicious), and retrying cannot help.
+// model architecture, or — when Wire is set — a setup exchange that
+// violates the chunked wire framing itself (bad header, out-of-order
+// chunk index, chunk-length mismatch). Node is the offending node id, or
+// -1 for the shared input vector or a framing violation. Like
+// *HandshakeError it is permanent: the peer is misconfigured (or
+// malicious), and retrying cannot help.
 type PayloadError struct {
 	Node      int
-	Field     string // "weights", "bias" or "input"
+	Field     string // "weights", "bias", "input" or the violated framing rule
 	Got, Want int
+	// Wire marks a framing violation of the chunked setup exchange rather
+	// than a shape mismatch in a decoded payload.
+	Wire bool
 }
 
 func (e *PayloadError) Error() string {
+	if e.Wire {
+		return fmt.Sprintf("engine: setup wire framing: %s is %d, want %d",
+			e.Field, e.Got, e.Want)
+	}
 	if e.Node < 0 {
 		return fmt.Sprintf("engine: setup payload: %s share has %d elements, want %d",
 			e.Field, e.Got, e.Want)
 	}
 	return fmt.Sprintf("engine: setup payload: node %d %s share has %d elements, want %d",
 		e.Node, e.Field, e.Got, e.Want)
+}
+
+// wireError builds the framing-violation variant of *PayloadError.
+func wireError(field string, got, want int) *PayloadError {
+	return &PayloadError{Node: -1, Field: field, Got: got, Want: want, Wire: true}
 }
 
 // validateWirePayload checks the provider's weight-share payload against

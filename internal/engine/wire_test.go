@@ -206,7 +206,7 @@ func TestRunUserRejectsMalformedPayload(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		// Hand-rolled malicious provider: valid hello, bad payload.
-		if err := exchangeHello(b, helloFor(roleProvider, m, r, cfg)); err != nil {
+		if err := exchangeHello(b, helloFor(roleProvider, m, r, cfg), 0); err != nil {
 			return
 		}
 		_ = sendGob(b, wirePayload{W: ws0.W, Bias: ws0.Bias})

@@ -1,0 +1,233 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"aq2pnn/internal/lint/analysis"
+)
+
+// AllocCap flags slice allocations whose size flows from a value the peer
+// declared on the wire (a binary.LittleEndian/BigEndian Uint16/32/64
+// decode) without a dominating bound check. `make([]byte, n)` where n was
+// read straight out of a frame lets a hostile peer size our allocation:
+// the analyzer demands that every such length is either compared against
+// a bound (any comparison mentioning it in an if/for condition before the
+// allocation) or clamped through the min builtin at the allocation site.
+// The check is an intra-function heuristic — a bound established in a
+// caller needs a `//lint:allow alloccap <reason>` at the make site.
+var AllocCap = &analysis.Analyzer{
+	Name: "alloccap",
+	Doc: "flags make([]T, n) where n flows from a wire-decoded length " +
+		"with no dominating bound check",
+	Run: runAllocCap,
+}
+
+func runAllocCap(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkAllocCap(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkAllocCap walks one function body in source order, tracking which
+// objects are tainted (assigned from a wire decode, directly or through
+// arithmetic on tainted values) and which are bounded (mentioned in a
+// comparison inside an if or for condition seen before the allocation).
+func checkAllocCap(pass *analysis.Pass, body *ast.BlockStmt) {
+	tainted := make(map[types.Object]bool)
+	bounded := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range s.Lhs {
+				var rhs ast.Expr
+				if len(s.Rhs) == len(s.Lhs) {
+					rhs = s.Rhs[i]
+				} else if len(s.Rhs) == 1 {
+					rhs = s.Rhs[0]
+				}
+				if rhs == nil {
+					continue
+				}
+				if id, ok := lhs.(*ast.Ident); ok {
+					if obj := pass.ObjectOf(id); obj != nil && exprTainted(pass, rhs, tainted) {
+						tainted[obj] = true
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range s.Names {
+				if i < len(s.Values) {
+					if obj := pass.ObjectOf(name); obj != nil && exprTainted(pass, s.Values[i], tainted) {
+						tainted[obj] = true
+					}
+				}
+			}
+		case *ast.IfStmt:
+			markBounded(pass, s.Cond, bounded)
+		case *ast.ForStmt:
+			if s.Cond != nil {
+				markBounded(pass, s.Cond, bounded)
+			}
+		case *ast.CallExpr:
+			if !isBuiltinMake(pass, s) {
+				return true
+			}
+			t := pass.TypeOf(s)
+			if t == nil {
+				return true
+			}
+			if _, ok := t.Underlying().(*types.Slice); !ok {
+				return true
+			}
+			for _, arg := range s.Args[1:] {
+				if off, culprit := unboundedWireSize(pass, arg, tainted, bounded); off != token.NoPos {
+					pass.Reportf(s.Lparen,
+						"allocation sized by wire-decoded %s without a dominating bound check; compare it to a cap (or clamp with min) first",
+						culprit)
+					break
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isBuiltinMake reports whether call invokes the builtin make (not a
+// shadowing local function) with at least one size argument.
+func isBuiltinMake(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "make" || len(call.Args) < 2 {
+		return false
+	}
+	obj := pass.ObjectOf(id)
+	if obj == nil {
+		return true // degraded type info: assume the builtin
+	}
+	_, builtin := obj.(*types.Builtin)
+	return builtin
+}
+
+// exprTainted reports whether e contains a wire decode call or a
+// tainted identifier. Comparisons and min calls stop the taint — their
+// results are bounds or booleans, not attacker-sized lengths.
+func exprTainted(pass *analysis.Pass, e ast.Expr, tainted map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if isWireDecode(x) {
+				found = true
+				return false
+			}
+			if isMinClamp(pass, x) {
+				return false
+			}
+		case *ast.Ident:
+			if obj := pass.ObjectOf(x); obj != nil && tainted[obj] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isWireDecode recognises binary.LittleEndian.UintNN / binary.BigEndian.
+// UintNN calls: the canonical "length the peer declared" sources.
+func isWireDecode(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Uint16", "Uint32", "Uint64":
+	default:
+		return false
+	}
+	switch x := sel.X.(type) {
+	case *ast.SelectorExpr:
+		return strings.Contains(x.Sel.Name, "Endian")
+	case *ast.Ident:
+		return strings.Contains(x.Name, "Endian")
+	}
+	return false
+}
+
+// isMinClamp recognises the builtin min (or any function literally named
+// min): clamping through it bounds the result by the other operands.
+func isMinClamp(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "min" && len(call.Args) >= 2
+}
+
+var compareOps = map[token.Token]bool{
+	token.LSS: true, token.LEQ: true,
+	token.GTR: true, token.GEQ: true,
+	token.EQL: true, token.NEQ: true,
+}
+
+// markBounded records every identifier mentioned inside a comparison of
+// the condition expression as bounded.
+func markBounded(pass *analysis.Pass, cond ast.Expr, bounded map[types.Object]bool) {
+	ast.Inspect(cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || !compareOps[be.Op] {
+			return true
+		}
+		for _, side := range []ast.Expr{be.X, be.Y} {
+			ast.Inspect(side, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if obj := pass.ObjectOf(id); obj != nil {
+						bounded[obj] = true
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+}
+
+// unboundedWireSize scans a make size argument for an unbounded tainted
+// source: a direct decode call, or a tainted identifier that no prior
+// condition compared to anything. A size clamped through min at the
+// allocation site is accepted outright.
+func unboundedWireSize(pass *analysis.Pass, arg ast.Expr, tainted, bounded map[types.Object]bool) (token.Pos, string) {
+	pos, culprit := token.NoPos, ""
+	ast.Inspect(arg, func(n ast.Node) bool {
+		if pos != token.NoPos {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if isMinClamp(pass, x) {
+				return false
+			}
+			if isWireDecode(x) {
+				pos, culprit = x.Pos(), "value"
+				return false
+			}
+		case *ast.Ident:
+			if obj := pass.ObjectOf(x); obj != nil && tainted[obj] && !bounded[obj] {
+				pos, culprit = x.Pos(), `"`+x.Name+`"`
+				return false
+			}
+		}
+		return true
+	})
+	return pos, culprit
+}

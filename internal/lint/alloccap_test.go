@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"aq2pnn/internal/lint"
+	"aq2pnn/internal/lint/linttest"
+)
+
+func TestAllocCap(t *testing.T) {
+	linttest.Run(t, "testdata", "alloccap", lint.AllocCap)
+}

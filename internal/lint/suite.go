@@ -16,6 +16,7 @@ func Suite() []*analysis.Analyzer {
 		PanicFree,
 		LoopPar,
 		SpanEnd,
+		AllocCap,
 	}
 }
 
@@ -71,6 +72,15 @@ var scopes = map[string][]string{
 	},
 	// Pool kernels appear wherever the shared pool is used.
 	LoopPar.Name: nil,
+	// Wire-facing decoders: everywhere a peer-declared length could size
+	// an allocation before a bound check.
+	AllocCap.Name: {
+		"aq2pnn/internal/transport",
+		"aq2pnn/internal/engine",
+		"aq2pnn/internal/ot",
+		"aq2pnn/internal/scm",
+		"aq2pnn/internal/a2b",
+	},
 	// Every package that starts telemetry spans (the instrumented protocol
 	// stack, the engine, the facade and the telemetry package itself).
 	SpanEnd.Name: {

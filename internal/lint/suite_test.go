@@ -72,7 +72,7 @@ func TestSuiteComplete(t *testing.T) {
 	want := map[string]bool{
 		"ringmask": true, "prgonly": true, "sendcheck": true,
 		"ctxplumb": true, "panicfree": true, "looppar": true,
-		"spanend": true,
+		"spanend": true, "alloccap": true,
 	}
 	suite := lint.Suite()
 	if len(suite) != len(want) {

@@ -1,0 +1,65 @@
+// Testdata for the alloccap analyzer.
+package alloccap
+
+import "encoding/binary"
+
+const maxFrame = 1 << 26
+
+// Unbounded: the peer-declared length sizes the allocation directly.
+func unbounded(hdr []byte) []byte {
+	n := binary.LittleEndian.Uint32(hdr)
+	return make([]byte, n) // want `allocation sized by wire-decoded "n" without a dominating bound check`
+}
+
+// Unbounded: the decode feeds the size without ever landing in a checked
+// variable.
+func inline(hdr []byte) []byte {
+	return make([]byte, binary.LittleEndian.Uint64(hdr)) // want `allocation sized by wire-decoded value without a dominating bound check`
+}
+
+// Unbounded through arithmetic: taint propagates through the sum.
+func derived(hdr []byte) []byte {
+	n := binary.LittleEndian.Uint32(hdr)
+	total := int(n) + 8
+	return make([]byte, total) // want `allocation sized by wire-decoded "total" without a dominating bound check`
+}
+
+// Bounded: a dominating comparison checks the length first.
+func checked(hdr []byte) []byte {
+	n := binary.LittleEndian.Uint32(hdr)
+	if n > maxFrame {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+// Bounded: clamping through min caps the allocation at the site.
+func clamped(hdr []byte) []byte {
+	n := int(binary.LittleEndian.Uint32(hdr))
+	return make([]byte, min(n, maxFrame))
+}
+
+// Two sizes, one bounded: only the unchecked count is reported.
+func partial(hdr []byte) [][]byte {
+	rows := binary.LittleEndian.Uint32(hdr)
+	cols := binary.LittleEndian.Uint32(hdr[4:])
+	if cols > 64 {
+		return nil
+	}
+	out := make([][]byte, rows) // want `allocation sized by wire-decoded "rows" without a dominating bound check`
+	for i := range out {
+		out[i] = make([]byte, cols)
+	}
+	return out
+}
+
+// Suppressed: the bound lives in the caller, documented at the site.
+func allowed(n uint32) []byte {
+	m := binary.LittleEndian.Uint32([]byte{0, 0, 0, 0})
+	return make([]byte, m) //lint:allow alloccap caller bounds m against the frame cap
+}
+
+// Untainted sizes never trip the check.
+func local(n int) []byte {
+	return make([]byte, n)
+}

@@ -70,6 +70,16 @@ func (h flowHeader) encode() []byte {
 	return buf
 }
 
+// Hostile-peer caps on the flow header's declared dimensions, checked
+// BEFORE the eb·(3+nl) product so a giant pair of 32-bit fields can
+// neither overflow the int arithmetic nor size an allocation. 8 KiB per
+// element covers a 65536-bit modulus (far beyond any sane group); 65536
+// labels covers a 1-of-2^16 OT, well past the protocol's largest fan-out.
+const (
+	maxFlowElemBytes = 1 << 13
+	maxFlowLabels    = 1 << 16
+)
+
 func decodeFlowHeader(p []byte) (flowHeader, error) {
 	var h flowHeader
 	if len(p) < 8 {
@@ -78,7 +88,10 @@ func decodeFlowHeader(p []byte) (flowHeader, error) {
 	eb := int(binary.LittleEndian.Uint32(p[:4]))
 	nl := int(binary.LittleEndian.Uint32(p[4:8]))
 	p = p[8:]
-	if eb <= 0 || nl < 0 || len(p) != eb*(3+nl) {
+	if eb <= 0 || eb > maxFlowElemBytes || nl < 0 || nl > maxFlowLabels {
+		return h, fmt.Errorf("ot: flow header declares eb=%d nl=%d, caps %d/%d", eb, nl, maxFlowElemBytes, maxFlowLabels)
+	}
+	if len(p) != eb*(3+nl) {
 		return h, fmt.Errorf("ot: malformed flow header (eb=%d nl=%d len=%d)", eb, nl, len(p))
 	}
 	take := func() *big.Int {
@@ -94,6 +107,11 @@ func decodeFlowHeader(p []byte) (flowHeader, error) {
 	}
 	if h.group.P.Sign() == 0 {
 		return h, fmt.Errorf("ot: zero modulus in flow header")
+	}
+	// The declared element width must be the group's canonical one, or the
+	// sender's later Encode calls and our slicing disagree on boundaries.
+	if h.group.ElemBytes() != eb {
+		return h, fmt.Errorf("ot: flow header element width %d does not match modulus width %d", eb, h.group.ElemBytes())
 	}
 	return h, nil
 }

@@ -1,0 +1,38 @@
+package ot
+
+import (
+	"testing"
+)
+
+// FuzzOTFlowHeader throws arbitrary bytes at the OT-flow header decoder:
+// it must never panic, never accept a zero modulus, and every header it
+// accepts must respect the declared-dimension caps (the fields that size
+// allocations).
+func FuzzOTFlowHeader(f *testing.F) {
+	f.Add(encodeSeedHeader())
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}) // giant eb/nl
+	f.Add(make([]byte, 8))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := decodeFlowHeader(data)
+		if err != nil {
+			return
+		}
+		if h.group.P.Sign() == 0 {
+			t.Fatal("decoder accepted a zero modulus")
+		}
+		if len(h.labels) > maxFlowLabels {
+			t.Fatalf("decoder accepted %d labels past the %d cap", len(h.labels), maxFlowLabels)
+		}
+		if h.group.ElemBytes() > maxFlowElemBytes {
+			t.Fatalf("decoder accepted %d-byte elements past the %d cap", h.group.ElemBytes(), maxFlowElemBytes)
+		}
+	})
+}
+
+// encodeSeedHeader builds one genuine flow header as the fuzzing seed.
+func encodeSeedHeader() []byte {
+	g := TestGroup()
+	h := flowHeader{group: g, rHat: g.G, labels: nil}
+	return h.encode()
+}

@@ -1,0 +1,35 @@
+package scm
+
+import (
+	"testing"
+)
+
+// FuzzSCMMessage exercises the receiver-side SCM decoders on arbitrary
+// peer bytes: unpacking a packed comparison matrix and scanning a token
+// row must reject malformed input with an error, never a panic, for
+// every ring width the protocol supports.
+func FuzzSCMMessage(f *testing.F) {
+	f.Add([]byte{8, TokenEQ, TokenLT, TokenGT, 0})
+	f.Add([]byte{20, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Add([]byte{0})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		bits := uint(2 + int(data[0])%62)
+		data = data[1:]
+		var packed []PackedRow
+		for len(data) >= 4 {
+			packed = append(packed, PackedRow{data[0], data[1], data[2], data[3]})
+			data = data[4:]
+		}
+		rows, err := UnpackTokens(packed, bits)
+		if err == nil {
+			for _, row := range rows {
+				_, _ = ScanTokens(row)
+			}
+		}
+		_, _ = ScanTokens(data) // leftover bytes as a raw token row
+	})
+}

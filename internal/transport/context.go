@@ -55,7 +55,24 @@ func DialContext(ctx context.Context, addr string, timeout time.Duration) (Conn,
 // Listener accepts framed party connections; unlike the one-shot Listen it
 // stays open, so a server can host many concurrent sessions.
 type Listener struct {
-	l net.Listener
+	l   net.Listener
+	mu  sync.Mutex
+	lim Limits
+}
+
+// SetLimits applies per-connection resource limits (idle timeout, memory
+// budget) to every subsequently accepted connection. Connections already
+// accepted keep the limits they were born with.
+func (l *Listener) SetLimits(lim Limits) {
+	l.mu.Lock()
+	l.lim = lim
+	l.mu.Unlock()
+}
+
+func (l *Listener) limits() Limits {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lim
 }
 
 // NewListener starts listening on addr.
@@ -103,7 +120,7 @@ func (l *Listener) AcceptSession(acceptCtx, connCtx context.Context) (Conn, erro
 		}
 		return nil, err
 	}
-	return bindContext(connCtx, NewNetConn(c)), nil
+	return bindContext(connCtx, NewNetConnLimits(c, l.limits())), nil
 }
 
 // WithContext couples an existing Conn's lifetime to ctx: cancellation
@@ -138,3 +155,8 @@ func (c *ctxConn) Close() error {
 	c.once.Do(func() { close(c.stop) })
 	return c.Conn.Close()
 }
+
+// Unwrap exposes the decorated Conn so budget and deadline requests
+// (ReserveBudget, SetRecvDeadline) reach the transport under the
+// context binding.
+func (c *ctxConn) Unwrap() Conn { return c.Conn }

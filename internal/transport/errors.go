@@ -34,6 +34,11 @@ func IsTransient(err error) bool {
 	if errors.Is(err, ErrInjected) || errors.Is(err, ErrClosed) || errors.Is(err, net.ErrClosed) {
 		return true
 	}
+	// A shed session retries once a server slot may have freed; an idle
+	// timeout may be a stalled network rather than a hostile peer.
+	if errors.Is(err, ErrServerBusy) || errors.Is(err, ErrIdleTimeout) {
+		return true
+	}
 	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
 		return true
 	}

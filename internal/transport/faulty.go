@@ -33,6 +33,12 @@ type FaultPlan struct {
 	MaxLatency time.Duration
 	// Seed drives the latency schedule.
 	Seed uint64
+	// Stall, when non-zero, delays operation index StallAt by Stall
+	// before it executes — a deterministic slow-loris: the peer's
+	// matching Send/Recv blocks for the whole stall, which is what the
+	// idle-timeout defences must cut short.
+	Stall   time.Duration
+	StallAt int
 }
 
 // FaultyConn wraps a Conn and injects the faults of a FaultPlan: seeded
@@ -55,6 +61,8 @@ type FaultyConn struct {
 	partialDone bool
 	maxLatency  time.Duration
 	seed        uint64
+	stall       time.Duration
+	stallAt     int
 	op          uint64
 	injected    Stats // only SendErrs/RecvErrs are ever non-zero
 }
@@ -76,6 +84,8 @@ func NewChaosConn(inner Conn, plan FaultPlan) *FaultyConn {
 		partial:    plan.PartialWrite,
 		maxLatency: plan.MaxLatency,
 		seed:       plan.Seed,
+		stall:      plan.Stall,
+		stallAt:    plan.StallAt,
 	}
 }
 
@@ -90,6 +100,9 @@ func (f *FaultyConn) take() (ok, last, first bool) {
 	var wait time.Duration
 	if f.maxLatency > 0 {
 		wait = time.Duration(mix64(f.seed^mix64(op)) % uint64(f.maxLatency))
+	}
+	if f.stall > 0 && op == uint64(f.stallAt) {
+		wait += f.stall
 	}
 	switch {
 	case f.remaining < 0: // unlimited budget: latency-only chaos
@@ -163,3 +176,7 @@ func (f *FaultyConn) ResetStats() {
 
 // Close implements Conn.
 func (f *FaultyConn) Close() error { return f.Inner.Close() }
+
+// Unwrap exposes the wrapped Conn so budget and deadline requests reach
+// the real transport through the fault injector.
+func (f *FaultyConn) Unwrap() Conn { return f.Inner }

@@ -253,10 +253,30 @@ type netConn struct {
 	c  net.Conn
 	wm sync.Mutex
 	rm sync.Mutex
+
+	lim Limits
+
+	// bm guards the memory-budget ledger (used ≤ lim.MemBudget always).
+	bm   sync.Mutex
+	used uint64
+
+	// dm guards the explicit receive deadline set by SetRecvDeadline.
+	dm       sync.Mutex
+	explicit time.Time
+	// rArmed/wArmed track whether a deadline is currently set on the
+	// socket, so unlimited connections never touch SetReadDeadline and a
+	// cleared deadline is propagated exactly once. Guarded by rm/wm.
+	rArmed bool
+	wArmed bool
 }
 
-// NewNetConn wraps a stream connection (typically TCP) as a framed Conn.
+// NewNetConn wraps a stream connection (typically TCP) as a framed Conn
+// with no resource limits.
 func NewNetConn(c net.Conn) Conn { return &netConn{c: c} }
+
+// NewNetConnLimits wraps a stream connection as a framed Conn enforcing
+// the given resource limits (see Limits).
+func NewNetConnLimits(c net.Conn, lim Limits) Conn { return &netConn{c: c, lim: lim} }
 
 // Dial connects to a listening party at addr, retrying until the timeout
 // elapses so that the two party processes may start in either order.
@@ -275,20 +295,26 @@ func Listen(addr string) (Conn, error) {
 	return l.Accept(context.Background())
 }
 
+// ioChunk is the segment size for moving frame payloads: the idle
+// deadline is re-armed and the receive buffer grown per segment, so
+// neither allocation nor patience ever runs ahead of the bytes the peer
+// has actually delivered.
+const ioChunk = 1 << 20
+
 func (c *netConn) Send(payload []byte) error {
 	if len(payload) > MaxFrame {
 		c.noteSendErr()
-		return fmt.Errorf("transport: frame of %d bytes exceeds MaxFrame", len(payload))
+		return &FrameError{Op: "send", Declared: uint64(len(payload)), Limit: MaxFrame}
 	}
 	c.wm.Lock()
 	defer c.wm.Unlock()
 	var hdr [4]byte
 	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := c.c.Write(hdr[:]); err != nil {
+	if err := c.writeAll(hdr[:]); err != nil {
 		c.noteSendErr()
 		return err
 	}
-	if _, err := c.c.Write(payload); err != nil {
+	if err := c.writeAll(payload); err != nil {
 		c.noteSendErr()
 		return err
 	}
@@ -296,26 +322,148 @@ func (c *netConn) Send(payload []byte) error {
 	return nil
 }
 
+// writeAll writes p in ioChunk segments, re-arming the idle write
+// deadline before each: a peer that stops draining its socket (so our
+// writes block on a full TCP window) is cut off after IdleTimeout.
+func (c *netConn) writeAll(p []byte) error {
+	for off := 0; off < len(p); off += ioChunk {
+		end := min(off+ioChunk, len(p))
+		if c.lim.IdleTimeout > 0 {
+			c.wArmed = true
+			if err := c.c.SetWriteDeadline(time.Now().Add(c.lim.IdleTimeout)); err != nil {
+				return err
+			}
+		} else if c.wArmed {
+			c.wArmed = false
+			if err := c.c.SetWriteDeadline(time.Time{}); err != nil {
+				return err
+			}
+		}
+		if _, err := c.c.Write(p[off:end]); err != nil {
+			return wrapIdle("send", err)
+		}
+	}
+	return nil
+}
+
 func (c *netConn) Recv() ([]byte, error) {
 	c.rm.Lock()
 	defer c.rm.Unlock()
 	var hdr [4]byte
-	if _, err := io.ReadFull(c.c, hdr[:]); err != nil {
+	if err := c.readFull(hdr[:]); err != nil {
 		c.noteRecvErr()
 		return nil, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[:])
 	if n > MaxFrame {
 		c.noteRecvErr()
-		return nil, fmt.Errorf("transport: peer announced oversized frame (%d bytes)", n)
+		return nil, &FrameError{Op: "recv", Declared: uint64(n), Limit: MaxFrame}
 	}
-	p := make([]byte, n)
-	if _, err := io.ReadFull(c.c, p); err != nil {
+	// Charge the declared length against the session budget BEFORE any
+	// allocation: a hostile header costs the peer its session, not us our
+	// memory.
+	if err := c.reserve(uint64(n)); err != nil {
+		c.noteRecvErr()
+		return nil, err
+	}
+	p, err := c.readBody(int(n))
+	if err != nil {
 		c.noteRecvErr()
 		return nil, err
 	}
 	c.noteRecv(len(p))
 	return p, nil
+}
+
+// readBody reads an n-byte payload. Small frames are read in one shot;
+// large ones incrementally, with the buffer grown geometrically and the
+// idle deadline re-armed per segment — allocation tracks the bytes the
+// peer has actually delivered, never just the length it declared.
+// Callers have already checked n against MaxFrame and the budget.
+func (c *netConn) readBody(n int) ([]byte, error) {
+	if n <= ioChunk {
+		p := make([]byte, n)
+		if err := c.readFull(p); err != nil {
+			return nil, err
+		}
+		return p, nil
+	}
+	p := make([]byte, ioChunk)
+	read := 0
+	for read < n {
+		if read == len(p) {
+			grown := make([]byte, min(2*len(p), n))
+			copy(grown, p)
+			p = grown
+		}
+		k := min(n-read, len(p)-read)
+		if err := c.readFull(p[read : read+k]); err != nil {
+			return nil, err
+		}
+		read += k
+	}
+	return p, nil
+}
+
+// readFull reads exactly len(p) bytes under the currently applicable
+// receive deadline (the sooner of the idle timeout and any explicit
+// SetRecvDeadline), mapping deadline expiry onto ErrIdleTimeout.
+func (c *netConn) readFull(p []byte) error {
+	if err := c.armReadDeadline(); err != nil {
+		return err
+	}
+	if _, err := io.ReadFull(c.c, p); err != nil {
+		return wrapIdle("recv", err)
+	}
+	return nil
+}
+
+func (c *netConn) armReadDeadline() error {
+	c.dm.Lock()
+	explicit := c.explicit
+	c.dm.Unlock()
+	var dl time.Time
+	if c.lim.IdleTimeout > 0 {
+		dl = time.Now().Add(c.lim.IdleTimeout)
+	}
+	if !explicit.IsZero() && (dl.IsZero() || explicit.Before(dl)) {
+		dl = explicit
+	}
+	if dl.IsZero() && !c.rArmed {
+		return nil
+	}
+	c.rArmed = !dl.IsZero()
+	return c.c.SetReadDeadline(dl)
+}
+
+func (c *netConn) setRecvDeadline(t time.Time) {
+	c.dm.Lock()
+	c.explicit = t
+	c.dm.Unlock()
+}
+
+func (c *netConn) reserve(n uint64) error {
+	if c.lim.MemBudget == 0 {
+		return nil
+	}
+	c.bm.Lock()
+	defer c.bm.Unlock()
+	if n > c.lim.MemBudget-c.used {
+		return &BudgetError{Declared: n, Used: c.used, Budget: c.lim.MemBudget}
+	}
+	c.used += n
+	return nil
+}
+
+// wrapIdle maps a network timeout onto ErrIdleTimeout while keeping the
+// original error in the chain (it is a net.Error, which is what keeps
+// the result classified transient by IsTransient).
+func wrapIdle(op string, err error) error {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return fmt.Errorf("%w: %s stalled past the deadline: %w", ErrIdleTimeout, op, err)
+	}
+	return err
 }
 
 func (c *netConn) Stats() Stats { return c.snapshot() }
