@@ -4,7 +4,7 @@ GO ?= go
 # sources are unchanged, so repeat `make lint` runs pay only for go vet.
 LINTBIN ?= bin/aq2pnnlint
 
-.PHONY: build test race vet lint lintbin bench bench-matmul bench-batch chaos fuzz ci
+.PHONY: build test race vet lint lintbin bench bench-matmul bench-batch bench-session chaos fuzz ci
 
 # Per-target budget for `make fuzz`; CI uses 30s per target on PRs.
 FUZZTIME ?= 60s
@@ -40,7 +40,15 @@ bench-matmul:
 bench-batch:
 	$(GO) test . -run XXX -bench 'BenchmarkSecureInferBatch' -benchtime 2x
 
-bench: bench-matmul bench-batch
+# Persistent-session steady state over localhost TCP (docs/sessions.md):
+# fails if any setup bytes are paid after open or the per-inference wire
+# cost is not byte-identical, then re-verifies the span attribution and
+# session structure on the emitted trace.
+bench-session:
+	$(GO) run ./cmd/sessionbench -model micro -n 8 -trace session-trace.json
+	$(GO) run ./cmd/tracecheck session-trace.json
+
+bench: bench-matmul bench-batch bench-session
 
 # Deterministic chaos harness (docs/robustness.md): the sampled fault
 # sweep under the race detector, then the exhaustive micro sweep and the

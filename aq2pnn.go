@@ -27,14 +27,12 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"time"
 
 	"aq2pnn/internal/dataset"
 	"aq2pnn/internal/engine"
 	"aq2pnn/internal/experiments"
 	"aq2pnn/internal/fpga"
 	"aq2pnn/internal/nn"
-	"aq2pnn/internal/ot"
 	"aq2pnn/internal/prg"
 	"aq2pnn/internal/quant"
 	"aq2pnn/internal/ring"
@@ -133,88 +131,6 @@ func BuildModel(name string, cfg ZooConfig) (*Model, error) {
 // 1 Gbps LAN).
 func ZCU104() Accelerator { return fpga.ZCU104() }
 
-// InferenceConfig controls every secure-inference entrypoint: local
-// (SecureInfer), batched (SecureInferBatch) and networked
-// (ServeModelTCP / SecureInferTCP). The zero value is a working
-// configuration.
-type InferenceConfig struct {
-	// CarrierBits is the ring width ℓc (0 = model bits + 4, the paper's
-	// adaptive rule).
-	CarrierBits uint
-	// Seed makes the protocol randomness reproducible.
-	Seed uint64
-	// LocalTrunc selects the paper's zero-communication local truncation
-	// for requantization (the ablation of EXPERIMENTS.md) instead of the
-	// default faithful truncation.
-	LocalTrunc bool
-	// ABReLUBits contracts the sign computation of every ReLU onto a
-	// narrower ring ("output bits sent to the ABReLU operator"); 0 keeps
-	// the carrier width.
-	ABReLUBits uint
-	// RevealClassOnly replaces the logit reveal with a secure argmax: the
-	// user learns only the predicted class.
-	RevealClassOnly bool
-	// Workers caps local compute parallelism (GEMM rows, SCM token
-	// matrices, batch pipelining); 0 uses all CPUs. Results are
-	// bit-identical at every setting.
-	Workers uint
-	// DemoGroup selects the small fast OT group on the TCP entrypoints
-	// (NOT cryptographically strong; demos and tests only).
-	DemoGroup bool
-	// DialTimeout bounds SecureInferTCP's connection retry window; 0
-	// means 10 seconds.
-	DialTimeout time.Duration
-	// Retries is how many additional session attempts SecureInferTCP
-	// makes after a transient failure (connection reset, provider crash
-	// mid-protocol). Each retry re-dials and replays the deterministic
-	// transcript from scratch, so a recovered session reveals the same
-	// logits the failed one would have. Permanent errors (handshake or
-	// payload mismatches) are never retried. 0 = a single attempt.
-	Retries uint
-	// RetryBase is the first retry's backoff delay (default 100ms),
-	// doubling per attempt with deterministic seed-derived jitter.
-	RetryBase time.Duration
-	// SessionTimeout bounds one session attempt end to end, on both the
-	// SecureInferTCP user and each ServeModelTCP session; 0 disables it.
-	SessionTimeout time.Duration
-	// DrainGrace is how long ServeModelTCP lets in-flight sessions finish
-	// after its context is cancelled before force-closing them; 0 tears
-	// sessions down immediately on cancellation.
-	DrainGrace time.Duration
-	// ServeSessions makes ServeModelTCP return after that many sessions
-	// complete; 0 serves until its context is cancelled.
-	ServeSessions uint
-	// MaxConcurrentSessions caps ServeModelTCP's in-flight sessions.
-	// Connections past the cap are shed immediately with a busy-reject
-	// the client classifies as transient (its retry/backoff loop
-	// re-attempts once a slot may have freed); 0 = unlimited.
-	MaxConcurrentSessions int
-	// IdleTimeout is ServeModelTCP's per-frame patience: a peer that
-	// stalls mid-frame longer than this (a slow-loris) has its session cut
-	// with a transient error; 0 disables the defence.
-	IdleTimeout time.Duration
-	// MemBudget caps the bytes one ServeModelTCP session may make the
-	// provider buffer, counting every received frame payload plus the
-	// announced setup-payload total against it — size it at roughly twice
-	// the model's setup volume. A peer declaring past the budget is
-	// rejected before allocation; 0 = unlimited.
-	MemBudget uint64
-	// HandshakeTimeout bounds the wait for the peer's hello on both TCP
-	// entrypoints; 0 applies the 30s default, negative disables it.
-	HandshakeTimeout time.Duration
-	// Trace, when non-nil, records a span per protocol phase, layer and
-	// secure operator, each carrying its exact share of the measured
-	// traffic. Export with WriteChromeTrace or TraceTable. A nil tracer
-	// costs one branch per instrumentation point and never changes results.
-	Trace *Tracer
-	// MetricsAddr, when non-empty, makes ServeModelTCP serve /metrics
-	// (Prometheus text) and /debug/pprof on that address for its lifetime.
-	// An address without a host (":9090") binds loopback only: the
-	// endpoint exposes operational detail, so reaching it from another
-	// machine requires an explicit interface address.
-	MetricsAddr string
-}
-
 // InferenceResult reports a secure inference.
 type InferenceResult struct {
 	// Logits are the revealed outputs (party i's view).
@@ -234,11 +150,7 @@ type InferenceResult struct {
 // parties execute the AQ2PNN protocol over an instrumented in-process
 // channel, and the logits are revealed to the user party.
 func SecureInfer(m *Model, x []int64, cfg InferenceConfig) (*InferenceResult, error) {
-	res, err := engine.RunLocal(m, x, engine.Options{
-		CarrierBits: cfg.CarrierBits, Seed: cfg.Seed, LocalTrunc: cfg.LocalTrunc,
-		ABReLUBits: cfg.ABReLUBits, RevealClassOnly: cfg.RevealClassOnly,
-		Workers: cfg.Workers, Trace: cfg.Trace,
-	})
+	res, err := engine.RunLocal(m, x, networkConfig(cfg))
 	if err != nil {
 		return nil, err
 	}
@@ -346,6 +258,15 @@ func CompileProgram(m *Model, carrierBits uint) (*Program, error) {
 // cfg.DemoGroup for the small fast OT group in demonstrations (NOT
 // cryptographically strong).
 func ServeModelTCP(ctx context.Context, addr string, m *Model, cfg InferenceConfig) error {
+	return serveTCP(ctx, addr, cfg, func(ctx context.Context, l *transport.Listener) error {
+		return engine.ServeTCP(ctx, l, m, networkConfig(cfg), int(cfg.ServeSessions), nil)
+	})
+}
+
+// serveTCP is the shared listener scaffolding of ServeModelTCP and
+// ServeModelsTCP: bind the address, stand up the optional metrics
+// endpoint, hand the listener to the serving loop.
+func serveTCP(ctx context.Context, addr string, cfg InferenceConfig, serve func(context.Context, *transport.Listener) error) error {
 	l, err := transport.NewListener(addr)
 	if err != nil {
 		return err
@@ -359,74 +280,29 @@ func ServeModelTCP(ctx context.Context, addr string, m *Model, cfg InferenceConf
 		}
 		defer stop()
 	}
-	return engine.ServeTCP(ctx, l, m, networkConfig(cfg), int(cfg.ServeSessions), nil)
+	return serve(ctx, l)
 }
 
-// SecureInferTCP runs the user side of a two-process deployment against a
-// provider at addr, retrying the dial for cfg.DialTimeout (10 s when zero)
-// so the processes may start in either order. Cancelling ctx aborts the
-// dial and the protocol. Both sides must agree on the model architecture,
-// carrier width and seed — a disagreement fails the session handshake
-// with the same typed error on both processes. With cfg.Retries > 0 a
-// transiently failed session is re-established from scratch (see
-// InferenceConfig.Retries); use IsTransient to classify a final error.
+// SecureInferTCP runs one secure inference against a provider at addr: a
+// thin wrapper that opens a Session, infers once and closes. Programs
+// making more than one inference should hold the Session open themselves
+// (Dial → OpenSession → Infer…) — the per-inference setup cost this
+// wrapper pays is exactly what the session API amortises away. The
+// dial/agreement/retry semantics are Dial's; with cfg.Retries > 0 a
+// transient mid-protocol failure re-establishes and replays the
+// inference. Use IsTransient to classify a final error.
 func SecureInferTCP(ctx context.Context, addr string, m *Model, x []int64, cfg InferenceConfig) (*InferenceResult, error) {
-	timeout := cfg.DialTimeout
-	if timeout == 0 {
-		timeout = 10 * time.Second
-	}
-	dial := func(ctx context.Context) (transport.Conn, error) {
-		return transport.DialContext(ctx, addr, timeout)
-	}
-	res, err := engine.RunUserWithRetry(ctx, dial, m, x, networkConfig(cfg))
+	s, err := Dial(addr, cfg).OpenSession(ctx, m)
 	if err != nil {
 		return nil, err
 	}
-	return &InferenceResult{
-		Logits:      res.Logits,
-		Class:       nn.Argmax(res.Logits),
-		Setup:       res.Setup,
-		Online:      res.Online,
-		PerOp:       res.PerOp,
-		CarrierBits: res.Carrier.Bits,
-	}, nil
-}
-
-// ServeModelTCPOnce is the former single-session ServeModelTCP.
-//
-// Deprecated: use ServeModelTCP with cfg.ServeSessions = 1 and
-// cfg.DemoGroup = demoGroup.
-func ServeModelTCPOnce(addr string, m *Model, cfg InferenceConfig, demoGroup bool) error {
-	cfg.DemoGroup = demoGroup
-	cfg.ServeSessions = 1
-	return ServeModelTCP(context.Background(), addr, m, cfg)
-}
-
-// SecureInferTCPTimeout is the former SecureInferTCP with positional
-// demoGroup and timeout parameters.
-//
-// Deprecated: use SecureInferTCP with cfg.DemoGroup and cfg.DialTimeout.
-func SecureInferTCPTimeout(addr string, m *Model, x []int64, cfg InferenceConfig, demoGroup bool, timeout time.Duration) (*InferenceResult, error) {
-	cfg.DemoGroup = demoGroup
-	cfg.DialTimeout = timeout
-	return SecureInferTCP(context.Background(), addr, m, x, cfg)
-}
-
-func networkConfig(cfg InferenceConfig) engine.Options {
-	nc := engine.Options{
-		CarrierBits: cfg.CarrierBits, Seed: cfg.Seed, LocalTrunc: cfg.LocalTrunc,
-		Workers: cfg.Workers, Trace: cfg.Trace,
-		Retries: cfg.Retries, RetryBase: cfg.RetryBase,
-		SessionTimeout: cfg.SessionTimeout, DrainGrace: cfg.DrainGrace,
-		MaxConcurrentSessions: cfg.MaxConcurrentSessions,
-		IdleTimeout:           cfg.IdleTimeout,
-		MemBudget:             cfg.MemBudget,
-		HandshakeTimeout:      cfg.HandshakeTimeout,
+	defer s.Close()
+	res, err := s.Infer(ctx, x)
+	if err != nil {
+		return nil, err
 	}
-	if cfg.DemoGroup {
-		nc.Group = ot.TestGroup()
-	}
-	return nc
+	res.Setup = s.SetupStats()
+	return res, nil
 }
 
 // SaveModel writes a quantized model artifact (graph, weights, BNReQ
@@ -448,9 +324,5 @@ type BatchResult = engine.BatchResult
 // the paper's 1,000-iteration throughput averages. Images are pipelined
 // over cfg.Workers lanes with bit-identical results at every setting.
 func SecureInferBatch(m *Model, xs [][]int64, cfg InferenceConfig) (*BatchResult, error) {
-	return engine.RunLocalBatch(m, xs, engine.Options{
-		CarrierBits: cfg.CarrierBits, Seed: cfg.Seed, LocalTrunc: cfg.LocalTrunc,
-		ABReLUBits: cfg.ABReLUBits, RevealClassOnly: cfg.RevealClassOnly,
-		Workers: cfg.Workers, Trace: cfg.Trace,
-	})
+	return engine.RunLocalBatch(m, xs, networkConfig(cfg))
 }

@@ -24,7 +24,7 @@ func TestPublicPipelineEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	_, te := ds.Split(240)
-	res, err := SecureInfer(q.Model, q.QuantizeInput(te.X[0]), InferenceConfig{CarrierBits: 20, Seed: 3})
+	res, err := SecureInfer(q.Model, q.QuantizeInput(te.X[0]), InferenceConfig{ComputeConfig: ComputeConfig{CarrierBits: 20, Seed: 3}})
 	if err != nil {
 		t.Fatal(err)
 	}

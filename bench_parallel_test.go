@@ -28,7 +28,7 @@ func benchBatch(b *testing.B, model string, batch int, workers uint) {
 		}
 		xs[i] = x
 	}
-	cfg := InferenceConfig{CarrierBits: 16, Seed: 3, Workers: workers}
+	cfg := InferenceConfig{ComputeConfig: ComputeConfig{CarrierBits: 16, Seed: 3, Workers: workers}}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := SecureInferBatch(m, xs, cfg)

@@ -83,8 +83,10 @@ func run(o options) error {
 	}
 	fmt.Printf("running secure inference: %s on %d inputs, carrier %d bits\n", m.Name, n, bits)
 	res, err := aq2pnn.SecureInfer(m, x, aq2pnn.InferenceConfig{
-		CarrierBits: bits, Seed: seed, LocalTrunc: localTrunc,
-		ABReLUBits: o.reluBits, RevealClassOnly: o.classOnly,
+		ComputeConfig: aq2pnn.ComputeConfig{
+			CarrierBits: bits, Seed: seed, LocalTrunc: localTrunc,
+			ABReLUBits: o.reluBits, RevealClassOnly: o.classOnly,
+		},
 	})
 	if err != nil {
 		return err

@@ -14,13 +14,22 @@
 // concurrent clients (0 = serve forever); -workers caps each side's
 // local compute parallelism (0 = all CPUs).
 //
+// Persistent sessions (see docs/sessions.md): the user opens one session
+// and streams -inferences inferences over it, paying the setup (weight
+// shares, triple preparation) exactly once; -oneshot selects the legacy
+// one-inference-per-connection protocol instead. The provider's -model
+// flag accepts a comma-separated list — each connecting client names its
+// model in the handshake and is dispatched against the registry.
+//
 // Fault tolerance (see docs/robustness.md): both roles exchange a
 // versioned handshake before any setup material crosses the wire, so a
 // -model/-bits/-seed disagreement fails fast with a typed error on both
 // processes. The user retries transiently failed sessions (-retries,
-// -retry-base); the provider bounds each session with -session-timeout
-// and, on SIGINT/SIGTERM, drains in-flight sessions for -drain-grace
-// before exiting.
+// -retry-base) — an open session re-attaches to the provider's parked
+// state through its resumption token instead of replaying setup; the
+// provider bounds each session with -session-timeout and, on
+// SIGINT/SIGTERM, drains in-flight sessions for -drain-grace before
+// exiting.
 //
 // Observability (see docs/observability.md): -trace out.json records a
 // span per phase, layer and secure operator with its exact share of the
@@ -35,6 +44,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -49,12 +59,14 @@ func main() {
 	role := flag.String("role", "", "provider | user")
 	listen := flag.String("listen", ":7541", "provider listen address")
 	connect := flag.String("connect", "localhost:7541", "user dial address")
-	model := flag.String("model", "lenet5", "zoo model (must match the peer)")
+	model := flag.String("model", "lenet5", "zoo model (must match the peer); provider: comma-separated list to serve several")
 	bits := flag.Uint("bits", 16, "carrier ring bit-width")
 	seed := flag.Uint64("seed", 7, "shared randomness seed (must match the peer)")
 	demoGroup := flag.Bool("demo-group", false, "use the fast demo OT group (NOT secure)")
 	workers := flag.Uint("workers", 0, "local compute parallelism (0 = all CPUs)")
 	sessions := flag.Uint("sessions", 1, "provider: sessions to serve before exiting (0 = forever)")
+	inferences := flag.Uint("inferences", 1, "user: inferences to stream over one persistent session")
+	oneshot := flag.Bool("oneshot", false, "user: one-inference-per-connection legacy protocol instead of a persistent session")
 	retries := flag.Uint("retries", 2, "user: extra attempts after a transient session failure")
 	retryBase := flag.Duration("retry-base", 100*time.Millisecond, "user: first retry backoff delay")
 	sessionTimeout := flag.Duration("session-timeout", 0, "bound one session attempt end to end (0 = none)")
@@ -63,6 +75,7 @@ func main() {
 	idleTimeout := flag.Duration("idle-timeout", 0, "provider: cut sessions whose peer stalls mid-frame longer than this (0 = no slow-loris defence)")
 	memBudget := flag.Uint64("mem-budget", 0, "provider: per-session receive-memory budget in bytes; peers declaring past it are rejected before allocation (0 = unlimited)")
 	handshakeTimeout := flag.Duration("handshake-timeout", 0, "bound the wait for the peer's hello (0 = 30s default, negative = none)")
+	sessionCache := flag.Int("session-cache", 0, "provider: detached sessions kept resumable (0 = default 64, negative = disable resumption)")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file on exit")
 	metrics := flag.String("metrics", "", "serve /metrics and /debug/pprof on this address (e.g. :9090; loopback unless a host is given)")
 	flag.Parse()
@@ -73,6 +86,7 @@ func main() {
 		SessionTimeout: *sessionTimeout, DrainGrace: *drainGrace,
 		MaxConcurrentSessions: *maxSessions, IdleTimeout: *idleTimeout,
 		MemBudget: *memBudget, HandshakeTimeout: *handshakeTimeout,
+		SessionCache: *sessionCache,
 	}
 	if *demoGroup {
 		cfg.Group = ot.TestGroup()
@@ -94,7 +108,7 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *role, *listen, *connect, *model, cfg, int(*sessions)); err != nil {
+	if err := run(ctx, *role, *listen, *connect, *model, cfg, int(*sessions), int(*inferences), *oneshot); err != nil {
 		fmt.Fprintln(os.Stderr, "party:", err)
 		os.Exit(1)
 	}
@@ -121,58 +135,103 @@ func writeTrace(path string, tr *telemetry.Tracer) error {
 	return f.Close()
 }
 
-func run(ctx context.Context, role, listen, connect, model string, cfg engine.Options, sessions int) error {
-	m, err := nn.ByName(model, nn.ZooConfig{Seed: cfg.Seed})
+func run(ctx context.Context, role, listen, connect, model string, cfg engine.Options, sessions, inferences int, oneshot bool) error {
+	switch role {
+	case "provider":
+		return runProvider(ctx, listen, strings.Split(model, ","), cfg, sessions)
+	case "user":
+		m, err := nn.ByName(model, nn.ZooConfig{Seed: cfg.Seed})
+		if err != nil {
+			return err
+		}
+		return runUser(ctx, connect, m, cfg, inferences, oneshot)
+	default:
+		return fmt.Errorf("-role must be provider or user")
+	}
+}
+
+func runProvider(ctx context.Context, listen string, models []string, cfg engine.Options, sessions int) error {
+	reg := engine.NewRegistry()
+	for _, name := range models {
+		m, err := nn.ByName(strings.TrimSpace(name), nn.ZooConfig{Seed: cfg.Seed})
+		if err != nil {
+			return err
+		}
+		if err := reg.Add(m); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("provider: %s, %d-bit carrier, waiting on %s\n", strings.Join(models, ", "), cfg.CarrierBits, listen)
+	l, err := transport.NewListener(listen)
 	if err != nil {
 		return err
 	}
-	switch role {
-	case "provider":
-		fmt.Printf("provider: %s, %d-bit carrier, waiting on %s\n", m.Name, cfg.CarrierBits, listen)
-		l, err := transport.NewListener(listen)
+	defer l.Close()
+	start := time.Now()
+	n := 0
+	err = engine.ServeRegistryTCP(ctx, l, reg, cfg, sessions, func(err error) {
+		n++
 		if err != nil {
-			return err
+			fmt.Printf("provider: session %d failed: %v\n", n, err)
+			return
 		}
-		defer l.Close()
-		start := time.Now()
-		n := 0
-		err = engine.ServeTCP(ctx, l, m, cfg, sessions, func(err error) {
-			n++
-			if err != nil {
-				fmt.Printf("provider: session %d failed: %v\n", n, err)
-				return
-			}
-			fmt.Printf("provider: session %d served (%v elapsed)\n", n, time.Since(start))
-		})
-		if err != nil {
-			return err
-		}
-		fmt.Printf("provider done in %v: %d session(s)\n", time.Since(start), n)
-		return nil
-	case "user":
-		fmt.Printf("user: %s, %d-bit carrier, dialing %s\n", m.Name, cfg.CarrierBits, connect)
-		dial := func(ctx context.Context) (transport.Conn, error) {
-			return transport.DialContext(ctx, connect, 30*time.Second)
-		}
-		n := m.InputShape().Numel()
+		fmt.Printf("provider: session %d served (%v elapsed)\n", n, time.Since(start))
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("provider done in %v: %d session(s)\n", time.Since(start), n)
+	return nil
+}
+
+func runUser(ctx context.Context, connect string, m *nn.Model, cfg engine.Options, inferences int, oneshot bool) error {
+	fmt.Printf("user: %s, %d-bit carrier, dialing %s\n", m.Name, cfg.CarrierBits, connect)
+	dial := func(ctx context.Context) (transport.Conn, error) {
+		return transport.DialContext(ctx, connect, 30*time.Second)
+	}
+	n := m.InputShape().Numel()
+	input := func(round int) []int64 {
 		x := make([]int64, n)
 		for i := range x {
-			x[i] = int64((i*13)%23) - 11
+			x[i] = int64((i*13+round)%23) - 11
 		}
-		start := time.Now()
-		res, err := engine.RunUserWithRetry(ctx, dial, m, x, cfg)
+		return x
+	}
+	start := time.Now()
+	if oneshot {
+		res, err := engine.RunUserWithRetry(ctx, dial, m, input(0), cfg)
 		if err != nil {
-			if transport.IsTransient(err) {
-				return fmt.Errorf("%w (transient: the provider may be down; retry budget exhausted)", err)
-			}
-			return err
+			return classifyUserErr(err)
 		}
 		fmt.Printf("user done in %v\n", time.Since(start))
 		fmt.Printf("class: %d, logits: %v\n", nn.Argmax(res.Logits), res.Logits)
 		fmt.Printf("setup %.3f MiB, online %.3f MiB (%d rounds)\n",
 			res.Setup.MiB(), res.Online.MiB(), res.Online.Rounds)
 		return nil
-	default:
-		return fmt.Errorf("-role must be provider or user")
 	}
+	s, err := engine.NewClient(dial, cfg).OpenSession(ctx, m)
+	if err != nil {
+		return classifyUserErr(err)
+	}
+	defer s.Close()
+	fmt.Printf("session open in %v (setup %.3f MiB)\n", time.Since(start), s.SetupStats().MiB())
+	for i := 0; i < inferences; i++ {
+		t0 := time.Now()
+		res, err := s.Infer(ctx, input(i))
+		if err != nil {
+			return classifyUserErr(err)
+		}
+		fmt.Printf("inference %d in %v: class %d, online %.3f MiB (%d rounds)\n",
+			i, time.Since(t0), nn.Argmax(res.Logits), res.Online.MiB(), res.Online.Rounds)
+	}
+	fmt.Printf("user done in %v: %d inference(s), setup paid once (%.3f MiB)\n",
+		time.Since(start), inferences, s.SetupStats().MiB())
+	return nil
+}
+
+func classifyUserErr(err error) error {
+	if transport.IsTransient(err) {
+		return fmt.Errorf("%w (transient: the provider may be down; retry budget exhausted)", err)
+	}
+	return err
 }

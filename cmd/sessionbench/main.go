@@ -1,0 +1,171 @@
+// Command sessionbench measures the persistent-session protocol's
+// steady-state cost: it starts an in-process provider, opens one session
+// over real localhost TCP, streams -n inferences and reports the setup
+// vs per-inference wire split as JSON.
+//
+//	sessionbench -model micro -bits 16 -n 8 -trace session-trace.json
+//
+// It doubles as the CI gate for the session-mode contract: the run fails
+// (exit 1) if any setup bytes are paid during steady state — the
+// session's setup ledger must not grow after open, and every inference's
+// online traffic must be byte-identical to the first. The optional
+// -trace artifact is tracecheck-compatible, so CI re-verifies the
+// per-span attribution (and the no-setup-under-infer-roots rule) on the
+// exported file.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"aq2pnn/internal/engine"
+	"aq2pnn/internal/nn"
+	"aq2pnn/internal/ot"
+	"aq2pnn/internal/telemetry"
+	"aq2pnn/internal/transport"
+)
+
+type report struct {
+	Model       string `json:"model"`
+	CarrierBits uint   `json:"carrier_bits"`
+	Inferences  int    `json:"inferences"`
+	// SetupBytes is the session-open cost (handshake, weight shares, F
+	// openings), paid once.
+	SetupBytes uint64 `json:"setup_bytes"`
+	// SteadySetupBytes is how much the setup ledger grew during steady
+	// state. The session contract pins it to zero; nonzero fails the run.
+	SteadySetupBytes uint64 `json:"steady_setup_bytes"`
+	// OnlineBytesPerInference is one inference's exact wire cost,
+	// byte-identical across the stream.
+	OnlineBytesPerInference uint64 `json:"online_bytes_per_inference"`
+	OnlineRounds            uint64 `json:"online_rounds"`
+	// AmortizedBytesPerInference is (setup + n·online) / n.
+	AmortizedBytesPerInference uint64 `json:"amortized_bytes_per_inference"`
+	OpenMillis                 int64  `json:"open_ms"`
+	InferMillisMean            int64  `json:"infer_ms_mean"`
+}
+
+func run() error {
+	model := flag.String("model", "micro", "zoo model")
+	bits := flag.Uint("bits", 16, "carrier ring bit-width")
+	seed := flag.Uint64("seed", 9, "shared randomness seed")
+	n := flag.Int("n", 8, "inferences to stream over the session")
+	realGroup := flag.Bool("real-group", false, "use the production 512-bit OT group instead of the fast demo group")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file")
+	flag.Parse()
+	if *n < 2 {
+		return fmt.Errorf("-n must be at least 2 (steady state needs more than one inference)")
+	}
+
+	m, err := nn.ByName(*model, nn.ZooConfig{Seed: *seed})
+	if err != nil {
+		return err
+	}
+	cfg := engine.Options{CarrierBits: *bits, Seed: *seed}
+	if !*realGroup {
+		cfg.Group = ot.TestGroup()
+	}
+	ccfg := cfg
+	if *tracePath != "" {
+		ccfg.Trace = telemetry.New()
+	}
+
+	l, err := transport.NewListener("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- engine.ServeTCP(ctx, l, m, cfg, 1, nil) }()
+
+	dial := func(ctx context.Context) (transport.Conn, error) {
+		return transport.DialContext(ctx, l.Addr(), 10*time.Second)
+	}
+	x := make([]int64, m.InputShape().Numel())
+	for i := range x {
+		x[i] = int64((i*13)%23) - 11
+	}
+	openStart := time.Now()
+	s, err := engine.NewClient(dial, ccfg).OpenSession(ctx, m)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	openDur := time.Since(openStart)
+	setup := s.SetupStats()
+
+	var online []transport.Stats
+	inferStart := time.Now()
+	for i := 0; i < *n; i++ {
+		res, err := s.Infer(ctx, x)
+		if err != nil {
+			return fmt.Errorf("inference %d: %w", i, err)
+		}
+		online = append(online, res.Online)
+	}
+	inferDur := time.Since(inferStart)
+	if err := s.Close(); err != nil {
+		return err
+	}
+	if err := <-serveErr; err != nil {
+		return fmt.Errorf("provider: %w", err)
+	}
+
+	rep := report{
+		Model:                   m.Name,
+		CarrierBits:             *bits,
+		Inferences:              *n,
+		SetupBytes:              setup.TotalBytes(),
+		SteadySetupBytes:        s.SetupStats().TotalBytes() - setup.TotalBytes(),
+		OnlineBytesPerInference: online[0].TotalBytes(),
+		OnlineRounds:            online[0].Rounds,
+		OpenMillis:              openDur.Milliseconds(),
+		InferMillisMean:         (inferDur / time.Duration(*n)).Milliseconds(),
+	}
+	rep.AmortizedBytesPerInference = (rep.SetupBytes + uint64(*n)*rep.OnlineBytesPerInference) / uint64(*n)
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		if err := telemetry.WriteChromeTrace(f, ccfg.Trace); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "sessionbench: trace written to %s\n", *tracePath)
+	}
+
+	// The CI gate: steady state must be online-only and byte-identical.
+	if rep.SteadySetupBytes != 0 {
+		return fmt.Errorf("steady state paid %d setup bytes, want 0", rep.SteadySetupBytes)
+	}
+	for i := 1; i < len(online); i++ {
+		if online[i] != online[0] {
+			return fmt.Errorf("inference %d online %+v differs from inference 0 %+v, want byte-identical",
+				i, online[i], online[0])
+		}
+	}
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sessionbench:", err)
+		os.Exit(1)
+	}
+}

@@ -8,10 +8,13 @@
 // Checks, in order: well-formed JSON with a non-empty traceEvents array;
 // every event carries a name, a known phase ("X" complete or "M"
 // metadata) and non-negative microsecond timestamps; spans that carry
-// communication args carry the full counter set; and the per-layer byte
+// communication args carry the full counter set; the per-layer byte
 // totals of each phase root sum exactly to that root's own counters —
 // the subsystem's attribution contract, re-verified on the exported
-// artifact rather than in-process.
+// artifact rather than in-process; and on session traces (sessionbench
+// -trace, party -trace), the session protocol's structural contract: no
+// setup span under a steady-state "*.session.infer" root, weight-share
+// exchanges only under open/setup roots.
 package main
 
 import (
@@ -143,7 +146,71 @@ func check(path string) error {
 	if len(roots) > 0 && verified == 0 {
 		return fmt.Errorf("%s: no root span carried communication counters to verify", path)
 	}
-	fmt.Printf("%s: ok (%d spans, %d lanes, attribution verified)\n", path, spans, lanes)
+
+	// Session mode: the persistent-session protocol's structural contract,
+	// re-verified on the artifact. Setup work — handshake, weight-share
+	// exchange, linear-layer preparation — is paid once under an open/setup
+	// root and must never appear inside a steady-state "*.session.infer"
+	// root; weight shares must only ever cross the wire under an open/setup
+	// root. Traces without session spans (the one-shot quickstart) have no
+	// infer roots to violate the first rule and still get the second.
+	setupSpans := map[string]bool{
+		"handshake":             true,
+		"exchange.shares":       true,
+		"secure.linear.prepare": true,
+	}
+	openRoots := map[string]bool{
+		"user.session.open":     true,
+		"provider.session.open": true,
+		"user.setup":            true,
+		"provider.setup":        true,
+		"p0.setup":              true,
+		"p1.setup":              true,
+	}
+	byID := map[float64]event{}
+	for _, e := range tf.TraceEvents {
+		if e.Ph != "X" {
+			continue
+		}
+		id, _ := commArg(e, "span.id")
+		byID[id] = e
+	}
+	rootOf := func(e event) event {
+		// Bounded walk: a malformed parent cycle terminates at the map size.
+		for range byID {
+			p, ok := commArg(e, "span.parent")
+			if !ok {
+				return e
+			}
+			pe, ok := byID[p]
+			if !ok {
+				return e
+			}
+			e = pe
+		}
+		return e
+	}
+	sessionSpans := 0
+	for _, e := range tf.TraceEvents {
+		if e.Ph != "X" {
+			continue
+		}
+		root := rootOf(e)
+		if strings.Contains(root.Name, ".session.") {
+			sessionSpans++
+		}
+		if strings.HasSuffix(root.Name, ".session.infer") && setupSpans[e.Name] {
+			return fmt.Errorf("setup span %q under steady-state root %q: session inferences must be online-only", e.Name, root.Name)
+		}
+		if e.Name == "exchange.shares" && !openRoots[root.Name] {
+			return fmt.Errorf("weight-share exchange under root %q, want one of the open/setup roots", root.Name)
+		}
+	}
+	mode := "one-shot"
+	if sessionSpans > 0 {
+		mode = fmt.Sprintf("session (%d session spans)", sessionSpans)
+	}
+	fmt.Printf("%s: ok (%d spans, %d lanes, attribution verified, %s)\n", path, spans, lanes, mode)
 	return nil
 }
 

@@ -1,11 +1,13 @@
 // Two real processes over localhost TCP, emulating the paper's two-board
 // deployment: this program re-executes itself as the model provider and
-// two concurrent users, who each run one dealer-free secure inference —
-// κ base OTs through the Fig. 4 OT-flow on the production 512-bit group,
-// IKNP OT extension for every correlation after that, and Gilboa Beaver
-// triples, all on the wire. The provider serves both sessions
-// concurrently and exits once they complete. Run ./cmd/party for full
-// models and role control.
+// two concurrent users, who each open one persistent session and stream
+// several dealer-free secure inferences over it — κ base OTs through the
+// Fig. 4 OT-flow on the production 512-bit group, IKNP OT extension for
+// every correlation after that, and Gilboa Beaver triples, all on the
+// wire. The session pays setup (weight shares, triple preparation) once;
+// each further inference costs only its online traffic. The provider
+// serves both sessions concurrently and exits once they complete. Run
+// ./cmd/party for full models and role control.
 package main
 
 import (
@@ -47,16 +49,20 @@ func model() *aq2pnn.Model {
 
 func cfg() aq2pnn.InferenceConfig {
 	return aq2pnn.InferenceConfig{
-		CarrierBits: 16,
-		Seed:        9,
-		// Fault tolerance (docs/robustness.md): a transiently failed
-		// session — provider restarting, connection reset — is re-dialed
-		// and replayed from scratch; the deterministic transcript makes
-		// the retried reveal bit-identical. Handshake mismatches (wrong
-		// model/bits/seed on one side) fail fast instead of retrying.
-		Retries:    2,
-		RetryBase:  200 * time.Millisecond,
-		DrainGrace: 10 * time.Second,
+		ComputeConfig: aq2pnn.ComputeConfig{
+			CarrierBits: 16,
+			Seed:        9,
+		},
+		NetConfig: aq2pnn.NetConfig{
+			// Fault tolerance (docs/robustness.md): a transiently failed
+			// one-shot session is re-dialed and replayed from scratch; an
+			// open Session instead re-attaches to the provider's cached
+			// state through its resumption token. Handshake mismatches
+			// (wrong model/bits/seed) fail fast instead of retrying.
+			Retries:    2,
+			RetryBase:  200 * time.Millisecond,
+			DrainGrace: 10 * time.Second,
+		},
 	}
 }
 
@@ -69,24 +75,40 @@ func runProvider() {
 	if err := aq2pnn.ServeModelTCP(ctx, addr, model(), c); err != nil {
 		log.Fatal("[provider] ", err)
 	}
-	fmt.Println("[provider] both inferences served")
+	fmt.Println("[provider] both sessions served")
 }
 
 func runUser(tag string) {
-	x := make([]int64, 8*8)
-	for i := range x {
-		x[i] = int64(i%23) - 11
+	const inferences = 3
+	input := func(round int) []int64 {
+		x := make([]int64, 8*8)
+		for i := range x {
+			x[i] = int64((i+round)%23) - 11
+		}
+		return x
 	}
 	fmt.Printf("[user %s] dialing %s\n", tag, addr)
 	start := time.Now()
 	c := cfg()
 	c.DialTimeout = 30 * time.Second
-	res, err := aq2pnn.SecureInferTCP(context.Background(), addr, model(), x, c)
+	ctx := context.Background()
+	s, err := aq2pnn.Dial(addr, c).OpenSession(ctx, model())
 	if err != nil {
 		log.Fatalf("[user %s] %v", tag, err)
 	}
-	fmt.Printf("[user %s] class %d in %v; online %.3f MiB over %d rounds\n",
-		tag, res.Class, time.Since(start), res.Online.MiB(), res.Online.Rounds)
+	defer s.Close()
+	fmt.Printf("[user %s] session open in %v (setup %.3f MiB, paid once)\n",
+		tag, time.Since(start), s.SetupStats().MiB())
+	for i := 0; i < inferences; i++ {
+		t0 := time.Now()
+		res, err := s.Infer(ctx, input(i))
+		if err != nil {
+			log.Fatalf("[user %s] inference %d: %v", tag, i, err)
+		}
+		fmt.Printf("[user %s] inference %d: class %d in %v; online %.3f MiB over %d rounds\n",
+			tag, i, res.Class, time.Since(t0), res.Online.MiB(), res.Online.Rounds)
+	}
+	fmt.Printf("[user %s] %d inferences in %v over one session\n", tag, inferences, time.Since(start))
 }
 
 func orchestrate() {
@@ -119,5 +141,5 @@ func orchestrate() {
 	if err := provider.Wait(); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("two concurrent secure inferences complete")
+	fmt.Println("two concurrent sessions complete")
 }

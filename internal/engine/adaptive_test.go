@@ -13,11 +13,11 @@ func TestReducedABReLURingCorrectAndCheaper(t *testing.T) {
 	// activations fit the narrow ring and (b) reduce the online traffic.
 	m := tinyModel(nn.PoolAvg)
 	x := input(64)
-	full, err := RunLocal(m, x, Config{CarrierBits: 24, Seed: 6})
+	full, err := RunLocal(m, x, Options{CarrierBits: 24, Seed: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
-	reduced, err := RunLocal(m, x, Config{CarrierBits: 24, Seed: 6, ABReLUBits: 12})
+	reduced, err := RunLocal(m, x, Options{CarrierBits: 24, Seed: 6, ABReLUBits: 12})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,11 +47,11 @@ func TestReducedRingTooNarrowClips(t *testing.T) {
 	// carry this model's activations.
 	m := tinyModel(nn.PoolAvg)
 	x := input(64)
-	good, err := RunLocal(m, x, Config{CarrierBits: 24, Seed: 7})
+	good, err := RunLocal(m, x, Options{CarrierBits: 24, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
-	bad, err := RunLocal(m, x, Config{CarrierBits: 24, Seed: 7, ABReLUBits: 4})
+	bad, err := RunLocal(m, x, Options{CarrierBits: 24, Seed: 7, ABReLUBits: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,11 +63,11 @@ func TestReducedRingTooNarrowClips(t *testing.T) {
 func TestRevealClassOnly(t *testing.T) {
 	m := tinyModel(nn.PoolMax)
 	x := input(64)
-	full, err := RunLocal(m, x, Config{CarrierBits: 24, Seed: 8})
+	full, err := RunLocal(m, x, Options{CarrierBits: 24, Seed: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
-	classOnly, err := RunLocal(m, x, Config{CarrierBits: 24, Seed: 8, RevealClassOnly: true})
+	classOnly, err := RunLocal(m, x, Options{CarrierBits: 24, Seed: 8, RevealClassOnly: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +104,7 @@ func TestSecureMatchesPlaintextProxyDistribution(t *testing.T) {
 		for i := range x {
 			x[i] = int64((i*7+k*29)%31) - 15
 		}
-		res, err := RunLocal(m, x, Config{CarrierBits: 24, Seed: uint64(90 + k)})
+		res, err := RunLocal(m, x, Options{CarrierBits: 24, Seed: uint64(90 + k)})
 		if err != nil {
 			t.Fatal(err)
 		}

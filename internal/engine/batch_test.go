@@ -17,7 +17,7 @@ func TestBatchInference(t *testing.T) {
 		}
 		xs = append(xs, x)
 	}
-	res, err := RunLocalBatch(m, xs, Config{CarrierBits: 24, Seed: 11})
+	res, err := RunLocalBatch(m, xs, Options{CarrierBits: 24, Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +33,7 @@ func TestBatchInference(t *testing.T) {
 	}
 	// Setup is paid once: batch setup ≈ single-run setup, and online
 	// scales per image.
-	single, err := RunLocal(m, xs[0], Config{CarrierBits: 24, Seed: 11})
+	single, err := RunLocal(m, xs[0], Options{CarrierBits: 24, Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,10 +48,10 @@ func TestBatchInference(t *testing.T) {
 
 func TestBatchValidation(t *testing.T) {
 	m := tinyModel(nn.PoolAvg)
-	if _, err := RunLocalBatch(m, nil, Config{}); err == nil {
+	if _, err := RunLocalBatch(m, nil, Options{}); err == nil {
 		t.Error("empty batch accepted")
 	}
-	if _, err := RunLocalBatch(m, [][]int64{{1, 2}}, Config{}); err == nil {
+	if _, err := RunLocalBatch(m, [][]int64{{1, 2}}, Options{}); err == nil {
 		t.Error("short image accepted")
 	}
 }

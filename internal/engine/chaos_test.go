@@ -182,7 +182,7 @@ func TestFaultSweepMicro(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sweepModel(t, m, NetworkConfig{Seed: 4, Group: ot.TestGroup()}, nil, nil)
+	sweepModel(t, m, Options{Seed: 4, Group: ot.TestGroup()}, nil, nil)
 }
 
 func TestFaultSweepLeNet5(t *testing.T) {
@@ -193,7 +193,7 @@ func TestFaultSweepLeNet5(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := NetworkConfig{Seed: 4, Group: ot.TestGroup()}
+	cfg := Options{Seed: 4, Group: ot.TestGroup()}
 	// Late-fault LeNet5 runs cost nearly a full inference (~26s); sample
 	// the handshake/setup boundary, the early online phase and the final
 	// reveal on each side instead of sweeping all ~176 indices.
@@ -210,7 +210,7 @@ func TestFaultSweepLatency(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := NetworkConfig{Seed: 4, Group: ot.TestGroup()}
+	cfg := Options{Seed: 4, Group: ot.TestGroup()}
 	x := make([]int64, m.InputShape().Numel())
 	for _, k := range []int{2, 19} {
 		a, b := transport.Pipe()

@@ -107,6 +107,11 @@ type Options struct {
 	// deadline-capable transports: 0 selects DefaultHandshakeTimeout,
 	// negative disables the bound entirely.
 	HandshakeTimeout time.Duration
+	// SessionCache caps how many detached persistent sessions a serving
+	// Registry keeps resumable (prepared state parked after a client's
+	// transport fault, waiting for a token re-attach). 0 selects
+	// DefaultSessionCache; negative disables resumption caching.
+	SessionCache int
 }
 
 // DefaultHandshakeTimeout bounds the hello read when
@@ -124,17 +129,6 @@ func (c Options) handshakeTimeout() time.Duration {
 	}
 	return c.HandshakeTimeout
 }
-
-// Config is the former name of Options.
-//
-// Deprecated: use Options.
-type Config = Options
-
-// NetworkConfig is the former networked-run configuration, now unified
-// with Options.
-//
-// Deprecated: use Options.
-type NetworkConfig = Options
 
 // Pool resolves the compute pool for the Workers setting.
 func (c Options) Pool() *parallel.Pool { return parallel.New(c.Workers) }
@@ -446,7 +440,7 @@ func (p *Party) runFC(i int, op *nn.FC, in []uint64) ([]uint64, error) {
 // RunLocal performs a complete in-process secure inference: shares the
 // model and input, prepares both parties, executes the protocol and
 // reveals the logits (to party i, the user).
-func RunLocal(m *nn.Model, x []int64, cfg Config) (*Result, error) {
+func RunLocal(m *nn.Model, x []int64, cfg Options) (*Result, error) {
 	r := cfg.Carrier(m)
 	if len(x) != m.InputShape().Numel() {
 		return nil, fmt.Errorf("engine: input length %d, want %d", len(x), m.InputShape().Numel())

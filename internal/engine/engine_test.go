@@ -97,7 +97,7 @@ func TestSecureInferenceMatchesPlaintextRing(t *testing.T) {
 	for _, pool := range []nn.PoolKind{nn.PoolMax, nn.PoolAvg} {
 		m := tinyModel(pool)
 		x := input(64)
-		cfg := Config{CarrierBits: 24, Seed: 42}
+		cfg := Options{CarrierBits: 24, Seed: 42}
 		res, err := RunLocal(m, x, cfg)
 		if err != nil {
 			t.Fatal(err)
@@ -118,7 +118,7 @@ func TestSecureInferenceMatchesPlaintextRing(t *testing.T) {
 func TestSecureInferenceResidual(t *testing.T) {
 	m := residualModel()
 	x := input(32)
-	res, err := RunLocal(m, x, Config{CarrierBits: 24, Seed: 7})
+	res, err := RunLocal(m, x, Options{CarrierBits: 24, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,17 +130,17 @@ func TestSecureInferenceResidual(t *testing.T) {
 
 func TestDefaultCarrierIsPlusMargin(t *testing.T) {
 	m := tinyModel(nn.PoolMax)
-	if got := (Config{}).Carrier(m); got.Bits != 12 {
+	if got := (Options{}).Carrier(m); got.Bits != 12 {
 		t.Errorf("default carrier = %d bits, want InBits+4 = 12", got.Bits)
 	}
-	if got := (Config{CarrierBits: 16}).Carrier(m); got.Bits != 16 {
+	if got := (Options{CarrierBits: 16}).Carrier(m); got.Bits != 16 {
 		t.Errorf("explicit carrier = %d", got.Bits)
 	}
 }
 
 func TestPerOpProfileShape(t *testing.T) {
 	m := tinyModel(nn.PoolMax)
-	res, err := RunLocal(m, input(64), Config{CarrierBits: 16, Seed: 1})
+	res, err := RunLocal(m, input(64), Options{CarrierBits: 16, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +180,7 @@ func TestPerOpProfileShape(t *testing.T) {
 	}
 	// The paper-mode ablation (local truncation) makes BNReQ free: the
 	// conv node's online bytes are then exactly the E exchange.
-	resLocal, err := RunLocal(m, input(64), Config{CarrierBits: 16, Seed: 1, LocalTrunc: true})
+	resLocal, err := RunLocal(m, input(64), Options{CarrierBits: 16, Seed: 1, LocalTrunc: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,11 +194,11 @@ func TestPerOpProfileShape(t *testing.T) {
 func TestOnlineCommScalesWithCarrier(t *testing.T) {
 	m := tinyModel(nn.PoolAvg)
 	x := input(64)
-	r16, err := RunLocal(m, x, Config{CarrierBits: 16, Seed: 3})
+	r16, err := RunLocal(m, x, Options{CarrierBits: 16, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r32, err := RunLocal(m, x, Config{CarrierBits: 32, Seed: 3})
+	r32, err := RunLocal(m, x, Options{CarrierBits: 32, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,11 +211,11 @@ func TestOnlineCommScalesWithCarrier(t *testing.T) {
 func TestAvgPoolCheaperThanMaxPool(t *testing.T) {
 	// Sec. 6.5: average pooling needs no communication, max pooling does.
 	x := input(64)
-	rMax, err := RunLocal(tinyModel(nn.PoolMax), x, Config{CarrierBits: 16, Seed: 4})
+	rMax, err := RunLocal(tinyModel(nn.PoolMax), x, Options{CarrierBits: 16, Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rAvg, err := RunLocal(tinyModel(nn.PoolAvg), x, Config{CarrierBits: 16, Seed: 4})
+	rAvg, err := RunLocal(tinyModel(nn.PoolAvg), x, Options{CarrierBits: 16, Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +224,7 @@ func TestAvgPoolCheaperThanMaxPool(t *testing.T) {
 	}
 	// In the paper-mode ablation average pooling is AS-ALU only: zero
 	// communication, as Sec. 6.5 states.
-	rAvgLocal, err := RunLocal(tinyModel(nn.PoolAvg), x, Config{CarrierBits: 16, Seed: 4, LocalTrunc: true})
+	rAvgLocal, err := RunLocal(tinyModel(nn.PoolAvg), x, Options{CarrierBits: 16, Seed: 4, LocalTrunc: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +246,7 @@ func TestSplitModelRejectsSkeleton(t *testing.T) {
 
 func TestRunLocalValidatesInput(t *testing.T) {
 	m := tinyModel(nn.PoolMax)
-	if _, err := RunLocal(m, make([]int64, 3), Config{}); err == nil {
+	if _, err := RunLocal(m, make([]int64, 3), Options{}); err == nil {
 		t.Error("bad input length accepted")
 	}
 }
@@ -260,7 +260,7 @@ func TestLeNet5SecureEndToEnd(t *testing.T) {
 	for i := range x {
 		x[i] = int64(i%23) - 11
 	}
-	res, err := RunLocal(m, x, Config{CarrierBits: 32, Seed: 6})
+	res, err := RunLocal(m, x, Options{CarrierBits: 32, Seed: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -281,7 +281,7 @@ func BenchmarkSecureTinyModel(b *testing.B) {
 	m := tinyModel(nn.PoolAvg)
 	x := input(64)
 	for i := 0; i < b.N; i++ {
-		if _, err := RunLocal(m, x, Config{CarrierBits: 16, Seed: uint64(i)}); err != nil {
+		if _, err := RunLocal(m, x, Options{CarrierBits: 16, Seed: uint64(i)}); err != nil {
 			b.Fatal(err)
 		}
 	}

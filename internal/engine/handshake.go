@@ -25,8 +25,11 @@ import (
 // ProtocolVersion is the wire protocol generation. Bump it whenever the
 // session wire format changes incompatibly (generation 1 introduced this
 // handshake and the chunked setup exchange; generation 2 added per-chunk
-// subheaders to the setup exchange and the busy-reject frame).
-const ProtocolVersion = 2
+// subheaders to the setup exchange and the busy-reject frame; generation
+// 3 added the persistent-session mode — attach/resume frames, per-seq
+// inference requests — plus in-hello negotiation of the ABReLU ring width
+// and the class-only reveal).
+const ProtocolVersion = 3
 
 // helloMagic opens every hello frame. A peer speaking the pre-handshake
 // protocol (or not speaking this protocol at all) sends something else as
@@ -59,6 +62,15 @@ func busyFrame() []byte {
 const (
 	flagLocalTrunc  = 1 << 0
 	flagNoExtension = 1 << 1
+	// flagClassOnly selects the class-only reveal (secure argmax instead
+	// of the logit reveal). It changes the online transcript, so both
+	// parties must run the same flow; the serving path adopts the
+	// client's choice (what the user learns is the user's knob).
+	flagClassOnly = 1 << 2
+	// flagSession requests the persistent-session flow: attach/resume
+	// exchange after the hello, then a stream of per-seq inference
+	// requests over the prepared state. The serving path mirrors it.
+	flagSession = 1 << 3
 )
 
 // Handshake roles.
@@ -73,7 +85,10 @@ type sessionHello struct {
 	Role    uint8
 	Flags   uint8
 	Carrier uint16
-	Model   uint64 // nn.Model architecture fingerprint
+	// ABReLU is the contracted ABReLU ring width (0 = full carrier). It
+	// changes the A2BM/SCM transcript, so both parties must agree.
+	ABReLU uint8
+	Model  uint64 // nn.Model architecture fingerprint
 }
 
 // HandshakeError reports a handshake failure: a session-parameter
@@ -112,11 +127,22 @@ func helloFor(role uint8, m *nn.Model, r ring.Ring, cfg Options) sessionHello {
 	if cfg.NoExtension {
 		flags |= flagNoExtension
 	}
+	if cfg.RevealClassOnly {
+		flags |= flagClassOnly
+	}
+	// An ABReLU width at or past the carrier is a no-op (runReLU keeps the
+	// full ring), so it is normalised to 0 here — peers configured with
+	// "no contraction" and "contraction wider than the carrier" agree.
+	abrelu := uint8(0)
+	if cfg.ABReLUBits != 0 && cfg.ABReLUBits < r.Bits {
+		abrelu = uint8(cfg.ABReLUBits)
+	}
 	return sessionHello{
 		Version: ProtocolVersion,
 		Role:    role,
 		Flags:   flags,
 		Carrier: uint16(r.Bits),
+		ABReLU:  abrelu,
 		Model:   m.Fingerprint(),
 	}
 }
@@ -128,7 +154,8 @@ func (h sessionHello) encode() []byte {
 	p[6] = h.Role
 	p[7] = h.Flags
 	binary.LittleEndian.PutUint16(p[8:], h.Carrier)
-	// p[10:12] reserved (zero) for future extension.
+	p[10] = h.ABReLU
+	// p[11] reserved (zero) for future extension.
 	binary.LittleEndian.PutUint64(p[12:], h.Model)
 	return p
 }
@@ -156,8 +183,30 @@ func decodeHello(p []byte) (sessionHello, error) {
 	h.Role = p[6]
 	h.Flags = p[7]
 	h.Carrier = binary.LittleEndian.Uint16(p[8:])
+	h.ABReLU = p[10]
 	h.Model = binary.LittleEndian.Uint64(p[12:])
 	return h, nil
+}
+
+// checkHello verifies the peer's session parameters against ours,
+// producing the same typed *HandshakeError both parties compute from
+// their own (mine, peer) view.
+func checkHello(mine, peer sessionHello) error {
+	switch {
+	case peer.Version != mine.Version:
+		return &HandshakeError{Field: "protocol version", Local: uint64(mine.Version), Peer: uint64(peer.Version)}
+	case peer.Role == mine.Role:
+		return &HandshakeError{Field: "role", Local: uint64(mine.Role), Peer: uint64(peer.Role)}
+	case peer.Model != mine.Model:
+		return &HandshakeError{Field: "model fingerprint", Local: mine.Model, Peer: peer.Model}
+	case peer.Carrier != mine.Carrier:
+		return &HandshakeError{Field: "carrier ring width", Local: uint64(mine.Carrier), Peer: uint64(peer.Carrier)}
+	case peer.ABReLU != mine.ABReLU:
+		return &HandshakeError{Field: "abrelu ring width", Local: uint64(mine.ABReLU), Peer: uint64(peer.ABReLU)}
+	case peer.Flags != mine.Flags:
+		return &HandshakeError{Field: "protocol flags", Local: uint64(mine.Flags), Peer: uint64(peer.Flags)}
+	}
+	return nil
 }
 
 // exchangeHello sends this party's hello, receives the peer's, and
@@ -189,17 +238,5 @@ func exchangeHello(conn transport.Conn, mine sessionHello, timeout time.Duration
 	if err != nil {
 		return err
 	}
-	switch {
-	case peer.Version != mine.Version:
-		return &HandshakeError{Field: "protocol version", Local: uint64(mine.Version), Peer: uint64(peer.Version)}
-	case peer.Role == mine.Role:
-		return &HandshakeError{Field: "role", Local: uint64(mine.Role), Peer: uint64(peer.Role)}
-	case peer.Model != mine.Model:
-		return &HandshakeError{Field: "model fingerprint", Local: mine.Model, Peer: peer.Model}
-	case peer.Carrier != mine.Carrier:
-		return &HandshakeError{Field: "carrier ring width", Local: uint64(mine.Carrier), Peer: uint64(peer.Carrier)}
-	case peer.Flags != mine.Flags:
-		return &HandshakeError{Field: "protocol flags", Local: uint64(mine.Flags), Peer: uint64(peer.Flags)}
-	}
-	return nil
+	return checkHello(mine, peer)
 }

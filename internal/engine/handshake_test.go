@@ -11,7 +11,7 @@ import (
 )
 
 func TestHelloEncodeDecodeRoundTrip(t *testing.T) {
-	in := sessionHello{Version: 3, Role: roleProvider, Flags: flagLocalTrunc | flagNoExtension, Carrier: 61, Model: 0xDEADBEEFCAFE}
+	in := sessionHello{Version: 3, Role: roleProvider, Flags: flagLocalTrunc | flagNoExtension | flagClassOnly | flagSession, Carrier: 61, Model: 0xDEADBEEFCAFE}
 	out, err := decodeHello(in.encode())
 	if err != nil {
 		t.Fatal(err)
@@ -53,6 +53,12 @@ func TestHandshakeMismatchTypedOnBothParties(t *testing.T) {
 		{"model", func(h *sessionHello) { h.Model ^= 1 }, "model fingerprint"},
 		{"carrier", func(h *sessionHello) { h.Carrier = 61 }, "carrier ring width"},
 		{"flags", func(h *sessionHello) { h.Flags = flagLocalTrunc }, "protocol flags"},
+		// A provider that fails to mirror the session request desynchronises
+		// (one side expects the attach exchange): the client must reject it.
+		// The serving path (provideConn) adopts flagSession/flagClassOnly
+		// from the client before checkHello, so honest providers never hit
+		// this; the session tests cover that adoption end to end.
+		{"session flag unmirrored", func(h *sessionHello) { h.Flags = flagSession }, "protocol flags"},
 	}
 	for _, tc := range cases {
 		mine, theirs := base(roleUser), base(roleProvider)
@@ -86,27 +92,27 @@ func TestSessionHandshakeFailsFastEndToEnd(t *testing.T) {
 	m := tinyModel(nn.PoolAvg)
 	cases := []struct {
 		name         string
-		userCfg      NetworkConfig
-		providerCfg  NetworkConfig
+		userCfg      Options
+		providerCfg  Options
 		field        string
 		providerView *nn.Model
 	}{
 		{
 			name:        "carrier width",
-			userCfg:     NetworkConfig{CarrierBits: 20, Seed: 4},
-			providerCfg: NetworkConfig{CarrierBits: 18, Seed: 4},
+			userCfg:     Options{CarrierBits: 20, Seed: 4},
+			providerCfg: Options{CarrierBits: 18, Seed: 4},
 			field:       "carrier ring width",
 		},
 		{
 			name:        "truncation mode",
-			userCfg:     NetworkConfig{CarrierBits: 20, Seed: 4, LocalTrunc: true},
-			providerCfg: NetworkConfig{CarrierBits: 20, Seed: 4},
+			userCfg:     Options{CarrierBits: 20, Seed: 4, LocalTrunc: true},
+			providerCfg: Options{CarrierBits: 20, Seed: 4},
 			field:       "protocol flags",
 		},
 		{
 			name:         "model architecture",
-			userCfg:      NetworkConfig{CarrierBits: 20, Seed: 4},
-			providerCfg:  NetworkConfig{CarrierBits: 20, Seed: 4},
+			userCfg:      Options{CarrierBits: 20, Seed: 4},
+			providerCfg:  Options{CarrierBits: 20, Seed: 4},
 			field:        "model fingerprint",
 			providerView: tinyModel(nn.PoolMax),
 		},
@@ -140,7 +146,7 @@ func TestSessionHandshakeFailsFastEndToEnd(t *testing.T) {
 
 func TestHelloForResolvesCarrier(t *testing.T) {
 	m := tinyModel(nn.PoolAvg)
-	cfg := NetworkConfig{CarrierBits: 20}
+	cfg := Options{CarrierBits: 20}
 	h := helloFor(roleUser, m, ring.New(20), cfg)
 	if h.Carrier != 20 || h.Version != ProtocolVersion || h.Model != m.Fingerprint() {
 		t.Errorf("unexpected hello %+v", h)

@@ -63,6 +63,48 @@ type wirePayload struct {
 	X    []uint64
 }
 
+// reluRingFor resolves the contracted ABReLU ring: the zero Ring when the
+// configured width is 0 or not narrower than the carrier (both mean "full
+// width", matching the hello normalisation in helloFor).
+func reluRingFor(cfg Options, r ring.Ring) ring.Ring {
+	if cfg.ABReLUBits != 0 && cfg.ABReLUBits < r.Bits {
+		return ring.New(cfg.ABReLUBits)
+	}
+	return ring.Ring{}
+}
+
+// revealResult finishes the online phase: under RevealClassOnly a secure
+// argmax tournament reveals only the predicted class to the user,
+// otherwise the logit shares are revealed. Both parties run it; only
+// party i's returns are meaningful (logits nil / class -1 elsewhere).
+func revealResult(ctx *secure.Context, r ring.Ring, cfg Options, o []uint64) (logits []int64, class int, err error) {
+	class = -1
+	sp := ctx.Trace.Enter("reveal")
+	defer ctx.Trace.Exit(sp)
+	if cfg.RevealClassOnly {
+		idx, err := ctx.ArgMaxBatched(r, o)
+		if err != nil {
+			return nil, -1, err
+		}
+		opened, err := ctx.RevealTo(r, share.PartyI, []uint64{idx})
+		if err != nil {
+			return nil, -1, err
+		}
+		if ctx.Party == share.PartyI {
+			class = int(r.ToInt(opened[0]))
+		}
+		return nil, class, nil
+	}
+	opened, err := ctx.RevealTo(r, share.PartyI, o)
+	if err != nil {
+		return nil, -1, err
+	}
+	if ctx.Party == share.PartyI {
+		logits = r.ToInts(opened)
+	}
+	return logits, class, nil
+}
+
 // RunUser executes the user side (party i): it secret-shares its input,
 // receives its weight shares from the provider, runs the protocol and
 // returns the revealed logits with the measured traffic.
@@ -73,7 +115,7 @@ func RunUser(conn transport.Conn, m *nn.Model, x []int64, cfg Options) (*Result,
 	}
 	ctx := NewNetworkContext(0, conn, cfg)
 	var profile []OpProfile
-	p := &Party{Ctx: ctx, Model: m, R: r, Pool: ctx.Pool, Profile: &profile}
+	p := &Party{Ctx: ctx, Model: m, R: r, ReLURing: reluRingFor(cfg, r), Pool: ctx.Pool, Profile: &profile}
 	var x0 []uint64
 	if err := tracePhase(cfg.Trace, ctx, "user.setup", func() error {
 		if err := func() error {
@@ -113,24 +155,20 @@ func RunUser(conn transport.Conn, m *nn.Model, x []int64, cfg Options) (*Result,
 	setup := conn.Stats()
 	conn.ResetStats()
 	var logits []int64
+	class := -1
 	if err := tracePhase(cfg.Trace, ctx, "user.infer", func() error {
 		o, err := p.Infer(x0)
 		if err != nil {
 			return err
 		}
-		sp := ctx.Trace.Enter("reveal")
-		defer ctx.Trace.Exit(sp)
-		opened, err := ctx.RevealTo(r, share.PartyI, o)
-		if err != nil {
-			return err
-		}
-		logits = r.ToInts(opened)
-		return nil
+		logits, class, err = revealResult(ctx, r, cfg, o)
+		return err
 	}); err != nil {
 		return nil, err
 	}
 	return &Result{
 		Logits:  logits,
+		Class:   class,
 		Setup:   setup,
 		Online:  conn.Stats(),
 		PerOp:   profile,
@@ -145,21 +183,33 @@ func RunUser(conn transport.Conn, m *nn.Model, x []int64, cfg Options) (*Result,
 // on both sides.
 func RunProvider(conn transport.Conn, m *nn.Model, cfg Options) error {
 	r := cfg.Carrier(m)
+	return runProvider(conn, m, r, cfg, func() error {
+		return exchangeHello(conn, helloFor(roleProvider, m, r, cfg), cfg.handshakeTimeout())
+	})
+}
+
+// runProvider is the post-dispatch provider flow. hello performs the
+// handshake under the setup root — RunProvider's symmetric exchange, or a
+// no-op on the serving path, which consumes the client's hello itself to
+// pick the model before this function is chosen.
+func runProvider(conn transport.Conn, m *nn.Model, r ring.Ring, cfg Options, hello func() error) error {
 	ctx := NewNetworkContext(1, conn, cfg)
 	g := prg.NewSeeded(cfg.Seed ^ 0x0DE17272)
 	ws0, ws1, err := SplitModel(g, m, r)
 	if err != nil {
 		return err
 	}
-	p := &Party{Ctx: ctx, Model: m, Weights: ws1, R: r, Pool: ctx.Pool}
+	p := &Party{Ctx: ctx, Model: m, Weights: ws1, R: r, ReLURing: reluRingFor(cfg, r), Pool: ctx.Pool}
 	var in wirePayload
 	if err := tracePhase(cfg.Trace, ctx, "provider.setup", func() error {
-		if err := func() error {
-			sp := ctx.Trace.Enter("handshake")
-			defer ctx.Trace.Exit(sp)
-			return exchangeHello(conn, helloFor(roleProvider, m, r, cfg), cfg.handshakeTimeout())
-		}(); err != nil {
-			return err
+		if hello != nil {
+			if err := func() error {
+				sp := ctx.Trace.Enter("handshake")
+				defer ctx.Trace.Exit(sp)
+				return hello()
+			}(); err != nil {
+				return err
+			}
 		}
 		if err := func() error {
 			sp := ctx.Trace.Enter("exchange.shares")
@@ -186,9 +236,7 @@ func RunProvider(conn transport.Conn, m *nn.Model, cfg Options) error {
 		if err != nil {
 			return err
 		}
-		sp := ctx.Trace.Enter("reveal")
-		defer ctx.Trace.Exit(sp)
-		_, err = ctx.RevealTo(r, share.PartyI, o)
+		_, _, err = revealResult(ctx, r, cfg, o)
 		return err
 	})
 }

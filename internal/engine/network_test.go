@@ -21,7 +21,7 @@ func TestNetworkInferenceNoDealer(t *testing.T) {
 	a, b := transport.Pipe()
 	defer a.Close()
 	defer b.Close()
-	cfg := NetworkConfig{CarrierBits: 20, Seed: 4, Group: ot.TestGroup()}
+	cfg := Options{CarrierBits: 20, Seed: 4, Group: ot.TestGroup()}
 	var res *Result
 	var errU, errP error
 	var wg sync.WaitGroup
@@ -66,7 +66,7 @@ func TestNetworkInferenceOverTCP(t *testing.T) {
 			return
 		}
 		defer conn.Close()
-		done <- RunProvider(conn, m, NetworkConfig{CarrierBits: 18, Seed: 5, Group: ot.TestGroup()})
+		done <- RunProvider(conn, m, Options{CarrierBits: 18, Seed: 5, Group: ot.TestGroup()})
 	}()
 	addr := <-addrCh
 	conn, err := transport.Dial(addr, 5*time.Second)
@@ -74,7 +74,7 @@ func TestNetworkInferenceOverTCP(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	res, err := RunUser(conn, m, x, NetworkConfig{CarrierBits: 18, Seed: 5, Group: ot.TestGroup()})
+	res, err := RunUser(conn, m, x, Options{CarrierBits: 18, Seed: 5, Group: ot.TestGroup()})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -44,6 +44,24 @@ var ErrSessionAborted = errors.New("engine: session aborted")
 // aq2pnn_sessions_shed_total; sessions killed by those limits increment
 // aq2pnn_idle_timeouts_total / aq2pnn_frames_rejected_total.
 func ServeTCP(ctx context.Context, l *transport.Listener, m *nn.Model, cfg Options, sessions int, onSession func(error)) error {
+	reg := NewRegistry()
+	if err := reg.Add(m); err != nil {
+		return err
+	}
+	return ServeRegistryTCP(ctx, l, reg, cfg, sessions, onSession)
+}
+
+// ServeRegistryTCP is the multi-model serving loop: each accepted
+// connection's hello names a model by fingerprint, dispatched against the
+// registry (which may gain and lose models while serving). Unknown
+// fingerprints fail the handshake with the typed mismatch on both sides.
+// Clients that set the session flag get the persistent flow — setup once,
+// then a stream of inference requests, with faulted sessions parked for
+// token re-attachment; plain clients get the one-shot protocol. Shutdown,
+// draining, admission control and the hostile-peer defences behave exactly
+// as documented on ServeTCP.
+func ServeRegistryTCP(ctx context.Context, l *transport.Listener, reg *Registry, cfg Options, sessions int, onSession func(error)) error {
+	reg.setCap(cfg.SessionCache)
 	if cfg.IdleTimeout > 0 || cfg.MemBudget > 0 {
 		l.SetLimits(transport.Limits{IdleTimeout: cfg.IdleTimeout, MemBudget: cfg.MemBudget})
 	}
@@ -126,7 +144,7 @@ func ServeTCP(ctx context.Context, l *transport.Listener, m *nn.Model, cfg Optio
 		go func() {
 			defer wg.Done()
 			defer conn.Close()
-			err := runSession(drainCtx, conn, m, cfg)
+			err := runSession(drainCtx, conn, reg, cfg)
 			if admit != nil {
 				<-admit
 			}
@@ -170,8 +188,11 @@ func countHostile(err error) {
 
 // runSession executes one provider session with panic containment and the
 // optional per-session deadline. ctx is the drain context: it outlives
-// the accept loop's context by the configured grace.
-func runSession(ctx context.Context, conn transport.Conn, m *nn.Model, cfg Options) (err error) {
+// the accept loop's context by the configured grace. For a persistent
+// session the deadline bounds the whole connection lifetime (prefer
+// IdleTimeout for per-frame patience; a timed-out-but-established session
+// is still parked for re-attachment).
+func runSession(ctx context.Context, conn transport.Conn, reg *Registry, cfg Options) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			telemetry.Count("aq2pnn_session_panics_total", 1)
@@ -184,7 +205,7 @@ func runSession(ctx context.Context, conn transport.Conn, m *nn.Model, cfg Optio
 		defer cancel()
 		conn = transport.WithContext(ctx, conn)
 	}
-	err = RunProvider(conn, m, cfg)
+	err = provideConn(conn, reg, cfg)
 	if err != nil && ctx.Err() != nil {
 		telemetry.Count("aq2pnn_session_aborts_total", 1)
 		err = fmt.Errorf("%w: %w", ErrSessionAborted, err)

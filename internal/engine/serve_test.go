@@ -179,6 +179,12 @@ func TestServeTCPSessionPanicRecovered(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Complete the hello: the serving path dispatches on the client's
+	// hello before touching the weights, so the panic fires only once the
+	// session is past the handshake.
+	if err := exchangeHello(conn, helloFor(roleUser, m, cfg.Carrier(m), cfg), 0); err != nil {
+		t.Fatal(err)
+	}
 	select {
 	case err := <-sessionErr:
 		if err == nil || !strings.Contains(err.Error(), "session panic") {

@@ -1,0 +1,176 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"aq2pnn/internal/nn"
+	"aq2pnn/internal/ring"
+	"aq2pnn/internal/telemetry"
+	"aq2pnn/internal/transport"
+)
+
+// provideConn dispatches one accepted connection. The provider receives
+// the client's hello first — it names the model, so the provider cannot
+// assemble its own hello before reading it — then answers with its view
+// and branches on the session flag. Two flags are adopted from the client
+// rather than checked: class-only reveal (what the user learns is the
+// user's knob) and session mode.
+func provideConn(conn transport.Conn, reg *Registry, cfg Options) error {
+	if to := cfg.handshakeTimeout(); to > 0 {
+		transport.SetRecvDeadline(conn, time.Now().Add(to))
+	}
+	p, err := conn.Recv()
+	transport.SetRecvDeadline(conn, time.Time{})
+	if err != nil {
+		if errors.Is(err, transport.ErrIdleTimeout) {
+			return &HandshakeError{Field: "hello read", Err: err}
+		}
+		return fmt.Errorf("engine: receiving session hello: %w", err)
+	}
+	peer, err := decodeHello(p)
+	if err != nil {
+		return err
+	}
+	m := reg.Lookup(peer.Model)
+	scfg := cfg
+	scfg.RevealClassOnly = peer.Flags&flagClassOnly != 0
+	var mine sessionHello
+	if m != nil {
+		mine = helloFor(roleProvider, m, scfg.Carrier(m), scfg)
+		mine.Flags |= peer.Flags & flagSession
+	} else {
+		// Unknown model: answer with the peer's own parameters under a
+		// zero fingerprint, so the client fails with the same typed
+		// "model fingerprint" mismatch instead of hanging or seeing a
+		// spurious secondary mismatch.
+		mine = peer
+		mine.Role = roleProvider
+		mine.Model = 0
+	}
+	if err := conn.Send(mine.encode()); err != nil {
+		return fmt.Errorf("engine: sending session hello: %w", err)
+	}
+	if m == nil {
+		return &HandshakeError{Field: "model fingerprint", Local: 0, Peer: peer.Model}
+	}
+	if err := checkHello(mine, peer); err != nil {
+		return err
+	}
+	if peer.Flags&flagSession != 0 {
+		return provideSession(conn, reg, m, scfg)
+	}
+	return runProvider(conn, m, scfg.Carrier(m), scfg, nil)
+}
+
+// provideSession runs the provider half of a persistent session: the
+// attach/resume exchange, at most one setup phase, then the steady-state
+// inference loop. On a transport fault past setup the prepared state is
+// parked under the session token so the client's re-attach skips setup.
+func provideSession(conn transport.Conn, reg *Registry, m *nn.Model, cfg Options) error {
+	r := cfg.Carrier(m)
+	frame, err := conn.Recv()
+	if err != nil {
+		return fmt.Errorf("engine: receiving session attach: %w", err)
+	}
+	req, err := decodeAttach(attachReqMagic, frame)
+	if err != nil {
+		return err
+	}
+	var st *sessionState
+	token := req.token
+	resumed := false
+	if req.flag {
+		if parked, ok := reg.take(req.token); ok && parked.model == m && parked.r == r {
+			st, resumed = parked, true
+		}
+	}
+	if !resumed {
+		// Fresh setup (also the fallback when a resume token misses —
+		// expired, evicted, or a provider restart): mint a new token so
+		// the stale one can never alias a live session.
+		token = reg.nextToken()
+	}
+	if err := conn.Send(encodeAttach(attachRespMagic, attachFrame{flag: resumed, token: token})); err != nil {
+		return fmt.Errorf("engine: sending session attach: %w", err)
+	}
+	if !resumed {
+		st, err = providerOpen(conn, reg, m, r, cfg, token)
+		if err != nil {
+			return err
+		}
+	}
+	// Steady state: each inference request binds a fresh deterministic
+	// context to the prepared state. Nothing from the setup phase crosses
+	// the wire again.
+	for {
+		seq, end, err := recvSessionReq(conn)
+		if err != nil {
+			if transport.IsTransient(err) {
+				reg.park(token, st)
+			}
+			return fmt.Errorf("engine: receiving session request: %w", err)
+		}
+		if end {
+			return nil
+		}
+		if err := providerInfer(conn, st, cfg, seq); err != nil {
+			if transport.IsTransient(err) {
+				reg.park(token, st)
+			}
+			return sessionError(seq, err)
+		}
+	}
+}
+
+// providerOpen runs the provider's setup half under the
+// "provider.session.open" root: ship the client's (cached) weight share,
+// then the interactive F openings.
+func providerOpen(conn transport.Conn, reg *Registry, m *nn.Model, r ring.Ring, cfg Options, token SessionToken) (*sessionState, error) {
+	shares, err := reg.sharesFor(m, r, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	ctx := NewNetworkContext(1, conn, cfg)
+	var st *sessionState
+	err = tracePhase(cfg.Trace, ctx, "provider.session.open", func() error {
+		if err := func() error {
+			sp := ctx.Trace.Enter("exchange.shares")
+			defer ctx.Trace.Exit(sp)
+			return sendGobBytes(conn, shares.payload)
+		}(); err != nil {
+			return fmt.Errorf("engine: sending weight shares: %w", err)
+		}
+		st, err = newSessionState(ctx, m, r, shares.ws1, sessionFamSeed(cfg, 1, token))
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// providerInfer serves one steady-state inference: receive the client's
+// input share, run the online protocol over the bound state, finish the
+// reveal.
+func providerInfer(conn transport.Conn, st *sessionState, cfg Options, seq uint32) error {
+	ctx, p := st.bindInfer(conn, 1, cfg, seq)
+	sp := sessionInferRoot(cfg.Trace, conn, "provider.session.infer", seq)
+	defer sp.End()
+	ctx.SetTrace(telemetry.NewScope(sp))
+	x1, err := func() ([]uint64, error) {
+		isp := ctx.Trace.Enter("input.share")
+		defer ctx.Trace.Exit(isp)
+		return transport.RecvElems(conn, st.r, st.model.InputShape().Numel())
+	}()
+	if err != nil {
+		return fmt.Errorf("receiving input share: %w", err)
+	}
+	o, err := p.Infer(x1)
+	if err != nil {
+		return err
+	}
+	_, _, err = revealResult(ctx, st.r, cfg, o)
+	return err
+}

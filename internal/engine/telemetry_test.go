@@ -59,7 +59,7 @@ func assertExactAttribution(t *testing.T, tr *telemetry.Tracer, rootName string,
 func TestTraceAttributionExact(t *testing.T) {
 	m := tinyModel(nn.PoolMax)
 	tr := telemetry.New()
-	res, err := RunLocal(m, input(64), Config{CarrierBits: 16, Seed: 11, Trace: tr})
+	res, err := RunLocal(m, input(64), Options{CarrierBits: 16, Seed: 11, Trace: tr})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func TestTraceAttributionLeNet5(t *testing.T) {
 		x[i] = int64(i%23) - 11
 	}
 	tr := telemetry.New()
-	res, err := RunLocal(m, x, Config{CarrierBits: 32, Seed: 6, Trace: tr})
+	res, err := RunLocal(m, x, Options{CarrierBits: 32, Seed: 6, Trace: tr})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +170,7 @@ func TestTelemetryDisabledBitIdentical(t *testing.T) {
 	var base []int64
 	for _, workers := range []uint{1, 2, 4} {
 		for _, traced := range []bool{false, true} {
-			cfg := Config{CarrierBits: 16, Seed: 99, Workers: workers}
+			cfg := Options{CarrierBits: 16, Seed: 99, Workers: workers}
 			if traced {
 				cfg.Trace = telemetry.New()
 			}

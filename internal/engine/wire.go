@@ -44,15 +44,32 @@ const maxGobPayload = 4 << 30
 // multi-chunk reassembly without materialising multi-gigabyte payloads.
 var gobChunk = transport.MaxFrame - gobChunkHeaderLen
 
-func sendGob(c transport.Conn, v any) error {
+// encodeGob produces the bytes sendGobBytes ships — split out so the
+// serving path can cache a model's encoded weight-share payload once and
+// replay it to every fresh session without re-encoding.
+func encodeGob(v any) ([]byte, error) {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
-		return err
+		return nil, err
 	}
 	p := buf.Bytes()
 	if len(p) > maxGobPayload {
-		return fmt.Errorf("engine: setup payload %d bytes exceeds %d-byte cap", len(p), maxGobPayload)
+		return nil, fmt.Errorf("engine: setup payload %d bytes exceeds %d-byte cap", len(p), maxGobPayload)
 	}
+	return p, nil
+}
+
+func sendGob(c transport.Conn, v any) error {
+	p, err := encodeGob(v)
+	if err != nil {
+		return err
+	}
+	return sendGobBytes(c, p)
+}
+
+// sendGobBytes ships an already-encoded payload through the chunked setup
+// exchange.
+func sendGobBytes(c transport.Conn, p []byte) error {
 	count := (len(p) + gobChunk - 1) / gobChunk
 	hdr := make([]byte, gobHeaderLen)
 	binary.LittleEndian.PutUint32(hdr[0:], gobMagic)

@@ -200,7 +200,7 @@ func TestRunUserRejectsMalformedPayload(t *testing.T) {
 	a, b := transport.Pipe()
 	defer a.Close()
 	defer b.Close()
-	cfg := NetworkConfig{CarrierBits: 20, Seed: 4}
+	cfg := Options{CarrierBits: 20, Seed: 4}
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {

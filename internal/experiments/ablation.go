@@ -125,7 +125,7 @@ func (s *Suite) AblationReLUBits() ([]*report.Table, error) {
 		x[i] = int64(i%23) - 11
 	}
 	for _, bits := range []uint{0, 16, 12} {
-		res, err := engine.RunLocal(m, x, engine.Config{CarrierBits: 24, Seed: s.Cfg.Seed, ABReLUBits: bits})
+		res, err := engine.RunLocal(m, x, engine.Options{CarrierBits: 24, Seed: s.Cfg.Seed, ABReLUBits: bits})
 		if err != nil {
 			return nil, err
 		}

@@ -102,7 +102,7 @@ func (s *Suite) MeasuredLeNetComm(bits uint) (measuredMiB, modelledMiB float64, 
 	for i := range x {
 		x[i] = int64(i%23) - 11
 	}
-	res, err := engine.RunLocal(m, x, engine.Config{CarrierBits: bits, Seed: s.Cfg.Seed})
+	res, err := engine.RunLocal(m, x, engine.Options{CarrierBits: bits, Seed: s.Cfg.Seed})
 	if err != nil {
 		return 0, 0, err
 	}

@@ -77,7 +77,7 @@ func TestAnalyticCommMatchesMeasured(t *testing.T) {
 		for i := range x {
 			x[i] = int64(i%17) - 8
 		}
-		res, err := engine.RunLocal(m, x, engine.Config{CarrierBits: 16, Seed: 9, LocalTrunc: local})
+		res, err := engine.RunLocal(m, x, engine.Options{CarrierBits: 16, Seed: 9, LocalTrunc: local})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -97,7 +97,7 @@ func TestAnalyticCommMatchesMeasured(t *testing.T) {
 func TestPerOpCommMatchesEngineProfile(t *testing.T) {
 	m := tinyModel()
 	x := make([]int64, 64)
-	res, err := engine.RunLocal(m, x, engine.Config{CarrierBits: 16, Seed: 10})
+	res, err := engine.RunLocal(m, x, engine.Options{CarrierBits: 16, Seed: 10})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -45,7 +45,7 @@ type ForwardOptions struct {
 	Rng *prg.PRG
 	// LocalTrunc makes StochasticRing emulate the paper's local share
 	// truncation (probabilistic wrap failures) instead of the default
-	// faithful truncation; it mirrors engine.Config.LocalTrunc.
+	// faithful truncation; it mirrors engine.Options.LocalTrunc.
 	LocalTrunc bool
 }
 

@@ -142,7 +142,7 @@ func TestQuantizedModelRunsUnder2PC(t *testing.T) {
 		t.Fatal(err)
 	}
 	x := q.QuantizeInput(te.X[0])
-	res, err := engine.RunLocal(q.Model, x, engine.Config{CarrierBits: 20, Seed: 5})
+	res, err := engine.RunLocal(q.Model, x, engine.Options{CarrierBits: 20, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -113,6 +113,14 @@ func NewGilboaFamily(ep *ot.Endpoint, rng *prg.PRG, party int, r ring.Ring, k, n
 	return &GilboaFamily{EP: ep, Rng: rng, Party: party, R: r, K: k, N: n, bShare: rng.Elems(k*n, r)}
 }
 
+// NewGilboaFamilyFixed builds a family around an already-fixed weight-mask
+// share instead of drawing a fresh one: a persistent session binds the
+// opened F of its setup phase to fresh per-inference OT endpoints, which is
+// only sound against the exact B the F was opened for.
+func NewGilboaFamilyFixed(ep *ot.Endpoint, rng *prg.PRG, party int, r ring.Ring, k, n int, bShare []uint64) *GilboaFamily {
+	return &GilboaFamily{EP: ep, Rng: rng, Party: party, R: r, K: k, N: n, bShare: bShare}
+}
+
 // BShare implements Family.
 func (f *GilboaFamily) BShare() []uint64 { return f.bShare }
 

@@ -2,6 +2,7 @@ package aq2pnn_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -27,10 +28,12 @@ func TestServeModelTCPConcurrentClients(t *testing.T) {
 	const addr = "127.0.0.1:17549"
 	const clients = 4
 	cfg := aq2pnn.InferenceConfig{
-		CarrierBits: 16, Seed: 9,
-		DemoGroup:     true,
-		DialTimeout:   20 * time.Second,
-		ServeSessions: clients,
+		ComputeConfig: aq2pnn.ComputeConfig{CarrierBits: 16, Seed: 9},
+		NetConfig: aq2pnn.NetConfig{
+			DemoGroup:     true,
+			DialTimeout:   20 * time.Second,
+			ServeSessions: clients,
+		},
 	}
 	m := microModel(t)
 	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
@@ -70,6 +73,89 @@ func TestServeModelTCPConcurrentClients(t *testing.T) {
 	}
 }
 
+// TestClientSessionTCP exercises the first-class session API end to end:
+// a multi-model provider, a persistent session streaming inferences with
+// byte-identical online cost, a one-shot client sharing the same serving
+// loop, and a hot model removal failing fresh handshakes with the typed
+// mismatch while the open session keeps working.
+func TestClientSessionTCP(t *testing.T) {
+	const addr = "127.0.0.1:17551"
+	cfg := aq2pnn.InferenceConfig{
+		ComputeConfig: aq2pnn.ComputeConfig{CarrierBits: 16, Seed: 9},
+		NetConfig:     aq2pnn.NetConfig{DemoGroup: true, DialTimeout: 20 * time.Second},
+	}
+	mA := microModel(t)
+	mB, err := aq2pnn.BuildModel("micro", aq2pnn.ZooConfig{Seed: 9, Pool: aq2pnn.PoolAvg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := aq2pnn.NewModelRegistry()
+	if err := reg.Add(mA); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Add(mB); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	serveCtx, stopServe := context.WithCancel(ctx)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- aq2pnn.ServeModelsTCP(serveCtx, addr, reg, cfg) }()
+
+	x := make([]int64, 8*8)
+	for i := range x {
+		x[i] = int64(i%23) - 11
+	}
+	c := aq2pnn.Dial(addr, cfg)
+	s, err := c.OpenSession(ctx, mA)
+	if err != nil {
+		t.Fatalf("OpenSession: %v", err)
+	}
+	if s.SetupStats().TotalBytes() == 0 {
+		t.Error("session open measured no setup traffic")
+	}
+	var online []aq2pnn.CommStats
+	for i := 0; i < 3; i++ {
+		res, err := s.Infer(ctx, x)
+		if err != nil {
+			t.Fatalf("inference %d: %v", i, err)
+		}
+		if res.Setup.TotalBytes() != 0 {
+			t.Errorf("inference %d reported setup traffic; sessions pay setup once at open", i)
+		}
+		online = append(online, res.Online)
+	}
+	for i := 1; i < len(online); i++ {
+		if online[i] != online[0] {
+			t.Errorf("inference %d online %+v, want byte-identical to inference 0 %+v", i, online[i], online[0])
+		}
+	}
+	// One-shot wrapper against the other registered model, same loop.
+	if _, err := aq2pnn.SecureInferTCP(ctx, addr, mB, x, cfg); err != nil {
+		t.Fatalf("one-shot inference for second model: %v", err)
+	}
+	// Hot-remove model B: fresh handshakes fail typed, the session lives.
+	reg.Remove(mB)
+	if _, err := c.OpenSession(ctx, mB); err == nil {
+		t.Error("OpenSession succeeded for a removed model")
+	} else {
+		var he *aq2pnn.HandshakeError
+		if !errors.As(err, &he) {
+			t.Errorf("removed model returned %v, want a HandshakeError", err)
+		}
+	}
+	if _, err := s.Infer(ctx, x); err != nil {
+		t.Errorf("session inference after removing the other model: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	stopServe()
+	if err := <-serveErr; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+}
+
 // TestServeModelTCPCancel verifies that cancelling the server context
 // unblocks a provider with no pending clients.
 func TestServeModelTCPCancel(t *testing.T) {
@@ -77,7 +163,7 @@ func TestServeModelTCPCancel(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() {
-		done <- aq2pnn.ServeModelTCP(ctx, addr, microModel(t), aq2pnn.InferenceConfig{CarrierBits: 16, Seed: 9})
+		done <- aq2pnn.ServeModelTCP(ctx, addr, microModel(t), aq2pnn.InferenceConfig{ComputeConfig: aq2pnn.ComputeConfig{CarrierBits: 16, Seed: 9}})
 	}()
 	time.Sleep(100 * time.Millisecond)
 	cancel()
@@ -107,11 +193,11 @@ func ExampleSecureInferBatch() {
 		}
 		xs[i] = x
 	}
-	serial, err := aq2pnn.SecureInferBatch(model, xs, aq2pnn.InferenceConfig{CarrierBits: 16, Seed: 2, Workers: 1})
+	serial, err := aq2pnn.SecureInferBatch(model, xs, aq2pnn.InferenceConfig{ComputeConfig: aq2pnn.ComputeConfig{CarrierBits: 16, Seed: 2, Workers: 1}})
 	if err != nil {
 		panic(err)
 	}
-	parallel, err := aq2pnn.SecureInferBatch(model, xs, aq2pnn.InferenceConfig{CarrierBits: 16, Seed: 2, Workers: 4})
+	parallel, err := aq2pnn.SecureInferBatch(model, xs, aq2pnn.InferenceConfig{ComputeConfig: aq2pnn.ComputeConfig{CarrierBits: 16, Seed: 2, Workers: 4}})
 	if err != nil {
 		panic(err)
 	}
