@@ -3,8 +3,11 @@
 // secret-handling packages (prgonly), transport error discipline
 // (sendcheck), context plumbing in the serving engine (ctxplumb),
 // panic-free protocol paths (panicfree), race-free parallel kernels
-// (looppar) and telemetry spans ended on all paths (spanend). See the
-// "Static invariants" section of DESIGN.md.
+// (looppar), telemetry spans ended on all paths (spanend), bounded
+// wire-declared allocations (alloccap), interprocedural secret-leakage
+// taint tracking via cross-package facts (secretflow) and the salted
+// session-seed derivation contract (detrand). See the "Static
+// invariants" section of DESIGN.md.
 //
 // Usage:
 //
@@ -13,6 +16,11 @@
 //	aq2pnnlint help              # describe every analyzer
 //
 // Findings are suppressed per line with `//lint:allow <rule> <reason>`.
+// A deliberate reveal of secret-derived data is annotated with
+// `//lint:declassify <reason>` on (or above) the revealing line. Both
+// directives are audited: one that suppresses or launders nothing is
+// itself a finding. SFDEBUG=1 in the environment prints secretflow's
+// fact-recording leaves for triaging cascaded findings.
 package main
 
 import (

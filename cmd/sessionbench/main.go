@@ -118,16 +118,18 @@ func run() error {
 	}
 
 	rep := report{
-		Model:                   m.Name,
-		CarrierBits:             *bits,
-		Inferences:              *n,
-		SetupBytes:              setup.TotalBytes(),
+		Model:       m.Name,
+		CarrierBits: *bits,
+		Inferences:  *n,
+		SetupBytes:  setup.TotalBytes(),
+		//lint:allow ringmask byte-count metric arithmetic, not ring shares
 		SteadySetupBytes:        s.SetupStats().TotalBytes() - setup.TotalBytes(),
 		OnlineBytesPerInference: online[0].TotalBytes(),
 		OnlineRounds:            online[0].Rounds,
 		OpenMillis:              openDur.Milliseconds(),
 		InferMillisMean:         (inferDur / time.Duration(*n)).Milliseconds(),
 	}
+	//lint:allow ringmask byte-count metric arithmetic, not ring shares
 	rep.AmortizedBytesPerInference = (rep.SetupBytes + uint64(*n)*rep.OnlineBytesPerInference) / uint64(*n)
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

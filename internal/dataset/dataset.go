@@ -62,7 +62,10 @@ type Config struct {
 // Generate builds a synthetic dataset.
 func Generate(cfg Config) (*Dataset, error) {
 	if cfg.C <= 0 || cfg.H <= 0 || cfg.W <= 0 || cfg.Classes <= 0 || cfg.N <= 0 {
-		return nil, fmt.Errorf("dataset: bad config %+v", cfg)
+		// Name the offending dimensions, not %+v the whole config: the
+		// config carries the seed, which stays out of error text.
+		return nil, fmt.Errorf("dataset: bad config %q: shape %dx%dx%d, %d classes, n=%d (all must be positive)",
+			cfg.Name, cfg.C, cfg.H, cfg.W, cfg.Classes, cfg.N)
 	}
 	if cfg.BlobCount == 0 {
 		cfg.BlobCount = 4

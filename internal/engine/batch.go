@@ -59,7 +59,7 @@ func RunLocalBatch(m *nn.Model, xs [][]int64, cfg Options) (*BatchResult, error)
 			return nil, fmt.Errorf("engine: image %d has %d values, want %d", i, len(x), m.InputShape().Numel())
 		}
 	}
-	g := prg.NewSeeded(cfg.Seed ^ 0xBA7C4)
+	g := prg.NewSeeded(saltedSeed(cfg.Seed, 0xBA7C4))
 	ws0, ws1, err := SplitModel(g, m, r)
 	if err != nil {
 		return nil, err
@@ -92,7 +92,7 @@ func RunLocalBatch(m *nn.Model, xs [][]int64, cfg Options) (*BatchResult, error)
 		}
 		return fams
 	}
-	prep := secure.NewLocalSession(cfg.Seed)
+	prep := secure.NewLocalSession(saltedSeed(cfg.Seed, 0x5E55BA7C))
 	prep.P0.LocalTrunc = cfg.LocalTrunc
 	prep.P1.LocalTrunc = cfg.LocalTrunc
 	prepG := g.Fork()
@@ -182,6 +182,7 @@ func RunLocalBatch(m *nn.Model, xs [][]int64, cfg Options) (*BatchResult, error)
 				if err != nil {
 					return err
 				}
+				//lint:declassify protocol output: the argmax class index is the protocol's defined result, revealed to the user party only
 				opened, err := c.RevealTo(r, share.PartyI, []uint64{idx})
 				if err != nil {
 					return err
@@ -191,6 +192,7 @@ func RunLocalBatch(m *nn.Model, xs [][]int64, cfg Options) (*BatchResult, error)
 				}
 				return nil
 			}
+			//lint:declassify protocol output: the logit vector is the protocol's defined result, revealed to the user party only
 			opened, err := c.RevealTo(r, share.PartyI, o)
 			if err != nil {
 				return err

@@ -445,14 +445,14 @@ func RunLocal(m *nn.Model, x []int64, cfg Options) (*Result, error) {
 	if len(x) != m.InputShape().Numel() {
 		return nil, fmt.Errorf("engine: input length %d, want %d", len(x), m.InputShape().Numel())
 	}
-	sess := secure.NewLocalSession(cfg.Seed)
+	sess := secure.NewLocalSession(saltedSeed(cfg.Seed, 0x5E5510CA))
 	defer sess.Close()
 	sess.P0.LocalTrunc = cfg.LocalTrunc
 	sess.P1.LocalTrunc = cfg.LocalTrunc
 	pool := cfg.Pool()
 	sess.P0.Pool = pool
 	sess.P1.Pool = pool
-	g := prg.NewSeeded(cfg.Seed ^ 0xA92B11E5D00DF00D)
+	g := prg.NewSeeded(saltedSeed(cfg.Seed, 0xA92B11E5D00DF00D))
 	ws0, ws1, err := SplitModel(g, m, r)
 	if err != nil {
 		return nil, err

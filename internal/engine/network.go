@@ -33,7 +33,7 @@ func tracePhase(tr *telemetry.Tracer, ctx *secure.Context, name string, f func()
 // NewNetworkContext builds a party context over a live connection with
 // harvest-backed OT and Gilboa triple families.
 func NewNetworkContext(party int, conn transport.Conn, cfg Options) *secure.Context {
-	rng := prg.NewSeeded(cfg.Seed + uint64(party)*7919)
+	rng := prg.NewSeeded(saltedSeed(cfg.Seed, uint64(party)*7919))
 	grp := cfg.Group
 	if grp.P == nil {
 		grp = ot.DefaultGroup()
@@ -86,6 +86,7 @@ func revealResult(ctx *secure.Context, r ring.Ring, cfg Options, o []uint64) (lo
 		if err != nil {
 			return nil, -1, err
 		}
+		//lint:declassify protocol output: the argmax class index is the protocol's defined result, revealed to the user party only
 		opened, err := ctx.RevealTo(r, share.PartyI, []uint64{idx})
 		if err != nil {
 			return nil, -1, err
@@ -95,6 +96,7 @@ func revealResult(ctx *secure.Context, r ring.Ring, cfg Options, o []uint64) (lo
 		}
 		return nil, class, nil
 	}
+	//lint:declassify protocol output: the logit vector is the protocol's defined result, revealed to the user party only
 	opened, err := ctx.RevealTo(r, share.PartyI, o)
 	if err != nil {
 		return nil, -1, err
@@ -137,7 +139,7 @@ func RunUser(conn transport.Conn, m *nn.Model, x []int64, cfg Options) (*Result,
 				return err
 			}
 			// Share the input: keep x0, send x1.
-			g := prg.NewSeeded(cfg.Seed ^ 0x1272C0DE)
+			g := prg.NewSeeded(saltedSeed(cfg.Seed, 0x1272C0DE))
 			var x1 []uint64
 			x0, x1 = share.SplitVec(g, r, r.FromInts(x))
 			if err := sendGob(conn, wirePayload{X: x1}); err != nil {
@@ -194,7 +196,7 @@ func RunProvider(conn transport.Conn, m *nn.Model, cfg Options) error {
 // pick the model before this function is chosen.
 func runProvider(conn transport.Conn, m *nn.Model, r ring.Ring, cfg Options, hello func() error) error {
 	ctx := NewNetworkContext(1, conn, cfg)
-	g := prg.NewSeeded(cfg.Seed ^ 0x0DE17272)
+	g := prg.NewSeeded(saltedSeed(cfg.Seed, 0x0DE17272))
 	ws0, ws1, err := SplitModel(g, m, r)
 	if err != nil {
 		return err

@@ -71,8 +71,9 @@ func NewRegistry() *Registry {
 		shares: map[shareKey]*modelShares{},
 		parked: map[SessionToken]*parkedSession{},
 		cap:    DefaultSessionCache,
-		rng:    prg.NewSeeded(0x7E6157A92B11E5),
-		now:    time.Now,
+		//lint:allow detrand token-uniqueness rng inside one provider process; tokens are public handshake metadata, not transcript randomness
+		rng: prg.NewSeeded(0x7E6157A92B11E5),
+		now: time.Now,
 	}
 }
 
@@ -166,7 +167,9 @@ func (g *Registry) sharesFor(m *nn.Model, r ring.Ring, seed uint64) (*modelShare
 	// Split outside the lock: a large model's split must not stall
 	// unrelated sessions. A duplicate computation under contention is
 	// wasted work, not an error — last writer wins with an equal value.
-	gsplit := prg.NewSeeded(seed ^ 0x0DE17272)
+	// Same purpose salt as runProvider's one-shot split: the session and
+	// one-shot paths derive identical weight-share streams for one seed.
+	gsplit := prg.NewSeeded(saltedSeed(seed, 0x0DE17272))
 	ws0, ws1, err := SplitModel(gsplit, m, r)
 	if err != nil {
 		return nil, err

@@ -139,6 +139,14 @@ func mix64(x uint64) uint64 {
 	return x
 }
 
+// saltedSeed is the single approved derivation from a raw configuration
+// seed to a PRG stream seed: XOR in a purpose salt, then avalanche with
+// mix64 so the streams for different purposes (and for adjacent raw
+// seeds) are decorrelated. Every transcript-feeding prg.NewSeeded in this
+// package must go through it — or through inferOptions/sessionFamSeed,
+// which embed the same finalizer; the detrand analyzer enforces this.
+func saltedSeed(seed, salt uint64) uint64 { return mix64(seed ^ salt) }
+
 // inferOptions derives inference seq's deterministic per-inference
 // configuration: same protocol knobs, decorrelated seed.
 func inferOptions(cfg Options, seq uint32) Options {

@@ -245,7 +245,7 @@ func (s *Session) inferAttempt(x []int64) (*Result, error) {
 			// replayed seq re-derives the identical shares — a requirement
 			// for bit-identical resumption under faithful truncation, whose
 			// ±1 LSB depends on the concrete share values.
-			g := prg.NewSeeded(icfg.Seed ^ 0x1272C0DE)
+			g := prg.NewSeeded(saltedSeed(icfg.Seed, 0x1272C0DE))
 			var x1 []uint64
 			x0, x1 = share.SplitVec(g, s.r, s.r.FromInts(x))
 			if err := transport.SendElems(conn, s.r, x1); err != nil {

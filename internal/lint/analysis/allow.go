@@ -16,67 +16,172 @@ import (
 // escape hatch into documentation.
 const AllowPrefix = "//lint:allow"
 
-// allowKey identifies one (file, line) that a rule may fire on.
-type allowKey struct {
+// DeclassifyPrefix introduces a declassification boundary:
+//
+//	//lint:declassify <reason...>
+//
+// It tells the secret-leakage analyzers that the value produced on the
+// line it covers (same line or the line immediately below) deliberately
+// leaves the secret domain — a Reveal of protocol output, the argmax
+// class, handshake metadata. Taint is laundered at that line and any
+// leakage finding on it is suppressed. Like allow, the reason is
+// mandatory, and a declassify that launders nothing is itself a finding:
+// stale declassification sites are exactly the ones nobody re-audits.
+const DeclassifyPrefix = "//lint:declassify"
+
+// directive is one parsed //lint:allow or //lint:declassify comment.
+type directive struct {
+	pos  token.Pos
 	file string
 	line int
-	rule string
+	rule string // allow only; "" for declassify
+	used bool
 }
 
-type allowSet map[allowKey]bool
-
-func (s allowSet) allowed(pos token.Position, rule string) bool {
-	return s[allowKey{pos.Filename, pos.Line, rule}]
+// fileLine keys a directive's coverage: it covers its own line and the
+// next one.
+type fileLine struct {
+	file string
+	line int
 }
 
-// collectAllows scans every comment of every file for allow directives.
-// Malformed directives (missing rule or reason) and directives naming an
-// unknown rule are returned as diagnostics instead of being honoured.
-func collectAllows(fset *token.FileSet, files []*ast.File, analyzers []*Analyzer) (allowSet, []Diagnostic) {
-	known := make(map[string]bool, len(analyzers))
-	for _, a := range analyzers {
-		known[a.Name] = true
+// directiveSet holds every well-formed directive of one package unit,
+// indexed for the two queries passes make: "is rule R allowed at P?" and
+// "is P a declassification boundary?". Both queries mark the directive
+// used; what remains unused afterwards is reported as stale.
+type directiveSet struct {
+	allows     map[fileLine][]*directive
+	declassify map[fileLine][]*directive
+	list       []*directive
+}
+
+func (s *directiveSet) allowed(pos token.Position, rule string) bool {
+	if s == nil {
+		return false
 	}
-	allows := make(allowSet)
+	hit := false
+	for _, d := range s.allows[fileLine{pos.Filename, pos.Line}] {
+		if d.rule == rule {
+			d.used = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+// declassified reports whether the position sits on a declassification
+// boundary, marking the directive used. Callers must only ask when there
+// is actually taint to launder, so that usage tracking stays honest.
+func (s *directiveSet) declassified(pos token.Position) bool {
+	if s == nil {
+		return false
+	}
+	hit := false
+	for _, d := range s.declassify[fileLine{pos.Filename, pos.Line}] {
+		d.used = true
+		hit = true
+	}
+	return hit
+}
+
+// collectDirectives scans every comment of every file for allow and
+// declassify directives. Malformed directives (missing rule or reason)
+// and allows naming a rule outside known are returned as diagnostics
+// instead of being honoured.
+func collectDirectives(fset *token.FileSet, files []*ast.File, known map[string]bool) (*directiveSet, []Diagnostic) {
+	set := &directiveSet{
+		allows:     map[fileLine][]*directive{},
+		declassify: map[fileLine][]*directive{},
+	}
 	var diags []Diagnostic
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				if !strings.HasPrefix(c.Text, AllowPrefix) {
-					continue
+				switch {
+				case strings.HasPrefix(c.Text, AllowPrefix):
+					d, diag := parseAllow(fset, c, known)
+					if diag != nil {
+						diags = append(diags, *diag)
+						continue
+					}
+					set.list = append(set.list, d)
+					for _, k := range d.coverage() {
+						set.allows[k] = append(set.allows[k], d)
+					}
+				case strings.HasPrefix(c.Text, DeclassifyPrefix):
+					d, diag := parseDeclassify(fset, c)
+					if diag != nil {
+						diags = append(diags, *diag)
+						continue
+					}
+					set.list = append(set.list, d)
+					for _, k := range d.coverage() {
+						set.declassify[k] = append(set.declassify[k], d)
+					}
 				}
-				rest := strings.TrimPrefix(c.Text, AllowPrefix)
-				fields := strings.Fields(rest)
-				if len(fields) == 0 {
-					diags = append(diags, Diagnostic{
-						Pos:     c.Pos(),
-						Rule:    "lintdirective",
-						Message: "malformed //lint:allow: missing rule name",
-					})
-					continue
-				}
-				rule := fields[0]
-				if !known[rule] {
-					diags = append(diags, Diagnostic{
-						Pos:     c.Pos(),
-						Rule:    "lintdirective",
-						Message: "//lint:allow names unknown rule " + rule,
-					})
-					continue
-				}
-				if len(fields) < 2 {
-					diags = append(diags, Diagnostic{
-						Pos:     c.Pos(),
-						Rule:    "lintdirective",
-						Message: "//lint:allow " + rule + " needs a reason",
-					})
-					continue
-				}
-				p := fset.Position(c.Pos())
-				allows[allowKey{p.Filename, p.Line, rule}] = true
-				allows[allowKey{p.Filename, p.Line + 1, rule}] = true
 			}
 		}
 	}
-	return allows, diags
+	return set, diags
+}
+
+func (d *directive) coverage() [2]fileLine {
+	return [2]fileLine{{d.file, d.line}, {d.file, d.line + 1}}
+}
+
+func parseAllow(fset *token.FileSet, c *ast.Comment, known map[string]bool) (*directive, *Diagnostic) {
+	fields := strings.Fields(strings.TrimPrefix(c.Text, AllowPrefix))
+	if len(fields) == 0 {
+		return nil, &Diagnostic{Pos: c.Pos(), Rule: "lintdirective",
+			Message: "malformed //lint:allow: missing rule name"}
+	}
+	rule := fields[0]
+	if !known[rule] {
+		return nil, &Diagnostic{Pos: c.Pos(), Rule: "lintdirective",
+			Message: "//lint:allow names unknown rule " + rule}
+	}
+	if len(fields) < 2 {
+		return nil, &Diagnostic{Pos: c.Pos(), Rule: "lintdirective",
+			Message: "//lint:allow " + rule + " needs a reason"}
+	}
+	p := fset.Position(c.Pos())
+	return &directive{pos: c.Pos(), file: p.Filename, line: p.Line, rule: rule}, nil
+}
+
+func parseDeclassify(fset *token.FileSet, c *ast.Comment) (*directive, *Diagnostic) {
+	fields := strings.Fields(strings.TrimPrefix(c.Text, DeclassifyPrefix))
+	if len(fields) == 0 {
+		return nil, &Diagnostic{Pos: c.Pos(), Rule: "lintdirective",
+			Message: "//lint:declassify needs a reason: say why this value may leave the secret domain"}
+	}
+	p := fset.Position(c.Pos())
+	return &directive{pos: c.Pos(), file: p.Filename, line: p.Line}, nil
+}
+
+// unusedDirectives reports the directives that suppressed or laundered
+// nothing. ranRules is the set of analyzers that actually ran: an allow
+// for a rule that did not run is skipped (nothing can be concluded), and
+// declassify staleness is only judged when a declassify-consuming
+// analyzer ran.
+func (s *directiveSet) unusedDirectives(ranRules map[string]bool, declassifyRan bool) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range s.list {
+		if d.used {
+			continue
+		}
+		if d.rule != "" {
+			if !ranRules[d.rule] {
+				continue
+			}
+			out = append(out, Diagnostic{Pos: d.pos, Rule: "lintdirective",
+				Message: "//lint:allow " + d.rule + " suppresses nothing; remove the stale directive"})
+			continue
+		}
+		if !declassifyRan {
+			continue
+		}
+		out = append(out, Diagnostic{Pos: d.pos, Rule: "lintdirective",
+			Message: "//lint:declassify launders nothing; remove the stale directive"})
+	}
+	return out
 }

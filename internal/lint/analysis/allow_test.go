@@ -29,14 +29,45 @@ var lineAnalyzer = &Analyzer{
 	},
 }
 
+// declassifyAnalyzer honours //lint:declassify: it reports every statement
+// of every function unless the statement's line is declassified — the
+// minimal consumer for exercising laundering and staleness.
+var declassifyAnalyzer = &Analyzer{
+	Name:           "testdeclassify",
+	Doc:            "reports every undeclassified statement (test helper)",
+	UsesDeclassify: true,
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if fd, ok := n.(*ast.FuncDecl); ok && fd.Body != nil {
+					for _, s := range fd.Body.List {
+						if pass.Declassified(s.Pos()) {
+							continue
+						}
+						pass.Reportf(s.Pos(), "leak")
+					}
+					return false
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
 func runOnSource(t *testing.T, src string) (*token.FileSet, []Diagnostic) {
+	t.Helper()
+	return runAnalyzerOnSource(t, lineAnalyzer, src)
+}
+
+func runAnalyzerOnSource(t *testing.T, a *Analyzer, src string) (*token.FileSet, []Diagnostic) {
 	t.Helper()
 	fset := token.NewFileSet()
 	f, err := parser.ParseFile(fset, "allow.go", src, parser.ParseComments)
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
-	diags, err := Run(fset, []*ast.File{f}, nil, nil, []*Analyzer{lineAnalyzer})
+	diags, err := Run(fset, []*ast.File{f}, nil, nil, []*Analyzer{a})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -85,8 +116,89 @@ func f() {
 	_ = 1
 }
 `)
+	// The blank line breaks adjacency: the statement fires AND the
+	// directive, now suppressing nothing, is reported as stale.
+	if len(diags) != 2 {
+		t.Fatalf("want 2 diagnostics (statement + stale directive), got %v", messages(diags))
+	}
+	if !hasRule(diags, "lintdirective", "suppresses nothing") {
+		t.Errorf("missing stale-directive diagnostic: %v", messages(diags))
+	}
+}
+
+func TestUnusedAllowSkippedWhenRuleDidNotRun(t *testing.T) {
+	// An allow for a rule known to the suite but not running in this pass
+	// must be left alone: nothing can be concluded about its usefulness.
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "allow.go", `package p
+func f() {
+	//lint:allow otherrule that analyzer is out of scope here
+	_ = 1
+}
+`, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	diags, err := RunWithOptions(fset, []*ast.File{f}, nil, nil,
+		[]*Analyzer{lineAnalyzer}, RunOptions{KnownRules: []string{"otherrule"}})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
 	if len(diags) != 1 {
-		t.Fatalf("want 1 diagnostic (blank line breaks adjacency), got %v", messages(diags))
+		t.Fatalf("want 1 diagnostic (just the statement), got %v", messages(diags))
+	}
+}
+
+func TestDeclassifySuppressesConsumer(t *testing.T) {
+	_, diags := runAnalyzerOnSource(t, declassifyAnalyzer, `package p
+func f() {
+	_ = 1 //lint:declassify this reveal is the protocol output
+}
+func g() {
+	_ = 2
+}
+`)
+	if len(diags) != 1 {
+		t.Fatalf("want 1 diagnostic (only the undeclassified line), got %v", messages(diags))
+	}
+}
+
+func TestStaleDeclassifyReported(t *testing.T) {
+	_, diags := runAnalyzerOnSource(t, declassifyAnalyzer, `package p
+func f() {
+	_ = 1
+
+	//lint:declassify nothing to launder down here
+}
+`)
+	if len(diags) != 2 {
+		t.Fatalf("want 2 diagnostics (statement + stale declassify), got %v", messages(diags))
+	}
+	if !hasRule(diags, "lintdirective", "launders nothing") {
+		t.Errorf("missing stale-declassify diagnostic: %v", messages(diags))
+	}
+}
+
+func TestDeclassifyStalenessNeedsConsumer(t *testing.T) {
+	// Without a declassify-consuming analyzer in the run, a declassify
+	// directive is neither honoured nor judged stale.
+	_, diags := runOnSource(t, `package p
+func f() {
+	_ = 1 //lint:declassify judged only when a consumer runs
+}
+`)
+	if len(diags) != 1 {
+		t.Fatalf("want 1 diagnostic (statement only, directive left alone), got %v", messages(diags))
+	}
+}
+
+func TestDeclassifyRequiresReason(t *testing.T) {
+	_, diags := runAnalyzerOnSource(t, declassifyAnalyzer, `package p
+//lint:declassify
+func f() {}
+`)
+	if !hasRule(diags, "lintdirective", "needs a reason") {
+		t.Errorf("missing needs-a-reason diagnostic: %v", messages(diags))
 	}
 }
 

@@ -29,6 +29,16 @@ type Analyzer struct {
 	// Run applies the check to one package and reports findings via
 	// pass.Report / pass.Reportf.
 	Run func(*Pass) error
+	// FactTypes declares the fact types this analyzer exports and
+	// imports (pointers to zero values). An analyzer with fact types is
+	// run over dependency packages too (facts-only, no diagnostics) so
+	// its cross-package information exists before dependents are
+	// analyzed.
+	FactTypes []Fact
+	// UsesDeclassify marks analyzers that honour //lint:declassify
+	// boundaries; staleness of declassify directives is only judged when
+	// one of them ran.
+	UsesDeclassify bool
 }
 
 // Pass is the interface between one analyzer and one package.
@@ -38,8 +48,23 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Facts is the cross-package fact store shared by every pass of one
+	// driver run. Nil when the driver keeps no facts.
+	Facts *FactStore
 
+	dirs  *directiveSet
 	diags []Diagnostic
+}
+
+// Declassified reports whether pos sits on (or immediately below) a
+// //lint:declassify directive, marking that directive used. Analyzers
+// must only call this when there is live taint at pos, so that unused-
+// directive reporting stays accurate.
+func (p *Pass) Declassified(pos token.Pos) bool {
+	if p.dirs == nil {
+		return false
+	}
+	return p.dirs.declassified(p.Fset.Position(pos))
 }
 
 // Diagnostic is one finding at one position.
@@ -87,26 +112,69 @@ func (p *Pass) IsConst(e ast.Expr) bool {
 	return ok && tv.Value != nil
 }
 
+// RunOptions tunes RunWithOptions beyond the defaults Run provides.
+type RunOptions struct {
+	// KnownRules is the full rule vocabulary for directive validation.
+	// Drivers that run a scope- or selection-filtered subset pass every
+	// suite rule here so an allow naming an out-of-scope rule is not
+	// misreported as unknown. Empty means "the running analyzers".
+	KnownRules []string
+	// Facts is the cross-package fact store. Nil allocates a fresh,
+	// empty one (intra-package facts still work within the call).
+	Facts *FactStore
+	// FactsOnly computes and exports facts but discards diagnostics —
+	// the dependency-package mode of the vet protocol (VetxOnly units).
+	FactsOnly bool
+}
+
 // Run applies every analyzer to the package described by (fset, files, pkg,
-// info), applies //lint:allow suppression, and returns the surviving
-// diagnostics sorted by position. Malformed or unknown directives are
-// reported as findings of the pseudo-rule "lintdirective".
+// info), applies //lint:allow suppression and //lint:declassify laundering,
+// and returns the surviving diagnostics sorted by position. Malformed,
+// unknown or unused directives are reported as findings of the pseudo-rule
+// "lintdirective".
 func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
-	allows, dirDiags := collectAllows(fset, files, analyzers)
+	return RunWithOptions(fset, files, pkg, info, analyzers, RunOptions{})
+}
+
+// RunWithOptions is Run with an explicit fact store, rule vocabulary and
+// facts-only switch.
+func RunWithOptions(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer, opts RunOptions) ([]Diagnostic, error) {
+	known := make(map[string]bool, len(analyzers))
+	ran := make(map[string]bool, len(analyzers))
+	declassifyRan := false
+	for _, a := range analyzers {
+		known[a.Name] = true
+		ran[a.Name] = true
+		if a.UsesDeclassify {
+			declassifyRan = true
+		}
+	}
+	for _, r := range opts.KnownRules {
+		known[r] = true
+	}
+	facts := opts.Facts
+	if facts == nil {
+		facts = NewFactStore()
+	}
+	dirs, dirDiags := collectDirectives(fset, files, known)
 	var out []Diagnostic
 	out = append(out, dirDiags...)
 	for _, a := range analyzers {
-		pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+		pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info, Facts: facts, dirs: dirs}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
 		}
 		for _, d := range pass.diags {
-			if allows.allowed(fset.Position(d.Pos), d.Rule) {
+			if dirs.allowed(fset.Position(d.Pos), d.Rule) {
 				continue
 			}
 			out = append(out, d)
 		}
 	}
+	if opts.FactsOnly {
+		return nil, nil
+	}
+	out = append(out, dirs.unusedDirectives(ran, declassifyRan)...)
 	sortDiagnostics(fset, out)
 	return out, nil
 }

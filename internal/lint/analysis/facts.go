@@ -1,0 +1,219 @@
+package analysis
+
+// Facts are the cross-package half of the framework, mirroring
+// golang.org/x/tools/go/analysis facts: a fact is a serializable statement
+// an analyzer attaches to a package-level object (or to a package) while
+// analyzing it, and re-reads when a *different* package that imports the
+// first one is analyzed. Under the vet protocol the go command already
+// plumbs a per-package artifact alongside export data — the .vetx file —
+// so facts ride exactly where export data rides: vetdriver gob-encodes the
+// store into VetxOutput and decodes every dependency's file from
+// PackageVetx. In-process drivers (linttest, tests) share one FactStore
+// across packages directly.
+//
+// Objects are named by a simplified objectpath: package-level objects by
+// name ("SplitVec"), methods by "Type.Method" ("PRG.Elem"). That covers
+// every object an importing package can reference; function-local objects
+// have no path and cannot carry exported facts.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/types"
+	"io"
+	"reflect"
+	"sort"
+)
+
+// Fact is a serializable message attached to an object or package.
+// Implementations must be pointers to gob-encodable structs; AFact is a
+// marker that documents intent (as in go/analysis).
+type Fact interface{ AFact() }
+
+// ObjectPath names obj within its package: "Name" for package-level
+// objects, "Type.Method" for methods (through pointer receivers). The
+// second result is false for objects that have no stable cross-package
+// name (function locals, receivers, closures).
+func ObjectPath(obj types.Object) (string, bool) {
+	if obj == nil || obj.Pkg() == nil {
+		return "", false
+	}
+	if f, ok := obj.(*types.Func); ok {
+		if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+			t := sig.Recv().Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			named, ok := t.(*types.Named)
+			if !ok {
+				return "", false
+			}
+			return named.Obj().Name() + "." + f.Name(), true
+		}
+	}
+	if obj.Parent() == obj.Pkg().Scope() {
+		return obj.Name(), true
+	}
+	return "", false
+}
+
+// factKey identifies one fact: the package, the object path within it
+// ("" for package facts) and the concrete fact type.
+type factKey struct {
+	pkg string
+	obj string
+	typ string
+}
+
+// FactStore accumulates facts across the packages one driver process
+// analyzes. The zero value is not usable; call NewFactStore.
+type FactStore struct {
+	m map[factKey]Fact
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore { return &FactStore{m: map[factKey]Fact{}} }
+
+func factTypeName(f Fact) string { return reflect.TypeOf(f).Elem().Name() }
+
+func (s *FactStore) put(pkg, obj string, f Fact) {
+	s.m[factKey{pkg, obj, factTypeName(f)}] = f
+}
+
+// get copies the stored fact for (pkg, obj, type-of-dst) into dst and
+// reports whether one existed.
+func (s *FactStore) get(pkg, obj string, dst Fact) bool {
+	f, ok := s.m[factKey{pkg, obj, factTypeName(dst)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(dst).Elem().Set(reflect.ValueOf(f).Elem())
+	return true
+}
+
+// Len reports the number of stored facts (test hook).
+func (s *FactStore) Len() int { return len(s.m) }
+
+// factRecord is the wire form of one fact.
+type factRecord struct {
+	Pkg  string
+	Obj  string
+	Type string
+	Data []byte
+}
+
+// Encode writes every stored fact to w as a gob stream. Imported facts are
+// re-exported alongside the current package's own, so a consumer holding
+// only this file still sees the transitive closure (the same choice
+// x/tools' facts package makes).
+func (s *FactStore) Encode(w io.Writer) error {
+	recs := make([]factRecord, 0, len(s.m))
+	for k, f := range s.m {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).EncodeValue(reflect.ValueOf(f).Elem()); err != nil {
+			return fmt.Errorf("encoding fact %s.%s %s: %w", k.pkg, k.obj, k.typ, err)
+		}
+		recs = append(recs, factRecord{Pkg: k.pkg, Obj: k.obj, Type: k.typ, Data: buf.Bytes()})
+	}
+	// Deterministic output keeps the go command's content-addressed build
+	// cache stable across runs.
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		if a.Pkg != b.Pkg {
+			return a.Pkg < b.Pkg
+		}
+		if a.Obj != b.Obj {
+			return a.Obj < b.Obj
+		}
+		return a.Type < b.Type
+	})
+	return gob.NewEncoder(w).Encode(recs)
+}
+
+// Decode merges the facts previously written by Encode into the store.
+// prototypes maps fact type names to zero values (one per Analyzer
+// FactTypes entry); records of unknown types are skipped, so stores from
+// older or differently-configured tool versions degrade instead of
+// failing.
+func (s *FactStore) Decode(r io.Reader, prototypes map[string]Fact) error {
+	var recs []factRecord
+	if err := gob.NewDecoder(r).Decode(&recs); err != nil {
+		return fmt.Errorf("decoding fact stream: %w", err)
+	}
+	for _, rec := range recs {
+		proto, ok := prototypes[rec.Type]
+		if !ok {
+			continue
+		}
+		f := reflect.New(reflect.TypeOf(proto).Elem()).Interface().(Fact)
+		if err := gob.NewDecoder(bytes.NewReader(rec.Data)).DecodeValue(reflect.ValueOf(f).Elem()); err != nil {
+			return fmt.Errorf("decoding fact %s.%s %s: %w", rec.Pkg, rec.Obj, rec.Type, err)
+		}
+		s.m[factKey{rec.Pkg, rec.Obj, rec.Type}] = f
+	}
+	return nil
+}
+
+// FactPrototypes collects the fact types declared by analyzers, keyed by
+// type name, for FactStore.Decode.
+func FactPrototypes(analyzers []*Analyzer) map[string]Fact {
+	out := map[string]Fact{}
+	for _, a := range analyzers {
+		for _, f := range a.FactTypes {
+			out[factTypeName(f)] = f
+		}
+	}
+	return out
+}
+
+// ExportObjectFact attaches fact to obj, visible to later passes in this
+// store and — through the vetx stream — to passes over importing packages.
+// Objects without a stable path (function locals) are silently skipped and
+// the call reports false.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) bool {
+	if p.Facts == nil || obj == nil {
+		return false
+	}
+	path, ok := ObjectPath(obj)
+	if !ok {
+		return false
+	}
+	pkg := ""
+	if obj.Pkg() != nil {
+		pkg = obj.Pkg().Path()
+	}
+	p.Facts.put(pkg, path, fact)
+	return true
+}
+
+// ImportObjectFact copies the fact of fact's concrete type previously
+// exported for obj (by this pass or a pass over a dependency) into fact,
+// reporting whether one existed.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	if p.Facts == nil || obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	path, ok := ObjectPath(obj)
+	if !ok {
+		return false
+	}
+	return p.Facts.get(obj.Pkg().Path(), path, fact)
+}
+
+// ExportPackageFact attaches fact to the package under analysis.
+func (p *Pass) ExportPackageFact(fact Fact) bool {
+	if p.Facts == nil || p.Pkg == nil {
+		return false
+	}
+	p.Facts.put(p.Pkg.Path(), "", fact)
+	return true
+}
+
+// ImportPackageFact copies pkg's package-level fact into fact.
+func (p *Pass) ImportPackageFact(pkg *types.Package, fact Fact) bool {
+	if p.Facts == nil || pkg == nil {
+		return false
+	}
+	return p.Facts.get(pkg.Path(), "", fact)
+}

@@ -1,0 +1,222 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// pathFact is a trivial fact carrying a payload for round-trip checks.
+type pathFact struct{ N int }
+
+func (*pathFact) AFact() {}
+
+// otherFact shares no type with pathFact; used to prove type-keyed lookup.
+type otherFact struct{ S string }
+
+func (*otherFact) AFact() {}
+
+func checkPkg(t *testing.T, path, src string, imp types.Importer) (*types.Package, *types.Info, *token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path+".go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	info := &types.Info{
+		Defs: make(map[*ast.Ident]types.Object),
+		Uses: make(map[*ast.Ident]types.Object),
+	}
+	tc := &types.Config{Importer: imp}
+	pkg, err := tc.Check(path, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("check %s: %v", path, err)
+	}
+	return pkg, info, fset, []*ast.File{f}
+}
+
+func TestObjectPath(t *testing.T) {
+	pkg, info, _, files := checkPkg(t, "a", `package a
+type T struct{}
+func (t *T) M() {}
+func (t T) V() {}
+func F() {}
+var X int
+func F2() { x := 1; _ = x }
+`, importer.Default())
+	byName := map[string]types.Object{}
+	for id, obj := range info.Defs {
+		if obj != nil {
+			byName[id.Name] = obj
+		}
+	}
+	_ = files
+	_ = pkg
+	cases := []struct {
+		obj  string
+		want string
+		ok   bool
+	}{
+		{"F", "F", true},
+		{"X", "X", true},
+		{"M", "T.M", true},
+		{"V", "T.V", true},
+		{"x", "", false},
+	}
+	for _, c := range cases {
+		obj := byName[c.obj]
+		if obj == nil {
+			t.Fatalf("object %s not found", c.obj)
+		}
+		got, ok := ObjectPath(obj)
+		if got != c.want || ok != c.ok {
+			t.Errorf("ObjectPath(%s) = %q, %v; want %q, %v", c.obj, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestFactStoreRoundTrip(t *testing.T) {
+	s := NewFactStore()
+	s.put("p/a", "F", &pathFact{N: 7})
+	s.put("p/a", "T.M", &pathFact{N: 9})
+	s.put("p/a", "F", &otherFact{S: "hello"})
+	s.put("p/b", "", &pathFact{N: 3}) // package fact
+
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+
+	protos := map[string]Fact{
+		factTypeName(&pathFact{}):  (*pathFact)(nil),
+		factTypeName(&otherFact{}): (*otherFact)(nil),
+	}
+	dst := NewFactStore()
+	if err := dst.Decode(bytes.NewReader(buf.Bytes()), protos); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if dst.Len() != s.Len() {
+		t.Fatalf("decoded %d facts, want %d", dst.Len(), s.Len())
+	}
+	var pf pathFact
+	if !dst.get("p/a", "F", &pf) || pf.N != 7 {
+		t.Errorf("pathFact(p/a.F) = %+v, %v", pf, dst.get("p/a", "F", &pf))
+	}
+	if !dst.get("p/a", "T.M", &pf) || pf.N != 9 {
+		t.Errorf("pathFact(p/a.T.M) = %+v", pf)
+	}
+	var of otherFact
+	if !dst.get("p/a", "F", &of) || of.S != "hello" {
+		t.Errorf("otherFact(p/a.F) = %+v", of)
+	}
+	if !dst.get("p/b", "", &pf) || pf.N != 3 {
+		t.Errorf("package fact(p/b) = %+v", pf)
+	}
+	if dst.get("p/a", "Missing", &pf) {
+		t.Errorf("unexpected fact for missing object")
+	}
+}
+
+func TestFactStoreEncodeDeterministic(t *testing.T) {
+	build := func() *bytes.Buffer {
+		s := NewFactStore()
+		s.put("p/b", "G", &pathFact{N: 2})
+		s.put("p/a", "F", &pathFact{N: 1})
+		s.put("p/a", "F", &otherFact{S: "x"})
+		var buf bytes.Buffer
+		if err := s.Encode(&buf); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		return &buf
+	}
+	if !bytes.Equal(build().Bytes(), build().Bytes()) {
+		t.Errorf("Encode output is not deterministic; the go build cache would churn")
+	}
+}
+
+func TestDecodeSkipsUnknownFactTypes(t *testing.T) {
+	s := NewFactStore()
+	s.put("p/a", "F", &pathFact{N: 1})
+	s.put("p/a", "G", &otherFact{S: "y"})
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	dst := NewFactStore()
+	protos := map[string]Fact{factTypeName(&pathFact{}): (*pathFact)(nil)}
+	if err := dst.Decode(bytes.NewReader(buf.Bytes()), protos); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if dst.Len() != 1 {
+		t.Fatalf("want 1 fact after skipping unknown types, got %d", dst.Len())
+	}
+}
+
+// TestCrossPackageObjectFacts drives the whole chain the drivers rely on:
+// a pass over package a exports a fact on a.F; a pass over package b —
+// which imports a — sees it through ImportObjectFact on the *types.Func
+// resolved from b's type information.
+func TestCrossPackageObjectFacts(t *testing.T) {
+	store := NewFactStore()
+
+	apkg, ainfo, _, _ := checkPkg(t, "fixa", `package fixa
+func F() int { return 1 }
+`, importer.Default())
+	var fObj types.Object
+	for id, obj := range ainfo.Defs {
+		if id.Name == "F" && obj != nil {
+			fObj = obj
+		}
+	}
+	passA := &Pass{Pkg: apkg, Facts: store}
+	if !passA.ExportObjectFact(fObj, &pathFact{N: 42}) {
+		t.Fatalf("ExportObjectFact failed for fixa.F")
+	}
+
+	// Simulate the vetx hop: serialize and re-import into a fresh store.
+	var buf bytes.Buffer
+	if err := store.Encode(&buf); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	wire := NewFactStore()
+	protos := map[string]Fact{factTypeName(&pathFact{}): (*pathFact)(nil)}
+	if err := wire.Decode(bytes.NewReader(buf.Bytes()), protos); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+
+	imp := mapImporter{"fixa": apkg}
+	bpkg, binfo, _, _ := checkPkg(t, "fixb", `package fixb
+import "fixa"
+var V = fixa.F()
+`, imp)
+	var fUse types.Object
+	for id, obj := range binfo.Uses {
+		if id.Name == "F" && obj != nil {
+			fUse = obj
+		}
+	}
+	if fUse == nil {
+		t.Fatalf("use of fixa.F not found in fixb")
+	}
+	passB := &Pass{Pkg: bpkg, Facts: wire}
+	var got pathFact
+	if !passB.ImportObjectFact(fUse, &got) {
+		t.Fatalf("fact exported by the fixa pass is invisible from fixb")
+	}
+	if got.N != 42 {
+		t.Fatalf("fact payload = %d, want 42", got.N)
+	}
+}
+
+type mapImporter map[string]*types.Package
+
+func (m mapImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := m[path]; ok {
+		return pkg, nil
+	}
+	return importer.Default().Import(path)
+}

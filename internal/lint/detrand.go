@@ -1,0 +1,397 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"strings"
+
+	"aq2pnn/internal/lint/analysis"
+)
+
+// DetRand enforces the session-resumption contract on transcript
+// randomness: every PRG that contributes to a session transcript must be
+// seeded through the salted (Seed, token, seq) splitmix64 derivation
+// (mix64), never from a raw config seed, a bare constant, or ad-hoc
+// arithmetic on either. Raw seeds were the PR 6 resumption bug class —
+// two code paths XOR-ing the same Seed with different constants silently
+// fork the transcript, and a resumed session replays different masks than
+// the original sent.
+//
+// The analyzer classifies the argument of every prg.NewSeeded call (and,
+// via facts, every argument that a callee forwards to prg.NewSeeded):
+//
+//   - derived: the expression contains a mix64/splitmix64 call, a call to
+//     a function whose fact says it returns a derived seed, or a PRG draw.
+//   - deferred: the expression is built from bare uint64 parameters of the
+//     enclosing function — the caller owns the obligation, recorded as a
+//     SeedParamFact and checked at every call site (cross-package via the
+//     vetx fact stream).
+//   - raw: anything else — struct fields (cfg.Seed), globals, constants,
+//     unknown calls. Reported.
+//
+// prg.NewRandom is reported unconditionally in scoped packages: it is
+// nondeterministic and cannot participate in a resumable transcript.
+// Test files are exempt — fixture seeds are not transcripts.
+var DetRand = &analysis.Analyzer{
+	Name: "detrand",
+	Doc: "requires session-transcript randomness to derive from the salted " +
+		"(Seed, token, seq) splitmix64 path: prg.NewSeeded arguments must " +
+		"pass through mix64 (or a function that does), never raw seeds, " +
+		"constants or global state",
+	Run:       runDetRand,
+	FactTypes: []analysis.Fact{(*DerivedSeedFact)(nil), (*SeedParamFact)(nil)},
+}
+
+// DerivedSeedFact marks functions whose results are properly derived
+// seeds: Results bit i is set when result i is produced by the mix64 path.
+type DerivedSeedFact struct {
+	Results uint32
+}
+
+// AFact marks DerivedSeedFact as a serializable analysis fact.
+func (*DerivedSeedFact) AFact() {}
+
+// SeedParamFact marks functions that use a parameter as a PRG seed
+// (directly or by forwarding to another seed parameter): Params bit i
+// (receiver-first indexing) obliges every call site to pass a derived
+// seed there.
+type SeedParamFact struct {
+	Params uint32
+}
+
+// AFact marks SeedParamFact as a serializable analysis fact.
+func (*SeedParamFact) AFact() {}
+
+// seedVerdict classifies one expression in seed position.
+type seedVerdict struct {
+	derived bool
+	params  uint32 // bare-parameter bits the expression depends on
+	raw     bool
+}
+
+func (v seedVerdict) merge(o seedVerdict) seedVerdict {
+	return seedVerdict{
+		derived: v.derived || o.derived,
+		params:  v.params | o.params,
+		raw:     v.raw || o.raw,
+	}
+}
+
+func runDetRand(pass *analysis.Pass) error {
+	// Two rounds so same-package helper facts (derived-seed returns, seed
+	// params) exist before call sites are judged; the final round reports.
+	var fns []*ast.FuncDecl
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				fns = append(fns, fd)
+			}
+		}
+	}
+	for iter := 0; iter < 4; iter++ {
+		changed := false
+		for _, fd := range fns {
+			if summarizeSeeds(pass, fd, false) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for _, fd := range fns {
+		summarizeSeeds(pass, fd, true)
+	}
+	return nil
+}
+
+func isTestFile(pass *analysis.Pass, f *ast.File) bool {
+	return strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// seedState is the per-function classification state.
+type seedState struct {
+	pass   *analysis.Pass
+	params map[types.Object]int
+	locals map[types.Object]seedVerdict
+	report bool
+	// accumulated facts for the enclosing function
+	seedParams  uint32
+	derivedRets uint32
+	changed     bool
+}
+
+// summarizeSeeds classifies every seed-position expression in fd, exports
+// the function's seed facts, and (with report set) emits diagnostics.
+// It returns whether the exported facts changed.
+func summarizeSeeds(pass *analysis.Pass, fd *ast.FuncDecl, report bool) bool {
+	st := &seedState{
+		pass:   pass,
+		params: map[types.Object]int{},
+		locals: map[types.Object]seedVerdict{},
+		report: report,
+	}
+	idx := 0
+	addParams := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			if len(field.Names) == 0 {
+				idx++
+				continue
+			}
+			for _, name := range field.Names {
+				if obj := pass.ObjectOf(name); obj != nil {
+					st.params[obj] = idx
+				}
+				idx++
+			}
+		}
+	}
+	addParams(fd.Recv)
+	addParams(fd.Type.Params)
+
+	// Local-variable provenance to a fixpoint (seed chains are short).
+	for i := 0; i < 4; i++ {
+		st.changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range x.Lhs {
+					if i < len(x.Rhs) {
+						st.assignLocal(lhs, st.classify(x.Rhs[i]))
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range x.Names {
+					if i < len(x.Values) {
+						st.assignLocal(name, st.classify(x.Values[i]))
+					}
+				}
+			}
+			return true
+		})
+		if !st.changed {
+			break
+		}
+	}
+
+	// Judge seed positions and collect return derivations.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			st.visitSeedCall(x)
+		case *ast.ReturnStmt:
+			for ri, e := range x.Results {
+				if ri > 31 {
+					break
+				}
+				if st.classify(e).derived {
+					st.derivedRets |= uint32(1) << uint(ri)
+				}
+			}
+		}
+		return true
+	})
+
+	// Export facts.
+	obj := pass.ObjectOf(fd.Name)
+	if obj == nil {
+		return false
+	}
+	changed := false
+	if st.derivedRets != 0 {
+		old := new(DerivedSeedFact)
+		had := pass.ImportObjectFact(obj, old)
+		fact := &DerivedSeedFact{Results: old.Results | st.derivedRets}
+		if !had || !reflect.DeepEqual(old, fact) {
+			pass.ExportObjectFact(obj, fact)
+			changed = true
+		}
+	}
+	if st.seedParams != 0 {
+		old := new(SeedParamFact)
+		had := pass.ImportObjectFact(obj, old)
+		fact := &SeedParamFact{Params: old.Params | st.seedParams}
+		if !had || !reflect.DeepEqual(old, fact) {
+			pass.ExportObjectFact(obj, fact)
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (st *seedState) assignLocal(lhs ast.Expr, v seedVerdict) {
+	id, ok := unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj := st.pass.ObjectOf(id)
+	if obj == nil {
+		return
+	}
+	if _, isParam := st.params[obj]; isParam {
+		return // reassigned params keep their parameter meaning
+	}
+	merged := st.locals[obj].merge(v)
+	if merged != st.locals[obj] {
+		st.locals[obj] = merged
+		st.changed = true
+	}
+}
+
+// visitSeedCall checks prg.NewSeeded/NewRandom calls and seed-parameter
+// obligations of fact-carrying callees.
+func (st *seedState) visitSeedCall(call *ast.CallExpr) {
+	callee := calleeOf(st.pass, call)
+	if callee == nil {
+		return
+	}
+	if isPRGFunc(callee, "NewRandom") {
+		if st.report {
+			st.pass.Reportf(call.Pos(),
+				"prg.NewRandom is nondeterministic and cannot participate in a resumable transcript; derive a seed via the salted (Seed, token, seq) mix64 path and use prg.NewSeeded")
+		}
+		return
+	}
+	if isPRGFunc(callee, "NewSeeded", "New") && len(call.Args) == 1 {
+		st.judgeSeedArg(call.Args[0], "prg."+callee.Name())
+		return
+	}
+	fact := new(SeedParamFact)
+	if !st.pass.ImportObjectFact(callee, fact) {
+		return
+	}
+	args := callArgs(st.pass, call, callee)
+	for ai, arg := range args {
+		fi := factParamIndex(ai, 32)
+		if fi <= 31 && fact.Params&(uint32(1)<<uint(fi)) != 0 {
+			st.judgeSeedArg(arg, calleeName(callee)+" (which seeds a PRG with it)")
+		}
+	}
+}
+
+// judgeSeedArg applies the verdict rules to one seed-position expression.
+func (st *seedState) judgeSeedArg(arg ast.Expr, sink string) {
+	v := st.classify(arg)
+	switch {
+	case v.derived:
+		// Properly salted.
+	case v.params != 0 && !v.raw:
+		// The caller owes us a derived seed; record the obligation.
+		if st.seedParams|v.params != st.seedParams {
+			st.seedParams |= v.params
+			st.changed = true
+		}
+	default:
+		if st.report {
+			st.pass.Reportf(arg.Pos(),
+				"raw seed reaches %s; session-transcript randomness must derive from the salted (Seed, token, seq) splitmix64 path — wrap the seed in mix64 (see engine.saltedSeed)", sink)
+		}
+	}
+}
+
+// classify computes the seed verdict of one expression.
+func (st *seedState) classify(e ast.Expr) seedVerdict {
+	switch x := e.(type) {
+	case *ast.BasicLit:
+		return seedVerdict{}
+	case *ast.ParenExpr:
+		return st.classify(x.X)
+	case *ast.UnaryExpr:
+		return st.classify(x.X)
+	case *ast.BinaryExpr:
+		return st.classify(x.X).merge(st.classify(x.Y))
+	case *ast.Ident:
+		obj := st.pass.ObjectOf(x)
+		switch o := obj.(type) {
+		case *types.Const:
+			return seedVerdict{}
+		case *types.Var:
+			if pi, ok := st.params[o]; ok {
+				if pi > 31 {
+					pi = 31
+				}
+				return seedVerdict{params: uint32(1) << uint(pi)}
+			}
+			if v, ok := st.locals[o]; ok {
+				return v
+			}
+			return seedVerdict{raw: true}
+		}
+		return seedVerdict{raw: true}
+	case *ast.SelectorExpr:
+		// Package-qualified constants are neutral; fields and globals are
+		// raw — cfg.Seed is exactly the bug class.
+		if obj := st.pass.ObjectOf(x.Sel); obj != nil {
+			if _, isConst := obj.(*types.Const); isConst {
+				return seedVerdict{}
+			}
+		}
+		return seedVerdict{raw: true}
+	case *ast.CallExpr:
+		return st.classifyCall(x)
+	}
+	return seedVerdict{raw: true}
+}
+
+func (st *seedState) classifyCall(call *ast.CallExpr) seedVerdict {
+	// Conversions are transparent.
+	if tv, ok := st.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		return st.classify(call.Args[0])
+	}
+	if isMixCall(call) {
+		return seedVerdict{derived: true}
+	}
+	callee := calleeOf(st.pass, call)
+	if callee == nil {
+		return seedVerdict{raw: true}
+	}
+	// PRG draws are transcript-derived by construction.
+	if isPRGMethod(callee, "Uint64", "Elem", "Bit") {
+		return seedVerdict{derived: true}
+	}
+	fact := new(DerivedSeedFact)
+	if st.pass.ImportObjectFact(callee, fact) && fact.Results&1 != 0 {
+		return seedVerdict{derived: true}
+	}
+	return seedVerdict{raw: true}
+}
+
+// isMixCall recognises the splitmix64 finalizer by name — mix64 is
+// unexported in engine, so this is a name-based contract: any function
+// named mix64 or splitmix64 is the derivation step.
+func isMixCall(call *ast.CallExpr) bool {
+	var name string
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return false
+	}
+	return name == "mix64" || name == "splitmix64" || name == "Mix64"
+}
+
+// isPRGFunc reports whether f is a package-level function of a package
+// whose base name is prg with one of the given names.
+func isPRGFunc(f *types.Func, names ...string) bool {
+	if f == nil || f.Pkg() == nil || pkgBase(f.Pkg().Path()) != "prg" {
+		return false
+	}
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return false
+	}
+	for _, n := range names {
+		if f.Name() == n {
+			return true
+		}
+	}
+	return false
+}

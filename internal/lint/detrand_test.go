@@ -1,0 +1,28 @@
+package lint_test
+
+import (
+	"regexp"
+	"testing"
+
+	"aq2pnn/internal/lint"
+	"aq2pnn/internal/lint/linttest"
+)
+
+func TestDetRand(t *testing.T) {
+	linttest.Run(t, "testdata", "detrand", lint.DetRand)
+}
+
+// TestDetRandCrossPackageNeedsFacts proves the badCross finding depends
+// on the SeedParamFact exported by package detranddep.
+func TestDetRandCrossPackageNeedsFacts(t *testing.T) {
+	with := linttest.Diagnostics(t, "testdata", "detrand", lint.DetRand, true)
+	without := linttest.Diagnostics(t, "testdata", "detrand", lint.DetRand, false)
+
+	cross := regexp.MustCompile(`detranddep\.MakeRNG`)
+	if countMatching(with, cross) == 0 {
+		t.Errorf("with facts: no finding for the cross-package seed obligation detranddep.MakeRNG")
+	}
+	if n := countMatching(without, cross); n != 0 {
+		t.Errorf("without facts: cross-package finding should vanish, got %d", n)
+	}
+}

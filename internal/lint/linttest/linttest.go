@@ -31,7 +31,29 @@ import (
 // Run loads testdata/src/<pkg> (relative to the test's working directory),
 // applies the analyzer, and reports mismatches against the `// want`
 // expectations via t.Errorf.
+//
+// For analyzers that declare FactTypes, every testdata dependency package
+// is first analyzed in facts-only mode (dependency order, diagnostics
+// discarded) so the target package sees the same cross-package facts the
+// vet driver would deliver through .vetx files.
 func Run(t *testing.T, testdata, pkg string, a *analysis.Analyzer) {
+	t.Helper()
+	fset, files, diags := run(t, testdata, pkg, a, true)
+	checkWants(t, fset, files, diags)
+}
+
+// Diagnostics loads and analyzes exactly like Run but returns the raw
+// findings instead of checking want comments. With withFacts false,
+// dependencies are loaded for type information but never analyzed —
+// tests compare the two modes to prove a cross-package finding exists
+// only because of facts.
+func Diagnostics(t *testing.T, testdata, pkg string, a *analysis.Analyzer, withFacts bool) []analysis.Diagnostic {
+	t.Helper()
+	_, _, diags := run(t, testdata, pkg, a, withFacts)
+	return diags
+}
+
+func run(t *testing.T, testdata, pkg string, a *analysis.Analyzer, withFacts bool) (*token.FileSet, []*ast.File, []analysis.Diagnostic) {
 	t.Helper()
 	dir := filepath.Join(testdata, "src", pkg)
 	fset := token.NewFileSet()
@@ -47,11 +69,29 @@ func Run(t *testing.T, testdata, pkg string, a *analysis.Analyzer) {
 		t.Fatalf("loading %s: %v", dir, err)
 	}
 	info := ld.infos[pkg]
-	diags, err := analysis.Run(fset, files, tpkg, info, []*analysis.Analyzer{a})
+	store := analysis.NewFactStore()
+	if withFacts && len(a.FactTypes) > 0 {
+		// ld.order lists packages in completion order, dependencies before
+		// dependents (a dependency's load finishes inside its importer
+		// call), so facts exist before any importer of theirs runs.
+		for _, dep := range ld.order {
+			depFiles := ld.files[dep]
+			if dep == pkg || len(depFiles) == 0 {
+				continue
+			}
+			_, err := analysis.RunWithOptions(fset, depFiles, ld.packages[dep], ld.infos[dep],
+				[]*analysis.Analyzer{a}, analysis.RunOptions{Facts: store, FactsOnly: true})
+			if err != nil {
+				t.Fatalf("running %s over dependency %s: %v", a.Name, dep, err)
+			}
+		}
+	}
+	diags, err := analysis.RunWithOptions(fset, files, tpkg, info,
+		[]*analysis.Analyzer{a}, analysis.RunOptions{Facts: store})
 	if err != nil {
 		t.Fatalf("running %s: %v", a.Name, err)
 	}
-	checkWants(t, fset, files, diags)
+	return fset, files, diags
 }
 
 // loader type-checks testdata packages, resolving imports first against
@@ -65,6 +105,7 @@ type loader struct {
 	packages map[string]*types.Package
 	files    map[string][]*ast.File
 	infos    map[string]*types.Info
+	order    []string // testdata packages in load-completion order
 }
 
 func (l *loader) load(path, dir string) (*types.Package, []*ast.File, error) {
@@ -105,6 +146,7 @@ func (l *loader) load(path, dir string) (*types.Package, []*ast.File, error) {
 		l.infos = make(map[string]*types.Info)
 	}
 	l.infos[path] = info
+	l.order = append(l.order, path)
 	return pkg, files, nil
 }
 

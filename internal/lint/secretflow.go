@@ -1,0 +1,1048 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"reflect"
+	"strings"
+
+	"aq2pnn/internal/lint/analysis"
+)
+
+// SecretFlow is the interprocedural secret-leakage taint analyzer. The
+// 2PC security argument rests on one invariant the compiler never checks:
+// additive secret shares — and every masked intermediate derived from them
+// — must never leave the protocol through a side channel. The sanctioned
+// exits are the transport layer (shares to the peer are the protocol) and
+// the explicitly declassified reveals (logits/argmax to the output party).
+// Everything else — log lines, error strings, fmt output, telemetry span
+// attributes or metric values, raw non-transport writes — is a leak.
+//
+// Taint seeds at share-carrying sources: values of share-typed types
+// (share.Tensor and containers thereof), outputs of the session PRG
+// (mask material), and — via cross-package facts — results of protocol
+// operations that produce shares (secure/triple/scm/ot/share ops).
+// Propagation is interprocedural: for every function the analyzer exports
+// a SecretFlowFact summary (which params reach sinks inside, which params
+// flow to which results or mutate which other params, which results carry
+// internally-created secrets), serialized through the vet protocol's
+// per-package .vetx files exactly where export data rides, so a share
+// laundered through a helper in one package and printed in another is
+// still one connected flow.
+//
+// A `//lint:declassify <reason>` directive on (or above) a line launders
+// the taint produced there and silences findings on it; the reason is
+// mandatory and a declassify that launders nothing is itself a finding.
+var SecretFlow = &analysis.Analyzer{
+	Name: "secretflow",
+	Doc: "flags secret-share values flowing into logs, errors, fmt output, " +
+		"telemetry attributes or non-transport I/O, across package " +
+		"boundaries via facts; declassify deliberate reveals with " +
+		"//lint:declassify <reason>",
+	Run:            runSecretFlow,
+	FactTypes:      []analysis.Fact{(*SecretFlowFact)(nil)},
+	UsesDeclassify: true,
+}
+
+// SecretFlowFact is the exported taint summary of one function. Parameter
+// indexing is receiver-first: for methods, index 0 is the receiver and the
+// declared parameters start at 1. Result indexing follows the signature.
+type SecretFlowFact struct {
+	// ParamSink[i] is set when taint arriving at parameter i reaches a
+	// leakage sink inside the function (directly or transitively).
+	ParamSink []bool
+	// ParamResult[i] is the bitmask of results that taint arriving at
+	// parameter i flows into.
+	ParamResult []uint32
+	// ParamMut[i] is the bitmask of (pointer/slice/map) parameters that
+	// taint arriving at parameter i is written into — the SubVec(dst, a,
+	// b) shape, where dst inherits the taint of a and b at the call site.
+	ParamMut []uint32
+	// SourceResult is the bitmask of results that carry secrets created
+	// inside the function (PRG draws, share-typed values, transitive
+	// source flows).
+	SourceResult uint32
+	// SourceMut is the bitmask of parameters that internally-created
+	// secrets are written into (the FillElems(dst) shape).
+	SourceMut uint32
+}
+
+// AFact marks SecretFlowFact as a serializable analysis fact.
+func (*SecretFlowFact) AFact() {}
+
+// sourceBit is the taint label for secrets that originate inside the
+// function under analysis; bits 0..maxParamBit label its parameters.
+const (
+	sourceBit     = uint64(1) << 63
+	maxParamBit   = 62
+	maxFlowPasses = 20
+)
+
+func runSecretFlow(pass *analysis.Pass) error {
+	var fns []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				fns = append(fns, fd)
+			}
+		}
+	}
+	// Intra-package fixpoint: summaries feed call sites of same-package
+	// callees, so iterate until no function's fact changes. Facts only
+	// grow, so this terminates.
+	for iter := 0; iter < maxFlowPasses; iter++ {
+		changed := false
+		for _, fd := range fns {
+			fact := summarizeFlow(pass, fd, false)
+			if fact == nil {
+				continue
+			}
+			obj := pass.ObjectOf(fd.Name)
+			if obj == nil {
+				continue
+			}
+			old := new(SecretFlowFact)
+			had := pass.ImportObjectFact(obj, old)
+			if !had || !reflect.DeepEqual(old, fact) {
+				pass.ExportObjectFact(obj, fact)
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Reporting pass with the final facts in place.
+	for _, fd := range fns {
+		summarizeFlow(pass, fd, true)
+	}
+	return nil
+}
+
+// flowState is the per-function dataflow state.
+type flowState struct {
+	pass    *analysis.Pass
+	fd      *ast.FuncDecl
+	params  map[types.Object]int // receiver-first parameter index
+	results map[types.Object]int // named result index
+	nres    int
+	// nextParam hands out indices past the declared parameters to closure
+	// parameters; those bits are private to the walk (never exported in
+	// the fact, whose arrays cover only the declared signature).
+	nextParam int
+	labels    map[types.Object]uint64
+	fact      *SecretFlowFact
+	report    bool
+	changed   bool
+}
+
+// summarizeFlow runs the intra-function taint propagation to fixpoint and
+// returns the function's summary. With report set it additionally emits
+// diagnostics for source-tainted values reaching sinks.
+func summarizeFlow(pass *analysis.Pass, fd *ast.FuncDecl, report bool) *SecretFlowFact {
+	st := &flowState{
+		pass:    pass,
+		fd:      fd,
+		params:  map[types.Object]int{},
+		results: map[types.Object]int{},
+		labels:  map[types.Object]uint64{},
+	}
+	idx := 0
+	addParams := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			if len(field.Names) == 0 {
+				idx++
+				continue
+			}
+			for _, name := range field.Names {
+				if obj := pass.ObjectOf(name); obj != nil {
+					st.params[obj] = idx
+					// Only share-carrying params get a taint bit: an int
+					// count, a ring descriptor or an address string cannot
+					// hold share material, and granting them bits floods
+					// every error message and telemetry attribute with
+					// spurious ParamSink facts.
+					if carrierType(obj.Type()) {
+						st.labels[obj] = paramBit(idx)
+					}
+				}
+				idx++
+			}
+		}
+	}
+	addParams(fd.Recv)
+	addParams(fd.Type.Params)
+	nparams := idx
+	st.nextParam = nparams
+	if fd.Type.Results != nil {
+		ri := 0
+		for _, field := range fd.Type.Results.List {
+			if len(field.Names) == 0 {
+				ri++
+				continue
+			}
+			for _, name := range field.Names {
+				if obj := pass.ObjectOf(name); obj != nil {
+					st.results[obj] = ri
+				}
+				ri++
+			}
+		}
+		st.nres = ri
+	}
+	st.fact = &SecretFlowFact{
+		ParamSink:   make([]bool, nparams),
+		ParamResult: make([]uint32, nparams),
+		ParamMut:    make([]uint32, nparams),
+	}
+	for i := 0; i < maxFlowPasses; i++ {
+		st.changed = false
+		st.walk()
+		if !st.changed {
+			break
+		}
+	}
+	if report {
+		st.report = true
+		st.walk()
+	}
+	return st.fact
+}
+
+func paramBit(i int) uint64 {
+	if i > maxParamBit {
+		i = maxParamBit
+	}
+	return uint64(1) << uint(i)
+}
+
+// walk makes one pass over the function body, propagating labels through
+// assignments, recording sink and return flows, and (when report is set)
+// emitting diagnostics.
+func (st *flowState) walk() {
+	analysis.WithStack([]*ast.File{wrapBody(st.fd)}, func(n ast.Node, stack []ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			st.visitAssign(x)
+		case *ast.ValueSpec:
+			for i, name := range x.Names {
+				if i < len(x.Values) {
+					st.assign(name, st.exprLabels(x.Values[i]), false)
+				}
+			}
+		case *ast.RangeStmt:
+			l := st.exprLabels(x.X)
+			if x.Value != nil {
+				st.assign(x.Value, l, false)
+			}
+			if x.Key != nil {
+				if t := st.pass.TypeOf(x.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						st.assign(x.Key, l, false)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			st.visitCall(x)
+		case *ast.FuncLit:
+			st.addClosureParams(x.Type.Params)
+		case *ast.ReturnStmt:
+			if funcLitDepth(stack) == 0 {
+				st.visitReturn(x)
+			}
+		}
+		return true
+	})
+}
+
+// addClosureParams treats a function literal's parameters as extra
+// untrusted inputs of the enclosing declaration: share-carrying ones get
+// private taint bits so flows from a closure's arguments into sinks and
+// declassify sites are tracked. The bits sit past the declared-parameter
+// range and are never exported in the fact. Idempotent across fixpoint
+// passes — an object already registered keeps its index.
+func (st *flowState) addClosureParams(fl *ast.FieldList) {
+	if fl == nil {
+		return
+	}
+	for _, field := range fl.List {
+		for _, name := range field.Names {
+			obj := st.pass.ObjectOf(name)
+			if obj == nil {
+				continue
+			}
+			if _, ok := st.params[obj]; ok {
+				continue
+			}
+			st.params[obj] = st.nextParam
+			if carrierType(obj.Type()) {
+				st.labels[obj] = paramBit(st.nextParam)
+			}
+			st.nextParam++
+		}
+	}
+}
+
+// wrapBody produces a minimal *ast.File wrapper so WithStack can walk one
+// declaration; only the decl is visited.
+func wrapBody(fd *ast.FuncDecl) *ast.File {
+	return &ast.File{Name: ast.NewIdent("p"), Decls: []ast.Decl{fd}}
+}
+
+// funcLitDepth counts function literals on the ancestor stack: a return
+// inside a closure belongs to the closure, not to the declared function.
+func funcLitDepth(stack []ast.Node) int {
+	d := 0
+	for _, n := range stack {
+		if _, ok := n.(*ast.FuncLit); ok {
+			d++
+		}
+	}
+	return d
+}
+
+func (st *flowState) visitAssign(as *ast.AssignStmt) {
+	if len(as.Lhs) > 1 && len(as.Rhs) == 1 {
+		// Tuple assignment from a call (or type assert / map read).
+		if call, ok := unparen(as.Rhs[0]).(*ast.CallExpr); ok {
+			per := st.callResultLabels(call)
+			for i, lhs := range as.Lhs {
+				var l uint64
+				if i < len(per) {
+					l = per[i]
+				}
+				st.assign(lhs, l, false)
+			}
+			return
+		}
+		l := st.exprLabels(as.Rhs[0])
+		for _, lhs := range as.Lhs {
+			st.assign(lhs, l, false)
+		}
+		return
+	}
+	for i, lhs := range as.Lhs {
+		if i < len(as.Rhs) {
+			st.assign(lhs, st.exprLabels(as.Rhs[i]), false)
+		}
+	}
+}
+
+func (st *flowState) visitReturn(ret *ast.ReturnStmt) {
+	if len(ret.Results) == 0 {
+		// Bare return with named results.
+		for obj, ri := range st.results {
+			st.recordResultFlow(st.labels[obj], ri)
+		}
+		return
+	}
+	if len(ret.Results) == 1 && st.nres > 1 {
+		if call, ok := unparen(ret.Results[0]).(*ast.CallExpr); ok {
+			per := st.callResultLabels(call)
+			for ri := 0; ri < st.nres && ri < len(per); ri++ {
+				st.recordResultFlow(per[ri], ri)
+			}
+			return
+		}
+	}
+	for ri, e := range ret.Results {
+		st.recordResultFlow(st.exprLabels(e), ri)
+	}
+}
+
+func (st *flowState) recordResultFlow(l uint64, ri int) {
+	if l == 0 || ri > 31 {
+		return
+	}
+	bit := uint32(1) << uint(ri)
+	if l&sourceBit != 0 && st.fact.SourceResult&bit == 0 {
+		st.fact.SourceResult |= bit
+		st.changed = true
+	}
+	st.forEachParamLabel(l, func(pi int) {
+		if st.fact.ParamResult[pi]&bit == 0 {
+			st.fact.ParamResult[pi] |= bit
+			st.changed = true
+		}
+	})
+}
+
+func (st *flowState) forEachParamLabel(l uint64, fn func(pi int)) {
+	for pi := range st.fact.ParamResult {
+		if l&paramBit(pi) != 0 {
+			fn(pi)
+		}
+	}
+}
+
+// assign writes labels l into the object at the root of lvalue lhs. deep
+// marks lvalues that reach through a dereference (index, field, pointer):
+// those mutations are visible to the caller when the root is a parameter,
+// so they are recorded in the mutation summary.
+func (st *flowState) assign(lhs ast.Expr, l uint64, deep bool) {
+	if l == 0 {
+		return
+	}
+	root, wentDeep := rootIdent(lhs)
+	if root == nil {
+		return
+	}
+	deep = deep || wentDeep
+	obj := st.pass.ObjectOf(root)
+	if obj == nil {
+		return
+	}
+	if st.labels[obj]&l != l {
+		st.labels[obj] |= l
+		st.changed = true
+	}
+	if deep {
+		// Closure-parameter indices (≥ len(ParamSink)) are private to the
+		// walk: a mutation through one is not a caller-visible effect of
+		// the declared signature, so it never lands in the fact.
+		if pi, ok := st.params[obj]; ok && pi <= 31 && pi < len(st.fact.ParamSink) {
+			bit := uint32(1) << uint(pi)
+			if l&sourceBit != 0 && st.fact.SourceMut&bit == 0 {
+				st.fact.SourceMut |= bit
+				st.changed = true
+			}
+			st.forEachParamLabel(l, func(src int) {
+				if st.fact.ParamMut[src]&bit == 0 {
+					st.fact.ParamMut[src] |= bit
+					st.changed = true
+				}
+			})
+		}
+	}
+}
+
+// rootIdent returns the identifier at the base of an lvalue chain and
+// whether the chain passed through a dereference/field/index step.
+func rootIdent(e ast.Expr) (*ast.Ident, bool) {
+	deep := false
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x, deep
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e, deep = x.X, true
+		case *ast.IndexExpr:
+			e, deep = x.X, true
+		case *ast.SliceExpr:
+			e, deep = x.X, true
+		case *ast.StarExpr:
+			e, deep = x.X, true
+		default:
+			return nil, deep
+		}
+	}
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+var compareTokens = map[token.Token]bool{
+	token.EQL: true, token.NEQ: true, token.LSS: true,
+	token.LEQ: true, token.GTR: true, token.GEQ: true,
+	token.LAND: true, token.LOR: true,
+}
+
+// exprLabels computes the taint labels of one expression.
+func (st *flowState) exprLabels(e ast.Expr) uint64 {
+	if e == nil {
+		return 0
+	}
+	var l uint64
+	switch x := e.(type) {
+	case *ast.Ident:
+		if obj := st.pass.ObjectOf(x); obj != nil {
+			l = st.labels[obj]
+		}
+	case *ast.BasicLit, *ast.FuncLit:
+		return 0
+	case *ast.ParenExpr:
+		l = st.exprLabels(x.X)
+	case *ast.UnaryExpr:
+		l = st.exprLabels(x.X)
+	case *ast.StarExpr:
+		l = st.exprLabels(x.X)
+	case *ast.BinaryExpr:
+		// Comparisons yield booleans: one bit of information, which the
+		// analyzer treats as below the leakage threshold (the explicit-
+		// flow model; branch side channels are out of scope).
+		if compareTokens[x.Op] {
+			return 0
+		}
+		l = st.exprLabels(x.X) | st.exprLabels(x.Y)
+	case *ast.IndexExpr:
+		l = st.exprLabels(x.X)
+	case *ast.SliceExpr:
+		l = st.exprLabels(x.X)
+	case *ast.SelectorExpr:
+		// Field-sensitivity-lite: reading a public-metadata field
+		// (dimensions, bit widths, names) out of a tainted struct yields a
+		// public value. Only fields that can physically hold share material
+		// inherit the container's taint.
+		if fld, ok := st.pass.ObjectOf(x.Sel).(*types.Var); ok && fld.IsField() && !carrierType(fld.Type()) {
+			return 0
+		}
+		l = st.exprLabels(x.X)
+	case *ast.TypeAssertExpr:
+		l = st.exprLabels(x.X)
+	case *ast.CompositeLit:
+		for _, elt := range x.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				l |= st.exprLabels(kv.Value)
+				continue
+			}
+			l |= st.exprLabels(elt)
+		}
+	case *ast.CallExpr:
+		for _, rl := range st.callResultLabels(x) {
+			l |= rl
+		}
+	}
+	// A PRG value itself never carries taint: the generator is seeded
+	// public state and its *draws* are the secret sources (prgSourceResult,
+	// FillElems). Without this, the stateful draw methods' receiver
+	// mutations would taint every struct holding a PRG field and flood the
+	// analysis through its public siblings (dims, counters).
+	if isPRGValue(st.pass.TypeOf(e)) {
+		return 0
+	}
+	if isSecretType(st.pass.TypeOf(e)) {
+		l |= sourceBit
+	}
+	return l
+}
+
+// callResultLabels computes the per-result taint labels of a call.
+func (st *flowState) callResultLabels(call *ast.CallExpr) []uint64 {
+	// Type conversion: the value is unchanged.
+	if st.isConversion(call) && len(call.Args) == 1 {
+		return []uint64{st.exprLabels(call.Args[0])}
+	}
+	if name, ok := st.builtinName(call); ok {
+		switch name {
+		case "append", "min", "max":
+			var l uint64
+			for _, a := range call.Args {
+				l |= st.exprLabels(a)
+			}
+			return []uint64{l}
+		default:
+			// len, cap, make, new, copy, delete, clear, panic, print...
+			// (print/println are handled as sinks in visitCall).
+			return []uint64{0}
+		}
+	}
+	if prgSourceResult(calleeOf(st.pass, call)) {
+		return []uint64{sourceBit}
+	}
+	callee := calleeOf(st.pass, call)
+	var out []uint64
+	nres := 1
+	if callee != nil {
+		if sig, ok := callee.Type().(*types.Signature); ok {
+			if n := sig.Results().Len(); n > 0 {
+				nres = n
+			}
+		}
+	}
+	out = make([]uint64, nres)
+	if callee != nil {
+		fact := new(SecretFlowFact)
+		if st.pass.ImportObjectFact(callee, fact) {
+			args := callArgs(st.pass, call, callee)
+			for ri := 0; ri < nres && ri < 32; ri++ {
+				bit := uint32(1) << uint(ri)
+				if fact.SourceResult&bit != 0 {
+					out[ri] |= sourceBit
+				}
+				for ai, arg := range args {
+					fi := factParamIndex(ai, len(fact.ParamResult))
+					if fi >= 0 && fact.ParamResult[fi]&bit != 0 {
+						out[ri] |= st.exprLabels(arg)
+					}
+				}
+			}
+		} else if stdlibPropagator(callee) {
+			var l uint64
+			for _, a := range call.Args {
+				l |= st.exprLabels(a)
+			}
+			for ri := range out {
+				out[ri] |= l
+			}
+		}
+	}
+	// Results that cannot physically hold share material come back
+	// public: a revealed []int64, an error, a Stats record or a PRG
+	// generator (NewSeeded, Fork — only its draws are secret). Stdlib
+	// propagators are exempt so a Sprintf/hex laundering chain keeps its
+	// taint on the way to a textual sink.
+	if callee != nil && !stdlibPropagator(callee) {
+		if sig, ok := callee.Type().(*types.Signature); ok {
+			for ri := 0; ri < len(out) && ri < sig.Results().Len(); ri++ {
+				if !carrierType(sig.Results().At(ri).Type()) {
+					out[ri] = 0
+				}
+			}
+		}
+	}
+	// Declassification boundary: the line deliberately moves its value
+	// out of the secret domain.
+	tainted := false
+	for _, l := range out {
+		if l != 0 {
+			tainted = true
+		}
+	}
+	if tainted && st.pass.Declassified(call.Pos()) {
+		for ri := range out {
+			out[ri] = 0
+		}
+	}
+	return out
+}
+
+// visitCall handles the statement-level effects of a call: sink checks,
+// caller-visible mutations (builtin copy, PRG fills, fact-declared
+// parameter mutations) and fact-declared transitive sinks.
+func (st *flowState) visitCall(call *ast.CallExpr) {
+	if name, ok := st.builtinName(call); ok {
+		switch name {
+		case "copy":
+			if len(call.Args) == 2 {
+				st.assign(call.Args[0], st.exprLabels(call.Args[1]), true)
+			}
+		case "print", "println":
+			st.checkSinkArgs(call, call.Args, "builtin "+name)
+		}
+		return
+	}
+	callee := calleeOf(st.pass, call)
+	if callee == nil {
+		return
+	}
+	args := callArgs(st.pass, call, callee)
+	// PRG draws that fill a caller buffer.
+	if isPRGMethod(callee, "FillElems", "Read") && len(call.Args) >= 1 {
+		st.assign(call.Args[0], sourceBit, true)
+	}
+	// Direct sinks. The transport package is the protocol's sanctioned
+	// exit: its raw socket/file writes are the framing layer doing its
+	// job, so the net/os write sinks don't apply there (textual sinks —
+	// fmt, log, telemetry — still do).
+	if sinkArgs, what := leakageSink(callee, call); sinkArgs != nil {
+		exempt := pkgBase(st.pass.Pkg.Path()) == "transport" &&
+			(pkgBase(callee.Pkg().Path()) == "net" || pkgBase(callee.Pkg().Path()) == "os")
+		if !exempt {
+			st.checkSinkArgs(call, sinkArgs, what)
+		}
+	}
+	// Fact-declared behaviour of the callee.
+	fact := new(SecretFlowFact)
+	if !st.pass.ImportObjectFact(callee, fact) {
+		return
+	}
+	for ai, arg := range args {
+		fi := factParamIndex(ai, len(fact.ParamSink))
+		if fi < 0 {
+			continue
+		}
+		if fact.ParamSink[fi] {
+			st.checkSinkFlow(call, arg, calleeName(callee)+" (which forwards it to a leakage sink)")
+		}
+		// Mutations: taint of arg ai lands in the args at ParamMut bits.
+		for di := 0; di < len(args) && di < 32; di++ {
+			if fact.ParamMut[fi]&(uint32(1)<<uint(di)) != 0 && !st.isPRGArg(args[di]) {
+				st.assign(args[di], st.exprLabels(arg), true)
+			}
+		}
+	}
+	for di := 0; di < len(args) && di < 32; di++ {
+		if fact.SourceMut&(uint32(1)<<uint(di)) != 0 && !st.isPRGArg(args[di]) {
+			st.assign(args[di], sourceBit, true)
+		}
+	}
+}
+
+// checkSinkArgs records/report taint reaching one sink's arguments.
+func (st *flowState) checkSinkArgs(call *ast.CallExpr, args []ast.Expr, what string) {
+	for _, a := range args {
+		st.checkSinkFlow(call, a, what)
+	}
+}
+
+func (st *flowState) checkSinkFlow(call *ast.CallExpr, arg ast.Expr, what string) {
+	l := st.exprLabels(arg)
+	if l == 0 {
+		return
+	}
+	if st.pass.Declassified(call.Pos()) {
+		return
+	}
+	if l&sourceBit != 0 && st.report {
+		st.pass.Reportf(arg.Pos(),
+			"secret share value flows into %s; shares must not leave the protocol — route through transport, or annotate a deliberate reveal with //lint:declassify <reason>",
+			what)
+	}
+	st.forEachParamLabel(l, func(pi int) {
+		if !st.fact.ParamSink[pi] {
+			// SFDEBUG=1 prints every fact-recording leaf. A ParamSink on a
+			// widely-used helper cascades a finding into every transitive
+			// caller, so the way to triage a flood of reports is to find
+			// the leaf that minted the first fact, not the report sites.
+			if os.Getenv("SFDEBUG") != "" {
+				fmt.Fprintf(os.Stderr, "SFDEBUG %s: param %d -> sink %s at %s\n",
+					st.fd.Name.Name, pi, what, st.pass.Fset.Position(call.Pos()))
+			}
+			st.fact.ParamSink[pi] = true
+			st.changed = true
+		}
+	})
+}
+
+// ---- callee / type helpers ----
+
+func (st *flowState) isConversion(call *ast.CallExpr) bool {
+	if st.pass.TypesInfo == nil {
+		return false
+	}
+	tv, ok := st.pass.TypesInfo.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+func (st *flowState) builtinName(call *ast.CallExpr) (string, bool) {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	obj := st.pass.ObjectOf(id)
+	if _, isBuiltin := obj.(*types.Builtin); isBuiltin {
+		return id.Name, true
+	}
+	return "", false
+}
+
+// calleeOf resolves the *types.Func a call statically invokes, or nil for
+// indirect calls (function values, closures).
+func calleeOf(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := pass.ObjectOf(fun).(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := pass.ObjectOf(fun.Sel).(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// callArgs returns the receiver-first argument expressions of a call so
+// indices line up with SecretFlowFact parameter indexing.
+func callArgs(pass *analysis.Pass, call *ast.CallExpr, callee *types.Func) []ast.Expr {
+	sig, _ := callee.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+			return append([]ast.Expr{sel.X}, call.Args...)
+		}
+	}
+	return call.Args
+}
+
+// factParamIndex clamps a call-site argument index onto the callee's
+// declared parameters (variadic tail arguments map to the last one).
+func factParamIndex(ai, nparams int) int {
+	if nparams == 0 {
+		return -1
+	}
+	if ai >= nparams {
+		return nparams - 1
+	}
+	return ai
+}
+
+func calleeName(f *types.Func) string {
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name() + "." + f.Name()
+		}
+	}
+	if f.Pkg() != nil {
+		return pkgBase(f.Pkg().Path()) + "." + f.Name()
+	}
+	return f.Name()
+}
+
+func pkgBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// isPRGMethod reports whether f is one of the named methods on the session
+// PRG type (any type named PRG in a package whose base name is prg — the
+// real internal/prg and the testdata mimic alike).
+func isPRGMethod(f *types.Func, names ...string) bool {
+	if f == nil || f.Pkg() == nil || pkgBase(f.Pkg().Path()) != "prg" {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "PRG" {
+		return false
+	}
+	for _, n := range names {
+		if f.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// prgSourceResult reports whether a call to f yields raw PRG output — the
+// mask material every share and pad is built from.
+func prgSourceResult(f *types.Func) bool {
+	return isPRGMethod(f, "Uint64", "Elem", "Elems")
+}
+
+// isPRGValue reports whether t is the session PRG type (or a pointer to
+// it). PRG values are taint-immune: a draw method mutating its generator
+// must not count as secret landing in whatever struct holds the PRG.
+func isPRGValue(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Name() == "PRG" && pkgBase(obj.Pkg().Path()) == "prg"
+}
+
+// isPRGArg reports whether a call argument is PRG-typed (mutation target
+// exemption — see isPRGValue).
+func (st *flowState) isPRGArg(e ast.Expr) bool {
+	return isPRGValue(st.pass.TypeOf(e))
+}
+
+// carrierType reports whether t can physically hold secret share material:
+// ring elements (uint64), raw bytes, share tensors, empty interfaces, or
+// any container/struct (depth-limited) of those. Public metadata types —
+// ints, uints, strings, bools, floats, errors, dimension/ring descriptors
+// whose fields are all public — cannot carry shares, so taint never rides
+// on them across function boundaries or out of struct fields. This is
+// what keeps a `fmt.Errorf("want %d rows", m)` from poisoning every
+// transitive caller of its function.
+func carrierType(t types.Type) bool {
+	return carrier(t, 0, map[types.Type]bool{})
+}
+
+func carrier(t types.Type, depth int, seen map[types.Type]bool) bool {
+	if t == nil || depth > 4 || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if isPRGValue(t) {
+		return false
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj != nil && obj.Pkg() != nil {
+			base := pkgBase(obj.Pkg().Path())
+			if obj.Name() == "Tensor" && base == "share" {
+				return true
+			}
+			// Known public-metadata records. These contain uint64 words
+			// (byte counters, the ring's bitmask) but are the protocol's
+			// published outputs by definition: traffic statistics, per-op
+			// cost profiles and ring descriptors never hold share values.
+			switch {
+			case obj.Name() == "Stats" && base == "transport",
+				obj.Name() == "OpProfile" && base == "engine",
+				obj.Name() == "Ring" && base == "ring":
+				return false
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Kind() == types.Uint64 || u.Kind() == types.Uint8
+	case *types.Interface:
+		// interface{}/any boxes anything (fmt args); error and other
+		// method-bearing interfaces carry behaviour, not share words.
+		return u.NumMethods() == 0
+	case *types.Pointer:
+		return carrier(u.Elem(), depth+1, seen)
+	case *types.Slice:
+		return carrier(u.Elem(), depth+1, seen)
+	case *types.Array:
+		return carrier(u.Elem(), depth+1, seen)
+	case *types.Map:
+		return carrier(u.Elem(), depth+1, seen)
+	case *types.Chan:
+		return carrier(u.Elem(), depth+1, seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if carrier(u.Field(i).Type(), depth+1, seen) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// stdlibPropagator marks standard-library functions that carry their
+// arguments' information into their results (formatting, conversion,
+// joining) — the laundering steps between a share value and a string sink.
+func stdlibPropagator(f *types.Func) bool {
+	if f.Pkg() == nil {
+		return false
+	}
+	switch f.Pkg().Path() {
+	case "fmt":
+		return strings.HasPrefix(f.Name(), "Sprint") || strings.HasPrefix(f.Name(), "Append")
+	case "strconv", "strings", "bytes", "encoding/hex", "encoding/base64":
+		return true
+	}
+	return false
+}
+
+// isSecretType reports whether t is a share-carrying type: share.Tensor
+// (any type named Tensor in a package whose base name is share), or any
+// container — pointer, slice, array, map, struct field — thereof.
+func isSecretType(t types.Type) bool {
+	return secretType(t, 0, map[types.Type]bool{})
+}
+
+func secretType(t types.Type, depth int, seen map[types.Type]bool) bool {
+	if t == nil || depth > 4 || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj != nil && obj.Pkg() != nil &&
+			obj.Name() == "Tensor" && pkgBase(obj.Pkg().Path()) == "share" {
+			return true
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Pointer:
+		return secretType(u.Elem(), depth+1, seen)
+	case *types.Slice:
+		return secretType(u.Elem(), depth+1, seen)
+	case *types.Array:
+		return secretType(u.Elem(), depth+1, seen)
+	case *types.Map:
+		return secretType(u.Elem(), depth+1, seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if secretType(u.Field(i).Type(), depth+1, seen) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// leakageSink returns the argument expressions of call that must never
+// carry secret taint, plus a human name for the sink, or (nil, "") when
+// the call is not a sink. The sanctioned share exit is the transport
+// layer; everything stringly or observable is a sink.
+func leakageSink(f *types.Func, call *ast.CallExpr) ([]ast.Expr, string) {
+	if f == nil || f.Pkg() == nil {
+		return nil, ""
+	}
+	base := pkgBase(f.Pkg().Path())
+	name := f.Name()
+	sig, _ := f.Type().(*types.Signature)
+	method := sig != nil && sig.Recv() != nil
+	label := base + "." + name
+	if method {
+		label = calleeName(f)
+	}
+	switch base {
+	case "fmt":
+		switch {
+		case name == "Errorf":
+			return call.Args, label
+		case strings.HasPrefix(name, "Print"):
+			return call.Args, label
+		case strings.HasPrefix(name, "Fprint"):
+			if len(call.Args) > 0 {
+				return call.Args[1:], label
+			}
+		}
+	case "errors":
+		if name == "New" {
+			return call.Args, label
+		}
+	case "log", "slog":
+		// Package-level helpers and Logger methods alike.
+		return call.Args, label
+	case "telemetry":
+		switch {
+		case !method && (name == "String" || name == "Int"):
+			if len(call.Args) > 1 {
+				return call.Args[1:], label
+			}
+		case method && name == "SetAttr":
+			if len(call.Args) > 1 {
+				return call.Args[1:], label
+			}
+		case !method && (name == "Count" || name == "Observe"):
+			if len(call.Args) > 1 {
+				return call.Args[1:], label
+			}
+		}
+	case "os":
+		switch {
+		case name == "WriteFile" && len(call.Args) > 1:
+			return call.Args[1:2], label
+		case method && (name == "Write" || name == "WriteString" || name == "WriteAt"):
+			return call.Args, label
+		}
+	case "net":
+		// Raw socket writes bypass the transport framing; shares leave
+		// through transport.Conn only.
+		if method && name == "Write" {
+			return call.Args, label
+		}
+	}
+	return nil, ""
+}

@@ -1,0 +1,48 @@
+package lint_test
+
+import (
+	"regexp"
+	"testing"
+
+	"aq2pnn/internal/lint"
+	"aq2pnn/internal/lint/analysis"
+	"aq2pnn/internal/lint/linttest"
+)
+
+func TestSecretFlow(t *testing.T) {
+	linttest.Run(t, "testdata", "secretflow", lint.SecretFlow)
+}
+
+// TestSecretFlowCrossPackageNeedsFacts proves the leakCross* findings are
+// interprocedural: they must vanish when dependency facts are withheld,
+// while the purely local findings survive.
+func TestSecretFlowCrossPackageNeedsFacts(t *testing.T) {
+	with := linttest.Diagnostics(t, "testdata", "secretflow", lint.SecretFlow, true)
+	without := linttest.Diagnostics(t, "testdata", "secretflow", lint.SecretFlow, false)
+
+	crossSink := regexp.MustCompile(`secretflowdep\.Debug`)
+	if countMatching(with, crossSink) == 0 {
+		t.Errorf("with facts: no finding for the cross-package sink secretflowdep.Debug")
+	}
+	if n := countMatching(without, crossSink); n != 0 {
+		t.Errorf("without facts: cross-package sink finding should vanish, got %d", n)
+	}
+	if len(without) >= len(with) {
+		t.Errorf("without facts: want fewer findings than with facts, got %d >= %d",
+			len(without), len(with))
+	}
+	local := regexp.MustCompile(`fmt\.Println`)
+	if countMatching(without, local) == 0 {
+		t.Errorf("without facts: local findings must survive, got none for fmt.Println")
+	}
+}
+
+func countMatching(diags []analysis.Diagnostic, re *regexp.Regexp) int {
+	n := 0
+	for _, d := range diags {
+		if re.MatchString(d.Message) {
+			n++
+		}
+	}
+	return n
+}

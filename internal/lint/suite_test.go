@@ -50,8 +50,25 @@ func TestAnalyzersForScoping(t *testing.T) {
 	}
 	// The unscoped analyzers cover everything, including cmd packages.
 	cmd := names("aq2pnn/cmd/aq2pnnlint")
-	if !cmd["sendcheck"] || !cmd["looppar"] {
-		t.Errorf("sendcheck/looppar should patrol every package, got %v", cmd)
+	if !cmd["sendcheck"] || !cmd["looppar"] || !cmd["secretflow"] {
+		t.Errorf("sendcheck/looppar/secretflow should patrol every package, got %v", cmd)
+	}
+	// The share-handling invariants follow shares into the binaries and
+	// examples via the /... subtree entries.
+	for _, path := range []string{"aq2pnn/cmd/party", "aq2pnn/examples/quickstart"} {
+		got := names(path)
+		for _, want := range []string{"ringmask", "prgonly", "alloccap", "secretflow"} {
+			if !got[want] {
+				t.Errorf("%s should be patrolled by %s", path, want)
+			}
+		}
+	}
+	// Transcript determinism is an engine-session concern only.
+	if !names("aq2pnn/internal/engine")["detrand"] {
+		t.Errorf("internal/engine should be patrolled by detrand")
+	}
+	if names("aq2pnn/internal/prg")["detrand"] || names("aq2pnn/cmd/party")["detrand"] {
+		t.Errorf("detrand must stay scoped to the engine's session layer")
 	}
 
 	// Test-variant paths patrol as their source package.
@@ -73,6 +90,7 @@ func TestSuiteComplete(t *testing.T) {
 		"ringmask": true, "prgonly": true, "sendcheck": true,
 		"ctxplumb": true, "panicfree": true, "looppar": true,
 		"spanend": true, "alloccap": true,
+		"secretflow": true, "detrand": true,
 	}
 	suite := lint.Suite()
 	if len(suite) != len(want) {

@@ -1,0 +1,51 @@
+// Testdata for the detrand analyzer. badCross relies on the SeedParamFact
+// exported by package detranddep and is caught only via facts; goodCross
+// and goodLocal rely on its DerivedSeedFact to stay silent.
+package detrand
+
+import (
+	"detranddep"
+	"prg"
+)
+
+// Config mimics the engine inference config.
+type Config struct{ Seed uint64 }
+
+func bad(cfg Config) *prg.PRG {
+	return prg.NewSeeded(cfg.Seed ^ 0xBA7C4) // want `raw seed reaches prg.NewSeeded`
+}
+
+func badConst() *prg.PRG {
+	return prg.NewSeeded(0x7E6157) // want `raw seed reaches prg.NewSeeded`
+}
+
+func badRandom() (*prg.PRG, error) {
+	return prg.NewRandom() // want `nondeterministic`
+}
+
+func badCross(cfg Config) *prg.PRG {
+	return detranddep.MakeRNG(cfg.Seed) // want `raw seed reaches detranddep.MakeRNG`
+}
+
+func goodCross(cfg Config) *prg.PRG {
+	return prg.NewSeeded(detranddep.Derive(cfg.Seed, 0x5EED))
+}
+
+func goodLocal(cfg Config) *prg.PRG {
+	seed := detranddep.Derive(cfg.Seed, 0xA1)
+	return prg.NewSeeded(seed)
+}
+
+// deferred passes the obligation to its callers (SeedParamFact within
+// this package): no finding here.
+func deferred(famSeed uint64) *prg.PRG {
+	return prg.NewSeeded(famSeed)
+}
+
+func badCaller(cfg Config) *prg.PRG {
+	return deferred(cfg.Seed) // want `raw seed reaches detrand.deferred`
+}
+
+func goodCaller(cfg Config) *prg.PRG {
+	return deferred(detranddep.Derive(cfg.Seed, 7))
+}

@@ -1,0 +1,28 @@
+// Package detranddep is the dependency half of the detrand fixture: its
+// seed facts (MakeRNG's seed obligation, Derive's derived result) are
+// exported as facts and must be visible when the dependent package is
+// analyzed.
+package detranddep
+
+import "prg"
+
+// MakeRNG seeds a PRG from its argument; every caller owes it a derived
+// seed (SeedParamFact).
+func MakeRNG(seed uint64) *prg.PRG {
+	return prg.NewSeeded(seed)
+}
+
+// Derive salts and finalizes a raw seed (DerivedSeedFact).
+func Derive(seed, salt uint64) uint64 {
+	return mix64(seed ^ salt)
+}
+
+// mix64 is the splitmix64 finalizer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}

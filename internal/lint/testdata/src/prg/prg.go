@@ -1,0 +1,39 @@
+// Package prg is a miniature mimic of aq2pnn/internal/prg for analyzer
+// testdata (matched by the package base name, the PRG type name and the
+// draw-method names).
+package prg
+
+// PRG is a deterministic pseudo-random generator.
+type PRG struct{ s uint64 }
+
+// NewSeeded derives a PRG from a 64-bit seed.
+func NewSeeded(seed uint64) *PRG { return &PRG{s: seed} }
+
+// NewRandom seeds a PRG from the OS entropy pool.
+func NewRandom() (*PRG, error) { return &PRG{s: 4}, nil }
+
+// Fork splits off an independent stream.
+func (g *PRG) Fork() *PRG { return &PRG{s: g.s + 1} }
+
+// Uint64 draws 64 bits.
+func (g *PRG) Uint64() uint64 {
+	g.s += 0x9E3779B97F4A7C15
+	return g.s
+}
+
+// Elem draws one masked ring element.
+func (g *PRG) Elem(mask uint64) uint64 { return g.Uint64() & mask }
+
+// Elems draws n masked ring elements.
+func (g *PRG) Elems(n int, mask uint64) []uint64 {
+	out := make([]uint64, n)
+	g.FillElems(out, mask)
+	return out
+}
+
+// FillElems fills dst with masked ring elements.
+func (g *PRG) FillElems(dst []uint64, mask uint64) {
+	for i := range dst {
+		dst[i] = g.Uint64() & mask
+	}
+}

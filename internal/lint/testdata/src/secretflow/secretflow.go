@@ -1,0 +1,118 @@
+// Testdata for the secretflow analyzer. The leakCross* cases flow through
+// package secretflowdep and are caught only via cross-package facts.
+package secretflow
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"prg"
+	"secretflowdep"
+	"share"
+	"telemetry"
+	"transport"
+)
+
+func leakDirect(g *prg.PRG) {
+	m := g.Uint64()
+	fmt.Println(m) // want `secret share value flows into fmt.Println`
+}
+
+func leakFormatted(g *prg.PRG) {
+	s := fmt.Sprintf("mask=%d", g.Elem(0xFF))
+	log.Print(s) // want `secret share value flows into log.Print`
+}
+
+func leakTensorError(t share.Tensor) error {
+	return fmt.Errorf("bad share %v", t.Data) // want `secret share value flows into fmt.Errorf`
+}
+
+func leakErrorsNew(t share.Tensor) error {
+	return errors.New(fmt.Sprint(t.Data[0])) // want `secret share value flows into errors.New`
+}
+
+func leakSpanAttr(sp *telemetry.Span, t share.Tensor) {
+	sp.SetAttr("first", t.Data[0]) // want `secret share value flows into Span.SetAttr`
+}
+
+func leakCrossSource(g *prg.PRG) {
+	vals := secretflowdep.Mask(g, 4)
+	fmt.Println(vals[0]) // want `secret share value flows into fmt.Println`
+}
+
+func leakCrossSink(g *prg.PRG) {
+	secretflowdep.Debug(g.Uint64()) // want `secret share value flows into secretflowdep.Debug`
+}
+
+func leakCrossChain(g *prg.PRG) {
+	v := secretflowdep.Passthrough(g.Uint64())
+	fmt.Println(v) // want `secret share value flows into fmt.Println`
+}
+
+func leakCrossMut(g *prg.PRG) {
+	buf := make([]uint64, 8)
+	secretflowdep.MaskInto(g, buf)
+	fmt.Println(buf[0]) // want `secret share value flows into fmt.Println`
+}
+
+func leakCrossParamMut(t share.Tensor) {
+	sum := make([]uint64, len(t.Data))
+	secretflowdep.AddInto(sum, t.Data, t.Data)
+	fmt.Println(sum[0]) // want `secret share value flows into fmt.Println`
+}
+
+func okDeclassified(a, b share.Tensor) {
+	opened := share.Open(a, b)
+	//lint:declassify protocol output: the reconstructed logits belong to the user party
+	fmt.Println(opened)
+}
+
+func okLength(t share.Tensor) {
+	fmt.Println(len(t.Data)) // len launders: sizes are public protocol metadata
+}
+
+func okPublic(frames int) {
+	fmt.Printf("sent %d frames\n", frames)
+}
+
+func staleDeclassify(t share.Tensor) int {
+	//lint:declassify nothing secret happens below // want `launders nothing`
+	return len(t.Data)
+}
+
+// The generator is public seeded state; only its draws are secret.
+func okPRGValue(g *prg.PRG) {
+	f := g.Fork()
+	fmt.Printf("forked generator ready: %T\n", f)
+}
+
+// A non-carrier result comes back public: []int64 cannot hold ring words,
+// so the reveal boundary strips the masks' taint.
+func okRevealedInts(g *prg.PRG) {
+	ints := secretflowdep.Reveal(secretflowdep.Mask(g, 4))
+	fmt.Println(ints[0])
+}
+
+// Traffic counters are public metric metadata even inside a struct that
+// also holds share material; the share field itself still reports.
+type sessionState struct {
+	Shares []uint64
+	Online transport.Stats
+}
+
+func okTrafficMetrics(g *prg.PRG) {
+	s := sessionState{Shares: secretflowdep.Mask(g, 4), Online: transport.Stats{Rounds: 3}}
+	fmt.Printf("rounds=%d\n", s.Online.Rounds)
+	fmt.Println(s.Shares[0]) // want `secret share value flows into fmt.Println`
+}
+
+// Closure parameters are tracked like declared ones, so the reveal-helper
+// pattern keeps its declassify directive live.
+func okClosureReveal(a, b share.Tensor) {
+	finish := func(opened []uint64) {
+		//lint:declassify protocol output: the reconstructed logits belong to the user party
+		fmt.Println(opened)
+	}
+	finish(share.Open(a, b))
+}

@@ -1,0 +1,52 @@
+// Package secretflowdep is the dependency half of the secretflow fixture:
+// its taint summaries (source-producing results, sink-forwarding and
+// result-flowing parameters, caller-visible mutations) are exported as
+// facts and must be visible when the dependent package is analyzed.
+package secretflowdep
+
+import (
+	"fmt"
+
+	"prg"
+)
+
+// Mask draws n fresh mask elements: its result carries a secret created
+// inside (SourceResult fact).
+func Mask(g *prg.PRG, n int) []uint64 {
+	out := make([]uint64, n)
+	g.FillElems(out, 0xFFFF)
+	return out
+}
+
+// Debug forwards its argument to a fmt sink (ParamSink fact).
+func Debug(v uint64) {
+	fmt.Printf("debug: %d\n", v)
+}
+
+// Passthrough returns its argument unchanged (ParamResult fact).
+func Passthrough(v uint64) uint64 { return v }
+
+// MaskInto fills dst with fresh mask elements (SourceMut fact — the
+// caller's buffer is secret afterwards).
+func MaskInto(g *prg.PRG, dst []uint64) {
+	g.FillElems(dst, 0xFFFF)
+}
+
+// AddInto writes a+b element-wise into dst (ParamMut fact — dst inherits
+// the taint of a and b at every call site).
+func AddInto(dst, a, b []uint64) {
+	for i := range dst {
+		dst[i] = a[i] + b[i]
+	}
+}
+
+// Reveal converts ring words to signed plaintext. Its []int64 result is a
+// non-carrier type, so the taint of vals does not survive the return —
+// the boundary every reveal helper relies on.
+func Reveal(vals []uint64) []int64 {
+	out := make([]int64, len(vals))
+	for i, v := range vals {
+		out[i] = int64(v)
+	}
+	return out
+}

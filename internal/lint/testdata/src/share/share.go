@@ -1,0 +1,19 @@
+// Package share is a miniature mimic of aq2pnn/internal/share for
+// analyzer testdata (matched by the package base name and the Tensor type
+// name, which secretflow treats as inherently secret).
+package share
+
+// Tensor is one additive share of a secret tensor.
+type Tensor struct {
+	Mask uint64
+	Data []uint64
+}
+
+// Open reconstructs the secret from both shares.
+func Open(a, b Tensor) []uint64 {
+	out := make([]uint64, len(a.Data))
+	for i := range out {
+		out[i] = (a.Data[i] + b.Data[i]) & a.Mask
+	}
+	return out
+}

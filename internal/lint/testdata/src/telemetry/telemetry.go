@@ -6,10 +6,23 @@ package telemetry
 // SpanOption configures a started span.
 type SpanOption func()
 
+// Attr is one key/value span attribute.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// String builds a string attribute.
+func String(k, v string) Attr { return Attr{Key: k, Value: v} }
+
+// Int builds an integer attribute.
+func Int(k string, v int64) Attr { return Attr{Key: k, Value: v} }
+
 // Span is one started span.
 type Span struct{}
 
 func (s *Span) End()                                        {}
+func (s *Span) SetAttr(key string, value any)               {}
 func (s *Span) Child(name string, opts ...SpanOption) *Span { return &Span{} }
 
 // Tracer starts root spans.

@@ -11,6 +11,14 @@ type Conn interface {
 	Close() error
 }
 
+// Stats mirrors the traffic ledger: uint64 counters that are public
+// metric metadata by definition, never share words.
+type Stats struct {
+	BytesSent uint64
+	BytesRecv uint64
+	Rounds    uint64
+}
+
 func SendElems(c Conn, xs []uint64) error              { return c.Send(nil) }
 func RecvElems(c Conn, n int) ([]uint64, error)        { return nil, nil }
 func SendBytes(c Conn, p []byte) error                 { return c.Send(p) }

@@ -16,6 +16,9 @@
 package vetdriver
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"go/ast"
@@ -76,8 +79,12 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		case arg == "-flags" || arg == "--flags":
 			return printFlags(stdout)
 		case strings.HasPrefix(arg, "-V"):
-			// Version fingerprint for the build cache.
-			fmt.Fprintln(stdout, "aq2pnnlint version v1 (ring/secrecy/transport invariant suite)")
+			// Version fingerprint for the build cache. The go command keys
+			// cached vet results (diagnostics AND facts) on this line, so it
+			// must change whenever the tool's behaviour does: hash the tool
+			// binary itself. A constant string here pins stale findings
+			// forever across analyzer rebuilds.
+			fmt.Fprintf(stdout, "aq2pnnlint version v1 build %s\n", selfHash())
 			return 0
 		case strings.HasSuffix(arg, ".cfg"):
 			cfgPath = arg
@@ -166,30 +173,61 @@ func runUnit(cfgPath string, selected map[string]bool, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "aq2pnnlint: parsing config %s: %v\n", cfgPath, err)
 		return 2
 	}
-	// The go command caches our (empty) facts file; writing it is also
-	// what tells it the run happened at all.
+	// Write an empty facts file first: its existence is what tells the go
+	// command the run happened; real facts overwrite it on success below.
 	if cfg.VetxOutput != "" {
 		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
 			fmt.Fprintf(stderr, "aq2pnnlint: writing vetx output: %v\n", err)
 			return 2
 		}
 	}
+	// Merge the facts every dependency exported through its own vetx file.
+	store := loadDepFacts(&cfg)
 	if cfg.VetxOnly {
-		// Dependency-only run: the suite keeps no cross-package facts, so
-		// there is nothing to compute.
-		return 0
+		// Dependency-only unit: compute and export facts, no diagnostics.
+		// Standard-library units carry no module secrets — their behaviour
+		// (fmt, log, os sinks; stdlib propagators) is hard-coded in the
+		// analyzers — so skip the type-check and leave the vetx empty.
+		if !inModule(&cfg) {
+			return 0
+		}
+		fas := factAnalyzers(selected)
+		if len(fas) == 0 {
+			return 0
+		}
+		if _, err := analyzeUnit(&cfg, nil, fas, store); err != nil {
+			// Facts are best effort on dependency units: a unit that fails
+			// to type-check degrades to "no facts", mirroring
+			// SucceedOnTypecheckFailure.
+			return 0
+		}
+		return writeVetx(&cfg, store, stderr)
 	}
 	analyzers := lint.AnalyzersFor(cfg.ImportPath, selected)
-	if len(analyzers) == 0 {
+	// Fact-producing analyzers outside this package's diagnostic scope
+	// still summarize it for dependents: this unit's vetx is reused as a
+	// dependency artifact when another package imports this one.
+	var extra []*analysis.Analyzer
+	if inModule(&cfg) {
+		for _, a := range factAnalyzers(selected) {
+			if !containsAnalyzer(analyzers, a) {
+				extra = append(extra, a)
+			}
+		}
+	}
+	if len(analyzers) == 0 && len(extra) == 0 {
 		return 0
 	}
-	diags, err := analyzeUnit(&cfg, analyzers)
+	diags, err := analyzeUnit(&cfg, analyzers, extra, store)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
 			return 0
 		}
 		fmt.Fprintf(stderr, "aq2pnnlint: %s: %v\n", cfg.ImportPath, err)
 		return 1
+	}
+	if code := writeVetx(&cfg, store, stderr); code != 0 {
+		return code
 	}
 	for _, d := range diags.list {
 		fmt.Fprintf(stderr, "%s: %s: %s\n", diags.fset.Position(d.Pos), d.Rule, d.Message)
@@ -200,12 +238,87 @@ func runUnit(cfgPath string, selected map[string]bool, stderr io.Writer) int {
 	return 0
 }
 
+// inModule reports whether the unit belongs to the module under analysis
+// (as opposed to a standard-library or third-party dependency unit).
+func inModule(cfg *Config) bool {
+	mod := cfg.ModulePath
+	if mod == "" {
+		mod = "aq2pnn"
+	}
+	p := lint.NormalizeImportPath(cfg.ImportPath)
+	return p == mod || strings.HasPrefix(p, mod+"/")
+}
+
+// factAnalyzers returns the suite analyzers that export facts, honouring
+// an explicit command-line selection.
+func factAnalyzers(selected map[string]bool) []*analysis.Analyzer {
+	var out []*analysis.Analyzer
+	for _, a := range lint.Suite() {
+		if len(a.FactTypes) == 0 {
+			continue
+		}
+		if selected != nil && !selected[a.Name] {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+func containsAnalyzer(as []*analysis.Analyzer, a *analysis.Analyzer) bool {
+	for _, x := range as {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+// loadDepFacts merges every dependency's vetx stream into a fresh store.
+// Empty files (non-module units, older tool versions) and undecodable
+// streams degrade to "no facts" — the analysis stays sound, just less
+// interprocedural.
+func loadDepFacts(cfg *Config) *analysis.FactStore {
+	store := analysis.NewFactStore()
+	protos := analysis.FactPrototypes(lint.Suite())
+	for _, path := range cfg.PackageVetx {
+		data, err := os.ReadFile(path)
+		if err != nil || len(data) == 0 {
+			continue
+		}
+		_ = store.Decode(bytes.NewReader(data), protos)
+	}
+	return store
+}
+
+// writeVetx serializes the fact store over the placeholder written at the
+// start of the unit.
+func writeVetx(cfg *Config, store *analysis.FactStore, stderr io.Writer) int {
+	if cfg.VetxOutput == "" {
+		return 0
+	}
+	var buf bytes.Buffer
+	if err := store.Encode(&buf); err != nil {
+		fmt.Fprintf(stderr, "aq2pnnlint: encoding facts: %v\n", err)
+		return 1
+	}
+	if err := os.WriteFile(cfg.VetxOutput, buf.Bytes(), 0o666); err != nil {
+		fmt.Fprintf(stderr, "aq2pnnlint: writing vetx output: %v\n", err)
+		return 2
+	}
+	return 0
+}
+
 type unitDiags struct {
 	fset *token.FileSet
 	list []analysis.Diagnostic
 }
 
-func analyzeUnit(cfg *Config, analyzers []*analysis.Analyzer) (unitDiags, error) {
+// analyzeUnit parses and type-checks the unit once, runs factOnly
+// analyzers in facts-only mode (summaries for dependents, diagnostics
+// discarded), then runs the scoped analyzers for diagnostics. Both share
+// store, so facts flow dependency → dependent and facts-only → scoped.
+func analyzeUnit(cfg *Config, analyzers, factOnly []*analysis.Analyzer, store *analysis.FactStore) (unitDiags, error) {
 	fset := token.NewFileSet()
 	var files []*ast.File
 	for _, name := range cfg.GoFiles {
@@ -231,7 +344,25 @@ func analyzeUnit(cfg *Config, analyzers []*analysis.Analyzer) (unitDiags, error)
 	if err != nil {
 		return unitDiags{}, err
 	}
-	list, err := analysis.Run(fset, files, pkg, info, analyzers)
+	// The full suite vocabulary, so a //lint:allow naming an out-of-scope
+	// rule is recognised rather than reported as unknown.
+	var known []string
+	for _, a := range lint.Suite() {
+		known = append(known, a.Name)
+	}
+	if len(factOnly) > 0 {
+		if _, err := analysis.RunWithOptions(fset, files, pkg, info, factOnly, analysis.RunOptions{
+			KnownRules: known, Facts: store, FactsOnly: true,
+		}); err != nil {
+			return unitDiags{}, err
+		}
+	}
+	if len(analyzers) == 0 {
+		return unitDiags{fset: fset}, nil
+	}
+	list, err := analysis.RunWithOptions(fset, files, pkg, info, analyzers, analysis.RunOptions{
+		KnownRules: known, Facts: store,
+	})
 	if err != nil {
 		return unitDiags{}, err
 	}
@@ -273,4 +404,24 @@ func (e *exportDataImporter) Import(path string) (*types.Package, error) {
 		path = mapped
 	}
 	return e.gc.Import(path)
+}
+
+// selfHash fingerprints the running tool binary for the -V cache key.
+// "unknown" (cache-hostile only in the sense of being constant) is the
+// fallback when the executable cannot be read; correctness over speed.
+func selfHash() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return hex.EncodeToString(h.Sum(nil)[:12])
 }

@@ -202,8 +202,10 @@ func FlowRecv(c transport.Conn, rng *prg.PRG, n int, choices []int, msgLen int) 
 	rjs := make([]*big.Int, len(choices))
 	rs := make([]byte, 0, eb*len(choices))
 	for k, ch := range choices {
+		// Report the position only: the choice value is the receiver's
+		// secret selection and must not surface in error text.
 		if ch < 0 || ch >= n {
-			return nil, fmt.Errorf("ot: choice %d outside [0,%d)", ch, n)
+			return nil, fmt.Errorf("ot: choice at index %d outside [0,%d)", k, n)
 		}
 		rj := grp.RandScalar(rng)
 		rjs[k] = rj

@@ -75,7 +75,7 @@ func SenderTokens(gaLow []uint64, widths []uint, flip uint64) [][]byte {
 // non-EQ token decides. It returns 1 when that token is LT. The sender's
 // matrix construction guarantees the last group never yields EQ.
 func ScanTokens(tokens []byte) (uint64, error) {
-	for _, tk := range tokens {
+	for i, tk := range tokens {
 		switch tk {
 		case TokenLT:
 			return 1, nil
@@ -84,7 +84,9 @@ func ScanTokens(tokens []byte) (uint64, error) {
 		case TokenEQ:
 			continue
 		default:
-			return 0, fmt.Errorf("scm: invalid token %d", tk)
+			// Report the position only: the token stream is derived from
+			// masked comparison digits and stays out of error text.
+			return 0, fmt.Errorf("scm: invalid token at index %d", i)
 		}
 	}
 	return 0, fmt.Errorf("scm: comparison did not terminate (all tokens EQ)")
