@@ -4,7 +4,7 @@ GO ?= go
 # sources are unchanged, so repeat `make lint` runs pay only for go vet.
 LINTBIN ?= bin/aq2pnnlint
 
-.PHONY: build test race vet lint lintbin bench bench-matmul bench-batch bench-session chaos fuzz ci
+.PHONY: build test race vet lint lintbin bench bench-matmul bench-batch bench-session bench-preproc chaos fuzz ci
 
 # Per-target budget for `make fuzz`; CI uses 30s per target on PRs.
 FUZZTIME ?= 60s
@@ -48,7 +48,15 @@ bench-session:
 	$(GO) run ./cmd/sessionbench -model micro -n 8 -trace session-trace.json
 	$(GO) run ./cmd/tracecheck session-trace.json
 
-bench: bench-matmul bench-batch bench-session
+# Warm-vs-cold comparison of the asynchronous preprocessing plane
+# (docs/preprocessing.md): fails unless the warm online p50 is strictly
+# below the cold one, then re-verifies on the warm trace that no triple
+# generation ran under a steady-state infer root. Refreshes BENCH_8.json.
+bench-preproc:
+	$(GO) run ./cmd/sessionbench -model micro -n 8 -bench-out BENCH_8.json -trace preproc-trace.json
+	$(GO) run ./cmd/tracecheck preproc-trace.json
+
+bench: bench-matmul bench-batch bench-session bench-preproc
 
 # Deterministic chaos harness (docs/robustness.md): the sampled fault
 # sweep under the race detector, then the exhaustive micro sweep and the

@@ -14,7 +14,10 @@
 // artifact rather than in-process; and on session traces (sessionbench
 // -trace, party -trace), the session protocol's structural contract: no
 // setup span under a steady-state "*.session.infer" root, weight-share
-// exchanges only under open/setup roots.
+// exchanges only under open/setup roots, fill-subprotocol spans only
+// under "*.preproc.fill" roots, and — when the trace shows an active
+// preprocessing plane — no triple generation under any infer root: a
+// warm steady-state inference must consume precomputed material only.
 package main
 
 import (
@@ -190,6 +193,17 @@ func check(path string) error {
 		}
 		return e
 	}
+	// The preprocessing plane's trace contract rides the same walk. A
+	// "*.preproc.fill" root is the plane's unit of work; its presence means
+	// the session ran warm, and a warm steady-state inference must consume
+	// precomputed material only — any "triple.gilboa" generation span under
+	// an infer root is preprocessing work leaking back onto the online path.
+	fillRoots := 0
+	for _, root := range roots {
+		if strings.HasSuffix(root.Name, ".preproc.fill") {
+			fillRoots++
+		}
+	}
 	sessionSpans := 0
 	for _, e := range tf.TraceEvents {
 		if e.Ph != "X" {
@@ -205,10 +219,19 @@ func check(path string) error {
 		if e.Name == "exchange.shares" && !openRoots[root.Name] {
 			return fmt.Errorf("weight-share exchange under root %q, want one of the open/setup roots", root.Name)
 		}
+		if strings.HasPrefix(e.Name, "preproc.") && !strings.HasSuffix(root.Name, ".preproc.fill") {
+			return fmt.Errorf("fill-subprotocol span %q under root %q, want a *.preproc.fill root", e.Name, root.Name)
+		}
+		if fillRoots > 0 && e.Name == "triple.gilboa" && strings.HasSuffix(root.Name, ".session.infer") {
+			return fmt.Errorf("triple generation span under steady-state root %q: a warm session must consume banked material, not generate inline", root.Name)
+		}
 	}
 	mode := "one-shot"
 	if sessionSpans > 0 {
 		mode = fmt.Sprintf("session (%d session spans)", sessionSpans)
+		if fillRoots > 0 {
+			mode += fmt.Sprintf(", warm (%d fill roots)", fillRoots)
+		}
 	}
 	fmt.Printf("%s: ok (%d spans, %d lanes, attribution verified, %s)\n", path, spans, lanes, mode)
 	return nil

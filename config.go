@@ -37,6 +37,11 @@ type ComputeConfig struct {
 	// traffic. Export with WriteChromeTrace or TraceTable. A nil tracer
 	// costs one branch per instrumentation point and never changes results.
 	Trace *Tracer
+	// FillWorkers caps the preprocessing filler's local compute parallelism
+	// independently of Workers, so background fill does not steal the
+	// online path's CPUs; 0 uses all CPUs. Ignored unless BankDepth
+	// enables the preprocessing plane.
+	FillWorkers uint
 }
 
 // NetConfig holds the session-level knobs of the networked entrypoints:
@@ -103,6 +108,17 @@ type NetConfig struct {
 	// endpoint exposes operational detail, so reaching it from another
 	// machine requires an explicit interface address.
 	MetricsAddr string
+	// BankDepth enables the asynchronous preprocessing plane on persistent
+	// sessions (Dial/OpenSession): background fillers pre-generate up to
+	// BankDepth inference kits over a dedicated fill stream multiplexed
+	// onto the session connection, so warm steady-state inferences run no
+	// triple generation online. 0 disables the plane. Warm and cold
+	// inferences reveal byte-identical logits.
+	BankDepth int
+	// FillWatermark is how many inferences ahead of consumption the
+	// preprocessing filler runs; 0 (or anything outside [1, BankDepth])
+	// runs the full bank depth ahead.
+	FillWatermark uint
 }
 
 // InferenceConfig controls every secure-inference entrypoint: local
@@ -133,6 +149,7 @@ func networkConfig(cfg InferenceConfig) engine.Options {
 		RevealClassOnly: cfg.RevealClassOnly,
 		Workers:         cfg.Workers,
 		Trace:           cfg.Trace,
+		FillWorkers:     cfg.FillWorkers,
 		// NetConfig → engine.Options.
 		Retries:               cfg.Retries,
 		RetryBase:             cfg.RetryBase,
@@ -143,6 +160,8 @@ func networkConfig(cfg InferenceConfig) engine.Options {
 		MemBudget:             cfg.MemBudget,
 		HandshakeTimeout:      cfg.HandshakeTimeout,
 		SessionCache:          cfg.SessionCache,
+		BankDepth:             cfg.BankDepth,
+		FillWatermark:         cfg.FillWatermark,
 	}
 	if cfg.DemoGroup {
 		nc.Group = ot.TestGroup()
@@ -163,6 +182,7 @@ type computeConfigMirror struct {
 	RevealClassOnly bool
 	Workers         uint
 	Trace           *telemetry.Tracer
+	FillWorkers     uint
 }
 
 type netConfigMirror struct {
@@ -179,6 +199,8 @@ type netConfigMirror struct {
 	HandshakeTimeout      time.Duration
 	SessionCache          int
 	MetricsAddr           string
+	BankDepth             int
+	FillWatermark         uint
 }
 
 type engineOptionsMirror struct {
@@ -200,6 +222,9 @@ type engineOptionsMirror struct {
 	MemBudget             uint64
 	HandshakeTimeout      time.Duration
 	SessionCache          int
+	BankDepth             int
+	FillWorkers           uint
+	FillWatermark         uint
 }
 
 var (

@@ -112,6 +112,23 @@ type Options struct {
 	// transport fault, waiting for a token re-attach). 0 selects
 	// DefaultSessionCache; negative disables resumption caching.
 	SessionCache int
+	// BankDepth enables the asynchronous preprocessing plane on persistent
+	// sessions: a dedicated fill stream is multiplexed onto the session
+	// connection and background fillers pre-generate up to BankDepth
+	// inference kits (one triple per linear layer each) ahead of demand, so
+	// warm steady-state inferences run no triple generation online. 0 (the
+	// default) disables the plane; values above preproc.MaxDepth clamp.
+	// Warm and cold inferences reveal byte-identical logits.
+	BankDepth int
+	// FillWorkers caps the filler's local compute parallelism (its Gilboa
+	// GEMMs), independently of Workers so background fill does not steal
+	// the online path's CPUs. 0 uses GOMAXPROCS. Ignored when BankDepth
+	// is 0.
+	FillWorkers uint
+	// FillWatermark is how many inferences ahead of consumption the filler
+	// runs (the fill-ahead watermark). 0 or anything outside [1, BankDepth]
+	// selects BankDepth. Ignored when BankDepth is 0.
+	FillWatermark uint
 }
 
 // DefaultHandshakeTimeout bounds the hello read when

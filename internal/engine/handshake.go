@@ -28,8 +28,10 @@ import (
 // subheaders to the setup exchange and the busy-reject frame; generation
 // 3 added the persistent-session mode — attach/resume frames, per-seq
 // inference requests — plus in-hello negotiation of the ABReLU ring width
-// and the class-only reveal).
-const ProtocolVersion = 3
+// and the class-only reveal; generation 4 added the preprocessing plane —
+// the multiplexed fill stream, the demand/ack subprotocol and the warm
+// inference request).
+const ProtocolVersion = 4
 
 // helloMagic opens every hello frame. A peer speaking the pre-handshake
 // protocol (or not speaking this protocol at all) sends something else as
@@ -71,6 +73,13 @@ const (
 	// exchange after the hello, then a stream of per-seq inference
 	// requests over the prepared state. The serving path mirrors it.
 	flagSession = 1 << 3
+	// flagPreproc requests the asynchronous preprocessing plane on top of
+	// a persistent session: immediately after the attach exchange both
+	// parties multiplex the connection into a main stream and a
+	// preprocessing stream, and paired background fillers pre-generate
+	// each inference's triple kits over the latter (internal/preproc).
+	// The serving path adopts the client's choice, like flagSession.
+	flagPreproc = 1 << 4
 )
 
 // Handshake roles.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"aq2pnn/internal/nn"
+	"aq2pnn/internal/preproc"
 	"aq2pnn/internal/prg"
 	"aq2pnn/internal/ring"
 	"aq2pnn/internal/secure"
@@ -44,7 +45,13 @@ var (
 	attachReqMagic  = [4]byte{'A', 'Q', '2', 'R'}
 	attachRespMagic = [4]byte{'A', 'Q', '2', 'A'}
 	inferReqMagic   = [4]byte{'A', 'Q', '2', 'I'}
-	endMagic        = [4]byte{'A', 'Q', '2', 'E'}
+	// warmReqMagic requests an inference served from the preprocessing
+	// plane: both parties consume seq's precomputed kit instead of
+	// generating triples inline. The client sends it only for kits its
+	// bank committed, which the fill subprotocol's ack ordering guarantees
+	// the provider's store also holds.
+	warmReqMagic = [4]byte{'A', 'Q', '2', 'W'}
+	endMagic     = [4]byte{'A', 'Q', '2', 'E'}
 )
 
 const (
@@ -89,9 +96,13 @@ func decodeAttach(magic [4]byte, p []byte) (attachFrame, error) {
 	return f, nil
 }
 
-func encodeInferReq(seq uint32) []byte {
+func encodeInferReq(seq uint32, warm bool) []byte {
 	p := make([]byte, inferReqLen)
-	copy(p, inferReqMagic[:])
+	if warm {
+		copy(p, warmReqMagic[:])
+	} else {
+		copy(p, inferReqMagic[:])
+	}
 	binary.LittleEndian.PutUint32(p[4:], seq)
 	return p
 }
@@ -103,20 +114,23 @@ func encodeEnd() []byte {
 }
 
 // recvSessionReq reads the next steady-state frame on the provider side:
-// an inference request (end=false, with its seq) or the end frame
-// (end=true). Anything else is a typed wire violation.
-func recvSessionReq(conn transport.Conn) (seq uint32, end bool, err error) {
+// an inference request (end=false, with its seq and whether it is warm —
+// served from the preprocessing plane) or the end frame (end=true).
+// Anything else is a typed wire violation.
+func recvSessionReq(conn transport.Conn) (seq uint32, warm, end bool, err error) {
 	p, err := conn.Recv()
 	if err != nil {
-		return 0, false, err
+		return 0, false, false, err
 	}
 	switch {
 	case len(p) == inferReqLen && [4]byte(p[:4]) == inferReqMagic:
-		return binary.LittleEndian.Uint32(p[4:]), false, nil
+		return binary.LittleEndian.Uint32(p[4:]), false, false, nil
+	case len(p) == inferReqLen && [4]byte(p[:4]) == warmReqMagic:
+		return binary.LittleEndian.Uint32(p[4:]), true, false, nil
 	case len(p) == endLen && [4]byte(p[:4]) == endMagic:
-		return 0, true, nil
+		return 0, false, true, nil
 	}
-	return 0, false, wireError("session request frame length", len(p), inferReqLen)
+	return 0, false, false, wireError("session request frame length", len(p), inferReqLen)
 }
 
 // Seed-derivation salts. Every per-session and per-inference PRG stream is
@@ -199,23 +213,45 @@ func sessionFamSeed(cfg Options, party int, token SessionToken) uint64 {
 	return mix64(cfg.Seed ^ famSeedSalt ^ binary.LittleEndian.Uint64(token[:8]) + uint64(party)*7919)
 }
 
+// inferFamSeed derives inference seq's per-layer family stream for one
+// party from the already-derived per-inference options. Both the inline
+// (cold) bind and the preprocessing plane's kit generation use it, which
+// is what makes a precomputed kit bit-identical to the triples the cold
+// path would generate for the same seq.
+func inferFamSeed(icfg Options, party int) uint64 {
+	return mix64(icfg.Seed ^ famSeedSalt + uint64(party)*7919)
+}
+
 // bindInfer builds the executor for one inference: a fresh deterministic
 // context over the live connection (new OT endpoint — its base OTs and
 // IKNP setup belong to this inference's own transcript, as in the one-shot
 // online phase) with the session's prepared weights bound through fixed-B
 // families. Both parties derive everything from (cfg.Seed, seq), so
 // re-running a seq after a fault replays the identical transcript.
-func (st *sessionState) bindInfer(conn transport.Conn, party int, cfg Options, seq uint32) (*secure.Context, *Party) {
+//
+// kit, when non-nil, is seq's precomputed material from the preprocessing
+// plane: linear nodes it covers bind a consumed-once precomputed family
+// instead of a live Gilboa one, so the online transcript carries no
+// triple generation. The per-node family stream is forked either way —
+// the fork positions stay identical between warm and cold binds, which
+// (together with the kit itself being generated from inferFamSeed) keeps
+// warm and cold logits byte-identical.
+func (st *sessionState) bindInfer(conn transport.Conn, party int, cfg Options, seq uint32, kit *preproc.Kit) (*secure.Context, *Party) {
 	icfg := inferOptions(cfg, seq)
 	ctx := NewNetworkContext(party, conn, icfg)
-	famRng := prg.NewSeeded(mix64(icfg.Seed ^ famSeedSalt + uint64(party)*7919))
+	famRng := prg.NewSeeded(inferFamSeed(icfg, party))
 	fams := map[int]triple.Family{}
 	for i, node := range st.model.Nodes {
 		k, n, ok := LinearDims(node)
 		if !ok {
 			continue
 		}
-		fams[i] = triple.NewGilboaFamilyFixed(ctx.OT, famRng.Fork(), party, st.r, k, n, st.bShares[i])
+		frng := famRng.Fork()
+		if kit != nil && kit.Mats[i] != nil {
+			fams[i] = triple.NewMatFamily(kit.Mats[i])
+			continue
+		}
+		fams[i] = triple.NewGilboaFamilyFixed(ctx.OT, frng, party, st.r, k, n, st.bShares[i])
 	}
 	p := &Party{Ctx: ctx, Model: st.model, Weights: st.weights, R: st.r,
 		ReLURing: reluRingFor(cfg, st.r), Pool: ctx.Pool}

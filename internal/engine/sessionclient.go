@@ -7,6 +7,8 @@ import (
 	"time"
 
 	"aq2pnn/internal/nn"
+	"aq2pnn/internal/parallel"
+	"aq2pnn/internal/preproc"
 	"aq2pnn/internal/prg"
 	"aq2pnn/internal/ring"
 	"aq2pnn/internal/share"
@@ -46,6 +48,12 @@ type Session struct {
 	seq    uint32
 	setup  transport.Stats
 	closed bool
+	// Preprocessing plane (BankDepth > 0): the fill substream, the kit
+	// bank the background filler commits into, and the filler's exit
+	// signal. All nil/zero when the plane is off.
+	pconn    transport.Conn
+	bank     *preproc.Bank
+	fillDone chan struct{}
 }
 
 // OpenSession establishes a persistent session for the model: handshake,
@@ -111,6 +119,9 @@ func (s *Session) establish(ctx context.Context, resume bool) error {
 	}()
 	h := helloFor(roleUser, s.m, s.r, cfg)
 	h.Flags |= flagSession
+	if cfg.preprocOn() {
+		h.Flags |= flagPreproc
+	}
 	if err := exchangeHello(conn, h, cfg.handshakeTimeout()); err != nil {
 		return err
 	}
@@ -126,6 +137,15 @@ func (s *Session) establish(ctx context.Context, resume bool) error {
 		return err
 	}
 	s.token = resp.token
+	// With the preprocessing plane negotiated, every frame past the attach
+	// exchange rides the mux: the setup and steady-state protocol on the
+	// main substream, the fill subprotocol on the preprocessing substream.
+	// The provider installs its mux at the same point.
+	raw := conn
+	var pconn transport.Conn
+	if cfg.preprocOn() {
+		conn, pconn = transport.NewMux(conn)
+	}
 	if resp.flag && resume {
 		// Re-attached: the provider restored our parked peer state, and
 		// our own prepared state is still in hand — no setup traffic.
@@ -157,11 +177,62 @@ func (s *Session) establish(ctx context.Context, resume bool) error {
 		}
 		s.st = st
 	}
-	s.setup.Add(conn.Stats())
+	// Setup traffic is measured on the raw dialed connection (it includes
+	// the hello/attach frames and, under the mux, the stream prefixes);
+	// online traffic is measured on the main substream, whose per-stream
+	// accounting excludes the fill subprotocol running beside it.
+	s.setup.Add(raw.Stats())
+	raw.ResetStats()
 	conn.ResetStats()
 	s.conn = conn
 	ok = true
+	if pconn != nil {
+		s.startFill(pconn)
+	}
 	return nil
+}
+
+// startFill launches the background filler over the preprocessing
+// substream: a bank sized by the knobs, starting at the next seq this
+// session will run, and a generator replaying the cold path's per-seq
+// derivations (see preprocGen). The filler owns pconn; teardownPreproc
+// joins it.
+func (s *Session) startFill(pconn transport.Conn) {
+	cfg := s.c.cfg
+	pc := wrapPreprocConn(0, pconn)
+	bank := preproc.NewBank(s.seq, cfg.BankDepth, cfg.fillWatermark())
+	gen := preprocGen(pc, 0, cfg, s.r, preprocLayers(s.m), s.st.bShares, parallel.New(cfg.FillWorkers))
+	done := make(chan struct{})
+	s.pconn, s.bank, s.fillDone = pc, bank, done
+	go func() {
+		defer close(done)
+		// A filler failure only degrades: it marks the bank dead, after
+		// which every Take misses and the online path generates inline.
+		_ = preproc.FillClient(preproc.Filler{
+			Conn: pc, Trace: cfg.Trace, Root: "user.preproc.fill", Gen: gen,
+		}, bank)
+	}()
+}
+
+// teardownPreproc stops the fill plane and joins the filler: the bank
+// stops handing out seqs, the substream closes (the close control lets
+// the provider's filler exit cleanly; a filler blocked mid-exchange is
+// unblocked by the peer's symmetric close or by closeMain below), and the
+// filler goroutine is awaited — no leak under any exit path. closeMain
+// additionally tears down the whole mux first, which force-unblocks a
+// filler parked on a connection that will make no more progress (the
+// fault path, where the main conn is being abandoned anyway).
+func (s *Session) teardownPreproc(closeMain bool) {
+	if s.fillDone == nil {
+		return
+	}
+	s.bank.Stop()
+	if closeMain && s.conn != nil {
+		s.conn.Close()
+	}
+	s.pconn.Close()
+	<-s.fillDone
+	s.pconn, s.bank, s.fillDone = nil, nil, nil
 }
 
 // Infer runs one secure inference over the session. A transiently failed
@@ -188,8 +259,11 @@ func (s *Session) Infer(ctx context.Context, x []int64) (*Result, error) {
 		}
 		r, err := s.inferAttempt(x)
 		if err != nil {
-			s.conn.Close()
-			s.conn = nil
+			s.teardownPreproc(true)
+			if s.conn != nil {
+				s.conn.Close()
+				s.conn = nil
+			}
 			return err
 		}
 		res = r
@@ -224,8 +298,19 @@ func (s *Session) inferAttempt(x []int64) (*Result, error) {
 	if cfg.SessionTimeout > 0 && transport.SetRecvDeadline(conn, time.Now().Add(cfg.SessionTimeout)) {
 		defer transport.SetRecvDeadline(conn, time.Time{})
 	}
+	// The warm path consumes seq's precomputed kit; a missed Take (the
+	// plane died, or was never on) degrades to inline generation with
+	// byte-identical logits. The kit is taken before the infer root opens
+	// so the fill wait, when any, is not attributed to the online span.
+	var kit *preproc.Kit
+	if s.bank != nil {
+		kit = s.bank.Take(seq)
+		if kit == nil {
+			telemetry.Count("aq2pnn_preproc_starvation_total", 1)
+		}
+	}
 	icfg := inferOptions(cfg, seq)
-	nctx, p := s.st.bindInfer(conn, 0, cfg, seq)
+	nctx, p := s.st.bindInfer(conn, 0, cfg, seq, kit)
 	var profile []OpProfile
 	p.Profile = &profile
 	var logits []int64
@@ -238,7 +323,7 @@ func (s *Session) inferAttempt(x []int64) (*Result, error) {
 		if err := func() error {
 			isp := nctx.Trace.Enter("input.share")
 			defer nctx.Trace.Exit(isp)
-			if err := conn.Send(encodeInferReq(seq)); err != nil {
+			if err := conn.Send(encodeInferReq(seq, kit != nil)); err != nil {
 				return fmt.Errorf("sending inference request: %w", err)
 			}
 			// The input split PRG derives from the per-inference seed, so a
@@ -281,11 +366,47 @@ func (s *Session) Close() error {
 	if s.conn == nil {
 		return nil
 	}
+	// Stop the fill plane first: the filler drains its in-flight exchange
+	// (or fails fast on the closed substream) before the end frame tells
+	// the provider to drop the session.
+	s.teardownPreproc(false)
 	//lint:allow sendcheck best-effort end frame on close; a peer that already hung up simply misses it
 	_ = s.conn.Send(encodeEnd())
 	err := s.conn.Close()
 	s.conn = nil
 	return err
+}
+
+// WarmupPreproc blocks until the preprocessing bank holds at least n kits
+// (clamped to the fill-ahead watermark) and reports whether the level was
+// reached — false when the plane is off or died first. Benchmarks use it
+// to move the initial fill wait off the measured online path.
+func (s *Session) WarmupPreproc(n int) bool {
+	if s.bank == nil {
+		return false
+	}
+	return s.bank.WaitFill(n)
+}
+
+// DrainPreproc quiesces the fill plane without discarding what it
+// produced: the filler is stopped and joined and the fill substream
+// closes, but the kits already banked keep serving subsequent inferences,
+// which degrade to inline generation — bit-identically — once the bank
+// runs dry. Use it before a latency-critical stretch that should consume,
+// not generate; benchmarks use it to measure warm online latency with no
+// background fill competing for the same cores. Reports whether a live
+// plane was drained. A faulted-and-resumed session restarts a fresh
+// plane, discarding the drained bank's leftovers.
+func (s *Session) DrainPreproc() bool {
+	if s.fillDone == nil {
+		return false
+	}
+	// teardownPreproc forgets the bank along with the filler; a drain
+	// keeps it, stopped, so Take serves the banked kits until they run out.
+	bank := s.bank
+	s.teardownPreproc(false)
+	s.bank = bank
+	return true
 }
 
 // SetupStats reports the session's cumulative setup traffic: the open

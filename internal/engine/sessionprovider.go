@@ -6,6 +6,8 @@ import (
 	"time"
 
 	"aq2pnn/internal/nn"
+	"aq2pnn/internal/parallel"
+	"aq2pnn/internal/preproc"
 	"aq2pnn/internal/ring"
 	"aq2pnn/internal/telemetry"
 	"aq2pnn/internal/transport"
@@ -39,7 +41,7 @@ func provideConn(conn transport.Conn, reg *Registry, cfg Options) error {
 	var mine sessionHello
 	if m != nil {
 		mine = helloFor(roleProvider, m, scfg.Carrier(m), scfg)
-		mine.Flags |= peer.Flags & flagSession
+		mine.Flags |= peer.Flags & (flagSession | flagPreproc)
 	} else {
 		// Unknown model: answer with the peer's own parameters under a
 		// zero fingerprint, so the client fails with the same typed
@@ -59,7 +61,7 @@ func provideConn(conn transport.Conn, reg *Registry, cfg Options) error {
 		return err
 	}
 	if peer.Flags&flagSession != 0 {
-		return provideSession(conn, reg, m, scfg)
+		return provideSession(conn, reg, m, scfg, peer.Flags&flagPreproc != 0)
 	}
 	return runProvider(conn, m, scfg.Carrier(m), scfg, nil)
 }
@@ -68,7 +70,11 @@ func provideConn(conn transport.Conn, reg *Registry, cfg Options) error {
 // attach/resume exchange, at most one setup phase, then the steady-state
 // inference loop. On a transport fault past setup the prepared state is
 // parked under the session token so the client's re-attach skips setup.
-func provideSession(conn transport.Conn, reg *Registry, m *nn.Model, cfg Options) error {
+// With withPreproc (the client's flagPreproc, adopted) the connection is
+// multiplexed after the attach exchange and a background filler serves
+// the fill subprotocol, committing each demanded seq's kit to a store the
+// warm inference requests consume from.
+func provideSession(conn transport.Conn, reg *Registry, m *nn.Model, cfg Options, withPreproc bool) error {
 	r := cfg.Carrier(m)
 	frame, err := conn.Recv()
 	if err != nil {
@@ -95,17 +101,52 @@ func provideSession(conn transport.Conn, reg *Registry, m *nn.Model, cfg Options
 	if err := conn.Send(encodeAttach(attachRespMagic, attachFrame{flag: resumed, token: token})); err != nil {
 		return fmt.Errorf("engine: sending session attach: %w", err)
 	}
+	var pconn transport.Conn
+	if withPreproc {
+		// Mirror of the client's mux install point: everything past the
+		// attach exchange rides the mux.
+		conn, pconn = transport.NewMux(conn)
+	}
 	if !resumed {
 		st, err = providerOpen(conn, reg, m, r, cfg, token)
 		if err != nil {
 			return err
 		}
 	}
+	var store *preproc.Store
+	if pconn != nil {
+		pc := wrapPreprocConn(1, pconn)
+		// The store cap is the structural bound (MaxPending), not the
+		// provider's own bank-depth knob: pacing is the client's job (its
+		// watermark), the cap only defends against a client that demands
+		// without consuming.
+		store = preproc.NewStore(preproc.MaxDepth)
+		gen := preprocGen(pc, 1, cfg, r, preprocLayers(m), st.bShares, parallel.New(cfg.FillWorkers))
+		fillDone := make(chan struct{})
+		go func() {
+			defer close(fillDone)
+			// Filler death only degrades the plane: the client's side dies
+			// symmetrically (the substream closes) and falls back to cold
+			// inline generation on the main stream.
+			_ = preproc.FillProvider(preproc.Filler{
+				Conn: pc, Trace: cfg.Trace, Root: "provider.preproc.fill", Gen: gen,
+			}, store)
+		}()
+		defer func() {
+			// Tear the whole mux down before joining the filler: a filler
+			// parked mid-read on a peer that will make no more progress
+			// (fault or hostile stall) is unblocked by the inner close, so
+			// the session goroutine never leaks.
+			conn.Close()
+			pc.Close()
+			<-fillDone
+		}()
+	}
 	// Steady state: each inference request binds a fresh deterministic
 	// context to the prepared state. Nothing from the setup phase crosses
 	// the wire again.
 	for {
-		seq, end, err := recvSessionReq(conn)
+		seq, warm, end, err := recvSessionReq(conn)
 		if err != nil {
 			if transport.IsTransient(err) {
 				reg.park(token, st)
@@ -115,7 +156,19 @@ func provideSession(conn transport.Conn, reg *Registry, m *nn.Model, cfg Options
 		if end {
 			return nil
 		}
-		if err := providerInfer(conn, st, cfg, seq); err != nil {
+		var kit *preproc.Kit
+		if warm {
+			// The fill subprotocol's ack ordering guarantees every seq the
+			// client committed is already in the store, so a warm request
+			// that misses is a protocol violation, not a race.
+			if store == nil {
+				return sessionError(seq, fmt.Errorf("engine: warm inference request without a negotiated preprocessing plane"))
+			}
+			if kit = store.Take(seq); kit == nil {
+				return sessionError(seq, fmt.Errorf("engine: warm inference request for unfilled seq %d", seq))
+			}
+		}
+		if err := providerInfer(conn, st, cfg, seq, kit); err != nil {
 			if transport.IsTransient(err) {
 				reg.park(token, st)
 			}
@@ -152,10 +205,10 @@ func providerOpen(conn transport.Conn, reg *Registry, m *nn.Model, r ring.Ring, 
 }
 
 // providerInfer serves one steady-state inference: receive the client's
-// input share, run the online protocol over the bound state, finish the
-// reveal.
-func providerInfer(conn transport.Conn, st *sessionState, cfg Options, seq uint32) error {
-	ctx, p := st.bindInfer(conn, 1, cfg, seq)
+// input share, run the online protocol over the bound state (consuming
+// seq's precomputed kit when the request was warm), finish the reveal.
+func providerInfer(conn transport.Conn, st *sessionState, cfg Options, seq uint32, kit *preproc.Kit) error {
+	ctx, p := st.bindInfer(conn, 1, cfg, seq, kit)
 	sp := sessionInferRoot(cfg.Trace, conn, "provider.session.infer", seq)
 	defer sp.End()
 	ctx.SetTrace(telemetry.NewScope(sp))

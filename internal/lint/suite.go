@@ -36,6 +36,7 @@ var scopes = map[string][]string{
 		"aq2pnn/internal/a2b",
 		"aq2pnn/internal/triple",
 		"aq2pnn/internal/share",
+		"aq2pnn/internal/preproc",
 		"aq2pnn/cmd/...",
 		"aq2pnn/examples/...",
 	},
@@ -50,6 +51,7 @@ var scopes = map[string][]string{
 		"aq2pnn/internal/share",
 		"aq2pnn/internal/ot",
 		"aq2pnn/internal/engine",
+		"aq2pnn/internal/preproc",
 		"aq2pnn/internal/transport",
 		"aq2pnn/internal/ring",
 		"aq2pnn/cmd/...",
@@ -75,6 +77,7 @@ var scopes = map[string][]string{
 		"aq2pnn/internal/transport",
 		"aq2pnn/internal/ot",
 		"aq2pnn/internal/engine",
+		"aq2pnn/internal/preproc",
 	},
 	// Pool kernels appear wherever the shared pool is used.
 	LoopPar.Name: nil,
@@ -83,6 +86,7 @@ var scopes = map[string][]string{
 	AllocCap.Name: {
 		"aq2pnn/internal/transport",
 		"aq2pnn/internal/engine",
+		"aq2pnn/internal/preproc",
 		"aq2pnn/internal/ot",
 		"aq2pnn/internal/scm",
 		"aq2pnn/internal/a2b",
@@ -100,6 +104,7 @@ var scopes = map[string][]string{
 		"aq2pnn/internal/triple",
 		"aq2pnn/internal/a2b",
 		"aq2pnn/internal/telemetry",
+		"aq2pnn/internal/preproc",
 	},
 	// The leakage boundary is a whole-module contract: a share value can be
 	// laundered through any helper before it reaches a sink, so every
@@ -110,6 +115,7 @@ var scopes = map[string][]string{
 	// policy violation, and tests mint fixture seeds freely.
 	DetRand.Name: {
 		"aq2pnn/internal/engine",
+		"aq2pnn/internal/preproc",
 	},
 }
 

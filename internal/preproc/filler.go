@@ -1,0 +1,153 @@
+package preproc
+
+import (
+	"errors"
+	"fmt"
+
+	"aq2pnn/internal/telemetry"
+	"aq2pnn/internal/transport"
+)
+
+// GenFunc runs one seq's interactive kit generation over the
+// preprocessing stream. The engine supplies it (the seed derivation and
+// per-layer Gilboa runs live there); root, when non-nil, is the per-seq
+// fill span the generation's protocol spans must attach under.
+type GenFunc func(seq uint32, root *telemetry.Span) (*Kit, error)
+
+// Filler configures one party's background fill loop.
+type Filler struct {
+	// Conn is the dedicated preprocessing substream. The fill loop owns
+	// it: whichever way the loop exits, the substream is closed, which is
+	// what unblocks the peer's filler.
+	Conn transport.Conn
+	// Trace, when non-nil, records one root span per filled seq under
+	// Root — attributed outside the online session.infer roots, which is
+	// what lets tracecheck pin the warm online path to zero generation.
+	Trace *telemetry.Tracer
+	// Root is the per-seq fill root name ("user.preproc.fill" or
+	// "provider.preproc.fill").
+	Root string
+	Gen  GenFunc
+}
+
+func (f Filler) root(seq uint32) *telemetry.Span {
+	return f.Trace.Root(f.Root, telemetry.WithConn(f.Conn),
+		telemetry.WithAttrs(telemetry.Int("seq", int64(seq))))
+}
+
+// FillClient runs the user-side fill loop: claim the next seq from the
+// bank, send the demand, run the lockstep generation, await the
+// provider's ack, commit. Any error marks the bank dead (the online path
+// degrades to synchronous generation) and closes the substream so the
+// provider's filler unblocks; a stopped bank exits nil the same way.
+func FillClient(f Filler, b *Bank) error {
+	defer b.MarkDead()
+	defer f.Conn.Close()
+	for {
+		seq, ok := b.NextSeq()
+		if !ok {
+			return nil
+		}
+		kit, err := f.clientFillOne(seq)
+		if err != nil {
+			return err
+		}
+		b.Commit(kit)
+	}
+}
+
+func (f Filler) clientFillOne(seq uint32) (*Kit, error) {
+	root := f.root(seq)
+	defer root.End()
+	if err := func() error {
+		sp := root.Child("preproc.demand")
+		defer sp.End()
+		return f.Conn.Send(encodeFrame(demandMagic, seq))
+	}(); err != nil {
+		return nil, fmt.Errorf("preproc: sending demand %d: %w", seq, err)
+	}
+	kit, err := f.Gen(seq, root)
+	if err != nil {
+		return nil, fmt.Errorf("preproc: generating kit %d: %w", seq, err)
+	}
+	// The ack means the provider has committed its half. Committing only
+	// after it keeps the invariant that a client-side kit always has a
+	// provider-side match — a warm request can never miss. A fault that
+	// corrupts the generation also breaks the stream before this exchange
+	// completes (transport fault injection fails every operation after
+	// the corrupted one), so a corrupt kit is never committed.
+	if err := func() error {
+		sp := root.Child("preproc.ack")
+		defer sp.End()
+		p, err := f.Conn.Recv()
+		if err != nil {
+			return err
+		}
+		got, err := decodeFrame(ackMagic, "ack", p)
+		if err != nil {
+			return err
+		}
+		if got != seq {
+			return fmt.Errorf("preproc: ack for seq %d, want %d", got, seq)
+		}
+		return nil
+	}(); err != nil {
+		return nil, fmt.Errorf("preproc: awaiting ack %d: %w", seq, err)
+	}
+	return kit, nil
+}
+
+// FillProvider runs the provider-side fill loop: await the next demand,
+// validate the strictly sequential seq order, run the lockstep
+// generation, commit to the store, ack. A closed stream (the client's
+// teardown or filler death) exits nil; protocol violations and transport
+// faults exit with the error. Either way the substream closes, so a
+// client filler blocked mid-exchange unblocks.
+func FillProvider(f Filler, s *Store) error {
+	defer f.Conn.Close()
+	var last uint32
+	first := true
+	for {
+		p, err := f.Conn.Recv()
+		if err != nil {
+			if errors.Is(err, transport.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("preproc: receiving demand: %w", err)
+		}
+		seq, err := decodeFrame(demandMagic, "demand", p)
+		if err != nil {
+			return err
+		}
+		if first {
+			first = false
+		} else if seq != last+1 {
+			return fmt.Errorf("preproc: demand seq %d, want %d", seq, last+1)
+		}
+		last = seq
+		if err := f.providerFillOne(seq, s); err != nil {
+			return err
+		}
+	}
+}
+
+func (f Filler) providerFillOne(seq uint32, s *Store) error {
+	root := f.root(seq)
+	defer root.End()
+	kit, err := f.Gen(seq, root)
+	if err != nil {
+		return fmt.Errorf("preproc: generating kit %d: %w", seq, err)
+	}
+	// Commit before acking: see clientFillOne.
+	if err := s.Put(kit); err != nil {
+		return err
+	}
+	if err := func() error {
+		sp := root.Child("preproc.ack")
+		defer sp.End()
+		return f.Conn.Send(encodeFrame(ackMagic, seq))
+	}(); err != nil {
+		return fmt.Errorf("preproc: sending ack %d: %w", seq, err)
+	}
+	return nil
+}

@@ -33,6 +33,28 @@ func (c *Counter) Value() uint64 {
 	return c.v.Load()
 }
 
+// Gauge is a metric that can go up and down (bank fill levels, queue
+// depths). A nil *Gauge is a valid disabled gauge.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Value returns the current value (0 for a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
 // Histogram is a fixed-bucket distribution: bounds are upper bucket edges
 // in ascending order, with an implicit +Inf bucket. A nil *Histogram is a
 // valid disabled histogram.
@@ -89,12 +111,13 @@ var (
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
+	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{counters: map[string]*Counter{}, hists: map[string]*Histogram{}}
+	return &Registry{counters: map[string]*Counter{}, gauges: map[string]*Gauge{}, hists: map[string]*Histogram{}}
 }
 
 // Counter returns the named counter, creating it on first use. Metric
@@ -113,6 +136,21 @@ func (r *Registry) Counter(name string) *Counter {
 	return c
 }
 
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
 // Histogram returns the named histogram, creating it with the given
 // bucket bounds on first use (later bounds arguments are ignored).
 func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
@@ -127,6 +165,21 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 		r.hists[name] = h
 	}
 	return h
+}
+
+// Gauges returns a snapshot of every gauge value, for tests and the table
+// exporters.
+func (r *Registry) Gauges() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.gauges))
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	return out
 }
 
 // Counters returns a snapshot of every counter value, for tests and the
@@ -155,6 +208,10 @@ func (r *Registry) WriteText(w io.Writer) error {
 	for name := range r.counters {
 		cNames = append(cNames, name)
 	}
+	gNames := make([]string, 0, len(r.gauges))
+	for name := range r.gauges {
+		gNames = append(gNames, name)
+	}
 	hNames := make([]string, 0, len(r.hists))
 	for name := range r.hists {
 		hNames = append(hNames, name)
@@ -163,6 +220,10 @@ func (r *Registry) WriteText(w io.Writer) error {
 	for _, n := range cNames {
 		counters[n] = r.counters[n]
 	}
+	gauges := make(map[string]*Gauge, len(gNames))
+	for _, n := range gNames {
+		gauges[n] = r.gauges[n]
+	}
 	hists := make(map[string]*Histogram, len(hNames))
 	for _, n := range hNames {
 		hists[n] = r.hists[n]
@@ -170,9 +231,15 @@ func (r *Registry) WriteText(w io.Writer) error {
 	r.mu.Unlock()
 
 	sort.Strings(cNames)
+	sort.Strings(gNames)
 	sort.Strings(hNames)
 	for _, name := range cNames {
 		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, counters[name].Value()); err != nil {
+			return err
+		}
+	}
+	for _, name := range gNames {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, gauges[name].Value()); err != nil {
 			return err
 		}
 	}
@@ -226,6 +293,15 @@ func Count(name string, n uint64) {
 		return
 	}
 	defaultRegistry.Counter(name).Add(n)
+}
+
+// SetGauge sets the named default-registry gauge when collection is
+// enabled; disabled cost is one branch.
+func SetGauge(name string, v int64) {
+	if !enabledFlag.Load() {
+		return
+	}
+	defaultRegistry.Gauge(name).Set(v)
 }
 
 // Observe records a sample into the named default-registry histogram when

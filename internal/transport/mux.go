@@ -1,0 +1,282 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Mux multiplexes two logical streams over one Conn so a session can run
+// its online protocol and its preprocessing fill subprotocol concurrently
+// on a single TCP connection. Each frame carries a 1-byte prefix: the low
+// nibble is the stream id, bit 0x10 marks a stream-close control frame,
+// and every other bit must be zero. Per-stream byte/round accounting
+// counts only the payload (prefix excluded), so the online stream's Stats
+// stay byte-identical whether or not a fill is running beside it.
+//
+// There is no background demux goroutine. Receiving is "baton-passing":
+// whichever substream needs a frame and finds its queue empty becomes the
+// sole reader of the inner Conn, routing frames to queues until its own
+// arrives; other substreams park on a condition variable. A process with
+// no receiver pending reads nothing — the mux adds no goroutines to leak
+// and no reads the session did not ask for.
+const (
+	// StreamMain carries the session's ordinary protocol traffic.
+	StreamMain = 0
+	// StreamPreproc carries the preprocessing fill subprotocol.
+	StreamPreproc = 1
+
+	muxStreams = 2
+
+	muxIDMask  = 0x0F
+	muxClose   = 0x10
+	muxBadBits = ^byte(muxIDMask | muxClose)
+
+	// muxQueueCap bounds the frames parked for a substream whose consumer
+	// is not currently receiving. A peer that floods one stream while we
+	// wait on the other is a flow violation, not a memory obligation.
+	muxQueueCap = 1024
+)
+
+// MuxError reports a protocol violation on the multiplexed channel:
+// malformed prefixes, unknown stream ids, or a queue overflow. Permanent
+// by classification — a peer that frames wrongly will frame wrongly again.
+type MuxError struct {
+	Reason string
+}
+
+func (e *MuxError) Error() string { return "transport: mux: " + e.Reason }
+
+// Mux owns the inner Conn once created; callers interact only with the
+// substreams. Closing the main substream closes the whole mux (and the
+// inner Conn); closing the preprocessing substream sends a best-effort
+// close control so the peer's reader unblocks, keeping the main stream
+// usable.
+type Mux struct {
+	inner Conn
+
+	sendMu sync.Mutex // serialises prefix+payload writes to inner
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	reading bool  // a substream currently holds the read baton
+	err     error // first fatal error; poisons all future receives
+	streams [muxStreams]*muxStream
+}
+
+// NewMux wraps inner and returns its two substreams.
+func NewMux(inner Conn) (main, preproc Conn) {
+	m := &Mux{inner: inner}
+	m.cond = sync.NewCond(&m.mu)
+	for id := range m.streams {
+		m.streams[id] = &muxStream{mux: m, id: byte(id)}
+	}
+	return m.streams[StreamMain], m.streams[StreamPreproc]
+}
+
+type muxStream struct {
+	statsTracker
+	mux *Mux
+	id  byte
+
+	// queue, localClosed and remoteClosed are guarded by mux.mu.
+	queue        [][]byte
+	localClosed  bool
+	remoteClosed bool
+}
+
+func (s *muxStream) Send(payload []byte) error {
+	if len(payload) > MaxFrame-1 {
+		s.noteSendErr()
+		return &FrameError{Op: "send", Declared: uint64(len(payload)), Limit: MaxFrame - 1}
+	}
+	m := s.mux
+	m.mu.Lock()
+	if m.err != nil {
+		err := m.err
+		m.mu.Unlock()
+		s.noteSendErr()
+		return err
+	}
+	if s.localClosed || s.remoteClosed {
+		m.mu.Unlock()
+		s.noteSendErr()
+		return ErrClosed
+	}
+	m.mu.Unlock()
+
+	framed := make([]byte, 1+len(payload))
+	framed[0] = s.id
+	copy(framed[1:], payload)
+	m.sendMu.Lock()
+	err := m.inner.Send(framed)
+	m.sendMu.Unlock()
+	if err != nil {
+		s.noteSendErr()
+		m.poison(err)
+		return err
+	}
+	s.noteSend(len(payload))
+	return nil
+}
+
+func (s *muxStream) Recv() ([]byte, error) {
+	m := s.mux
+	m.mu.Lock()
+	for {
+		if len(s.queue) > 0 {
+			p := s.queue[0]
+			s.queue = s.queue[1:]
+			m.mu.Unlock()
+			s.noteRecv(len(p))
+			return p, nil
+		}
+		if m.err != nil {
+			err := m.err
+			m.mu.Unlock()
+			s.noteRecvErr()
+			return nil, err
+		}
+		if s.localClosed || s.remoteClosed {
+			m.mu.Unlock()
+			s.noteRecvErr()
+			return nil, ErrClosed
+		}
+		if !m.reading {
+			break
+		}
+		m.cond.Wait()
+	}
+	// Take the read baton: read inner frames (outside the lock) and route
+	// them until one lands on our queue or the mux dies.
+	m.reading = true
+	for {
+		m.mu.Unlock()
+		p, err := m.inner.Recv()
+		m.mu.Lock()
+		if err != nil {
+			m.reading = false
+			if m.err == nil {
+				m.err = err
+			}
+			err = m.err
+			m.cond.Broadcast()
+			m.mu.Unlock()
+			s.noteRecvErr()
+			return nil, err
+		}
+		if err := m.routeLocked(p); err != nil {
+			m.reading = false
+			m.err = err
+			m.cond.Broadcast()
+			m.mu.Unlock()
+			s.noteRecvErr()
+			return nil, err
+		}
+		m.cond.Broadcast()
+		if len(s.queue) > 0 {
+			out := s.queue[0]
+			s.queue = s.queue[1:]
+			m.reading = false
+			m.cond.Broadcast()
+			m.mu.Unlock()
+			s.noteRecv(len(out))
+			return out, nil
+		}
+		if s.localClosed || s.remoteClosed {
+			m.reading = false
+			m.cond.Broadcast()
+			m.mu.Unlock()
+			s.noteRecvErr()
+			return nil, ErrClosed
+		}
+	}
+}
+
+// routeLocked validates one inner frame and delivers it. Called with
+// mux.mu held.
+func (m *Mux) routeLocked(p []byte) error {
+	if len(p) == 0 {
+		return &MuxError{Reason: "empty frame (missing stream prefix)"}
+	}
+	prefix := p[0]
+	if prefix&muxBadBits != 0 {
+		return &MuxError{Reason: fmt.Sprintf("reserved prefix bits set (0x%02x)", prefix)}
+	}
+	id := prefix & muxIDMask
+	if int(id) >= muxStreams {
+		return &MuxError{Reason: fmt.Sprintf("unknown stream id %d", id)}
+	}
+	dst := m.streams[id]
+	if prefix&muxClose != 0 {
+		if len(p) != 1 {
+			return &MuxError{Reason: "close control frame carries payload"}
+		}
+		dst.remoteClosed = true
+		return nil
+	}
+	if dst.remoteClosed {
+		return &MuxError{Reason: fmt.Sprintf("frame on remotely closed stream %d", id)}
+	}
+	if len(dst.queue) >= muxQueueCap {
+		return &MuxError{Reason: fmt.Sprintf("stream %d queue overflow (%d frames parked)", id, muxQueueCap)}
+	}
+	dst.queue = append(dst.queue, p[1:])
+	return nil
+}
+
+// poison records a fatal error and wakes every parked receiver.
+func (m *Mux) poison(err error) {
+	m.mu.Lock()
+	if m.err == nil {
+		m.err = err
+	}
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+func (s *muxStream) Stats() Stats { return s.snapshot() }
+func (s *muxStream) ResetStats()  { s.reset() }
+
+// Unwrap exposes the inner Conn so decorator-traversing helpers
+// (SetRecvDeadline, ReserveBudget) reach the transport below the mux.
+func (s *muxStream) Unwrap() Conn { return s.mux.inner }
+
+// Close on the main substream tears down the whole mux, including the
+// inner Conn. Close on the preprocessing substream is cooperative: it
+// sends a best-effort close control (so the peer's filler unblocks) and
+// marks the stream locally closed, leaving the main stream running.
+func (s *muxStream) Close() error {
+	m := s.mux
+	if s.id == StreamMain {
+		m.poison(ErrClosed)
+		return m.inner.Close()
+	}
+	m.mu.Lock()
+	if s.localClosed {
+		m.mu.Unlock()
+		return nil
+	}
+	s.localClosed = true
+	dead := m.err != nil
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	if dead {
+		// The mux is already poisoned: the peer learns of the teardown
+		// from the inner conn's own failure.
+		return nil
+	}
+	// Send the close control even when the peer already half-closed its
+	// end: a remote close can come from the peer's session teardown while
+	// the peer's stream reader still blocks mid-exchange holding the read
+	// baton — this control frame is what unblocks it. (Skipping it here is
+	// a teardown deadlock: each side waits for the other's frame.)
+	m.sendMu.Lock()
+	err := m.inner.Send([]byte{muxClose | s.id})
+	m.sendMu.Unlock()
+	if err != nil {
+		// Best effort: the peer learns of the closure from the inner
+		// conn's own teardown instead.
+		return nil
+	}
+	return nil
+}

@@ -1,0 +1,277 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func muxPair() (aMain, aPre, bMain, bPre Conn) {
+	a, b := Pipe()
+	aMain, aPre = NewMux(a)
+	bMain, bPre = NewMux(b)
+	return
+}
+
+func TestMuxRoutesStreams(t *testing.T) {
+	aMain, aPre, bMain, bPre := muxPair()
+	defer aMain.Close()
+	defer bMain.Close()
+	// Interleave sends across both streams, then receive out of arrival
+	// order: the baton reader must park the other stream's frames.
+	mustSend(t, aMain, []byte("main-0"))
+	mustSend(t, aPre, []byte("pre-0"))
+	mustSend(t, aMain, []byte("main-1"))
+	if got := mustRecv(t, bPre); string(got) != "pre-0" {
+		t.Fatalf("preproc stream got %q", got)
+	}
+	if got := mustRecv(t, bMain); string(got) != "main-0" {
+		t.Fatalf("main stream got %q", got)
+	}
+	if got := mustRecv(t, bMain); string(got) != "main-1" {
+		t.Fatalf("main stream got %q", got)
+	}
+}
+
+func TestMuxConcurrentStreams(t *testing.T) {
+	aMain, aPre, bMain, bPre := muxPair()
+	defer aMain.Close()
+	defer bMain.Close()
+	const n = 200
+	var wg sync.WaitGroup
+	echo := func(c Conn) {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			p, err := c.Recv()
+			if err != nil {
+				t.Errorf("echo recv: %v", err)
+				return
+			}
+			if err := c.Send(p); err != nil {
+				t.Errorf("echo send: %v", err)
+				return
+			}
+		}
+	}
+	drive := func(c Conn, tag byte) {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			msg := []byte{tag, byte(i)}
+			if err := c.Send(msg); err != nil {
+				t.Errorf("drive send: %v", err)
+				return
+			}
+			p, err := c.Recv()
+			if err != nil {
+				t.Errorf("drive recv: %v", err)
+				return
+			}
+			if p[0] != tag || p[1] != byte(i) {
+				t.Errorf("stream %d echo %v, want %v", tag, p, msg)
+				return
+			}
+		}
+	}
+	wg.Add(4)
+	go echo(bMain)
+	go echo(bPre)
+	go drive(aMain, 0)
+	go drive(aPre, 1)
+	wg.Wait()
+}
+
+// TestMuxStatsPerStream: each substream accounts exactly its own payload
+// bytes, prefix excluded — the property that keeps the online stream's
+// Stats byte-identical whether or not a fill runs beside it.
+func TestMuxStatsPerStream(t *testing.T) {
+	aMain, aPre, bMain, bPre := muxPair()
+	defer aMain.Close()
+	defer bMain.Close()
+	mustSend(t, aMain, make([]byte, 10))
+	mustSend(t, aPre, make([]byte, 100))
+	if got := mustRecv(t, bMain); len(got) != 10 {
+		t.Fatalf("main recv %d bytes", len(got))
+	}
+	if got := mustRecv(t, bPre); len(got) != 100 {
+		t.Fatalf("preproc recv %d bytes", len(got))
+	}
+	for _, tc := range []struct {
+		name       string
+		c          Conn
+		sent, recv uint64
+	}{
+		{"a.main", aMain, 10, 0}, {"a.pre", aPre, 100, 0},
+		{"b.main", bMain, 0, 10}, {"b.pre", bPre, 0, 100},
+	} {
+		s := tc.c.Stats()
+		if s.BytesSent != tc.sent || s.BytesRecv != tc.recv {
+			t.Errorf("%s stats sent %d recv %d, want %d/%d", tc.name, s.BytesSent, s.BytesRecv, tc.sent, tc.recv)
+		}
+	}
+}
+
+// TestMuxPreprocCloseKeepsMain: closing the preprocessing substream
+// unblocks the peer's preproc reader with ErrClosed while the main stream
+// keeps flowing both ways.
+func TestMuxPreprocCloseKeepsMain(t *testing.T) {
+	aMain, aPre, bMain, bPre := muxPair()
+	defer aMain.Close()
+	defer bMain.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := bPre.Recv()
+		done <- err
+	}()
+	if err := aPre.Close(); err != nil {
+		t.Fatalf("preproc close: %v", err)
+	}
+	// The peer's parked preproc reader needs a frame flow to observe the
+	// close control; the main traffic below provides it.
+	mustSend(t, aMain, []byte("still-alive"))
+	if got := mustRecv(t, bMain); string(got) != "still-alive" {
+		t.Fatalf("main after preproc close got %q", got)
+	}
+	if err := <-done; !errors.Is(err, ErrClosed) {
+		t.Fatalf("peer preproc recv returned %v, want ErrClosed", err)
+	}
+	// Local half-close: both ends of the preproc stream now refuse I/O...
+	if err := aPre.Send([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Errorf("send on closed preproc stream returned %v, want ErrClosed", err)
+	}
+	if err := bPre.Send([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Errorf("send on remotely closed preproc stream returned %v, want ErrClosed", err)
+	}
+	// ...and a second Close stays a clean no-op.
+	if err := aPre.Close(); err != nil {
+		t.Errorf("second preproc close: %v", err)
+	}
+	// Main stream still fine in the other direction too.
+	mustSend(t, bMain, []byte("back"))
+	if got := mustRecv(t, aMain); string(got) != "back" {
+		t.Fatalf("main reverse got %q", got)
+	}
+}
+
+// TestMuxMainCloseTearsDown: closing the main substream poisons the whole
+// mux, both locally and (via the inner close) for the peer.
+func TestMuxMainCloseTearsDown(t *testing.T) {
+	aMain, aPre, bMain, bPre := muxPair()
+	if err := aMain.Close(); err != nil {
+		t.Fatalf("main close: %v", err)
+	}
+	if _, err := aPre.Recv(); !errors.Is(err, ErrClosed) {
+		t.Errorf("local preproc recv after main close returned %v, want ErrClosed", err)
+	}
+	if _, err := bMain.Recv(); err == nil {
+		t.Error("peer main recv survived the teardown")
+	}
+	if _, err := bPre.Recv(); err == nil {
+		t.Error("peer preproc recv survived the teardown")
+	}
+	bMain.Close()
+}
+
+// TestMuxWireViolations: malformed prefixes are permanent MuxErrors, and
+// they poison every substream, not just the receiving one.
+func TestMuxWireViolations(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		frame []byte
+	}{
+		{"empty frame", []byte{}},
+		{"reserved bits", []byte{0x80, 1, 2}},
+		{"unknown stream", []byte{0x0F, 1, 2}},
+		{"close with payload", []byte{muxClose | StreamPreproc, 1}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			a, b := Pipe()
+			defer a.Close()
+			bMain, bPre := NewMux(b)
+			mustSend(t, a, tc.frame)
+			_, err := bMain.Recv()
+			var me *MuxError
+			if !errors.As(err, &me) {
+				t.Fatalf("recv returned %v, want a MuxError", err)
+			}
+			if IsTransient(err) {
+				t.Error("mux violation classified transient; a misframing peer is permanent")
+			}
+			if _, err := bPre.Recv(); !errors.As(err, &me) {
+				t.Errorf("other substream recv returned %v, want the poisoning MuxError", err)
+			}
+			bMain.Close()
+		})
+	}
+}
+
+// TestMuxQueueOverflow: a peer flooding one stream while the receiver
+// waits on the other is a flow violation, not a memory obligation.
+func TestMuxQueueOverflow(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	bMain, bPre := NewMux(b)
+	defer bMain.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := bMain.Recv() // holds the baton, routing preproc floods
+		done <- err
+	}()
+	for i := 0; i <= muxQueueCap; i++ {
+		frame := []byte{StreamPreproc, byte(i)}
+		if err := a.Send(frame); err != nil {
+			t.Fatalf("flood send %d: %v", i, err)
+		}
+	}
+	err := <-done
+	var me *MuxError
+	if !errors.As(err, &me) {
+		t.Fatalf("flooded mux returned %v, want a queue-overflow MuxError", err)
+	}
+	// Parked frames stay drainable on the poisoned mux; everything past
+	// them — and every send — reports the poisoning error.
+	for i := 0; i < muxQueueCap; i++ {
+		if _, err := bPre.Recv(); err != nil {
+			t.Fatalf("draining parked frame %d: %v", i, err)
+		}
+	}
+	if _, err := bPre.Recv(); !errors.As(err, &me) {
+		t.Errorf("preproc recv past the parked frames returned %v, want the MuxError", err)
+	}
+	if err := bPre.Send([]byte("x")); !errors.As(err, &me) {
+		t.Errorf("send on the poisoned mux returned %v, want the MuxError", err)
+	}
+}
+
+// TestMuxFrameTooLarge: the substream enforces the inner frame limit
+// minus its one prefix byte, before touching the wire.
+func TestMuxFrameTooLarge(t *testing.T) {
+	aMain, _, bMain, _ := muxPair()
+	defer aMain.Close()
+	defer bMain.Close()
+	err := aMain.Send(make([]byte, MaxFrame))
+	var fe *FrameError
+	if !errors.As(err, &fe) {
+		t.Fatalf("oversized send returned %v, want FrameError", err)
+	}
+	if aMain.Stats().BytesSent != 0 {
+		t.Error("rejected frame counted bytes")
+	}
+}
+
+// TestMuxUnwrap: deadline/budget helpers must reach the transport below.
+func TestMuxUnwrap(t *testing.T) {
+	a, b := Pipe()
+	defer b.Close()
+	aMain, aPre := NewMux(a)
+	defer aMain.Close()
+	type unwrapper interface{ Unwrap() Conn }
+	for _, c := range []Conn{aMain, aPre} {
+		u, ok := c.(unwrapper)
+		if !ok {
+			t.Fatal("mux substream does not expose Unwrap")
+		}
+		if u.Unwrap() != a {
+			t.Fatal("Unwrap does not reach the inner conn")
+		}
+	}
+}

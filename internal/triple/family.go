@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"aq2pnn/internal/ot"
+	"aq2pnn/internal/parallel"
 	"aq2pnn/internal/prg"
 	"aq2pnn/internal/ring"
 	"aq2pnn/internal/telemetry"
@@ -24,6 +25,14 @@ type Family interface {
 	// fixed B.
 	Next(m int) (*Mat, error)
 }
+
+// MaxPending bounds every undelivered-triple queue in this package (the
+// dealer's per-shape and per-family queues) and anchors the preprocessing
+// plane's bank depth: no component may hold more than MaxPending triples
+// per (shape, party) ahead of consumption. The two parties' consumption
+// runs in lockstep, so a queue past this bound means a protocol-order bug
+// (or a hostile schedule), not a legitimate working set.
+const MaxPending = 256
 
 type dealerFamilyState struct {
 	b       []uint64
@@ -74,6 +83,15 @@ func (f *dealerFamily) Next(m int) (*Mat, error) {
 	defer f.d.mu.Unlock()
 	q := f.st.queues[m]
 	if len(q[f.party]) == 0 {
+		// Generating for ourselves also queues the peer's view. A peer
+		// that never consumes would grow its queue without bound, so the
+		// generation that would push it past MaxPending fails instead: the
+		// parties' layer schedules are identical, so a backlog this deep is
+		// a protocol-order bug, not demand.
+		if len(q[1-f.party]) >= MaxPending {
+			return nil, fmt.Errorf("triple: family queue for party %d holds %d undelivered %d-row triples (max %d)",
+				1-f.party, len(q[1-f.party]), m, MaxPending)
+		}
 		a := f.d.g.Elems(m*f.k, f.r)
 		z := tensor.MatMulMod(a, f.st.b, m, f.k, f.n, f.r.Mask)
 		split := func(x []uint64) (s0, s1 []uint64) {
@@ -92,7 +110,14 @@ func (f *dealerFamily) Next(m int) (*Mat, error) {
 	}
 	out := q[f.party][0]
 	q[f.party] = q[f.party][1:]
-	f.st.queues[m] = q
+	if len(q[0]) == 0 && len(q[1]) == 0 {
+		// Both views delivered: drop the per-m entry so long-lived dealers
+		// (batch executors cycling through many shapes) do not accumulate
+		// empty queue headers.
+		delete(f.st.queues, m)
+	} else {
+		f.st.queues[m] = q
+	}
 	return out, nil
 }
 
@@ -106,6 +131,11 @@ type GilboaFamily struct {
 	R      ring.Ring
 	K, N   int
 	bShare []uint64
+	// Pool, when non-nil, parallelises the local A_p⊗B_p term of each
+	// generation (bit-identical at any worker count). The preprocessing
+	// fillers set it from the fill-workers knob; the inline online path
+	// leaves it nil.
+	Pool *parallel.Pool
 }
 
 // NewGilboaFamily initialises the party's fixed weight-mask share.
@@ -124,12 +154,27 @@ func NewGilboaFamilyFixed(ep *ot.Endpoint, rng *prg.PRG, party int, r ring.Ring,
 // BShare implements Family.
 func (f *GilboaFamily) BShare() []uint64 { return f.bShare }
 
-// Next implements Family.
+// Next implements Family: an inline (consumption-counted) generation.
 func (f *GilboaFamily) Next(m int) (*Mat, error) {
 	if m <= 0 {
 		return nil, fmt.Errorf("triple: non-positive row count %d", m)
 	}
 	countConsumed(m, f.K, f.N)
+	return f.Generate(m)
+}
+
+// Generate runs the interactive protocol for one fresh m-row triple
+// without recording consumption: the preprocessing plane generates ahead
+// of demand, and the triple counts as consumed only when a bank-backed
+// family later hands it to the online path. The delivered shares are
+// bit-identical to what an inline Next over the same Rng stream would
+// produce — the OT plaintexts are the sender's inputs at the receiver's
+// choice bits, independent of the endpoint's internal randomness — which
+// is the warm==cold determinism argument of the preprocessing plane.
+func (f *GilboaFamily) Generate(m int) (*Mat, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("triple: non-positive row count %d", m)
+	}
 	sp := f.EP.Trace.Enter("triple.gilboa", telemetry.WithAttrs(
 		telemetry.Int("m", int64(m)), telemetry.Int("k", int64(f.K)),
 		telemetry.Int("n", int64(f.N)), telemetry.Int("bits", int64(f.R.Bits))))
@@ -138,9 +183,40 @@ func (f *GilboaFamily) Next(m int) (*Mat, error) {
 	t.A = f.Rng.Elems(m*f.K, f.R)
 	t.B = f.bShare
 	var err error
-	t.Z, err = gilboaZ(f.EP, f.Rng, f.R, f.Party, m, f.K, f.N, t.A, t.B)
+	t.Z, err = gilboaZ(f.EP, f.Rng, f.Pool, f.R, f.Party, m, f.K, f.N, t.A, t.B)
 	if err != nil {
 		return nil, err
 	}
+	return t, nil
+}
+
+// MatFamily adapts one precomputed triple into a single-use Family: the
+// bank-backed warm path of a persistent session installs one per linear
+// node per inference. BShare returns the triple's fixed weight-mask share
+// (the same share the session's F openings were computed against), and
+// Next delivers the triple exactly once, validating the requested row
+// count against the precomputed shape.
+type MatFamily struct {
+	b   []uint64
+	mat *Mat
+}
+
+// NewMatFamily wraps a precomputed family triple.
+func NewMatFamily(m *Mat) *MatFamily { return &MatFamily{b: m.B, mat: m} }
+
+// BShare implements Family.
+func (f *MatFamily) BShare() []uint64 { return f.b }
+
+// Next implements Family: it hands out the precomputed triple once.
+func (f *MatFamily) Next(m int) (*Mat, error) {
+	if f.mat == nil {
+		return nil, fmt.Errorf("triple: precomputed family already consumed")
+	}
+	if m != f.mat.M {
+		return nil, fmt.Errorf("triple: precomputed family has %d rows, want %d", f.mat.M, m)
+	}
+	countConsumed(m, f.mat.K, f.mat.N)
+	t := f.mat
+	f.mat = nil
 	return t, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"aq2pnn/internal/ot"
+	"aq2pnn/internal/parallel"
 	"aq2pnn/internal/prg"
 	"aq2pnn/internal/ring"
 	"aq2pnn/internal/tensor"
@@ -98,7 +99,7 @@ func GenMatGilboa(ep *ot.Endpoint, rng *prg.PRG, r ring.Ring, party, m, k, n int
 	t.A = rng.Elems(m*k, r)
 	t.B = rng.Elems(k*n, r)
 	var err error
-	t.Z, err = gilboaZ(ep, rng, r, party, m, k, n, t.A, t.B)
+	t.Z, err = gilboaZ(ep, rng, nil, r, party, m, k, n, t.A, t.B)
 	if err != nil {
 		return nil, err
 	}
@@ -107,9 +108,11 @@ func GenMatGilboa(ep *ot.Endpoint, rng *prg.PRG, r ring.Ring, party, m, k, n int
 
 // gilboaZ computes this party's share of rec(A) ⊗ rec(B) given its shares
 // of A (M×K) and B (K×N): the local term A_p⊗B_p plus two OT-based cross
-// products. Party 0 plays the OT receiver first.
-func gilboaZ(ep *ot.Endpoint, rng *prg.PRG, r ring.Ring, party, m, k, n int, aShare, bShare []uint64) ([]uint64, error) {
-	z := tensor.MatMulMod(aShare, bShare, m, k, n, r.Mask)
+// products. Party 0 plays the OT receiver first. A non-nil pool
+// parallelises the local term (bit-identical at any worker count); the
+// interactive cross products are sequential wire protocol either way.
+func gilboaZ(ep *ot.Endpoint, rng *prg.PRG, pool *parallel.Pool, r ring.Ring, party, m, k, n int, aShare, bShare []uint64) ([]uint64, error) {
+	z := tensor.MatMulModPar(pool, aShare, bShare, m, k, n, r.Mask)
 	// rec(A)⊗rec(B) = A0B0 + A0B1 + A1B0 + A1B1: cross terms via OT.
 	addCross := func(rows [][]uint64) {
 		// rows are indexed by (i·K + kk); each row is the contribution of

@@ -92,21 +92,31 @@ func NewDealer(g *prg.PRG) *Dealer {
 }
 
 // take returns the next triple view for the party, dealing a new triple
-// when that party's queue is empty.
-func (d *Dealer) take(party int, r ring.Ring, m, k, n int) *Mat {
+// when that party's queue is empty. The peer's undelivered queue is
+// bounded by MaxPending (see family.go): the parties request identical
+// shapes in identical order, so a deeper backlog is a schedule bug.
+func (d *Dealer) take(party int, r ring.Ring, m, k, n int) (*Mat, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	key := matKey(r, m, k, n)
 	q := d.queue[key]
 	if len(q[party]) == 0 {
+		if len(q[1-party]) >= MaxPending {
+			return nil, fmt.Errorf("triple: dealer queue for party %d holds %d undelivered %s triples (max %d)",
+				1-party, len(q[1-party]), key, MaxPending)
+		}
 		p0, p1 := DealMat(d.g, r, m, k, n)
 		q[0] = append(q[0], p0)
 		q[1] = append(q[1], p1)
 	}
 	out := q[party][0]
 	q[party] = q[party][1:]
-	d.queue[key] = q
-	return out
+	if len(q[0]) == 0 && len(q[1]) == 0 {
+		delete(d.queue, key)
+	} else {
+		d.queue[key] = q
+	}
+	return out, nil
 }
 
 // SourceFor returns the party's view of the dealer.
@@ -122,5 +132,5 @@ func (s *dealerSource) MatTriple(r ring.Ring, m, k, n int) (*Mat, error) {
 		return nil, fmt.Errorf("triple: non-positive dims %dx%dx%d", m, k, n)
 	}
 	countConsumed(m, k, n)
-	return s.d.take(s.party, r, m, k, n), nil
+	return s.d.take(s.party, r, m, k, n)
 }
