@@ -4,7 +4,7 @@ GO ?= go
 # sources are unchanged, so repeat `make lint` runs pay only for go vet.
 LINTBIN ?= bin/aq2pnnlint
 
-.PHONY: build test race vet lint lintbin bench bench-matmul bench-batch bench-session bench-preproc chaos fuzz ci
+.PHONY: build test race vet lint lintbin bench bench-matmul bench-batch bench-session bench-preproc bench-online benchgate chaos fuzz ci
 
 # Per-target budget for `make fuzz`; CI uses 30s per target on PRs.
 FUZZTIME ?= 60s
@@ -51,12 +51,28 @@ bench-session:
 # Warm-vs-cold comparison of the asynchronous preprocessing plane
 # (docs/preprocessing.md): fails unless the warm online p50 is strictly
 # below the cold one, then re-verifies on the warm trace that no triple
-# generation ran under a steady-state infer root. Refreshes BENCH_8.json.
+# generation ran under a steady-state infer root. Refreshes BENCH_9.json,
+# then holds it against the committed BENCH_8.json baseline.
 bench-preproc:
-	$(GO) run ./cmd/sessionbench -model micro -n 8 -bench-out BENCH_8.json -trace preproc-trace.json
+	$(GO) run ./cmd/sessionbench -model micro -n 8 -bench-out BENCH_9.json -trace preproc-trace.json
 	$(GO) run ./cmd/tracecheck preproc-trace.json
+	$(GO) run ./cmd/benchgate BENCH_8.json BENCH_9.json
 
-bench: bench-matmul bench-batch bench-session bench-preproc
+# Allocation gate for the online hot path (docs/performance.md): the
+# serial 512-cubed modular GEMM through the Into kernels must report
+# 0 allocs/op, or the steady-state inference loop has started allocating.
+bench-online:
+	$(GO) test ./internal/tensor/ -run '^$$' -bench '^BenchmarkMatMulMod512$$' -benchmem | tee /dev/stderr | \
+		grep -Eq 'BenchmarkMatMulMod512\S*\s.*\s0 allocs/op' || \
+		{ echo "bench-online: BenchmarkMatMulMod512 is allocating (want 0 allocs/op)"; exit 1; }
+
+# Bench-regression gate over the committed baseline pair: fails when the
+# new report's warm online p50 or warm online bytes regress more than 10%
+# against the previous one.
+benchgate:
+	$(GO) run ./cmd/benchgate BENCH_8.json BENCH_9.json
+
+bench: bench-matmul bench-batch bench-session bench-preproc bench-online
 
 # Deterministic chaos harness (docs/robustness.md): the sampled fault
 # sweep under the race detector, then the exhaustive micro sweep and the
@@ -70,10 +86,10 @@ chaos:
 # seed corpus in testdata/fuzz/.
 fuzz:
 	$(GO) test ./internal/transport/ -run '^$$' -fuzz '^FuzzRecvFrame$$' -fuzztime $(FUZZTIME)
-	$(GO) test ./internal/engine/ -run '^$$' -fuzz '^FuzzRecvGob$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/engine/ -run '^$$' -fuzz '^FuzzRecvSetup$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/engine/ -run '^$$' -fuzz '^FuzzHandshakeHello$$' -fuzztime $(FUZZTIME)
-	$(GO) test ./internal/engine/ -run '^$$' -fuzz '^FuzzWirePayload$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/engine/ -run '^$$' -fuzz '^FuzzShareCodec$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/ot/ -run '^$$' -fuzz '^FuzzOTFlowHeader$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/scm/ -run '^$$' -fuzz '^FuzzSCMMessage$$' -fuzztime $(FUZZTIME)
 
-ci: vet lint build race
+ci: vet lint build race benchgate

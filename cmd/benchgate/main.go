@@ -1,0 +1,104 @@
+// Command benchgate is the bench-regression gate: it parses a committed
+// pair of sessionbench -bench-out reports (the previous baseline and the
+// new one) and fails when the new warm-path numbers regress more than the
+// tolerance against the old.
+//
+//	benchgate BENCH_8.json BENCH_9.json
+//
+// Two figures are gated, both from the warm (preprocessing-plane) pass —
+// the configuration the serving story ships:
+//
+//   - online bytes per inference: exact and machine-independent, so any
+//     growth is a protocol change, not noise. Tolerance exists only so a
+//     deliberate, documented trade can land without editing the gate.
+//   - online p50 latency: machine-dependent, so the tolerance absorbs
+//     run-to-run noise while still catching step regressions.
+//
+// Exit status 0 when the new report holds the line, 1 with a diagnostic
+// when it regresses or either file is malformed.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// tolerance is the allowed relative regression (10%).
+const tolerance = 0.10
+
+// pass is the subset of sessionbench's passReport the gate reads.
+type pass struct {
+	OnlineBytesPerInference uint64  `json:"online_bytes_per_inference"`
+	OnlineRounds            uint64  `json:"online_rounds"`
+	InferMillisP50          float64 `json:"infer_ms_p50"`
+}
+
+// benchReport is the subset of sessionbench's -bench-out artifact.
+type benchReport struct {
+	Model string `json:"model"`
+	Warm  pass   `json:"warm"`
+}
+
+func load(path string) (benchReport, error) {
+	var r benchReport
+	p, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(p, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Warm.InferMillisP50 <= 0 || r.Warm.OnlineBytesPerInference == 0 {
+		return r, fmt.Errorf("%s: missing warm-pass figures (p50 %.3f, bytes %d)",
+			path, r.Warm.InferMillisP50, r.Warm.OnlineBytesPerInference)
+	}
+	return r, nil
+}
+
+// check returns an error when next exceeds base by more than the tolerance.
+func check(metric string, base, next float64) error {
+	if next > base*(1+tolerance) {
+		return fmt.Errorf("%s regressed %.1f%%: %.3f -> %.3f (tolerance %.0f%%)",
+			metric, 100*(next/base-1), base, next, 100*tolerance)
+	}
+	return nil
+}
+
+func run(oldPath, newPath string) error {
+	base, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	next, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	if base.Model != next.Model {
+		return fmt.Errorf("reports measure different models: %q vs %q", base.Model, next.Model)
+	}
+	if err := check("warm online bytes/inference",
+		float64(base.Warm.OnlineBytesPerInference), float64(next.Warm.OnlineBytesPerInference)); err != nil {
+		return err
+	}
+	if err := check("warm online p50 ms", base.Warm.InferMillisP50, next.Warm.InferMillisP50); err != nil {
+		return err
+	}
+	fmt.Printf("benchgate: %s -> %s holds: bytes %d -> %d, rounds %d -> %d, p50 %.2fms -> %.2fms\n",
+		oldPath, newPath,
+		base.Warm.OnlineBytesPerInference, next.Warm.OnlineBytesPerInference,
+		base.Warm.OnlineRounds, next.Warm.OnlineRounds,
+		base.Warm.InferMillisP50, next.Warm.InferMillisP50)
+	return nil
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchgate OLD.json NEW.json")
+		os.Exit(2)
+	}
+	if err := run(os.Args[1], os.Args[2]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}

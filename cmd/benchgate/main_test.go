@@ -1,0 +1,66 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func write(t *testing.T, name, body string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func report(bytes int, p50 float64) string {
+	return fmt.Sprintf(`{"model":"Micro","warm":{"online_bytes_per_inference":%d,"online_rounds":14,"infer_ms_p50":%g}}`,
+		bytes, p50)
+}
+
+func TestGate(t *testing.T) {
+	base := write(t, "old.json", report(275928, 234.5))
+	cases := []struct {
+		name string
+		next string
+		ok   bool
+	}{
+		{"improves on both axes", report(255013, 81.3), true},
+		{"flat", report(275928, 234.5), true},
+		{"within tolerance", report(280000, 250.0), true},
+		{"bytes regress past 10%", report(310000, 200.0), false},
+		{"p50 regresses past 10%", report(260000, 260.0), false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			next := write(t, "new.json", c.next)
+			err := run(base, next)
+			if c.ok && err != nil {
+				t.Fatalf("gate failed, want pass: %v", err)
+			}
+			if !c.ok && err == nil {
+				t.Fatal("gate passed, want failure")
+			}
+		})
+	}
+}
+
+func TestGateRejectsMalformed(t *testing.T) {
+	good := write(t, "good.json", report(275928, 234.5))
+	for name, body := range map[string]string{
+		"not json":      "certainly not json",
+		"missing warm":  `{"model":"Micro"}`,
+		"zero p50":      `{"model":"Micro","warm":{"online_bytes_per_inference":1,"infer_ms_p50":0}}`,
+		"model changed": `{"model":"LeNet5","warm":{"online_bytes_per_inference":1,"infer_ms_p50":1}}`,
+	} {
+		t.Run(name, func(t *testing.T) {
+			bad := write(t, "bad.json", body)
+			if err := run(good, bad); err == nil {
+				t.Fatal("gate accepted a malformed report")
+			}
+		})
+	}
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// ms builds a sorted duration slice from millisecond values.
+func ms(vals ...int) []time.Duration {
+	out := make([]time.Duration, len(vals))
+	for i, v := range vals {
+		out[i] = time.Duration(v) * time.Millisecond
+	}
+	return out
+}
+
+// seq returns [1ms, 2ms, ..., nms].
+func seq(n int) []time.Duration {
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = time.Duration(i+1) * time.Millisecond
+	}
+	return out
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	cases := []struct {
+		name   string
+		sorted []time.Duration
+		p      float64
+		want   float64 // milliseconds
+	}{
+		// n=1: every percentile is the single observation.
+		{"n1 p50", ms(7), 0.50, 7},
+		{"n1 p99", ms(7), 0.99, 7},
+		{"n1 p1", ms(7), 0.01, 7},
+		// Even n: nearest-rank p50 is the lower of the two middle values
+		// (⌈0.5·4⌉ = 2 → index 1), not an interpolation.
+		{"n4 p50 even", ms(10, 20, 30, 40), 0.50, 20},
+		{"n8 p50 even", seq(8), 0.50, 4},
+		// Odd n: p50 is the true median.
+		{"n5 p50 odd", ms(10, 20, 30, 40, 50), 0.50, 30},
+		// p99 over 100 samples: ⌈0.99·100⌉ = 99 → index 98, the 99th
+		// smallest — not the maximum.
+		{"n100 p99", seq(100), 0.99, 99},
+		// The old epsilon form int(p·n+0.999999)−1 undershot by one rank
+		// whenever frac(p·n) was positive but below 1e-6: here p·n is
+		// 1.0000002, whose ceiling is 2 (the maximum), yet the epsilon
+		// form truncated to index 0.
+		{"frac just above integer", ms(10, 20), 0.5000001, 20},
+		{"n100 p100", seq(100), 1.00, 100},
+		{"n100 p50", seq(100), 0.50, 50},
+		// Degenerate inputs.
+		{"empty", nil, 0.50, 0},
+		{"p0 clamps to first", seq(10), 0, 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := percentile(c.sorted, c.p); got != c.want {
+				t.Fatalf("percentile(%v, %v) = %v, want %v", c.sorted, c.p, got, c.want)
+			}
+		})
+	}
+}

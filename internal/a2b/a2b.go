@@ -102,3 +102,32 @@ func LowGroups(bits uint) []uint {
 	}
 	return Groups(bits)[1:]
 }
+
+// Arities returns the distinct OT arities (2^w per group width) of a group
+// layout, in ascending order. The comparison machine batches one coalesced
+// token slice per arity, so this is also the deterministic batch schedule
+// both parties derive independently.
+func Arities(widths []uint) []int {
+	var out []int
+	for _, w := range widths {
+		n := 1 << w
+		found := false
+		for _, have := range out {
+			if have == n {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, n)
+		}
+	}
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if out[j] < out[i] {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out
+}

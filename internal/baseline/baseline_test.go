@@ -82,7 +82,7 @@ func TestGCReLUCommDwarfsABReLU(t *testing.T) {
 		t.Fatal(err)
 	}
 	relus, _ := m.ReLUCount()
-	ab := uint64(relus) * fpga.ABReLUBytes(ring.New(16))
+	ab := fpga.BytesFor(uint64(relus), fpga.ABReLUBits(ring.New(16)))
 	if gc < 100*ab {
 		t.Errorf("GC ReLU %d bytes vs ABReLU %d bytes; expected ≥100× gap", gc, ab)
 	}

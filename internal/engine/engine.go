@@ -256,6 +256,9 @@ type Party struct {
 	// provider for nodes not present.
 	Families map[int]triple.Family
 	linears  map[int]*secure.Linear
+	// slab recycles the im2col lowering buffers across layers and
+	// inferences — their lifetime ends inside each conv call.
+	slab parallel.Slab
 	// Profile receives per-node cost entries when non-nil (party i only,
 	// by convention).
 	Profile *[]OpProfile
@@ -422,8 +425,10 @@ func (p *Party) runReLU(in []uint64) ([]uint64, error) {
 
 func (p *Party) runConv(i int, op *nn.Conv, in []uint64) ([]uint64, error) {
 	g := op.Geom
-	cols := tensor.Im2ColIntPar(p.Pool, in, g)
+	cols := p.slab.Get(g.Patches() * g.PatchLen())
+	tensor.Im2ColIntParInto(p.Pool, cols, in, g)
 	acc, err := p.linears[i].Mul(cols, g.Patches()) // (patches × OutC)
+	p.slab.Put(cols)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,117 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+
+	"aq2pnn/internal/prg"
+	"aq2pnn/internal/ring"
+)
+
+// gobPayload mirrors wirePayload with exported fields, standing in for the
+// retired gob wire format as a reference oracle: gob's reflection-driven
+// encoding has no notion of the flat layout, so agreement between the two
+// decoders on randomized tensors means the flat codec loses no information.
+type gobPayload struct {
+	W    map[int][]uint64
+	Bias map[int][]uint64
+	X    []uint64
+}
+
+func gobRoundtrip(t *testing.T, wp *wirePayload) *wirePayload {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(gobPayload{W: wp.W, Bias: wp.Bias, X: wp.X}); err != nil {
+		t.Fatal(err)
+	}
+	var out gobPayload
+	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return &wirePayload{W: out.W, Bias: out.Bias, X: out.X}
+}
+
+// randPayload draws a wirePayload with random node counts, tensor lengths
+// and elements reduced to the given ring.
+func randPayload(g *prg.PRG, r ring.Ring) *wirePayload {
+	wp := &wirePayload{W: map[int][]uint64{}, Bias: map[int][]uint64{}}
+	nodes := int(g.Uint64()%5) + 1
+	for i := 0; i < nodes; i++ {
+		id := int(g.Uint64() % 64)
+		wp.W[id] = g.Elems(int(g.Uint64()%200)+1, r)
+		if g.Uint64()%2 == 0 {
+			wp.Bias[id] = g.Elems(int(g.Uint64()%16)+1, r)
+		}
+	}
+	if g.Uint64()%4 != 0 {
+		wp.X = g.Elems(int(g.Uint64()%300), r)
+	}
+	return wp
+}
+
+// TestFlatCodecRoundtripVsGob is the property test behind protocol v5:
+// across random bit-widths and payload shapes, decode(encode(wp)) must be
+// deep-equal to the original — with the retired gob pipeline run alongside
+// as the information-preservation oracle.
+func TestFlatCodecRoundtripVsGob(t *testing.T) {
+	g := prg.NewSeeded(1234)
+	for trial := 0; trial < 200; trial++ {
+		bits := uint(g.Uint64()%47) + 16 // 16..62, the ring's full range
+		r := ring.New(bits)
+		wp := randPayload(g, r)
+		p, err := encodeShares(wp, r.Bytes())
+		if err != nil {
+			t.Fatalf("trial %d (bits %d): encode: %v", trial, bits, err)
+		}
+		got, err := decodeShares(p, r.Bytes())
+		if err != nil {
+			t.Fatalf("trial %d (bits %d): decode: %v", trial, bits, err)
+		}
+		viaGob := gobRoundtrip(t, wp)
+		if !reflect.DeepEqual(got, viaGob) {
+			t.Fatalf("trial %d (bits %d): flat roundtrip diverged from gob oracle\nflat: %+v\ngob:  %+v",
+				trial, bits, got, viaGob)
+		}
+		if !reflect.DeepEqual(got, wp) {
+			t.Fatalf("trial %d (bits %d): flat roundtrip not deep-equal to original", trial, bits)
+		}
+
+		// Determinism: the registry caches encoded payloads and requires
+		// byte-identical re-encodes (map iteration order must not leak in).
+		p2, err := encodeShares(wp, r.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(p, p2) {
+			t.Fatalf("trial %d: encoding is not deterministic", trial)
+		}
+	}
+}
+
+// TestFlatCodecEmptyAndNilShapes pins the edge shapes the engine actually
+// ships: a payload with no X (provider direction), an empty-but-present X,
+// and empty maps.
+func TestFlatCodecEmptyAndNilShapes(t *testing.T) {
+	for _, wp := range []*wirePayload{
+		{W: map[int][]uint64{}, Bias: map[int][]uint64{}},
+		{W: map[int][]uint64{3: {}}, Bias: map[int][]uint64{}, X: []uint64{}},
+		{X: []uint64{7}},
+	} {
+		p, err := encodeShares(wp, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := decodeShares(p, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (wp.X == nil) != (got.X == nil) {
+			t.Fatalf("X nil-ness not preserved: sent %v got %v", wp.X, got.X)
+		}
+		if len(got.W) != len(wp.W) || len(got.Bias) != len(wp.Bias) || len(got.X) != len(wp.X) {
+			t.Fatalf("shape mismatch: %+v vs %+v", got, wp)
+		}
+	}
+}

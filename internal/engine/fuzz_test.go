@@ -1,10 +1,9 @@
 package engine
 
 import (
-	"bytes"
 	"encoding/binary"
-	"encoding/gob"
 	"io"
+	"reflect"
 	"testing"
 
 	"aq2pnn/internal/nn"
@@ -58,7 +57,8 @@ func joinFrames(frames [][]byte) []byte {
 	return out
 }
 
-// collectConn records every frame sendGob emits, for seed construction.
+// collectConn records every frame sendSetupBytes emits, for seed
+// construction.
 type collectConn struct {
 	scriptConn
 	sent [][]byte
@@ -69,15 +69,15 @@ func (c *collectConn) Send(p []byte) error {
 	return nil
 }
 
-// FuzzRecvGob feeds arbitrary frame sequences to the chunked setup
-// receiver: whatever the header and chunk subheaders declare, recvGob
-// must reject cleanly (typed error), never panic, and never buffer more
-// than the announced total.
-func FuzzRecvGob(f *testing.F) {
+// FuzzRecvSetup feeds arbitrary frame sequences to the chunked setup
+// receiver: whatever the header and chunk subheaders declare,
+// recvSetupBytes must reject cleanly (typed error), never panic, and never
+// buffer more than the announced total.
+func FuzzRecvSetup(f *testing.F) {
 	// Seed with a genuine transcript so the fuzzer starts from the valid
 	// wire shape, plus targeted corruptions of it.
 	col := &collectConn{}
-	if err := sendGob(col, wirePayload{X: []uint64{1, 2, 3, 4}}); err != nil {
+	if err := sendShares(col, &wirePayload{X: []uint64{1, 2, 3, 4}}, 2); err != nil {
 		f.Fatal(err)
 	}
 	f.Add(joinFrames(col.sent))
@@ -87,16 +87,15 @@ func FuzzRecvGob(f *testing.F) {
 		swapped := [][]byte{col.sent[0], append([]byte{1, 0, 0, 0}, col.sent[1][4:]...)} // wrong chunk index
 		f.Add(joinFrames(swapped))
 	}
-	giant := make([]byte, gobHeaderLen)
-	binary.LittleEndian.PutUint32(giant, gobMagic)
+	giant := make([]byte, setupHeaderLen)
+	binary.LittleEndian.PutUint32(giant, setupMagic)
 	binary.LittleEndian.PutUint32(giant[4:], 1)
-	binary.LittleEndian.PutUint64(giant[8:], maxGobPayload) // announce 4 GiB
+	binary.LittleEndian.PutUint64(giant[8:], maxSetupPayload) // announce 4 GiB
 	f.Add(joinFrames([][]byte{giant}))
 	f.Add([]byte("not a frame stream"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		conn := &scriptConn{frames: splitFrames(data)}
-		var wp wirePayload
-		_ = recvGob(conn, &wp) // must not panic; errors are the expected outcome
+		_, _ = recvSetupBytes(conn) // must not panic; errors are the expected outcome
 	})
 }
 
@@ -126,27 +125,48 @@ func FuzzHandshakeHello(f *testing.F) {
 	})
 }
 
-// FuzzWirePayload gob-decodes arbitrary bytes as a setup payload and runs
-// shape validation: hostile payloads must be rejected with a typed error,
-// never a panic, before any share reaches the executor.
-func FuzzWirePayload(f *testing.F) {
+// FuzzShareCodec decodes arbitrary bytes as a flat share payload at every
+// element width and runs shape validation: hostile payloads must be
+// rejected with a typed error, never a panic; any accepted payload must
+// survive a canonical re-encode→decode roundtrip unchanged.
+func FuzzShareCodec(f *testing.F) {
 	m := tinyModel(nn.PoolAvg)
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(wirePayload{
+	valid, err := encodeShares(&wirePayload{
 		W:    map[int][]uint64{0: {1, 2}},
 		Bias: map[int][]uint64{0: {3}},
 		X:    []uint64{4, 5, 6},
-	}); err != nil {
+	}, 2)
+	if err != nil {
 		f.Fatal(err)
 	}
-	f.Add(buf.Bytes())
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])                        // truncated slab
+	oversize := append([]byte(nil), valid...)           // oversize declared length:
+	binary.LittleEndian.PutUint32(oversize[16:], 1<<30) // first W entry claims 2^30 elements
+	f.Add(oversize)
 	f.Add([]byte{})
-	f.Add([]byte("garbage that is not gob"))
+	f.Add([]byte("garbage that is not a flat payload"))
 	f.Fuzz(func(t *testing.T, data []byte) {
-		var wp wirePayload
-		if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&wp); err != nil {
-			return
+		for width := 1; width <= 8; width++ {
+			wp, err := decodeShares(data, width)
+			if err != nil {
+				if _, ok := err.(*PayloadError); !ok {
+					t.Fatalf("width %d: rejection is %T (%v), want *PayloadError", width, err, err)
+				}
+				continue
+			}
+			_ = validateWirePayload(m, wp) // must not panic
+			p2, err := encodeShares(wp, width)
+			if err != nil {
+				t.Fatalf("width %d: re-encoding an accepted payload failed: %v", width, err)
+			}
+			wp2, err := decodeShares(p2, width)
+			if err != nil {
+				t.Fatalf("width %d: re-decoding the canonical form failed: %v", width, err)
+			}
+			if !reflect.DeepEqual(wp, wp2) {
+				t.Fatalf("width %d: roundtrip mismatch", width)
+			}
 		}
-		_ = validateWirePayload(m, &wp) // must not panic
 	})
 }

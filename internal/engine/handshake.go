@@ -31,7 +31,7 @@ import (
 // and the class-only reveal; generation 4 added the preprocessing plane —
 // the multiplexed fill stream, the demand/ack subprotocol and the warm
 // inference request).
-const ProtocolVersion = 4
+const ProtocolVersion = 5
 
 // helloMagic opens every hello frame. A peer speaking the pre-handshake
 // protocol (or not speaking this protocol at all) sends something else as

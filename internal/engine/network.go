@@ -131,18 +131,18 @@ func RunUser(conn transport.Conn, m *nn.Model, x []int64, cfg Options) (*Result,
 			sp := ctx.Trace.Enter("exchange.shares")
 			defer ctx.Trace.Exit(sp)
 			// Receive this party's weight shares from the model provider.
-			var wp wirePayload
-			if err := recvGob(conn, &wp); err != nil {
+			wp, err := recvShares(conn, r.Bytes())
+			if err != nil {
 				return fmt.Errorf("engine: receiving weight shares: %w", err)
 			}
-			if err := validateWirePayload(m, &wp); err != nil {
+			if err := validateWirePayload(m, wp); err != nil {
 				return err
 			}
 			// Share the input: keep x0, send x1.
 			g := prg.NewSeeded(saltedSeed(cfg.Seed, 0x1272C0DE))
 			var x1 []uint64
 			x0, x1 = share.SplitVec(g, r, r.FromInts(x))
-			if err := sendGob(conn, wirePayload{X: x1}); err != nil {
+			if err := sendShares(conn, &wirePayload{X: x1}, r.Bytes()); err != nil {
 				return fmt.Errorf("engine: sending input share: %w", err)
 			}
 			p.Weights = &WeightShares{W: wp.W, Bias: wp.Bias}
@@ -202,7 +202,7 @@ func runProvider(conn transport.Conn, m *nn.Model, r ring.Ring, cfg Options, hel
 		return err
 	}
 	p := &Party{Ctx: ctx, Model: m, Weights: ws1, R: r, ReLURing: reluRingFor(cfg, r), Pool: ctx.Pool}
-	var in wirePayload
+	var in *wirePayload
 	if err := tracePhase(cfg.Trace, ctx, "provider.setup", func() error {
 		if hello != nil {
 			if err := func() error {
@@ -216,10 +216,10 @@ func runProvider(conn transport.Conn, m *nn.Model, r ring.Ring, cfg Options, hel
 		if err := func() error {
 			sp := ctx.Trace.Enter("exchange.shares")
 			defer ctx.Trace.Exit(sp)
-			if err := sendGob(conn, wirePayload{W: ws0.W, Bias: ws0.Bias}); err != nil {
+			if err := sendShares(conn, &wirePayload{W: ws0.W, Bias: ws0.Bias}, r.Bytes()); err != nil {
 				return fmt.Errorf("engine: sending weight shares: %w", err)
 			}
-			if err := recvGob(conn, &in); err != nil {
+			if in, err = recvShares(conn, r.Bytes()); err != nil {
 				return fmt.Errorf("engine: receiving input share: %w", err)
 			}
 			if len(in.X) != m.InputShape().Numel() {

@@ -50,8 +50,8 @@ type shareKey struct {
 }
 
 // modelShares is one cached split: the provider's own share plus the
-// client share already gob-encoded into the chunked-setup payload, so a
-// fresh session costs one sendGobBytes and nothing else.
+// client share already flat-encoded into the chunked-setup payload, so a
+// fresh session costs one sendSetupBytes and nothing else.
 type modelShares struct {
 	ws1     *WeightShares
 	payload []byte
@@ -174,7 +174,7 @@ func (g *Registry) sharesFor(m *nn.Model, r ring.Ring, seed uint64) (*modelShare
 	if err != nil {
 		return nil, err
 	}
-	payload, err := encodeGob(wirePayload{W: ws0.W, Bias: ws0.Bias})
+	payload, err := encodeShares(&wirePayload{W: ws0.W, Bias: ws0.Bias}, r.Bytes())
 	if err != nil {
 		return nil, err
 	}

@@ -157,14 +157,15 @@ func (s *Session) establish(ctx context.Context, resume bool) error {
 		nctx := NewNetworkContext(0, conn, cfg)
 		var st *sessionState
 		if err := tracePhase(cfg.Trace, nctx, "user.session.open", func() error {
-			var wp wirePayload
+			var wp *wirePayload
 			if err := func() error {
 				sp := nctx.Trace.Enter("exchange.shares")
 				defer nctx.Trace.Exit(sp)
-				if err := recvGob(conn, &wp); err != nil {
+				var err error
+				if wp, err = recvShares(conn, s.r.Bytes()); err != nil {
 					return fmt.Errorf("engine: receiving weight shares: %w", err)
 				}
-				return validateWirePayload(s.m, &wp)
+				return validateWirePayload(s.m, wp)
 			}(); err != nil {
 				return err
 			}

@@ -191,7 +191,7 @@ func providerOpen(conn transport.Conn, reg *Registry, m *nn.Model, r ring.Ring, 
 		if err := func() error {
 			sp := ctx.Trace.Enter("exchange.shares")
 			defer ctx.Trace.Exit(sp)
-			return sendGobBytes(conn, shares.payload)
+			return sendSetupBytes(conn, shares.payload)
 		}(); err != nil {
 			return fmt.Errorf("engine: sending weight shares: %w", err)
 		}

@@ -1,9 +1,7 @@
 package engine
 
 import (
-	"bytes"
 	"encoding/binary"
-	"encoding/gob"
 	"fmt"
 
 	"aq2pnn/internal/nn"
@@ -11,80 +9,59 @@ import (
 )
 
 // Setup-phase wire helpers. The weight-share payload for a large model
-// easily exceeds transport.MaxFrame (a ResNet50's shares gob-encode to
-// well over 64 MiB), and the old single-frame sendGob died with an
-// opaque "frame exceeds max" on the provider while the user hung in
-// Recv. The exchange is chunked: a fixed 16-byte header frame announces
-// the chunk count and total payload size, followed by that many chunk
-// frames, each opening with an 8-byte subheader (chunk index, chunk
-// length). The receiver validates the header, charges the announced
-// total against the session memory budget before buffering a byte,
-// checks every chunk's index and length against the announcement
-// (duplicates, reorderings and truncations are typed *PayloadError
-// rejections, not silent concatenations), reassembles incrementally, and
-// only then hands the bytes to gob.
+// easily exceeds transport.MaxFrame (a ResNet50's shares encode to well
+// over 64 MiB), and a single-frame send died with an opaque "frame exceeds
+// max" on the provider while the user hung in Recv. The exchange is
+// chunked: a fixed 16-byte header frame announces the chunk count and
+// total payload size, followed by that many chunk frames, each opening
+// with an 8-byte subheader (chunk index, chunk length). The receiver
+// validates the header, charges the announced total against the session
+// memory budget before buffering a byte, checks every chunk's index and
+// length against the announcement (duplicates, reorderings and truncations
+// are typed *PayloadError rejections, not silent concatenations),
+// reassembles incrementally, and only then hands the bytes to the flat
+// share codec (flatcodec.go).
 
-// gobMagic opens every chunked-payload header frame ("AQ2G").
-const gobMagic = 0x47325141
+// setupMagic opens every chunked-payload header frame ("AQ2G" — the
+// historical tag, kept across the gob→flat codec switch so a mismatched
+// header is reported as a framing error, not a version skew).
+const setupMagic = 0x47325141
 
-const gobHeaderLen = 16
+const setupHeaderLen = 16
 
-// gobChunkHeaderLen is the per-chunk subheader: chunk index (uint32) and
+// chunkHeaderLen is the per-chunk subheader: chunk index (uint32) and
 // chunk payload length (uint32), little-endian.
-const gobChunkHeaderLen = 8
+const chunkHeaderLen = 8
 
-// maxGobPayload bounds the reassembled setup payload (4 GiB). A header
+// maxSetupPayload bounds the reassembled setup payload (4 GiB). A header
 // announcing more than this is rejected before any allocation, so a
 // corrupted or hostile header cannot OOM the receiver.
-const maxGobPayload = 4 << 30
+const maxSetupPayload = 4 << 30
 
-// gobChunk is the per-frame budget for one chunk's payload (the
+// setupChunk is the per-frame budget for one chunk's payload (the
 // subheader rides in the same frame, hence the headroom under the frame
 // cap). It is a variable only so tests can shrink it to exercise
 // multi-chunk reassembly without materialising multi-gigabyte payloads.
-var gobChunk = transport.MaxFrame - gobChunkHeaderLen
+var setupChunk = transport.MaxFrame - chunkHeaderLen
 
-// encodeGob produces the bytes sendGobBytes ships — split out so the
-// serving path can cache a model's encoded weight-share payload once and
-// replay it to every fresh session without re-encoding.
-func encodeGob(v any) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
-		return nil, err
-	}
-	p := buf.Bytes()
-	if len(p) > maxGobPayload {
-		return nil, fmt.Errorf("engine: setup payload %d bytes exceeds %d-byte cap", len(p), maxGobPayload)
-	}
-	return p, nil
-}
-
-func sendGob(c transport.Conn, v any) error {
-	p, err := encodeGob(v)
-	if err != nil {
-		return err
-	}
-	return sendGobBytes(c, p)
-}
-
-// sendGobBytes ships an already-encoded payload through the chunked setup
-// exchange.
-func sendGobBytes(c transport.Conn, p []byte) error {
-	count := (len(p) + gobChunk - 1) / gobChunk
-	hdr := make([]byte, gobHeaderLen)
-	binary.LittleEndian.PutUint32(hdr[0:], gobMagic)
+// sendSetupBytes ships an already-encoded payload through the chunked
+// setup exchange.
+func sendSetupBytes(c transport.Conn, p []byte) error {
+	count := (len(p) + setupChunk - 1) / setupChunk
+	hdr := make([]byte, setupHeaderLen)
+	binary.LittleEndian.PutUint32(hdr[0:], setupMagic)
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(count))
 	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(p)))
 	if err := c.Send(hdr); err != nil {
 		return err
 	}
 	idx := uint32(0)
-	for off := 0; off < len(p); off += gobChunk {
-		end := min(off+gobChunk, len(p))
-		chunk := make([]byte, gobChunkHeaderLen+end-off)
+	for off := 0; off < len(p); off += setupChunk {
+		end := min(off+setupChunk, len(p))
+		chunk := make([]byte, chunkHeaderLen+end-off)
 		binary.LittleEndian.PutUint32(chunk[0:], idx)
 		binary.LittleEndian.PutUint32(chunk[4:], uint32(end-off))
-		copy(chunk[gobChunkHeaderLen:], p[off:end])
+		copy(chunk[chunkHeaderLen:], p[off:end])
 		if err := c.Send(chunk); err != nil {
 			return err
 		}
@@ -93,27 +70,28 @@ func sendGobBytes(c transport.Conn, p []byte) error {
 	return nil
 }
 
-func recvGob(c transport.Conn, v any) error {
+// recvSetupBytes reassembles one chunked setup payload.
+func recvSetupBytes(c transport.Conn) ([]byte, error) {
 	hdr, err := c.Recv()
 	if err != nil {
-		return err
+		return nil, err
 	}
-	if len(hdr) != gobHeaderLen || binary.LittleEndian.Uint32(hdr) != gobMagic {
-		return wireError("setup header frame", len(hdr), gobHeaderLen)
+	if len(hdr) != setupHeaderLen || binary.LittleEndian.Uint32(hdr) != setupMagic {
+		return nil, wireError("setup header frame", len(hdr), setupHeaderLen)
 	}
 	count := binary.LittleEndian.Uint32(hdr[4:])
 	total := binary.LittleEndian.Uint64(hdr[8:])
-	if total == 0 || total > maxGobPayload {
-		return fmt.Errorf("engine: setup header announces %d payload bytes, outside (0, %d]", total, maxGobPayload)
+	if total == 0 || total > maxSetupPayload {
+		return nil, fmt.Errorf("engine: setup header announces %d payload bytes, outside (0, %d]", total, maxSetupPayload)
 	}
 	if count == 0 || uint64(count) > total {
-		return fmt.Errorf("engine: setup header announces %d chunks for %d bytes", count, total)
+		return nil, fmt.Errorf("engine: setup header announces %d chunks for %d bytes", count, total)
 	}
 	// Charge the announced total against the session memory budget before
 	// buffering a single payload byte: a hostile header claiming gigabytes
 	// is rejected here, not discovered at OOM time.
 	if err := transport.ReserveBudget(c, total); err != nil {
-		return fmt.Errorf("engine: setup payload: %w", err)
+		return nil, fmt.Errorf("engine: setup payload: %w", err)
 	}
 	// The buffer grows with the chunks actually received rather than being
 	// preallocated at the announced total, so a peer that announces big and
@@ -122,40 +100,40 @@ func recvGob(c transport.Conn, v any) error {
 	for i := uint32(0); i < count; i++ {
 		p, err := c.Recv()
 		if err != nil {
-			return fmt.Errorf("engine: receiving setup chunk %d/%d: %w", i+1, count, err)
+			return nil, fmt.Errorf("engine: receiving setup chunk %d/%d: %w", i+1, count, err)
 		}
-		if len(p) < gobChunkHeaderLen {
-			return wireError(fmt.Sprintf("chunk %d frame length", i), len(p), gobChunkHeaderLen)
+		if len(p) < chunkHeaderLen {
+			return nil, wireError(fmt.Sprintf("chunk %d frame length", i), len(p), chunkHeaderLen)
 		}
 		idx := binary.LittleEndian.Uint32(p[0:])
 		clen := binary.LittleEndian.Uint32(p[4:])
 		// Indices must arrive strictly in order: a duplicate, a reordering
 		// or a skipped chunk would silently reassemble a corrupted payload.
 		if idx != i {
-			return wireError("chunk index", int(idx), int(i))
+			return nil, wireError("chunk index", int(idx), int(i))
 		}
-		body := p[gobChunkHeaderLen:]
+		body := p[chunkHeaderLen:]
 		if int(clen) != len(body) {
-			return wireError(fmt.Sprintf("chunk %d length", i), len(body), int(clen))
+			return nil, wireError(fmt.Sprintf("chunk %d length", i), len(body), int(clen))
 		}
 		if uint64(len(buf))+uint64(len(body)) > total {
-			return fmt.Errorf("engine: setup chunks overflow the announced %d bytes", total)
+			return nil, fmt.Errorf("engine: setup chunks overflow the announced %d bytes", total)
 		}
 		buf = append(buf, body...)
 	}
 	if uint64(len(buf)) != total {
-		return fmt.Errorf("engine: reassembled %d setup bytes, header announced %d", len(buf), total)
+		return nil, fmt.Errorf("engine: reassembled %d setup bytes, header announced %d", len(buf), total)
 	}
-	return gob.NewDecoder(bytes.NewReader(buf)).Decode(v)
+	return buf, nil
 }
 
 // PayloadError reports a setup payload that disagrees with the public
 // model architecture, or — when Wire is set — a setup exchange that
-// violates the chunked wire framing itself (bad header, out-of-order
-// chunk index, chunk-length mismatch). Node is the offending node id, or
-// -1 for the shared input vector or a framing violation. Like
-// *HandshakeError it is permanent: the peer is misconfigured (or
-// malicious), and retrying cannot help.
+// violates the chunked wire framing or the flat codec's layout (bad
+// header, out-of-order chunk index, truncated slab, oversize declared
+// length). Node is the offending node id, or -1 for the shared input
+// vector or a framing violation. Like *HandshakeError it is permanent: the
+// peer is misconfigured (or malicious), and retrying cannot help.
 type PayloadError struct {
 	Node      int
 	Field     string // "weights", "bias", "input" or the violated framing rule

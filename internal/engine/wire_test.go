@@ -29,10 +29,10 @@ func (c *frameCapConn) Send(p []byte) error {
 	return c.Conn.Send(p)
 }
 
-func TestGobChunkingReassembly(t *testing.T) {
-	saved := gobChunk
-	gobChunk = 1 << 10
-	defer func() { gobChunk = saved }()
+func TestSetupChunkingReassembly(t *testing.T) {
+	saved := setupChunk
+	setupChunk = 1 << 10
+	defer func() { setupChunk = saved }()
 	a, b := transport.Pipe()
 	defer a.Close()
 	defer b.Close()
@@ -45,14 +45,14 @@ func TestGobChunkingReassembly(t *testing.T) {
 		in.W[0][i] = ^uint64(i)
 	}
 	fc := &frameCapConn{Conn: a}
-	if err := sendGob(fc, in); err != nil {
+	if err := sendShares(fc, &in, 8); err != nil {
 		t.Fatal(err)
 	}
 	if fc.frames < 10 {
 		t.Errorf("payload crossed in %d frames, expected many 1 KiB chunks", fc.frames)
 	}
-	var out wirePayload
-	if err := recvGob(b, &out); err != nil {
+	out, err := recvShares(b, 8)
+	if err != nil {
 		t.Fatal(err)
 	}
 	if len(out.W[0]) != 9000 || out.W[0][77] != in.W[0][77] || len(out.X) != 5000 || out.Bias[0][1] != 8 {
@@ -60,33 +60,33 @@ func TestGobChunkingReassembly(t *testing.T) {
 	}
 }
 
-// TestGobPayloadBeyondMaxFrame is the regression test for the original
+// TestSetupPayloadBeyondMaxFrame is the regression test for the original
 // bug: a setup payload whose gob encoding exceeds transport.MaxFrame
 // (64 MiB). The old single-frame sendGob returned "frame exceeds
 // MaxFrame" on the provider while the user hung in Recv; chunking must
 // move it transparently with every frame under the cap.
-func TestGobPayloadBeyondMaxFrame(t *testing.T) {
+func TestSetupPayloadBeyondMaxFrame(t *testing.T) {
 	if testing.Short() {
 		t.Skip("allocates several 70 MiB buffers")
 	}
 	a, b := transport.Pipe()
 	defer a.Close()
 	defer b.Close()
-	// Full-width values defeat gob's varint packing: ~9.3 bytes each, so
-	// 8M elements encode to ~74 MiB > MaxFrame.
-	big := make([]uint64, 8<<20)
+	// At the full 8-byte element width, 9M elements encode to 72 MiB,
+	// beyond the 64 MiB frame cap.
+	big := make([]uint64, 9<<20)
 	for i := range big {
 		big[i] = ^uint64(0) - uint64(i)
 	}
 	fc := &frameCapConn{Conn: a}
-	if err := sendGob(fc, wirePayload{X: big}); err != nil {
+	if err := sendShares(fc, &wirePayload{X: big}, 8); err != nil {
 		t.Fatalf("sending >MaxFrame payload: %v", err)
 	}
 	if fc.frames < 3 { // header + at least two chunks
 		t.Errorf("payload crossed in %d frames, expected header plus ≥2 chunks", fc.frames)
 	}
-	var out wirePayload
-	if err := recvGob(b, &out); err != nil {
+	out, err := recvShares(b, 8)
+	if err != nil {
 		t.Fatal(err)
 	}
 	if len(out.X) != len(big) || out.X[0] != big[0] || out.X[len(big)-1] != big[len(big)-1] {
@@ -94,20 +94,20 @@ func TestGobPayloadBeyondMaxFrame(t *testing.T) {
 	}
 }
 
-func TestRecvGobRejectsBadHeader(t *testing.T) {
+func TestRecvSetupRejectsBadHeader(t *testing.T) {
 	for _, tc := range []struct {
 		name string
 		hdr  []byte
 	}{
 		{"garbage frame", []byte("not a header")},
 		{"zero total", func() []byte {
-			p := make([]byte, gobHeaderLen)
+			p := make([]byte, setupHeaderLen)
 			p[0], p[1], p[2], p[3] = 'A', 'Q', '2', 'G'
 			p[4] = 1 // count 1, total 0
 			return p
 		}()},
 		{"count exceeds total", func() []byte {
-			p := make([]byte, gobHeaderLen)
+			p := make([]byte, setupHeaderLen)
 			p[0], p[1], p[2], p[3] = 'A', 'Q', '2', 'G'
 			p[4], p[5] = 0xFF, 0xFF // count 65535
 			p[8] = 4                // total 4 bytes
@@ -118,9 +118,8 @@ func TestRecvGobRejectsBadHeader(t *testing.T) {
 		if err := a.Send(tc.hdr); err != nil {
 			t.Fatal(err)
 		}
-		var out wirePayload
-		if err := recvGob(b, &out); err == nil {
-			t.Errorf("%s: recvGob accepted a malformed header", tc.name)
+		if _, err := recvSetupBytes(b); err == nil {
+			t.Errorf("%s: recvSetupBytes accepted a malformed header", tc.name)
 		}
 		a.Close()
 		b.Close()
@@ -209,7 +208,7 @@ func TestRunUserRejectsMalformedPayload(t *testing.T) {
 		if err := exchangeHello(b, helloFor(roleProvider, m, r, cfg), 0); err != nil {
 			return
 		}
-		_ = sendGob(b, wirePayload{W: ws0.W, Bias: ws0.Bias})
+		_ = sendShares(b, &wirePayload{W: ws0.W, Bias: ws0.Bias}, r.Bytes())
 	}()
 	_, err = RunUser(a, m, input(64), cfg)
 	wg.Wait()

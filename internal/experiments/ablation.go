@@ -63,7 +63,7 @@ func (s *Suite) AblationGC() ([]*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		ab := float64(uint64(relus)*fpga.ABReLUBytes(r)) / (1 << 20)
+		ab := float64(fpga.BytesFor(uint64(relus), fpga.ABReLUBits(r))) / (1 << 20)
 		gc, err := baseline.GCReLUComm(m)
 		if err != nil {
 			return nil, err

@@ -137,12 +137,12 @@ func (s *Suite) Table5() ([]*report.Table, error) {
 		convTime := cyclesToTime(cfg, gemmCycles) + cfg.OpTime(fpga.OpCost{Bytes: eBytes, Rounds: 1})
 
 		// ABReLU: SCM/A2BM cycles + OT traffic.
-		reluBytes := uint64(elems) * fpga.ABReLUBytes(r)
+		reluBytes := fpga.BytesFor(uint64(elems), fpga.ABReLUBits(r))
 		reluCycles := int64(elems) * int64(r.Bits/2+2) / int64(cfg.SCMLanes)
 		reluTime := cyclesToTime(cfg, reluCycles) + cfg.OpTime(fpga.OpCost{Bytes: reluBytes, Rounds: 4})
 
 		// BNReQ: ALU pass + faithful truncation traffic.
-		bnBytes := uint64(elems) * fpga.FaithfulTruncBytes(r)
+		bnBytes := fpga.BytesFor(uint64(elems), fpga.FaithfulTruncBits(r))
 		bnCycles := int64(elems) / int64(cfg.ALULanes)
 		bnTime := cyclesToTime(cfg, bnCycles) + cfg.OpTime(fpga.OpCost{Bytes: bnBytes, Rounds: 3})
 

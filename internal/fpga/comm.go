@@ -17,47 +17,64 @@ import (
 // internal/ot, internal/scm and internal/secure, and a test cross-checks
 // the model against bytes measured on live protocol runs.
 
-// cmpBytes is the per-element traffic (both directions) of one full-width
-// SCM comparison: the receiver sends one shift byte per group, the sender
-// answers with 2^w token bytes per group.
-func cmpBytes(bits uint) uint64 {
+// tokenBits is the packed width of one comparison token on the wire
+// (the {LT, EQ, GT} alphabet fits two bits), matching internal/scm.
+const tokenBits = 2
+
+// The coalesced token transfer packs sub-byte quantities across a whole
+// tensor, so per-element costs are fractional bytes. The model therefore
+// works in BITS per element and converts to bytes once per protocol step
+// over the full element count.
+
+// cmpBits is the per-element traffic (both directions, in bits) of one
+// full-width SCM comparison: the receiver packs log2(2^w)=w shift bits
+// per group into the coalesced ds frame, the sender answers with
+// 2^w·tokenBits candidate-token bits per group.
+func cmpBits(bits uint) uint64 {
 	var total uint64
 	for _, w := range a2b.Groups(bits) {
-		total += 1 + (1 << w)
+		total += uint64(w) + (1<<w)*tokenBits
 	}
 	return total
 }
 
-// msbBytes is the per-element traffic of the sign protocol (groups of the
+// msbBits is the per-element traffic of the sign protocol (groups of the
 // low ℓ−1 bits only; the sign bits ride the quadrant-detection XOR).
-func msbBytes(bits uint) uint64 {
+func msbBits(bits uint) uint64 {
 	var total uint64
 	for _, w := range a2b.LowGroups(bits) {
-		total += 1 + (1 << w)
+		total += uint64(w) + (1<<w)*tokenBits
 	}
 	return total
 }
 
-// muxBytes is the per-element traffic of the OT multiplexer: two 1-of-2
-// OTs, each one choice byte plus two ring-element messages.
-func muxBytes(r ring.Ring) uint64 {
-	return 2 * (1 + 2*uint64(r.Bytes()))
+// muxBits is the per-element traffic of the OT multiplexer: two 1-of-2
+// OTs, each one choice byte plus two ring-element messages (the mux rides
+// the byte-aligned Send1ofN path, not the coalesced token frames).
+func muxBits(r ring.Ring) uint64 {
+	return 8 * 2 * (1 + 2*uint64(r.Bytes()))
 }
 
-// b2aBytes is one 1-of-2 OT with ring-element messages.
-func b2aBytes(r ring.Ring) uint64 {
-	return 1 + 2*uint64(r.Bytes())
+// b2aBits is one 1-of-2 OT with ring-element messages.
+func b2aBits(r ring.Ring) uint64 {
+	return 8 * (1 + 2*uint64(r.Bytes()))
 }
 
-// ABReLUBytes is the per-element online traffic of ABReLU.
-func ABReLUBytes(r ring.Ring) uint64 {
-	return msbBytes(r.Bits) + muxBytes(r)
+// ABReLUBits is the per-element online traffic of ABReLU, in bits.
+func ABReLUBits(r ring.Ring) uint64 {
+	return msbBits(r.Bits) + muxBits(r)
 }
 
-// FaithfulTruncBytes is the per-element traffic of one faithful
-// requantization truncation (wrap-bit comparison + B2A).
-func FaithfulTruncBytes(r ring.Ring) uint64 {
-	return cmpBytes(r.Bits) + b2aBytes(r)
+// FaithfulTruncBits is the per-element traffic of one faithful
+// requantization truncation (wrap-bit comparison + B2A), in bits.
+func FaithfulTruncBits(r ring.Ring) uint64 {
+	return cmpBits(r.Bits) + b2aBits(r)
+}
+
+// BytesFor converts a per-element bit cost over an element count into the
+// wire bytes of the packed frames.
+func BytesFor(elems, bits uint64) uint64 {
+	return (elems*bits + 7) / 8
 }
 
 // CommProfile aggregates a model's per-operator online traffic (both
@@ -70,11 +87,14 @@ type CommProfile struct {
 }
 
 // rounds per batched protocol step (direction changes at one endpoint).
+// The coalesced token transfer rides every OT arity of a comparison step
+// on ONE ds/cts exchange, so MSB extraction and the wrap-bit comparison
+// each cost a single round regardless of how many group widths they span.
 const (
 	roundsPerExchange = 1
-	roundsPerMSB      = 2 // one online phase per OT arity (1-of-2, 1-of-4)
+	roundsPerMSB      = 1
 	roundsPerMux      = 2
-	roundsPerCmp      = 2
+	roundsPerCmp      = 1
 	roundsPerB2A      = 1
 )
 
@@ -88,10 +108,10 @@ func ModelComm(m *nn.Model, r ring.Ring, localTrunc bool) (CommProfile, error) {
 	}
 	p := CommProfile{ByKind: map[string]uint64{}}
 	rb := uint64(r.Bytes())
-	truncB := FaithfulTruncBytes(r)
+	truncBits := FaithfulTruncBits(r)
 	truncR := uint64(roundsPerCmp + roundsPerB2A)
 	if localTrunc {
-		truncB, truncR = 0, 0
+		truncBits, truncR = 0, 0
 	}
 	add := func(kind string, bytes, rounds uint64) {
 		p.Bytes += bytes
@@ -104,24 +124,24 @@ func ModelComm(m *nn.Model, r ring.Ring, localTrunc bool) (CommProfile, error) {
 		case *nn.Conv:
 			// E exchange (both directions) + BNReQ truncation.
 			e := uint64(op.Geom.Patches()*op.Geom.PatchLen()) * rb * 2
-			add(op.Kind(), e+elems*truncB, roundsPerExchange+truncR)
+			add(op.Kind(), e+BytesFor(elems, truncBits), roundsPerExchange+truncR)
 		case *nn.FC:
 			e := uint64(op.In) * rb * 2
-			add(op.Kind(), e+elems*truncB, roundsPerExchange+truncR)
+			add(op.Kind(), e+BytesFor(elems, truncBits), roundsPerExchange+truncR)
 		case nn.ReLU:
-			add(op.Kind(), elems*ABReLUBytes(r), roundsPerMSB+roundsPerMux)
+			add(op.Kind(), BytesFor(elems, ABReLUBits(r)), roundsPerMSB+roundsPerMux)
 		case *nn.MaxPool:
 			// Tournament: Σ(window−1) ABReLU evaluations over the diffs.
 			comparisons := uint64(op.Geom.InC*op.Geom.InH*op.Geom.InW) - elems
 			roundsN := uint64(op.Geom.KH*op.Geom.KW-1) * (roundsPerMSB + roundsPerMux)
-			add(op.Kind(), comparisons*ABReLUBytes(r), roundsN)
+			add(op.Kind(), BytesFor(comparisons, ABReLUBits(r)), roundsN)
 		case *nn.AvgPool:
 			// One truncation per output (two for non-power-of-two windows).
 			stages := uint64(1)
 			if w := op.Geom.KH * op.Geom.KW; w&(w-1) != 0 {
 				stages = 2
 			}
-			add(op.Kind(), elems*truncB*stages, truncR*stages)
+			add(op.Kind(), BytesFor(elems, truncBits)*stages, truncR*stages)
 		case nn.Add, nn.Flatten:
 			add(node.Op.Kind(), 0, 0)
 		}

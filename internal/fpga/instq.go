@@ -77,7 +77,7 @@ func Compile(cfg Config, m *nn.Model, r ring.Ring, localTrunc bool) (*Program, e
 		// Faithful truncation: A2BM + SCM comparison + exchange + ALU fix.
 		emit(Instr{Op: OpA2B, Elems: elems}, node)
 		emit(Instr{Op: OpSCM, Elems: elems}, node)
-		emit(Instr{Op: OpExch, Bytes: int(FaithfulTruncBytes(r)) * elems}, node)
+		emit(Instr{Op: OpExch, Bytes: int(BytesFor(uint64(elems), FaithfulTruncBits(r)))}, node)
 		emit(Instr{Op: OpAlu, Elems: elems}, node)
 	}
 	// emitGEMM tiles an (M×K)·(K×N) multiplication across the buffers:
@@ -115,13 +115,13 @@ func Compile(cfg Config, m *nn.Model, r ring.Ring, localTrunc bool) (*Program, e
 		case nn.ReLU:
 			emit(Instr{Op: OpA2B, Elems: outElems}, i)
 			emit(Instr{Op: OpSCM, Elems: outElems}, i)
-			emit(Instr{Op: OpExch, Bytes: int(ABReLUBytes(r)) * outElems}, i)
+			emit(Instr{Op: OpExch, Bytes: int(BytesFor(uint64(outElems), ABReLUBits(r)))}, i)
 			emit(Instr{Op: OpAlu, Elems: outElems}, i) // mux combine
 		case *nn.MaxPool:
 			comparisons := op.Geom.InC*op.Geom.InH*op.Geom.InW - outElems
 			emit(Instr{Op: OpA2B, Elems: comparisons}, i)
 			emit(Instr{Op: OpSCM, Elems: comparisons}, i)
-			emit(Instr{Op: OpExch, Bytes: int(ABReLUBytes(r)) * comparisons}, i)
+			emit(Instr{Op: OpExch, Bytes: int(BytesFor(uint64(comparisons), ABReLUBits(r)))}, i)
 			emit(Instr{Op: OpAlu, Elems: comparisons}, i)
 		case *nn.AvgPool:
 			emit(Instr{Op: OpAlu, Elems: op.Geom.InC * op.Geom.InH * op.Geom.InW}, i)

@@ -1,6 +1,7 @@
 package ot
 
 import (
+	"crypto/aes"
 	"fmt"
 
 	"aq2pnn/internal/prg"
@@ -31,12 +32,37 @@ type RecvInst struct {
 
 // Pad expands a seed into an l-byte XOR pad.
 func Pad(seed [SeedLen]byte, l int) []byte {
+	p := make([]byte, l)
+	PadInto(p, seed)
+	return p
+}
+
+// PadInto fills dst with the XOR pad of seed, writing the same bytes Pad
+// would. The pad stream is AES-128-CTR keyed by the seed with the 0x5C
+// domain-separation IV, so for pads of at most one block (every online OT
+// message: tokens are bits, share messages are ≤ 8 bytes) a single block
+// encryption replaces the general PRG construction — no keystream buffer,
+// no allocation beyond the cipher schedule.
+func PadInto(dst []byte, seed [SeedLen]byte) {
+	if len(dst) <= aes.BlockSize {
+		// Fast path, bit-identical to the PRG construction below: the PRG's
+		// key is the seed, its IV is {0x5C, 0…}, and a CTR keystream's first
+		// block is AES_key(IV).
+		block, err := aes.NewCipher(seed[:])
+		if err != nil {
+			//lint:allow panicfree unreachable-by-construction: aes.NewCipher fails only on key lengths other than 16/24/32, and the seed is a fixed 16-byte array
+			panic("ot: " + err.Error())
+		}
+		var iv, ks [aes.BlockSize]byte
+		iv[0] = 0x5C
+		block.Encrypt(ks[:], iv[:])
+		copy(dst, ks[:len(dst)])
+		return
+	}
 	var s [prg.SeedSize]byte
 	copy(s[:SeedLen], seed[:])
 	s[SeedLen] = 0x5C // domain separation from other PRG uses
-	p := make([]byte, l)
-	prg.New(s).Read(p)
-	return p
+	prg.New(s).Read(dst)
 }
 
 // Deal produces `count` correlated random 1-of-N OT instances from a
@@ -135,6 +161,7 @@ func SendPre(c transport.Conn, pre []SenderInst, n int, msgs [][][]byte) error {
 		return fmt.Errorf("ot: expected %d shift bytes, got %d", len(msgs), len(ds))
 	}
 	out := make([]byte, 0, len(msgs)*n*msgLen)
+	pad := make([]byte, msgLen)
 	for k := range msgs {
 		d := int(ds[k])
 		if d >= n {
@@ -145,9 +172,9 @@ func SendPre(c transport.Conn, pre []SenderInst, n int, msgs [][][]byte) error {
 			return fmt.Errorf("ot: precomputed instance %d has arity %d, want %d", k, len(inst.Seeds), n)
 		}
 		for l := 0; l < n; l++ {
-			ct := append([]byte(nil), msgs[k][l]...)
-			xorInto(ct, Pad(inst.Seeds[(l+d)%n], msgLen))
-			out = append(out, ct...)
+			PadInto(pad, inst.Seeds[(l+d)%n])
+			xorInto(pad, msgs[k][l])
+			out = append(out, pad...)
 		}
 	}
 	return c.Send(out)
@@ -177,9 +204,11 @@ func RecvPre(c transport.Conn, pre []RecvInst, n int, choices []int, msgLen int)
 		return nil, fmt.Errorf("ot: expected %d ciphertext bytes, got %d", len(choices)*n*msgLen, len(cts))
 	}
 	out := make([][]byte, len(choices))
+	flat := make([]byte, len(choices)*msgLen)
 	for k, ch := range choices {
-		m := append([]byte(nil), cts[(k*n+ch)*msgLen:(k*n+ch+1)*msgLen]...)
-		xorInto(m, Pad(pre[k].Seed, msgLen))
+		m := flat[k*msgLen : (k+1)*msgLen]
+		PadInto(m, pre[k].Seed)
+		xorInto(m, cts[(k*n+ch)*msgLen:(k*n+ch+1)*msgLen])
 		out[k] = m
 	}
 	return out, nil

@@ -85,21 +85,8 @@ func CmpSenderPar(ep *ot.Endpoint, rng *prg.PRG, r ring.Ring, a []uint64, rel Re
 		tokens[v] = PredTokens(a2b.Split(r, a[v]), widths, m[v], rel)
 	})
 	plan := planFullBatches(r.Bits, count)
-	for _, n := range plan.arities {
-		pairs := plan.pairs[n]
-		msgs := make([][][]byte, len(pairs))
-		pool.For(len(pairs), func(k int) {
-			vu := pairs[k]
-			row := tokens[vu[0]][vu[1]]
-			cand := make([][]byte, n)
-			for pm := 0; pm < n; pm++ {
-				cand[pm] = []byte{row[pm]}
-			}
-			msgs[k] = cand
-		})
-		if err := ep.Send1ofN(n, msgs); err != nil {
-			return nil, fmt.Errorf("scm: compare token transfer (1-of-%d): %w", n, err)
-		}
+	if err := ep.SendTokens(tokenBits, plan.sendBatches(tokens, pool)); err != nil {
+		return nil, fmt.Errorf("scm: compare token transfer: %w", err)
 	}
 	return m, nil
 }
@@ -127,20 +114,11 @@ func CmpReceiverPar(ep *ot.Endpoint, r ring.Ring, b []uint64, rel Rel, pool *par
 	for v := range received {
 		received[v] = make([]byte, len(widths))
 	}
-	for _, n := range plan.arities {
-		pairs := plan.pairs[n]
-		choices := make([]int, len(pairs))
-		for k, vu := range pairs {
-			choices[k] = int(groups[vu[0]][vu[1]])
-		}
-		got, err := ep.Recv1ofN(n, choices, 1)
-		if err != nil {
-			return nil, fmt.Errorf("scm: compare token transfer (1-of-%d): %w", n, err)
-		}
-		for k, vu := range pairs {
-			received[vu[0]][vu[1]] = got[k][0]
-		}
+	got, err := ep.RecvTokens(tokenBits, plan.recvBatches(groups))
+	if err != nil {
+		return nil, fmt.Errorf("scm: compare token transfer: %w", err)
 	}
+	plan.scatter(got, received)
 	out := make([]uint64, count)
 	errs := make([]error, count)
 	pool.For(count, func(v int) {
@@ -161,23 +139,5 @@ func CmpReceiverPar(ep *ot.Endpoint, r ring.Ring, b []uint64, rel Rel, pool *par
 
 // planFullBatches is planBatches over the full ℓ-bit layout.
 func planFullBatches(bits uint, count int) batchPlan {
-	widths := a2b.Groups(bits)
-	p := batchPlan{widths: widths, pairs: map[int][][2]int{}}
-	for u, w := range widths {
-		n := 1 << w
-		if p.pairs[n] == nil {
-			p.arities = append(p.arities, n)
-		}
-		for v := 0; v < count; v++ {
-			p.pairs[n] = append(p.pairs[n], [2]int{v, u})
-		}
-	}
-	for i := 0; i < len(p.arities); i++ {
-		for j := i + 1; j < len(p.arities); j++ {
-			if p.arities[j] < p.arities[i] {
-				p.arities[i], p.arities[j] = p.arities[j], p.arities[i]
-			}
-		}
-	}
-	return p
+	return planOver(a2b.Groups(bits), count)
 }

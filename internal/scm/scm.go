@@ -92,38 +92,78 @@ func ScanTokens(tokens []byte) (uint64, error) {
 	return 0, fmt.Errorf("scm: comparison did not terminate (all tokens EQ)")
 }
 
+// tokenBits is the packed width of one comparison token: the {LT, EQ, GT}
+// alphabet fits in 2 bits, and the coalesced OT transfer packs candidates
+// at exactly this width on the wire.
+const tokenBits = 2
+
 // batchPlan groups the (element, group) OT instances by arity so a whole
-// tensor's comparison runs in one online batch per arity.
+// tensor's comparison runs as one coalesced token transfer: one slice per
+// arity, all slices riding a single send/recv pair.
 type batchPlan struct {
 	widths []uint
-	// byArity[n] lists, in deterministic order, the (v, u) pairs using
+	// pairs[n] lists, in deterministic order, the (v, u) pairs using
 	// (1,n)-OT.
 	arities []int // distinct arities in ascending order
 	pairs   map[int][][2]int
 }
 
 func planBatches(bits uint, count int) batchPlan {
-	widths := a2b.LowGroups(bits)
-	p := batchPlan{widths: widths, pairs: map[int][][2]int{}}
+	return planOver(a2b.LowGroups(bits), count)
+}
+
+// planOver builds the batch plan for an explicit group layout. The arity
+// schedule (ascending) comes from a2b.Arities, so both parties derive the
+// identical coalesced-transfer shape with no negotiation; u-order within
+// an arity follows the layout.
+func planOver(widths []uint, count int) batchPlan {
+	p := batchPlan{widths: widths, arities: a2b.Arities(widths), pairs: map[int][][2]int{}}
 	for u, w := range widths {
 		n := 1 << w
-		if p.pairs[n] == nil {
-			p.arities = append(p.arities, n)
-		}
 		for v := 0; v < count; v++ {
 			p.pairs[n] = append(p.pairs[n], [2]int{v, u})
 		}
 	}
-	// arities were appended in group order; sort small-to-large for a
-	// deterministic protocol schedule (u-order within an arity preserved).
-	for i := 0; i < len(p.arities); i++ {
-		for j := i + 1; j < len(p.arities); j++ {
-			if p.arities[j] < p.arities[i] {
-				p.arities[i], p.arities[j] = p.arities[j], p.arities[i]
-			}
+	return p
+}
+
+// sendBatches lays each arity's token rows out in plan order for one
+// coalesced transfer. rows are aliased, not copied.
+func (p batchPlan) sendBatches(tokens [][][]byte, pool *parallel.Pool) []ot.SendTokenBatch {
+	batches := make([]ot.SendTokenBatch, len(p.arities))
+	for bi, n := range p.arities {
+		pairs := p.pairs[n]
+		rows := make([][]byte, len(pairs))
+		pool.For(len(pairs), func(k int) {
+			vu := pairs[k]
+			rows[k] = tokens[vu[0]][vu[1]]
+		})
+		batches[bi] = ot.SendTokenBatch{N: n, Rows: rows}
+	}
+	return batches
+}
+
+// recvBatches lays each arity's choices out in plan order.
+func (p batchPlan) recvBatches(groups [][]uint64) []ot.RecvTokenBatch {
+	batches := make([]ot.RecvTokenBatch, len(p.arities))
+	for bi, n := range p.arities {
+		pairs := p.pairs[n]
+		choices := make([]int, len(pairs))
+		for k, vu := range pairs {
+			choices[k] = int(groups[vu[0]][vu[1]])
+		}
+		batches[bi] = ot.RecvTokenBatch{N: n, Choices: choices}
+	}
+	return batches
+}
+
+// scatter writes the received tokens back into per-element group order.
+func (p batchPlan) scatter(got [][]byte, received [][]byte) {
+	for bi, n := range p.arities {
+		for k, vu := range p.pairs[n] {
+			received[vu[0]][vu[1]] = got[bi][k]
 		}
 	}
-	return p
 }
 
 // MSBSender runs party i's side of the secure sign computation for a batch
@@ -156,21 +196,8 @@ func MSBSenderPar(ep *ot.Endpoint, rng *prg.PRG, r ring.Ring, xi []uint64, pool 
 		tokens[v] = SenderTokens(a2b.SplitLow(r, a), widths, flip)
 	})
 	plan := planBatches(r.Bits, count)
-	for _, n := range plan.arities {
-		pairs := plan.pairs[n]
-		msgs := make([][][]byte, len(pairs))
-		pool.For(len(pairs), func(k int) {
-			vu := pairs[k]
-			row := tokens[vu[0]][vu[1]]
-			cand := make([][]byte, n)
-			for pm := 0; pm < n; pm++ {
-				cand[pm] = []byte{row[pm]}
-			}
-			msgs[k] = cand
-		})
-		if err := ep.Send1ofN(n, msgs); err != nil {
-			return nil, fmt.Errorf("scm: token transfer (1-of-%d): %w", n, err)
-		}
+	if err := ep.SendTokens(tokenBits, plan.sendBatches(tokens, pool)); err != nil {
+		return nil, fmt.Errorf("scm: token transfer: %w", err)
 	}
 	return m, nil
 }
@@ -201,20 +228,11 @@ func MSBReceiverPar(ep *ot.Endpoint, r ring.Ring, xj []uint64, pool *parallel.Po
 	for v := range received {
 		received[v] = make([]byte, len(widths))
 	}
-	for _, n := range plan.arities {
-		pairs := plan.pairs[n]
-		choices := make([]int, len(pairs))
-		for k, vu := range pairs {
-			choices[k] = int(groups[vu[0]][vu[1]])
-		}
-		got, err := ep.Recv1ofN(n, choices, 1)
-		if err != nil {
-			return nil, fmt.Errorf("scm: token transfer (1-of-%d): %w", n, err)
-		}
-		for k, vu := range pairs {
-			received[vu[0]][vu[1]] = got[k][0]
-		}
+	got, err := ep.RecvTokens(tokenBits, plan.recvBatches(groups))
+	if err != nil {
+		return nil, fmt.Errorf("scm: token transfer: %w", err)
 	}
+	plan.scatter(got, received)
 	out := make([]uint64, count)
 	errs := make([]error, count)
 	pool.For(count, func(v int) {

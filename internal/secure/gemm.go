@@ -3,12 +3,19 @@ package secure
 import (
 	"fmt"
 
+	"aq2pnn/internal/parallel"
 	"aq2pnn/internal/ring"
 	"aq2pnn/internal/telemetry"
 	"aq2pnn/internal/tensor"
 	"aq2pnn/internal/transport"
 	"aq2pnn/internal/triple"
 )
+
+// gemmSlab recycles the per-call temporaries of the secure GEMMs (mask
+// shares, the IN⊗F partial product). Results that escape to the caller
+// are still allocated fresh; only buffers whose lifetime ends inside the
+// call draw from the slab.
+var gemmSlab parallel.Slab
 
 // AS-GEMM: the ciphertext-ciphertext matrix multiplication of Sec. 4.1.2.
 // With Beaver triple [[A]], [[B]], [[Z]] (Z = A⊗B) and opened masks
@@ -56,12 +63,15 @@ func (c *Context) beaverCombine(r ring.Ring, e, f, inShare, wShare, zShare []uin
 	// W_p − p·F (party j subtracts the public F once).
 	wf := wShare
 	if c.Party == 1 {
-		wf = make([]uint64, len(wShare))
+		wf = gemmSlab.Get(len(wShare))
+		defer gemmSlab.Put(wf)
 		r.SubVec(wf, wShare, f)
 	}
 	out := tensor.MatMulModPar(c.Pool, e, wf, m, k, n, r.Mask)
-	inf := tensor.MatMulModPar(c.Pool, inShare, f, m, k, n, r.Mask)
+	inf := gemmSlab.Get(m * n)
+	tensor.MatMulModParInto(c.Pool, inf, inShare, f, m, k, n, r.Mask)
 	r.AddVec(out, out, inf)
+	gemmSlab.Put(inf)
 	r.AddVec(out, out, zShare)
 	return out
 }
@@ -158,15 +168,21 @@ func (l *Linear) Mul(in []uint64, m int) ([]uint64, error) {
 		return nil, err
 	}
 	r := l.R
-	eShare := make([]uint64, m*l.K)
+	eShare := gemmSlab.Get(m * l.K)
 	r.SubVec(eShare, in, t.A)
 	e, err := transport.ExchangeOpen(l.ctx.Conn, r, l.ctx.P(), eShare)
+	gemmSlab.Put(eShare)
 	if err != nil {
 		return nil, err
 	}
-	out := tensor.MatMulModPar(l.ctx.Pool, e, l.wMinusPF, m, l.K, l.N, r.Mask)
-	inf := tensor.MatMulModPar(l.ctx.Pool, in, l.F, m, l.K, l.N, r.Mask)
+	// out escapes as the layer's activation share, so it alone is a fresh
+	// allocation; the IN⊗F partial product dies here and rides the slab.
+	out := make([]uint64, m*l.N)
+	tensor.MatMulModParInto(l.ctx.Pool, out, e, l.wMinusPF, m, l.K, l.N, r.Mask)
+	inf := gemmSlab.Get(m * l.N)
+	tensor.MatMulModParInto(l.ctx.Pool, inf, in, l.F, m, l.K, l.N, r.Mask)
 	r.AddVec(out, out, inf)
+	gemmSlab.Put(inf)
 	r.AddVec(out, out, t.Z)
 	return out, nil
 }

@@ -19,17 +19,29 @@ const parRowThreshold = 8
 // MatMulModPar computes C = A(m×k) × B(k×n) mod (mask+1), row-blocked over
 // the pool. Identical output to MatMulMod for every pool degree.
 func MatMulModPar(p *parallel.Pool, a, b []uint64, m, k, n int, mask uint64) []uint64 {
-	if p.Serial() || m < parRowThreshold {
-		return MatMulMod(a, b, m, k, n, mask)
-	}
-	if len(a) != m*k || len(b) != k*n {
-		panic(fmt.Sprintf("tensor: MatMulModPar dims %dx%d × %dx%d with lens %d,%d", m, k, k, n, len(a), len(b)))
-	}
 	c := make([]uint64, m*n)
+	MatMulModParInto(p, c, a, b, m, k, n, mask)
+	return c
+}
+
+// MatMulModParInto is MatMulModPar writing into a caller-owned
+// destination of length m·n (cleared first) — the form the online GEMMs
+// run on so steady-state inference allocates nothing per layer. dst may
+// not alias a or b.
+func MatMulModParInto(p *parallel.Pool, dst, a, b []uint64, m, k, n int, mask uint64) {
+	if p.Serial() || m < parRowThreshold {
+		MatMulModInto(dst, a, b, m, k, n, mask)
+		return
+	}
+	if len(a) != m*k || len(b) != k*n || len(dst) != m*n {
+		panic(fmt.Sprintf("tensor: MatMulModPar dims %dx%d × %dx%d with lens %d,%d,%d", m, k, k, n, len(a), len(b), len(dst)))
+	}
 	p.Blocks(m, func(lo, hi int) {
+		rows := dst[lo*n : hi*n]
+		clear(rows)
 		for i := lo; i < hi; i++ {
 			ar := a[i*k : (i+1)*k]
-			cr := c[i*n : (i+1)*n]
+			cr := dst[i*n : (i+1)*n]
 			for q := 0; q < k; q++ {
 				av := ar[q]
 				br := b[q*n : (q+1)*n]
@@ -39,7 +51,6 @@ func MatMulModPar(p *parallel.Pool, a, b []uint64, m, k, n int, mask uint64) []u
 			}
 		}
 	})
-	return c
 }
 
 // MatMulFloatPar is the row-blocked float64 GEMM, used by the training and
@@ -76,14 +87,28 @@ func MatMulFloatPar(p *parallel.Pool, a, b []float64, m, k, n int) []float64 {
 // matrix with the patch rows distributed over the pool. Each patch writes
 // its own out[pi*pl : (pi+1)*pl] slice, so the result equals Im2ColInt.
 func Im2ColIntPar(p *parallel.Pool, img []uint64, g ConvGeom) []uint64 {
+	out := make([]uint64, g.Patches()*g.PatchLen())
+	Im2ColIntParInto(p, out, img, g)
+	return out
+}
+
+// Im2ColIntParInto is Im2ColIntPar writing into a caller-owned
+// destination of length Patches·PatchLen (cleared first). dst may not
+// alias img.
+func Im2ColIntParInto(p *parallel.Pool, dst, img []uint64, g ConvGeom) {
 	oh, ow := g.OutH(), g.OutW()
 	patches := oh * ow
 	if p.Serial() || patches < parRowThreshold {
-		return Im2ColInt(img, g)
+		Im2ColIntInto(dst, img, g)
+		return
 	}
 	pl := g.PatchLen()
-	out := make([]uint64, patches*pl)
+	if len(dst) != patches*pl {
+		panic(fmt.Sprintf("tensor: Im2ColIntPar dst length %d for %d patches of %d", len(dst), patches, pl))
+	}
 	p.Blocks(patches, func(lo, hi int) {
+		rows := dst[lo*pl : hi*pl]
+		clear(rows)
 		for pi := lo; pi < hi; pi++ {
 			oy, ox := pi/ow, pi%ow
 			idx := pi * pl
@@ -93,7 +118,7 @@ func Im2ColIntPar(p *parallel.Pool, img []uint64, g ConvGeom) []uint64 {
 					for kx := 0; kx < g.KW; kx++ {
 						ix := ox*g.StrideW + kx - g.PadW
 						if iy >= 0 && iy < g.InH && ix >= 0 && ix < g.InW {
-							out[idx] = img[(c*g.InH+iy)*g.InW+ix]
+							dst[idx] = img[(c*g.InH+iy)*g.InW+ix]
 						}
 						idx++
 					}
@@ -101,5 +126,4 @@ func Im2ColIntPar(p *parallel.Pool, img []uint64, g ConvGeom) []uint64 {
 			}
 		}
 	})
-	return out
 }

@@ -103,3 +103,21 @@ func benchmarkMatMulMod(b *testing.B, workers uint) {
 func BenchmarkMatMulMod512_Workers1(b *testing.B) { benchmarkMatMulMod(b, 1) }
 func BenchmarkMatMulMod512_Workers2(b *testing.B) { benchmarkMatMulMod(b, 2) }
 func BenchmarkMatMulMod512_Workers4(b *testing.B) { benchmarkMatMulMod(b, 4) }
+
+// BenchmarkMatMulMod512 is the allocation gate the CI bench step pins at
+// 0 allocs/op: the serial 512³ modular GEMM through the Into hot path
+// with a caller-owned destination (`make bench-online`).
+func BenchmarkMatMulMod512(b *testing.B) {
+	g := prg.NewSeeded(7)
+	r := ring.New(32)
+	const d = 512
+	a := randMat(g, d*d, r)
+	bb := randMat(g, d*d, r)
+	dst := make([]uint64, d*d)
+	b.SetBytes(int64(d * d * 8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulModInto(dst, a, bb, d, d, d, r.Mask)
+	}
+}

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"fmt"
+	"sync"
 
 	"aq2pnn/internal/ring"
 )
@@ -10,15 +11,39 @@ import (
 // little-endian. This width is what makes the measured communication
 // proportional to the adaptive bit-width.
 func PackElems(r ring.Ring, xs []uint64) []byte {
+	out := make([]byte, len(xs)*r.Bytes())
+	PackElemsInto(out, r, xs)
+	return out
+}
+
+// PackElemsInto packs xs into dst, which must be exactly len(xs)·⌈ℓ/8⌉
+// bytes — the allocation-free form behind the pooled send path.
+func PackElemsInto(dst []byte, r ring.Ring, xs []uint64) {
 	w := r.Bytes()
-	out := make([]byte, len(xs)*w)
+	if len(dst) != len(xs)*w {
+		//lint:allow panicfree local programming error, not peer input: dst is sized by the caller from the same xs/ring it passes in
+		panic(fmt.Sprintf("transport: PackElemsInto dst length %d for %d elements of width %d", len(dst), len(xs), w))
+	}
 	for i, x := range xs {
 		x &= r.Mask
 		for b := 0; b < w; b++ {
-			out[i*w+b] = byte(x >> (8 * b))
+			dst[i*w+b] = byte(x >> (8 * b))
 		}
 	}
-	return out
+}
+
+// sendBufs recycles the packed frames of SendElems. The Conn contract
+// guarantees the payload is copied (pipe) or fully written (net) before
+// Send returns, so the buffer is free for reuse the moment Send does.
+var sendBufs = sync.Pool{New: func() any { return new([]byte) }}
+
+func getSendBuf(n int) *[]byte {
+	bp := sendBufs.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, n)
+	}
+	*bp = (*bp)[:n]
+	return bp
 }
 
 // UnpackElems is the inverse of PackElems. It fails when the payload length
@@ -39,9 +64,14 @@ func UnpackElems(r ring.Ring, p []byte) ([]uint64, error) {
 	return xs, nil
 }
 
-// SendElems transmits a ring-element vector in one frame.
+// SendElems transmits a ring-element vector in one frame, packing it
+// through the buffer pool so steady-state sends allocate nothing.
 func SendElems(c Conn, r ring.Ring, xs []uint64) error {
-	return c.Send(PackElems(r, xs))
+	bp := getSendBuf(len(xs) * r.Bytes())
+	PackElemsInto(*bp, r, xs)
+	err := c.Send(*bp)
+	sendBufs.Put(bp)
+	return err
 }
 
 // RecvElems receives a ring-element vector, checking the expected length.
