@@ -4,7 +4,7 @@ GO ?= go
 # sources are unchanged, so repeat `make lint` runs pay only for go vet.
 LINTBIN ?= bin/aq2pnnlint
 
-.PHONY: build test race vet lint lintbin bench bench-matmul bench-batch bench-session bench-preproc bench-online benchgate chaos fuzz ci
+.PHONY: build test race vet lint lintbin bench bench-matmul bench-batch bench-session bench-preproc bench-online bench-gateway benchgate chaos chaos-fleet fuzz ci
 
 # Per-target budget for `make fuzz`; CI uses 30s per target on PRs.
 FUZZTIME ?= 60s
@@ -66,13 +66,23 @@ bench-online:
 		grep -Eq 'BenchmarkMatMulMod512\S*\s.*\s0 allocs/op' || \
 		{ echo "bench-online: BenchmarkMatMulMod512 is allocating (want 0 allocs/op)"; exit 1; }
 
-# Bench-regression gate over the committed baseline pair: fails when the
-# new report's warm online p50 or warm online bytes regress more than 10%
-# against the previous one.
+# Gateway fleet under load (docs/robustness.md): loadgen self-hosts
+# three providers behind the gateway, streams concurrent mixed-model
+# sessions with a mid-run backend kill, refreshes BENCH_10.json, and
+# holds it against the committed BENCH_9.json baseline (structural gate:
+# zero failed sessions, reroutes present, sane percentiles).
+bench-gateway:
+	$(GO) run ./cmd/loadgen -sessions 120 -inferences 3 -concurrency 12 -chaos -out BENCH_10.json
+	$(GO) run ./cmd/benchgate BENCH_9.json BENCH_10.json
+
+# Bench-regression gate over the committed baseline pairs: fails when a
+# report regresses more than 10% against its predecessor (or, across the
+# session->fleet schema boundary, fails the structural health gate).
 benchgate:
 	$(GO) run ./cmd/benchgate BENCH_8.json BENCH_9.json
+	$(GO) run ./cmd/benchgate BENCH_9.json BENCH_10.json
 
-bench: bench-matmul bench-batch bench-session bench-preproc bench-online
+bench: bench-matmul bench-batch bench-session bench-preproc bench-online bench-gateway
 
 # Deterministic chaos harness (docs/robustness.md): the sampled fault
 # sweep under the race detector, then the exhaustive micro sweep and the
@@ -80,6 +90,16 @@ bench: bench-matmul bench-batch bench-session bench-preproc bench-online
 chaos:
 	$(GO) test -race -timeout 20m -count=1 -run 'TestFaultSweep|TestServeTCP|TestRunUserWithRetry|TestChaosConn' ./internal/engine/ ./internal/transport/
 	AQ2PNN_CHAOS=1 AQ2PNN_CHAOS_LENET=1 $(GO) test -timeout 30m -count=1 -run 'TestFaultSweep' ./internal/engine/
+
+# Fleet-level chaos (docs/robustness.md): the gateway's three-backend
+# sweep — kill/stall/corrupt one backend at every sampled mid-inference
+# operation index; every session must fail over and finish with
+# bit-identical logits. The sampled sweep runs under the race detector;
+# AQ2PNN_CHAOS_FLEET=1 then widens it to a stride across the whole
+# inference window.
+chaos-fleet:
+	$(GO) test -race -timeout 20m -count=1 ./internal/gateway/
+	AQ2PNN_CHAOS_FLEET=1 $(GO) test -timeout 30m -count=1 -run 'TestFleetChaos' ./internal/gateway/
 
 # Protocol fuzzing suite (docs/robustness.md, "Hostile peers"): every
 # wire decoder that consumes peer-controlled bytes, from its committed

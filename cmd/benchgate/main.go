@@ -1,18 +1,28 @@
 // Command benchgate is the bench-regression gate: it parses a committed
-// pair of sessionbench -bench-out reports (the previous baseline and the
-// new one) and fails when the new warm-path numbers regress more than the
-// tolerance against the old.
+// pair of benchmark artifacts (the previous baseline and the new one)
+// and fails when the new numbers regress more than the tolerance against
+// the old.
 //
 //	benchgate BENCH_8.json BENCH_9.json
+//	benchgate BENCH_9.json BENCH_10.json
 //
-// Two figures are gated, both from the warm (preprocessing-plane) pass —
-// the configuration the serving story ships:
+// Two artifact schemas are understood, told apart by their "kind" field
+// (absent = sessionbench, "gateway-loadgen" = loadgen):
 //
-//   - online bytes per inference: exact and machine-independent, so any
-//     growth is a protocol change, not noise. Tolerance exists only so a
-//     deliberate, documented trade can land without editing the gate.
-//   - online p50 latency: machine-dependent, so the tolerance absorbs
-//     run-to-run noise while still catching step regressions.
+//   - sessionbench -bench-out reports. Gated figures are the warm
+//     (preprocessing-plane) pass's online bytes per inference — exact and
+//     machine-independent, so any growth is a protocol change — and its
+//     online p50 latency, where the tolerance absorbs machine noise.
+//   - loadgen gateway reports. Gated structurally: zero failed sessions,
+//     a healthy fleet (no unexplained shed), sane percentile ordering
+//     (p50 ≤ p99 ≤ p999), and — for a chaos run — at least one reroute,
+//     or the artifact proves nothing about failover.
+//
+// A like-schema pair gates new against old numerically. A cross-schema
+// pair (sessionbench baseline, loadgen next) applies the structural gate
+// to the new artifact and prints the p50s side by side without gating
+// them — a fleet under concurrent load measures a different quantity
+// than one idle session.
 //
 // Exit status 0 when the new report holds the line, 1 with a diagnostic
 // when it regresses or either file is malformed.
@@ -40,20 +50,88 @@ type benchReport struct {
 	Warm  pass   `json:"warm"`
 }
 
-func load(path string) (benchReport, error) {
-	var r benchReport
+// loadReport is the subset of loadgen's gateway artifact.
+type loadReport struct {
+	Models          []string `json:"models"`
+	Sessions        int      `json:"sessions"`
+	Chaos           bool     `json:"chaos"`
+	FailedSessions  int      `json:"failed_sessions"`
+	InferMillisP50  float64  `json:"infer_ms_p50"`
+	InferMillisP99  float64  `json:"infer_ms_p99"`
+	InferMillisP999 float64  `json:"infer_ms_p999"`
+	Gateway         *struct {
+		Shed            uint64 `json:"shed"`
+		Reroutes        uint64 `json:"reroutes"`
+		BackendFailures uint64 `json:"backend_failures"`
+	} `json:"gateway"`
+}
+
+// artifact is one parsed report of either schema.
+type artifact struct {
+	path  string
+	kind  string // "" = sessionbench, "gateway-loadgen" = loadgen
+	bench benchReport
+	load  loadReport
+}
+
+func load(path string) (artifact, error) {
+	a := artifact{path: path}
 	p, err := os.ReadFile(path)
 	if err != nil {
-		return r, err
+		return a, err
 	}
-	if err := json.Unmarshal(p, &r); err != nil {
-		return r, fmt.Errorf("%s: %w", path, err)
+	var probe struct {
+		Kind string `json:"kind"`
 	}
-	if r.Warm.InferMillisP50 <= 0 || r.Warm.OnlineBytesPerInference == 0 {
-		return r, fmt.Errorf("%s: missing warm-pass figures (p50 %.3f, bytes %d)",
-			path, r.Warm.InferMillisP50, r.Warm.OnlineBytesPerInference)
+	if err := json.Unmarshal(p, &probe); err != nil {
+		return a, fmt.Errorf("%s: %w", path, err)
 	}
-	return r, nil
+	a.kind = probe.Kind
+	switch a.kind {
+	case "":
+		if err := json.Unmarshal(p, &a.bench); err != nil {
+			return a, fmt.Errorf("%s: %w", path, err)
+		}
+		if a.bench.Warm.InferMillisP50 <= 0 || a.bench.Warm.OnlineBytesPerInference == 0 {
+			return a, fmt.Errorf("%s: missing warm-pass figures (p50 %.3f, bytes %d)",
+				path, a.bench.Warm.InferMillisP50, a.bench.Warm.OnlineBytesPerInference)
+		}
+	case "gateway-loadgen":
+		if err := json.Unmarshal(p, &a.load); err != nil {
+			return a, fmt.Errorf("%s: %w", path, err)
+		}
+		if err := checkLoad(path, a.load); err != nil {
+			return a, err
+		}
+	default:
+		return a, fmt.Errorf("%s: unknown artifact kind %q", path, a.kind)
+	}
+	return a, nil
+}
+
+// checkLoad is the structural gate every loadgen artifact must pass on
+// its own, baseline or next.
+func checkLoad(path string, r loadReport) error {
+	if r.Sessions <= 0 || r.InferMillisP50 <= 0 {
+		return fmt.Errorf("%s: missing loadgen figures (sessions %d, p50 %.3f)", path, r.Sessions, r.InferMillisP50)
+	}
+	if r.FailedSessions != 0 {
+		return fmt.Errorf("%s: %d failed sessions — the fleet did not hold the load", path, r.FailedSessions)
+	}
+	if r.InferMillisP50 > r.InferMillisP99 || r.InferMillisP99 > r.InferMillisP999 {
+		return fmt.Errorf("%s: percentiles out of order (p50 %.3f, p99 %.3f, p999 %.3f)",
+			path, r.InferMillisP50, r.InferMillisP99, r.InferMillisP999)
+	}
+	if r.Gateway == nil {
+		return fmt.Errorf("%s: no gateway counters — artifact was not produced against the self-hosted fleet", path)
+	}
+	if r.Chaos && r.Gateway.Reroutes == 0 {
+		return fmt.Errorf("%s: chaos run recorded no reroutes — proves nothing about failover", path)
+	}
+	if !r.Chaos && r.Gateway.BackendFailures != 0 {
+		return fmt.Errorf("%s: healthy run recorded %d backend failures", path, r.Gateway.BackendFailures)
+	}
+	return nil
 }
 
 // check returns an error when next exceeds base by more than the tolerance.
@@ -74,22 +152,54 @@ func run(oldPath, newPath string) error {
 	if err != nil {
 		return err
 	}
-	if base.Model != next.Model {
-		return fmt.Errorf("reports measure different models: %q vs %q", base.Model, next.Model)
+	switch {
+	case base.kind == "" && next.kind == "":
+		if base.bench.Model != next.bench.Model {
+			return fmt.Errorf("reports measure different models: %q vs %q", base.bench.Model, next.bench.Model)
+		}
+		if err := check("warm online bytes/inference",
+			float64(base.bench.Warm.OnlineBytesPerInference), float64(next.bench.Warm.OnlineBytesPerInference)); err != nil {
+			return err
+		}
+		if err := check("warm online p50 ms", base.bench.Warm.InferMillisP50, next.bench.Warm.InferMillisP50); err != nil {
+			return err
+		}
+		fmt.Printf("benchgate: %s -> %s holds: bytes %d -> %d, rounds %d -> %d, p50 %.2fms -> %.2fms\n",
+			oldPath, newPath,
+			base.bench.Warm.OnlineBytesPerInference, next.bench.Warm.OnlineBytesPerInference,
+			base.bench.Warm.OnlineRounds, next.bench.Warm.OnlineRounds,
+			base.bench.Warm.InferMillisP50, next.bench.Warm.InferMillisP50)
+	case base.kind == "gateway-loadgen" && next.kind == "gateway-loadgen":
+		if err := check("gateway infer p50 ms", base.load.InferMillisP50, next.load.InferMillisP50); err != nil {
+			return err
+		}
+		if err := check("gateway infer p999 ms", base.load.InferMillisP999, next.load.InferMillisP999); err != nil {
+			return err
+		}
+		fmt.Printf("benchgate: %s -> %s holds: p50 %.2fms -> %.2fms, p999 %.2fms -> %.2fms\n",
+			oldPath, newPath,
+			base.load.InferMillisP50, next.load.InferMillisP50,
+			base.load.InferMillisP999, next.load.InferMillisP999)
+	case base.kind == "" && next.kind == "gateway-loadgen":
+		// Cross-schema boundary: the structural gate (already applied by
+		// load) is the gate; the latencies are informational — one idle
+		// session and a fleet under concurrent load measure different
+		// quantities.
+		fmt.Printf("benchgate: %s (session warm p50 %.2fms) -> %s (fleet p50 %.2fms under %d sessions%s) holds structurally\n",
+			oldPath, base.bench.Warm.InferMillisP50,
+			newPath, next.load.InferMillisP50, next.load.Sessions,
+			chaosTag(next.load.Chaos))
+	default:
+		return fmt.Errorf("cannot gate %q baseline against %q report", base.kind, next.kind)
 	}
-	if err := check("warm online bytes/inference",
-		float64(base.Warm.OnlineBytesPerInference), float64(next.Warm.OnlineBytesPerInference)); err != nil {
-		return err
-	}
-	if err := check("warm online p50 ms", base.Warm.InferMillisP50, next.Warm.InferMillisP50); err != nil {
-		return err
-	}
-	fmt.Printf("benchgate: %s -> %s holds: bytes %d -> %d, rounds %d -> %d, p50 %.2fms -> %.2fms\n",
-		oldPath, newPath,
-		base.Warm.OnlineBytesPerInference, next.Warm.OnlineBytesPerInference,
-		base.Warm.OnlineRounds, next.Warm.OnlineRounds,
-		base.Warm.InferMillisP50, next.Warm.InferMillisP50)
 	return nil
+}
+
+func chaosTag(chaos bool) string {
+	if chaos {
+		return ", chaos"
+	}
+	return ""
 }
 
 func main() {

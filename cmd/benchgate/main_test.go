@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -43,6 +44,72 @@ func TestGate(t *testing.T) {
 			}
 			if !c.ok && err == nil {
 				t.Fatal("gate passed, want failure")
+			}
+		})
+	}
+}
+
+const loadOK = `{"kind":"gateway-loadgen","models":["micro"],"sessions":120,"chaos":true,
+"failed_sessions":0,"infer_ms_p50":200.0,"infer_ms_p99":900.0,"infer_ms_p999":1500.0,
+"gateway":{"shed":0,"reroutes":9,"backend_failures":3}}`
+
+func loadReportJSON(mut func(r string) string) string {
+	if mut == nil {
+		return loadOK
+	}
+	return mut(loadOK)
+}
+
+func TestGateLoadgenSchema(t *testing.T) {
+	session := write(t, "session.json", report(275928, 234.5))
+	replace := func(old, new string) func(string) string {
+		return func(r string) string { return strings.Replace(r, old, new, 1) }
+	}
+	cases := []struct {
+		name    string
+		old     string
+		next    string
+		wantErr string // substring; "" = must pass
+	}{
+		{"cross-schema boundary holds structurally", "", loadReportJSON(nil), ""},
+		{"load pair holds", loadOK, loadReportJSON(nil), ""},
+		{"load p50 regresses", loadOK,
+			loadReportJSON(replace(`"infer_ms_p50":200.0`, `"infer_ms_p50":500.0`)), "p50 ms regressed"},
+		{"load p999 regresses", loadOK,
+			loadReportJSON(replace(`"infer_ms_p999":1500.0`, `"infer_ms_p999":4000.0`)), "p999 ms regressed"},
+		{"failed sessions rejected", "",
+			loadReportJSON(replace(`"failed_sessions":0`, `"failed_sessions":2`)), "failed sessions"},
+		{"chaos without reroutes rejected", "",
+			loadReportJSON(replace(`"reroutes":9`, `"reroutes":0`)), "no reroutes"},
+		{"percentile disorder rejected", "",
+			loadReportJSON(replace(`"infer_ms_p999":1500.0`, `"infer_ms_p999":100.0`)), "percentiles out of order"},
+		{"missing gateway counters rejected", "",
+			`{"kind":"gateway-loadgen","sessions":10,"failed_sessions":0,"infer_ms_p50":1,"infer_ms_p99":2,"infer_ms_p999":3}`,
+			"no gateway counters"},
+		{"healthy run with backend failures rejected", "",
+			func() string {
+				r := strings.Replace(loadOK, `"chaos":true`, `"chaos":false`, 1)
+				return strings.Replace(r, `"reroutes":9`, `"reroutes":0`, 1)
+			}(), "backend failures"},
+		{"unknown kind rejected", "", `{"kind":"mystery"}`, "unknown artifact kind"},
+		{"loadgen baseline cannot gate session report", loadOK, report(255013, 81.3), "cannot gate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base := session
+			if tc.old != "" {
+				base = write(t, "old.json", tc.old)
+			}
+			next := write(t, "new.json", tc.next)
+			err := run(base, next)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("gate failed, want pass: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("got %v, want error containing %q", err, tc.wantErr)
 			}
 		})
 	}

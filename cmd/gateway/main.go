@@ -1,0 +1,151 @@
+// Command gateway runs the self-healing sharded front tier: a TCP proxy
+// that spreads AQ2PNN sessions over a fleet of provider backends (see
+// cmd/party -role provider) and keeps them alive through individual
+// backend failure.
+//
+//	gateway -listen :7540 -backends host1:7541,host2:7541,host3:7541
+//
+// Every backend must run the same model registry and engine seed — the
+// gateway routes by consistent hashing on (model fingerprint, session
+// token), and after a backend death the session's re-attach is rerouted
+// to the next ring owner, where the provider's token-adoption fallback
+// rebuilds it bit-identically. Health is tracked per backend by a
+// circuit breaker fed from passive session scoring and an active prober
+// (-probe-interval); -backend-metrics upgrades the probe from a TCP
+// connect to an HTTP /metrics check against the backends' telemetry
+// endpoints. Overload is shed with the protocol's busy-reject, which
+// clients treat as transient. See docs/robustness.md for the threat
+// model and the failover state machine.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"aq2pnn/internal/gateway"
+	"aq2pnn/internal/telemetry"
+	"aq2pnn/internal/transport"
+)
+
+func main() {
+	listen := flag.String("listen", ":7540", "gateway listen address")
+	backends := flag.String("backends", "", "comma-separated backend serving addresses (required)")
+	backendMetrics := flag.String("backend-metrics", "", "comma-separated backend /metrics addresses, parallel to -backends (empty entries fall back to TCP connect probes)")
+	seed := flag.Uint64("seed", 7, "gateway determinism seed (minted tokens, breaker jitter)")
+	maxSessions := flag.Int("max-sessions", 0, "cap on concurrently proxied sessions; excess is shed busy (0 = unlimited)")
+	handshakeTimeout := flag.Duration("handshake-timeout", 0, "bound a client's hello+attach intake (0 = 10s default, negative = none)")
+	dialTimeout := flag.Duration("dial-timeout", 0, "bound one backend dial attempt (0 = 1s default)")
+	probeInterval := flag.Duration("probe-interval", 0, "active health probe period (0 = 1s default, negative = passive scoring only)")
+	probeTimeout := flag.Duration("probe-timeout", 0, "bound one health probe (0 = 1s default)")
+	failThreshold := flag.Int("fail-threshold", 0, "consecutive failures that trip a backend's breaker (0 = 3 default)")
+	cooldownBase := flag.Duration("cooldown-base", 0, "breaker cooldown before the first reopen attempt (0 = 250ms default)")
+	cooldownMax := flag.Duration("cooldown-max", 0, "breaker cooldown ceiling under repeated trips (0 = 8s default)")
+	metrics := flag.String("metrics", "", "serve the gateway's own /metrics and /debug/pprof on this address (e.g. :9091)")
+	flag.Parse()
+
+	if err := run(*listen, *backends, *backendMetrics, gatewayConfig{
+		seed: *seed, maxSessions: *maxSessions,
+		handshakeTimeout: *handshakeTimeout, dialTimeout: *dialTimeout,
+		probeInterval: *probeInterval, probeTimeout: *probeTimeout,
+		failThreshold: *failThreshold,
+		cooldownBase:  *cooldownBase, cooldownMax: *cooldownMax,
+		metrics: *metrics,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "gateway:", err)
+		os.Exit(1)
+	}
+}
+
+type gatewayConfig struct {
+	seed             uint64
+	maxSessions      int
+	handshakeTimeout time.Duration
+	dialTimeout      time.Duration
+	probeInterval    time.Duration
+	probeTimeout     time.Duration
+	failThreshold    int
+	cooldownBase     time.Duration
+	cooldownMax      time.Duration
+	metrics          string
+}
+
+// parseFleet pairs the -backends list with the optional -backend-metrics
+// list into the gateway's fleet description.
+func parseFleet(backends, backendMetrics string) ([]gateway.Backend, error) {
+	if strings.TrimSpace(backends) == "" {
+		return nil, fmt.Errorf("-backends is required (comma-separated provider addresses)")
+	}
+	addrs := strings.Split(backends, ",")
+	var metrics []string
+	if backendMetrics != "" {
+		metrics = strings.Split(backendMetrics, ",")
+		if len(metrics) != len(addrs) {
+			return nil, fmt.Errorf("-backend-metrics lists %d entries for %d backends", len(metrics), len(addrs))
+		}
+	}
+	fleet := make([]gateway.Backend, 0, len(addrs))
+	for i, a := range addrs {
+		b := gateway.Backend{Addr: strings.TrimSpace(a)}
+		if metrics != nil {
+			b.MetricsAddr = strings.TrimSpace(metrics[i])
+		}
+		fleet = append(fleet, b)
+	}
+	return fleet, nil
+}
+
+func run(listen, backends, backendMetrics string, c gatewayConfig) error {
+	fleet, err := parseFleet(backends, backendMetrics)
+	if err != nil {
+		return err
+	}
+	if c.metrics != "" {
+		telemetry.Enable()
+		bound, stop, err := telemetry.StartMetricsServer(c.metrics, telemetry.Default())
+		if err != nil {
+			return fmt.Errorf("metrics endpoint: %w", err)
+		}
+		defer stop()
+		fmt.Printf("metrics: http://%s/metrics (pprof at /debug/pprof)\n", bound)
+	}
+	gcfg := gateway.Config{
+		Backends:         fleet,
+		Seed:             c.seed,
+		MaxSessions:      c.maxSessions,
+		HandshakeTimeout: c.handshakeTimeout,
+		DialTimeout:      c.dialTimeout,
+		ProbeInterval:    c.probeInterval,
+		ProbeTimeout:     c.probeTimeout,
+		FailThreshold:    c.failThreshold,
+	}
+	if c.cooldownBase != 0 || c.cooldownMax != 0 {
+		gcfg.Cooldown = transport.Backoff{Base: c.cooldownBase, Max: c.cooldownMax, FullJitter: true}
+	}
+	gw, err := gateway.New(gcfg)
+	if err != nil {
+		return err
+	}
+	l, err := transport.NewListener(listen)
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Printf("gateway: %d backend(s), waiting on %s\n", len(fleet), l.Addr())
+	start := time.Now()
+	err = gw.Serve(ctx, l)
+	st := gw.Stats()
+	fmt.Printf("gateway done in %v: %d session(s), %d shed, %d rerouted, %d backend failure(s)\n",
+		time.Since(start), st.Sessions, st.Shed, st.Reroutes, st.BackendFailures)
+	for name, state := range gw.Health() {
+		fmt.Printf("backend %s: %s\n", name, state)
+	}
+	return err
+}

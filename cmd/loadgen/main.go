@@ -1,0 +1,368 @@
+// Command loadgen drives a fleet-scale load test against the session
+// gateway: many concurrent mixed-model persistent sessions, each
+// streaming several inferences, with tail latency reported as exact
+// nearest-rank percentiles (p50/p99/p999) and the gateway's own
+// shed/reroute/failure counters folded into the JSON artifact.
+//
+//	loadgen -sessions 400 -inferences 4 -models micro -out BENCH_10.json
+//
+// By default it self-hosts the whole topology in one process — -backends
+// provider processes (each with its own registry over real localhost
+// TCP) behind one gateway — so the artifact is reproducible from a
+// checkout with no orchestration. -connect points it at an external
+// gateway instead; the gateway counters are then absent from the report.
+//
+// -chaos kills one self-hosted backend (listener and all) once a third
+// of the sessions have finished: the remaining load must fail over and
+// complete — any failed session fails the run — and the committed
+// artifact then proves the reroute path under load, not just in the
+// unit-level chaos sweep. See docs/robustness.md.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aq2pnn/internal/engine"
+	"aq2pnn/internal/gateway"
+	"aq2pnn/internal/nn"
+	"aq2pnn/internal/ot"
+	"aq2pnn/internal/transport"
+)
+
+// report is the -out artifact (the BENCH_10.json schema). Kind tags the
+// schema so benchgate can tell a loadgen artifact from a sessionbench
+// one.
+type report struct {
+	Kind                 string   `json:"kind"` // "gateway-loadgen"
+	Models               []string `json:"models"`
+	CarrierBits          uint     `json:"carrier_bits"`
+	Backends             int      `json:"backends"`
+	Sessions             int      `json:"sessions"`
+	InferencesPerSession int      `json:"inferences_per_session"`
+	Concurrency          int      `json:"concurrency"`
+	Chaos                bool     `json:"chaos"`
+
+	FailedSessions int     `json:"failed_sessions"`
+	ElapsedMillis  int64   `json:"elapsed_ms"`
+	Throughput     float64 `json:"inferences_per_sec"`
+
+	OpenMillisP50   float64 `json:"open_ms_p50"`
+	OpenMillisP99   float64 `json:"open_ms_p99"`
+	InferMillisP50  float64 `json:"infer_ms_p50"`
+	InferMillisP99  float64 `json:"infer_ms_p99"`
+	InferMillisP999 float64 `json:"infer_ms_p999"`
+
+	Gateway *gatewayStats `json:"gateway,omitempty"`
+}
+
+type gatewayStats struct {
+	Sessions        uint64 `json:"sessions"`
+	Shed            uint64 `json:"shed"`
+	Reroutes        uint64 `json:"reroutes"`
+	BackendFailures uint64 `json:"backend_failures"`
+	Probes          uint64 `json:"probes"`
+	ProbeFailures   uint64 `json:"probe_failures"`
+}
+
+// percentile is the exact nearest-rank percentile of sorted durations in
+// milliseconds: the smallest observation with at least p·n at or below
+// it, index ⌈p·n⌉−1.
+func percentile(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return float64(sorted[rank]) / float64(time.Millisecond)
+}
+
+// backendProc is one self-hosted provider process.
+type backendProc struct {
+	addr   string
+	lis    *transport.Listener
+	cancel context.CancelFunc
+	done   chan error
+}
+
+func startBackendProc(models []*nn.Model, cfg engine.Options) (*backendProc, error) {
+	reg := engine.NewRegistry()
+	for _, m := range models {
+		if err := reg.Add(m); err != nil {
+			return nil, err
+		}
+	}
+	l, err := transport.NewListener("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	b := &backendProc{addr: l.Addr(), lis: l, cancel: cancel, done: make(chan error, 1)}
+	go func() { b.done <- engine.ServeRegistryTCP(ctx, l, reg, cfg, 0, nil) }()
+	return b, nil
+}
+
+// kill tears the backend down abruptly: listener closed, serve context
+// cancelled, in-flight sessions severed (DrainGrace is zero) — the
+// closest a single process gets to kill -9.
+func (b *backendProc) kill() {
+	b.lis.Close()
+	b.cancel()
+	<-b.done // severed-session errors are the point, not a failure
+}
+
+func run() error {
+	sessionsN := flag.Int("sessions", 400, "total persistent sessions to run")
+	inferences := flag.Int("inferences", 4, "inferences streamed per session")
+	concurrency := flag.Int("concurrency", 16, "sessions in flight at once")
+	models := flag.String("models", "micro", "comma-separated zoo models; sessions round-robin across them")
+	bits := flag.Uint("bits", 16, "carrier ring bit-width")
+	seed := flag.Uint64("seed", 9, "shared randomness seed (all backends and clients)")
+	backendsN := flag.Int("backends", 3, "self-hosted provider backends behind the gateway")
+	backendCap := flag.Int("backend-max-sessions", 0, "per-backend concurrent-session cap; excess sheds busy (0 = unlimited)")
+	chaos := flag.Bool("chaos", false, "kill one self-hosted backend after a third of the sessions complete")
+	connect := flag.String("connect", "", "drive an external gateway at this address instead of self-hosting")
+	realGroup := flag.Bool("real-group", false, "use the production 512-bit OT group instead of the fast demo group")
+	out := flag.String("out", "", "write the JSON report here (default stdout only)")
+	flag.Parse()
+	if *sessionsN < 1 || *inferences < 1 || *concurrency < 1 {
+		return fmt.Errorf("-sessions, -inferences and -concurrency must be positive")
+	}
+	if *connect != "" && *chaos {
+		return fmt.Errorf("-chaos needs the self-hosted fleet (drop -connect)")
+	}
+
+	names := strings.Split(*models, ",")
+	fleet := make([]*nn.Model, 0, len(names))
+	for i, name := range names {
+		names[i] = strings.TrimSpace(name)
+		m, err := nn.ByName(names[i], nn.ZooConfig{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fleet = append(fleet, m)
+	}
+	cfg := engine.Options{CarrierBits: *bits, Seed: *seed}
+	if !*realGroup {
+		cfg.Group = ot.TestGroup()
+	}
+	ccfg := cfg
+	ccfg.Retries = 6
+	ccfg.RetryBase = 20 * time.Millisecond
+
+	rep := report{
+		Kind: "gateway-loadgen", Models: names, CarrierBits: *bits,
+		Backends: *backendsN, Sessions: *sessionsN,
+		InferencesPerSession: *inferences, Concurrency: *concurrency,
+		Chaos: *chaos,
+	}
+
+	// Topology: self-hosted fleet + gateway, or an external gateway.
+	addr := *connect
+	var backends []*backendProc
+	var gw *gateway.Gateway
+	var gwDone chan error
+	var gwCancel context.CancelFunc
+	if addr == "" {
+		if *backendsN < 1 {
+			return fmt.Errorf("-backends must be positive")
+		}
+		scfg := cfg
+		scfg.MaxConcurrentSessions = *backendCap
+		var bks []gateway.Backend
+		for i := 0; i < *backendsN; i++ {
+			b, err := startBackendProc(fleet, scfg)
+			if err != nil {
+				return err
+			}
+			backends = append(backends, b)
+			bks = append(bks, gateway.Backend{Name: fmt.Sprintf("b%d", i), Addr: b.addr})
+		}
+		var err error
+		gw, err = gateway.New(gateway.Config{
+			Backends:      bks,
+			Seed:          *seed,
+			ProbeInterval: 250 * time.Millisecond,
+			FailThreshold: 1,
+			DialTimeout:   500 * time.Millisecond,
+		})
+		if err != nil {
+			return err
+		}
+		gl, err := transport.NewListener("127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		addr = gl.Addr()
+		var gctx context.Context
+		gctx, gwCancel = context.WithCancel(context.Background())
+		defer gwCancel() // re-cancel on early error returns; harmless after teardown
+		gwDone = make(chan error, 1)
+		go func() { gwDone <- gw.Serve(gctx, gl); gl.Close() }()
+		fmt.Printf("loadgen: self-hosted %d backend(s) behind gateway %s\n", *backendsN, addr)
+	}
+
+	dial := func(ctx context.Context) (transport.Conn, error) {
+		return transport.DialContext(ctx, addr, 30*time.Second)
+	}
+
+	// The driver: a fixed worker pool pulls session indices; each session
+	// picks its model round-robin, opens, streams, closes. Latencies are
+	// collected per worker and merged — no lock on the hot path.
+	ctx := context.Background()
+	var completed, failed atomic.Int64
+	var chaosOnce sync.Once
+	chaosAt := int64(*sessionsN / 3)
+	work := make(chan int)
+	var wg sync.WaitGroup
+	opens := make([][]time.Duration, *concurrency)
+	infers := make([][]time.Duration, *concurrency)
+	errCh := make(chan error, *concurrency)
+	start := time.Now()
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for idx := range work {
+				m := fleet[idx%len(fleet)]
+				x := make([]int64, m.InputShape().Numel())
+				for i := range x {
+					x[i] = int64((i*13+idx)%23) - 11
+				}
+				t0 := time.Now()
+				s, err := engine.NewClient(dial, ccfg).OpenSession(ctx, m)
+				if err != nil {
+					failed.Add(1)
+					select {
+					case errCh <- fmt.Errorf("session %d open: %w", idx, err):
+					default:
+					}
+					continue
+				}
+				opens[w] = append(opens[w], time.Since(t0))
+				ok := true
+				for i := 0; i < *inferences; i++ {
+					t1 := time.Now()
+					if _, err := s.Infer(ctx, x); err != nil {
+						failed.Add(1)
+						ok = false
+						select {
+						case errCh <- fmt.Errorf("session %d inference %d: %w", idx, i, err):
+						default:
+						}
+						break
+					}
+					infers[w] = append(infers[w], time.Since(t1))
+				}
+				s.Close()
+				if ok {
+					done := completed.Add(1)
+					if *chaos && done == chaosAt {
+						chaosOnce.Do(func() {
+							fmt.Printf("loadgen: chaos — killing backend b0 after %d sessions\n", done)
+							backends[0].kill()
+						})
+					}
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < *sessionsN; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	rep.ElapsedMillis = time.Since(start).Milliseconds()
+
+	var allOpens, allInfers []time.Duration
+	for w := 0; w < *concurrency; w++ {
+		allOpens = append(allOpens, opens[w]...)
+		allInfers = append(allInfers, infers[w]...)
+	}
+	sort.Slice(allOpens, func(i, j int) bool { return allOpens[i] < allOpens[j] })
+	sort.Slice(allInfers, func(i, j int) bool { return allInfers[i] < allInfers[j] })
+	rep.FailedSessions = int(failed.Load())
+	rep.OpenMillisP50 = percentile(allOpens, 0.50)
+	rep.OpenMillisP99 = percentile(allOpens, 0.99)
+	rep.InferMillisP50 = percentile(allInfers, 0.50)
+	rep.InferMillisP99 = percentile(allInfers, 0.99)
+	rep.InferMillisP999 = percentile(allInfers, 0.999)
+	if rep.ElapsedMillis > 0 {
+		rep.Throughput = float64(len(allInfers)) / (float64(rep.ElapsedMillis) / 1000)
+	}
+
+	// Tear the topology down before reading the counters, so every
+	// in-flight proxy has scored.
+	if gw != nil {
+		gwCancel()
+		if err := <-gwDone; err != nil {
+			return fmt.Errorf("gateway serve: %w", err)
+		}
+		for i, b := range backends {
+			if *chaos && i == 0 {
+				continue // already killed
+			}
+			b.kill()
+		}
+		st := gw.Stats()
+		rep.Gateway = &gatewayStats{
+			Sessions: st.Sessions, Shed: st.Shed, Reroutes: st.Reroutes,
+			BackendFailures: st.BackendFailures, Probes: st.Probes, ProbeFailures: st.ProbeFailures,
+		}
+	}
+
+	fmt.Printf("loadgen: %d sessions (%d inferences) in %.1fs — open p50 %.1fms p99 %.1fms; infer p50 %.1fms p99 %.1fms p999 %.1fms; %.1f inf/s\n",
+		*sessionsN, len(allInfers), float64(rep.ElapsedMillis)/1000,
+		rep.OpenMillisP50, rep.OpenMillisP99,
+		rep.InferMillisP50, rep.InferMillisP99, rep.InferMillisP999, rep.Throughput)
+	if rep.Gateway != nil {
+		fmt.Printf("loadgen: gateway routed %d, shed %d, rerouted %d, backend failures %d\n",
+			rep.Gateway.Sessions, rep.Gateway.Shed, rep.Gateway.Reroutes, rep.Gateway.BackendFailures)
+	}
+	if n := failed.Load(); n > 0 {
+		var first error
+		select {
+		case first = <-errCh:
+		default:
+		}
+		return fmt.Errorf("%d of %d sessions failed (first: %v)", n, *sessionsN, first)
+	}
+	if *chaos && (rep.Gateway == nil || rep.Gateway.Reroutes == 0) {
+		return fmt.Errorf("chaos run recorded no reroutes — the kill landed after the load drained")
+	}
+
+	p, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, append(p, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("loadgen: report written to %s\n", *out)
+	} else {
+		fmt.Println(string(p))
+	}
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}

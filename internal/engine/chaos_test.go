@@ -10,6 +10,7 @@ import (
 
 	"aq2pnn/internal/nn"
 	"aq2pnn/internal/ot"
+	"aq2pnn/internal/testutil"
 	"aq2pnn/internal/transport"
 )
 
@@ -130,20 +131,6 @@ func faultedRun(t *testing.T, m *nn.Model, x []int64, cfg Options, faultUser boo
 	}
 }
 
-func checkGoroutines(t *testing.T, base int) {
-	t.Helper()
-	deadline := time.Now().Add(10 * time.Second)
-	for time.Now().Before(deadline) {
-		if runtime.NumGoroutine() <= base+2 {
-			return
-		}
-		time.Sleep(50 * time.Millisecond)
-	}
-	buf := make([]byte, 1<<20)
-	n := runtime.Stack(buf, true)
-	t.Errorf("goroutine leak: %d live, baseline %d\n%s", runtime.NumGoroutine(), base, buf[:n])
-}
-
 func sweepModel(t *testing.T, m *nn.Model, cfg Options, userIdx, providerIdx []int) {
 	t.Helper()
 	x := make([]int64, m.InputShape().Numel())
@@ -171,7 +158,7 @@ func sweepModel(t *testing.T, m *nn.Model, cfg Options, userIdx, providerIdx []i
 		}
 		faultedRun(t, m, x, cfg, false, k, want)
 	}
-	checkGoroutines(t, base)
+	testutil.CheckGoroutines(t, base)
 }
 
 func TestFaultSweepMicro(t *testing.T) {

@@ -14,6 +14,7 @@ import (
 	"aq2pnn/internal/nn"
 	"aq2pnn/internal/prg"
 	"aq2pnn/internal/telemetry"
+	"aq2pnn/internal/testutil"
 	"aq2pnn/internal/transport"
 )
 
@@ -184,7 +185,7 @@ func TestGarbagePeerSweep(t *testing.T) {
 		t.Errorf("aq2pnn_idle_timeouts_total rose by %d, want >= 1", got)
 	}
 	loris.Close()
-	checkGoroutines(t, base)
+	testutil.CheckGoroutines(t, base)
 }
 
 // TestAdmissionControl checks load shedding end to end: with one

@@ -8,6 +8,7 @@ import (
 
 	"aq2pnn/internal/nn"
 	"aq2pnn/internal/telemetry"
+	"aq2pnn/internal/testutil"
 	"aq2pnn/internal/transport"
 )
 
@@ -213,7 +214,7 @@ func TestSessionPreprocDrain(t *testing.T) {
 		t.Errorf("starved inference online %+v, want the cold path's %+v",
 			online[inferences-1], coldOnline[inferences-1])
 	}
-	checkGoroutines(t, base)
+	testutil.CheckGoroutines(t, base)
 }
 
 // TestSessionPreprocFillAttribution pins the fill root's comm accounting:
@@ -309,7 +310,7 @@ func TestSessionPreprocChaos(t *testing.T) {
 			})
 		}
 	}
-	checkGoroutines(t, base)
+	testutil.CheckGoroutines(t, base)
 }
 
 // TestSessionPreprocResumeAfterMainFault faults the MAIN stream of a warm

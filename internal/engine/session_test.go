@@ -423,6 +423,7 @@ func TestSessionAttachMissFallsBack(t *testing.T) {
 	if err != nil {
 		t.Fatalf("open: %v", err)
 	}
+	tokenBefore := s.Token()
 	if _, err := s.Infer(ctx, x); err != nil {
 		t.Fatalf("inference 0: %v", err)
 	}
@@ -440,6 +441,13 @@ func TestSessionAttachMissFallsBack(t *testing.T) {
 	}
 	if d := maxAbsDiff(res.Logits, want); d > 6 {
 		t.Errorf("post-fallback max |logit diff| = %d, want ≤ 6", d)
+	}
+	// The fallback adopts the client's token instead of minting a new one:
+	// the session keeps its identity — and its transcript seeds — across
+	// the miss, which is what makes failover onto a cold provider
+	// bit-identical (see TestSessionSurvivesProviderRestart).
+	if s.Token() != tokenBefore {
+		t.Errorf("attach miss re-minted the token: %x -> %x", tokenBefore, s.Token())
 	}
 	if h.dials != 3 {
 		t.Errorf("dialed %d times, want 3 (probe, fault, fallback)", h.dials)

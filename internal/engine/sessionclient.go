@@ -122,11 +122,36 @@ func (s *Session) establish(ctx context.Context, resume bool) error {
 	if cfg.preprocOn() {
 		h.Flags |= flagPreproc
 	}
-	if err := exchangeHello(conn, h, cfg.handshakeTimeout()); err != nil {
-		return err
+	// The hello and the attach request are pipelined before waiting for
+	// either answer. The provider consumes them in order regardless, and
+	// a routing tier (internal/gateway) must see both frames before it
+	// can pick a backend — the attach token is half the routing key, and
+	// the gateway sends nothing of its own, so waiting for the provider
+	// hello here would deadlock the intake.
+	if err := conn.Send(h.encode()); err != nil {
+		return fmt.Errorf("engine: sending session hello: %w", err)
 	}
 	if err := conn.Send(encodeAttach(attachReqMagic, attachFrame{flag: resume, token: s.token})); err != nil {
 		return fmt.Errorf("engine: sending session attach: %w", err)
+	}
+	// The handshake deadline spans both answers: a peer (or proxy) that
+	// accepts the frames then stalls fails fast, typed.
+	if to := cfg.handshakeTimeout(); to > 0 && transport.SetRecvDeadline(conn, time.Now().Add(to)) {
+		defer transport.SetRecvDeadline(conn, time.Time{})
+	}
+	p, err := conn.Recv()
+	if err != nil {
+		if errors.Is(err, transport.ErrIdleTimeout) {
+			return &HandshakeError{Field: "hello read", Err: err}
+		}
+		return fmt.Errorf("engine: receiving session hello: %w", err)
+	}
+	peer, err := decodeHello(p)
+	if err != nil {
+		return err
+	}
+	if err := checkHello(h, peer); err != nil {
+		return err
 	}
 	frame, err := conn.Recv()
 	if err != nil {

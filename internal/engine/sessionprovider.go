@@ -93,10 +93,24 @@ func provideSession(conn transport.Conn, reg *Registry, m *nn.Model, cfg Options
 		}
 	}
 	if !resumed {
-		// Fresh setup (also the fallback when a resume token misses —
-		// expired, evicted, or a provider restart): mint a new token so
-		// the stale one can never alias a live session.
-		token = reg.nextToken()
+		if req.flag && req.token != (SessionToken{}) {
+			// The resume missed: expired, evicted, a provider restart, or —
+			// behind a gateway — a failover onto a backend that never held
+			// the state. Adopt the client's token instead of minting: every
+			// session seed derives from (Seed, token), so the fresh setup
+			// below reproduces exactly the transcript the original session
+			// ran, which is what makes a failed-over inference bit-identical
+			// (faithful truncation's ±1 LSB depends on the concrete share
+			// values, hence on the B-mask stream, hence on the token).
+			// Uniqueness is preserved — the token was minted by a Registry
+			// or gateway in the first place; the client merely echoes it,
+			// and take() above already claimed any parked state it named.
+			telemetry.Count("aq2pnn_sessions_attach_miss_total", 1)
+		} else {
+			// Fresh open: mint a new token so a stale one can never alias a
+			// live session.
+			token = reg.nextToken()
+		}
 	}
 	if err := conn.Send(encodeAttach(attachRespMagic, attachFrame{flag: resumed, token: token})); err != nil {
 		return fmt.Errorf("engine: sending session attach: %w", err)

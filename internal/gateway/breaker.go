@@ -1,0 +1,132 @@
+package gateway
+
+import (
+	"sync"
+	"time"
+
+	"aq2pnn/internal/telemetry"
+	"aq2pnn/internal/transport"
+)
+
+// Per-backend circuit breaker: the standard closed → open → half-open
+// machine, scored by both passive session outcomes and active probes.
+//
+//	closed:    everything routes here. threshold consecutive failures
+//	           trip it open.
+//	open:      nothing routes here for a cooldown drawn from the
+//	           transport.Backoff policy — the delay escalates with each
+//	           consecutive trip, so a backend that flaps gets left alone
+//	           for progressively longer. Full jitter (the default policy)
+//	           spreads the reopening of breakers tripped by one outage.
+//	half-open: the cooldown elapsed; exactly one trial (the next probe or
+//	           session) is admitted. Success closes the breaker, failure
+//	           re-opens it with the escalated cooldown.
+type breakerState int
+
+const (
+	stateClosed breakerState = iota
+	stateOpen
+	stateHalfOpen
+)
+
+type breaker struct {
+	mu    sync.Mutex
+	state breakerState
+	fails int       // consecutive failures while closed
+	trips int       // consecutive opens; escalates the cooldown
+	until time.Time // open until (cooldown deadline)
+	trial bool      // half-open: the single trial slot is taken
+
+	threshold int
+	cool      transport.Backoff
+	seed      uint64
+	now       func() time.Time // injectable clock for tests
+}
+
+// allow reports whether a new session or probe may target the backend,
+// transitioning open → half-open once the cooldown elapsed. In half-open
+// only the first caller is admitted (the trial); the rest are refused
+// until the trial reports.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateClosed:
+		return true
+	case stateOpen:
+		if b.now().Before(b.until) {
+			return false
+		}
+		b.state = stateHalfOpen
+		b.trial = false
+		fallthrough
+	default: // half-open
+		if b.trial {
+			return false
+		}
+		b.trial = true
+		return true
+	}
+}
+
+// success reports a healthy outcome (clean session end or probe pass).
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateClosed:
+		b.fails = 0
+	case stateHalfOpen:
+		// Trial passed: full recovery, escalation forgotten.
+		b.state = stateClosed
+		b.fails, b.trips, b.trial = 0, 0, false
+	case stateOpen:
+		// A session admitted before the trip finished cleanly after it.
+		// Stale evidence: the breaker opened on fresher failures, so it
+		// stays open through its cooldown.
+	}
+}
+
+// failure reports an unhealthy outcome (failed dial, backend-side
+// session error, probe failure).
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.open()
+		}
+	case stateHalfOpen:
+		// The trial failed: back to open with the escalated cooldown.
+		b.open()
+	case stateOpen:
+		// Extra failures while open (stragglers from sessions admitted
+		// earlier) add no information.
+	}
+}
+
+// open trips the breaker; callers hold b.mu.
+func (b *breaker) open() {
+	b.state = stateOpen
+	b.until = b.now().Add(b.cool.Delay(b.trips, b.seed))
+	b.trips++
+	b.fails, b.trial = 0, false
+	telemetry.Count("aq2pnn_gateway_breaker_open_total", 1)
+}
+
+func (b *breaker) describe() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateOpen:
+		if b.now().Before(b.until) {
+			return "open"
+		}
+		return "half-open"
+	case stateHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}

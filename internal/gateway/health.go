@@ -1,0 +1,78 @@
+package gateway
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"aq2pnn/internal/telemetry"
+)
+
+// Active health checking. Passive scoring only learns from sessions, so
+// a backend that died while idle would first be discovered by a paying
+// client; the prober finds it on the gateway's clock instead, and — just
+// as important — is the half-open trial that discovers recovery, so
+// breakers reopen without sacrificing a real session.
+
+// probeLoop probes every backend each interval until ctx is cancelled.
+// Probes run sequentially — the fleet is small and each probe is bounded
+// by ProbeTimeout — so the loop needs no joining machinery of its own.
+func (g *Gateway) probeLoop(ctx context.Context, interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		for _, b := range g.backends {
+			// allow() doubles as the open-state gate (no point probing a
+			// breaker mid-cooldown) and the half-open trial claim.
+			if !b.brk.allow() {
+				continue
+			}
+			g.probes.Add(1)
+			telemetry.Count("aq2pnn_gateway_probes_total", 1)
+			if err := probeBackend(ctx, b.Backend, g.cfg.probeTimeout()); err != nil {
+				g.probeFailures.Add(1)
+				telemetry.Count("aq2pnn_gateway_probe_failures_total", 1)
+				b.brk.failure()
+				continue
+			}
+			b.brk.success()
+		}
+	}
+}
+
+// probeBackend checks one backend: an HTTP GET of /metrics when the
+// backend exposes a telemetry endpoint (any 2xx passes), else a bare TCP
+// connect against the serving address — which catches a dead process,
+// though not a wedged one.
+func probeBackend(ctx context.Context, b Backend, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	if b.MetricsAddr != "" {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+b.MetricsAddr+"/metrics", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+		if resp.StatusCode < 200 || resp.StatusCode > 299 {
+			return fmt.Errorf("gateway: probe %s: /metrics returned %s", b.Name, resp.Status)
+		}
+		return nil
+	}
+	var d net.Dialer
+	c, err := d.DialContext(ctx, "tcp", b.Addr)
+	if err != nil {
+		return err
+	}
+	return c.Close()
+}

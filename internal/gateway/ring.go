@@ -1,0 +1,106 @@
+package gateway
+
+// Consistent hashing over the backend fleet. Each backend owns vnodes
+// pseudo-random points on a 64-bit ring; a session's key is served by
+// the backend owning the next point clockwise. Two properties matter
+// here: a re-attaching session (same key) finds the same owner as long
+// as that owner lives, and a dead backend's keys redistribute across the
+// survivors without moving anyone else's — sessions parked on healthy
+// backends keep their routing through a fleet change.
+
+// vnodes is the virtual-node count per backend: enough to even out load
+// across a small fleet without making the point table hot.
+const vnodes = 64
+
+// mix64 is the splitmix64 finalizer (see transport.mix64): the ring
+// needs a stateless, deterministic, well-distributed hash, not a
+// cryptographic one — routing is public metadata.
+func mix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// saltSeed is the approved raw-seed derivation (XOR a purpose salt, then
+// avalanche), mirroring engine.saltedSeed for the detrand invariant.
+func saltSeed(seed, salt uint64) uint64 { return mix64(seed ^ salt) }
+
+// hashString folds a backend name into the ring's hash domain.
+func hashString(s string) uint64 {
+	h := mix64(uint64(len(s)))
+	for _, b := range []byte(s) {
+		h = mix64(h ^ uint64(b))
+	}
+	return h
+}
+
+type ringPoint struct {
+	point uint64
+	idx   int // backend index
+}
+
+type hashRing struct {
+	points []ringPoint // sorted by point
+	n      int         // backend count
+}
+
+// newRing builds the ring from the backend names. Only names feed the
+// point placement — the ring is a pure function of the fleet's
+// composition, so every gateway over the same fleet routes identically.
+func newRing(names []string) *hashRing {
+	r := &hashRing{n: len(names)}
+	r.points = make([]ringPoint, 0, len(names)*vnodes)
+	for i, name := range names {
+		h := hashString(name)
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				point: mix64(h ^ (uint64(v)+1)*0x9E3779B97F4A7C15),
+				idx:   i,
+			})
+		}
+	}
+	// Insertion sort keeps this dependency-free; the table is built once
+	// per fleet, not per session. Ties break toward the lower backend
+	// index so the order is total and deterministic.
+	for i := 1; i < len(r.points); i++ {
+		for j := i; j > 0 && less(r.points[j], r.points[j-1]); j-- {
+			r.points[j], r.points[j-1] = r.points[j-1], r.points[j]
+		}
+	}
+	return r
+}
+
+func less(a, b ringPoint) bool {
+	if a.point != b.point {
+		return a.point < b.point
+	}
+	return a.idx < b.idx
+}
+
+// owners returns every distinct backend index in ring order starting at
+// key's successor point: owners(key)[0] is the session's owner, the rest
+// the deterministic failover order the proxy walks when predecessors are
+// ineligible.
+func (r *hashRing) owners(key uint64) []int {
+	out := make([]int, 0, r.n)
+	seen := make([]bool, r.n)
+	// Binary search for the successor point.
+	lo, hi := 0, len(r.points)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if r.points[mid].point < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	for i := 0; i < len(r.points) && len(out) < r.n; i++ {
+		p := r.points[(lo+i)%len(r.points)]
+		if !seen[p.idx] {
+			seen[p.idx] = true
+			out = append(out, p.idx)
+		}
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package gateway
+
+import (
+	"testing"
+
+	"aq2pnn/internal/engine"
+)
+
+// TestRingDeterministicAndStable: same fleet → same routing; removing a
+// backend from eligibility moves only that backend's keys.
+func TestRingDeterministicAndStable(t *testing.T) {
+	names := []string{"b0", "b1", "b2"}
+	r1, r2 := newRing(names), newRing(names)
+	for key := uint64(0); key < 512; key++ {
+		o1, o2 := r1.owners(mix64(key)), r2.owners(mix64(key))
+		if len(o1) != 3 || len(o2) != 3 {
+			t.Fatalf("key %d: owners %v / %v, want 3 distinct each", key, o1, o2)
+		}
+		for i := range o1 {
+			if o1[i] != o2[i] {
+				t.Fatalf("key %d: rings disagree: %v vs %v", key, o1, o2)
+			}
+		}
+		seen := map[int]bool{}
+		for _, idx := range o1 {
+			if idx < 0 || idx >= 3 || seen[idx] {
+				t.Fatalf("key %d: bad owner list %v", key, o1)
+			}
+			seen[idx] = true
+		}
+	}
+}
+
+// TestRingSpreadsLoad: across many keys every backend owns a
+// non-negligible share — the vnode count is doing its job.
+func TestRingSpreadsLoad(t *testing.T) {
+	r := newRing([]string{"alpha", "beta", "gamma"})
+	counts := make([]int, 3)
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		counts[r.owners(mix64(uint64(i)))[0]]++
+	}
+	for i, c := range counts {
+		if c < keys/6 { // perfectly even would be keys/3
+			t.Errorf("backend %d owns only %d/%d keys — ring badly skewed %v", i, c, keys, counts)
+		}
+	}
+}
+
+// TestRingFailoverOrderSkipsDead: the failover order is the ring walk,
+// so skipping the primary yields the second owner, and a key whose
+// primary survives is unaffected by another backend's death.
+func TestRingFailoverOrderSkipsDead(t *testing.T) {
+	r := newRing([]string{"b0", "b1", "b2"})
+	moved, kept := 0, 0
+	for i := 0; i < 1000; i++ {
+		o := r.owners(mix64(uint64(i) ^ 0xFEED))
+		if o[0] == 1 { // pretend b1 died
+			if o[1] == 1 {
+				t.Fatalf("owner list repeats a backend: %v", o)
+			}
+			moved++
+		} else {
+			kept++
+		}
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate distribution: moved %d kept %d", moved, kept)
+	}
+}
+
+// TestRouteKeyTokenSensitivity: the key must separate sessions of the
+// same model (token spread) and the same token across models.
+func TestRouteKeyTokenSensitivity(t *testing.T) {
+	var t1, t2 engine.SessionToken
+	t2[0] = 1
+	if routeKey(7, t1) == routeKey(7, t2) {
+		t.Error("distinct tokens collapsed to one key")
+	}
+	if routeKey(7, t1) == routeKey(8, t1) {
+		t.Error("distinct models collapsed to one key")
+	}
+	if routeKey(7, t1) != routeKey(7, t1) {
+		t.Error("routeKey not deterministic")
+	}
+}

@@ -1,0 +1,32 @@
+// Package testutil holds shared test helpers. Concurrency-heavy tests —
+// chaos sweeps, serving stacks, gateway fleets — all need the same
+// goroutine-leak discipline; centralising it here keeps the check (and
+// its grace window) identical everywhere instead of drifting across
+// hand-rolled copies.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// CheckGoroutines fails t when the live goroutine count has not settled
+// back to within two of base before a 10 s grace deadline, dumping every
+// stack for diagnosis. Call it at the end of a test that spawned
+// servers, sessions or fault injectors, with base captured by
+// runtime.NumGoroutine() before the first spawn; the +2 slack absorbs
+// runtime housekeeping goroutines that come and go on their own.
+func CheckGoroutines(t testing.TB, base int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base+2 {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Errorf("goroutine leak: %d live, baseline %d\n%s", runtime.NumGoroutine(), base, buf[:n])
+}

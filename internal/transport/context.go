@@ -55,9 +55,21 @@ func DialContext(ctx context.Context, addr string, timeout time.Duration) (Conn,
 // Listener accepts framed party connections; unlike the one-shot Listen it
 // stays open, so a server can host many concurrent sessions.
 type Listener struct {
-	l   net.Listener
-	mu  sync.Mutex
-	lim Limits
+	l    net.Listener
+	mu   sync.Mutex
+	lim  Limits
+	wrap func(Conn) Conn
+}
+
+// SetConnWrap installs a decorator applied to every subsequently
+// accepted connection, inside the context binding — cancellation still
+// severs the real transport through the decorator's Unwrap chain. The
+// fleet chaos harness uses it to route all of a backend's connections
+// through one process-level fault injector; nil removes the decorator.
+func (l *Listener) SetConnWrap(w func(Conn) Conn) {
+	l.mu.Lock()
+	l.wrap = w
+	l.mu.Unlock()
 }
 
 // SetLimits applies per-connection resource limits (idle timeout, memory
@@ -69,10 +81,10 @@ func (l *Listener) SetLimits(lim Limits) {
 	l.mu.Unlock()
 }
 
-func (l *Listener) limits() Limits {
+func (l *Listener) limits() (Limits, func(Conn) Conn) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.lim
+	return l.lim, l.wrap
 }
 
 // NewListener starts listening on addr.
@@ -120,7 +132,12 @@ func (l *Listener) AcceptSession(acceptCtx, connCtx context.Context) (Conn, erro
 		}
 		return nil, err
 	}
-	return bindContext(connCtx, NewNetConnLimits(c, l.limits())), nil
+	lim, wrap := l.limits()
+	conn := Conn(NewNetConnLimits(c, lim))
+	if wrap != nil {
+		conn = wrap(conn)
+	}
+	return bindContext(connCtx, conn), nil
 }
 
 // WithContext couples an existing Conn's lifetime to ctx: cancellation

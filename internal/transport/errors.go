@@ -62,13 +62,32 @@ func mix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
-// BackoffDelay returns the delay to wait before retry number attempt
-// (0-based): exponential growth base·2^attempt capped at max, with
-// deterministic jitter in [d/2, d] derived from seed and the attempt
-// index. Two clients with different seeds desynchronise instead of
-// retrying in lockstep; the same seed always reproduces the same
-// schedule. base 0 defaults to 100 ms, max 0 to 2 s.
-func BackoffDelay(attempt int, base, max time.Duration, seed uint64) time.Duration {
+// Backoff is a deterministic exponential-backoff policy: delays grow
+// base·2^attempt, hard-capped by Max (every returned delay respects the
+// ceiling, however large the attempt index), with jitter derived from a
+// seed so two clients with different seeds desynchronise instead of
+// retrying in lockstep while the same seed always reproduces the same
+// schedule.
+//
+// The default equal jitter draws from [d/2, d] — delays keep growing
+// monotonically in expectation, which suits a single client pacing its
+// own retries. FullJitter draws from [1ns, d] instead (AWS-style full
+// jitter): a fleet of clients released by the same event — a provider
+// restart, a circuit breaker reopening — spreads across the whole window
+// rather than bunching in its upper half, at the cost of occasional very
+// short delays.
+type Backoff struct {
+	// Base is the attempt-0 delay; 0 defaults to 100 ms.
+	Base time.Duration
+	// Max is the ceiling every delay is capped at; 0 defaults to 2 s.
+	Max time.Duration
+	// FullJitter widens the jitter window from [d/2, d] to [1ns, d].
+	FullJitter bool
+}
+
+// Delay returns the wait before retry number attempt (0-based).
+func (b Backoff) Delay(attempt int, seed uint64) time.Duration {
+	base, max := b.Base, b.Max
 	if base <= 0 {
 		base = 100 * time.Millisecond
 	}
@@ -80,15 +99,36 @@ func BackoffDelay(attempt int, base, max time.Duration, seed uint64) time.Durati
 	}
 	d := base
 	for i := 0; i < attempt && d < max; i++ {
+		// d ≤ max/2 here, so the doubling can neither overflow nor
+		// overshoot the ceiling by more than one final clamp.
+		if d > max/2 {
+			d = max
+			break
+		}
 		d *= 2
 	}
 	if d > max {
 		d = max
 	}
+	j := mix64(seed ^ uint64(attempt)*0x51_7CC1B727220A95)
+	if b.FullJitter {
+		if d <= 1 {
+			return d
+		}
+		return 1 + time.Duration(j%uint64(d))
+	}
 	half := d / 2
 	if half <= 0 {
 		return d
 	}
-	j := time.Duration(mix64(seed^uint64(attempt)*0x51_7CC1B727220A95) % uint64(half+1))
-	return half + j
+	return half + time.Duration(j%uint64(half+1))
+}
+
+// BackoffDelay returns the delay to wait before retry number attempt
+// (0-based) under the default equal-jitter policy: exponential growth
+// base·2^attempt capped at max, jitter in [d/2, d] derived from seed and
+// the attempt index. base 0 defaults to 100 ms, max 0 to 2 s. It is
+// shorthand for Backoff{Base: base, Max: max}.Delay(attempt, seed).
+func BackoffDelay(attempt int, base, max time.Duration, seed uint64) time.Duration {
+	return Backoff{Base: base, Max: max}.Delay(attempt, seed)
 }

@@ -1,0 +1,224 @@
+package transport
+
+import (
+	"sync"
+	"time"
+)
+
+// ProcessFaults extends the FaultPlan chaos model from a single
+// connection to a whole process: every connection belonging to one
+// backend process is wrapped by the same injector, which counts their
+// operations against ONE shared budget and, when it trips, takes them
+// all down together — the transport-level signature of a process crash,
+// as opposed to FaultyConn's per-connection faults. The fleet chaos
+// harness uses it to kill, stall or corrupt an entire provider backend
+// at a deterministic operation index while the gateway and its clients
+// keep running.
+//
+// Plan fields honoured: FailAfter is the total operation budget across
+// every wrapped connection (negative = never trip); Stall turns the
+// death into a freeze — once tripped, every operation (the tripping one
+// and all later ones, on every connection) blocks for up to Stall, or
+// until Kill, before the connections are severed, so peers observe
+// silence first and resets after, like a wedged process finally being
+// killed; Corrupt flips a byte of the last permitted Recv's payload, so
+// the process emits one damaged frame on its way down. The remaining
+// FaultPlan fields (latency, partial writes) stay per-connection
+// concerns — wrap individual conns with NewChaosConn for those.
+type ProcessFaults struct {
+	mu        sync.Mutex
+	remaining int
+	corrupt   bool
+	stall     time.Duration
+	tripped   bool
+	ops       uint64
+	conns     []Conn
+	onDeath   func()
+	killed    chan struct{}
+	severed   chan struct{}
+	killOnce  sync.Once
+	sevOnce   sync.Once
+}
+
+// NewProcessFaults builds a process-level fault injector from plan.
+// onDeath, when non-nil, runs once after the process's connections are
+// severed — the harness's hook to close the backend's listener so new
+// dials fail fast, like connecting to a crashed process.
+func NewProcessFaults(plan FaultPlan, onDeath func()) *ProcessFaults {
+	return &ProcessFaults{
+		remaining: plan.FailAfter,
+		corrupt:   plan.Corrupt,
+		stall:     plan.Stall,
+		onDeath:   onDeath,
+		killed:    make(chan struct{}),
+		severed:   make(chan struct{}),
+	}
+}
+
+// Wrap registers c as one of the process's connections and returns the
+// fault-injecting view of it. A connection wrapped after the process
+// already died is severed immediately (a crashed process accepts
+// nothing).
+func (p *ProcessFaults) Wrap(c Conn) Conn {
+	p.mu.Lock()
+	dead := p.tripped
+	if !dead {
+		p.conns = append(p.conns, c)
+	}
+	p.mu.Unlock()
+	if dead {
+		c.Close()
+	}
+	return &procConn{p: p, inner: c}
+}
+
+// Kill forces immediate death: the operation budget is voided, any
+// stall in progress is cut short, and every wrapped connection is
+// severed. Harnesses call it at teardown so a long Stall never outlives
+// the test.
+func (p *ProcessFaults) Kill() {
+	p.mu.Lock()
+	p.tripped = true
+	p.mu.Unlock()
+	p.killOnce.Do(func() { close(p.killed) })
+	p.sever()
+}
+
+// Ops reports the operations performed so far across every wrapped
+// connection — the clean run's count is the sweep space for fault
+// indices.
+func (p *ProcessFaults) Ops() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ops
+}
+
+// Dead reports whether the process has tripped (or been killed).
+func (p *ProcessFaults) Dead() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.tripped
+}
+
+// take burns one operation from the shared budget. Denied operations
+// block through the stall window (a frozen process answers nothing, not
+// even with a reset) and return only once the process is severed.
+func (p *ProcessFaults) take() (ok, last bool) {
+	p.mu.Lock()
+	if !p.tripped {
+		switch {
+		case p.remaining < 0:
+			p.ops++
+			p.mu.Unlock()
+			return true, false
+		case p.remaining > 0:
+			p.ops++
+			p.remaining--
+			last = p.remaining == 0
+			p.mu.Unlock()
+			return true, last
+		default:
+			p.tripped = true
+			p.mu.Unlock()
+			go p.die()
+			<-p.severed
+			return false, false
+		}
+	}
+	p.mu.Unlock()
+	<-p.severed
+	return false, false
+}
+
+// die runs the death sequence once the budget trips: hold through the
+// stall window (cut short by Kill), then sever.
+func (p *ProcessFaults) die() {
+	if p.stall > 0 {
+		t := time.NewTimer(p.stall)
+		select {
+		case <-t.C:
+		case <-p.killed:
+			t.Stop()
+		}
+	}
+	p.sever()
+}
+
+func (p *ProcessFaults) sever() {
+	p.sevOnce.Do(func() {
+		p.mu.Lock()
+		conns := make([]Conn, len(p.conns))
+		copy(conns, p.conns)
+		cb := p.onDeath
+		p.mu.Unlock()
+		for _, c := range conns {
+			c.Close()
+		}
+		close(p.severed)
+		if cb != nil {
+			cb()
+		}
+	})
+}
+
+// procConn is one connection's view of the shared process fault state.
+// Injected failures are accounted like FaultyConn's: SendErrs/RecvErrs
+// increment, byte counters do not (nothing crossed the transport).
+type procConn struct {
+	p     *ProcessFaults
+	inner Conn
+	mu    sync.Mutex
+	inj   Stats
+}
+
+// Send implements Conn.
+func (c *procConn) Send(p []byte) error {
+	ok, _ := c.p.take()
+	if !ok {
+		c.mu.Lock()
+		c.inj.SendErrs++
+		c.mu.Unlock()
+		return ErrInjected
+	}
+	return c.inner.Send(p)
+}
+
+// Recv implements Conn.
+func (c *procConn) Recv() ([]byte, error) {
+	ok, last := c.p.take()
+	if !ok {
+		c.mu.Lock()
+		c.inj.RecvErrs++
+		c.mu.Unlock()
+		return nil, ErrInjected
+	}
+	p, err := c.inner.Recv()
+	if err == nil && last && c.p.corrupt && len(p) > 0 {
+		p[len(p)/2] ^= 0xFF
+	}
+	return p, err
+}
+
+// Stats implements Conn: the inner counters plus the injected failures.
+func (c *procConn) Stats() Stats {
+	s := c.inner.Stats()
+	c.mu.Lock()
+	s.Add(c.inj)
+	c.mu.Unlock()
+	return s
+}
+
+// ResetStats implements Conn.
+func (c *procConn) ResetStats() {
+	c.mu.Lock()
+	c.inj = Stats{}
+	c.mu.Unlock()
+	c.inner.ResetStats()
+}
+
+// Close implements Conn.
+func (c *procConn) Close() error { return c.inner.Close() }
+
+// Unwrap exposes the wrapped Conn so budget and deadline requests reach
+// the real transport through the fault injector.
+func (c *procConn) Unwrap() Conn { return c.inner }

@@ -1,0 +1,122 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestProcessFaultsSharedBudget checks the budget is shared across every
+// wrapped connection and that tripping severs them all at once.
+func TestProcessFaultsSharedBudget(t *testing.T) {
+	var died atomic.Bool
+	p := NewProcessFaults(FaultPlan{FailAfter: 3}, func() { died.Store(true) })
+	a1, b1 := Pipe()
+	a2, b2 := Pipe()
+	defer b1.Close()
+	defer b2.Close()
+	w1, w2 := p.Wrap(a1), p.Wrap(a2)
+
+	// The pipes buffer, so send-then-receive proceeds synchronously.
+	if err := w1.Send([]byte("x")); err != nil { // op 1, conn 1
+		t.Fatalf("op 1: %v", err)
+	}
+	if err := w2.Send([]byte("y")); err != nil { // op 2, conn 2
+		t.Fatalf("op 2: %v", err)
+	}
+	if err := w1.Send([]byte("z")); err != nil { // op 3: budget exhausted
+		t.Fatalf("op 3: %v", err)
+	}
+	for _, peer := range []Conn{b1, b2, b1} {
+		if _, err := peer.Recv(); err != nil {
+			t.Fatalf("peer recv: %v", err)
+		}
+	}
+	if p.Dead() {
+		t.Fatal("process dead before the budget tripped")
+	}
+	// Op 4 on either connection trips the whole process.
+	if err := w2.Send([]byte("boom")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("op 4: got %v, want ErrInjected", err)
+	}
+	if !p.Dead() || !died.Load() {
+		t.Fatal("trip did not mark the process dead / fire onDeath")
+	}
+	if p.Ops() != 3 {
+		t.Fatalf("Ops() = %d, want 3", p.Ops())
+	}
+	// Both connections are severed, not just the tripping one.
+	if err := w1.Send([]byte("after")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-death send on sibling conn: got %v, want ErrInjected", err)
+	}
+	if _, err := b1.Recv(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("peer of severed conn: got %v, want ErrClosed", err)
+	}
+}
+
+// TestProcessFaultsStallBlocksUntilKill checks a stalling death freezes
+// denied operations (silence, not resets) until Kill cuts the stall.
+func TestProcessFaultsStallBlocksUntilKill(t *testing.T) {
+	p := NewProcessFaults(FaultPlan{FailAfter: 0, Stall: time.Hour}, nil)
+	a, b := Pipe()
+	defer b.Close()
+	w := p.Wrap(a)
+	done := make(chan error, 1)
+	go func() {
+		done <- w.Send([]byte("frozen"))
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("stalled op returned early with %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	p.Kill()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("killed op: got %v, want ErrInjected", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Kill did not release the stalled op")
+	}
+}
+
+// TestProcessFaultsCorruptLastRecv checks the dying process's final
+// permitted Recv carries a flipped byte.
+func TestProcessFaultsCorruptLastRecv(t *testing.T) {
+	p := NewProcessFaults(FaultPlan{FailAfter: 1, Corrupt: true}, nil)
+	a, b := Pipe()
+	defer b.Close()
+	w := p.Wrap(a)
+	if err := b.Send([]byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := w.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, []byte{1, 2, 3, 4}) {
+		t.Fatal("final permitted recv was not corrupted")
+	}
+	if _, err := w.Recv(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-corruption op: got %v, want ErrInjected", err)
+	}
+}
+
+// TestProcessFaultsWrapAfterDeath checks a connection accepted after the
+// process died is severed immediately.
+func TestProcessFaultsWrapAfterDeath(t *testing.T) {
+	p := NewProcessFaults(FaultPlan{FailAfter: -1}, nil)
+	p.Kill()
+	a, b := Pipe()
+	defer b.Close()
+	w := p.Wrap(a)
+	if err := w.Send([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("send on post-death conn: got %v, want ErrInjected", err)
+	}
+	if _, err := b.Recv(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("peer of post-death conn: got %v, want ErrClosed", err)
+	}
+}
